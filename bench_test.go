@@ -1,0 +1,389 @@
+// Package repro_test benchmarks every figure of the paper's evaluation
+// (one benchmark family per figure) plus the ablation comparisons from
+// DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-op times are this hardware's analogue of the paper's reported
+// seconds; EXPERIMENTS.md maps them back to each figure.
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+	"repro/internal/switchos"
+	"repro/internal/traffic"
+)
+
+// fixedScenario draws the i-th deterministic scenario on a k-port
+// fat-tree.
+func fixedScenario(b *testing.B, k int, seed int64) *core.State {
+	b.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.FatTree(k, 1000)
+	s, err := core.RandomState(g, core.DefaultScenario(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func solveBench(b *testing.B, k int, p core.Params) {
+	b.Helper()
+	s := fixedScenario(b, k, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(s, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1MonitoringStep is the per-tick cost of the simulated
+// switch OS under Figure 1's 20% line-rate workload.
+func BenchmarkFig1MonitoringStep(b *testing.B) {
+	sw, err := switchos.New(switchos.Aruba8325(), switchos.StandardAgents(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sw.SetTrafficKpps(29.4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Step(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6 compares the switch tick cost with local vs offloaded
+// monitoring (the device-side work DUST removes).
+func BenchmarkFig6(b *testing.B) {
+	for _, mode := range []switchos.Mode{switchos.ModeLocal, switchos.ModeOffloaded} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sw, err := switchos.New(switchos.Aruba8325(), switchos.StandardAgents(), 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sw.SetTrafficKpps(29.4)
+			sw.OffloadAll(mode)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sw.Step(1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7FeasibilitySolve is one Δ_io feasibility probe: a full
+// classify+route+solve on a random 4-k scenario.
+func BenchmarkFig7FeasibilitySolve(b *testing.B) {
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	solveBench(b, 4, p)
+}
+
+// BenchmarkFig8 sweeps max-hop on the 4-k network with paper-literal
+// exhaustive route enumeration (the figure's x-axis).
+func BenchmarkFig8(b *testing.B) {
+	for _, mh := range []int{4, 8, 10, 0} {
+		name := "maxhop=unbounded"
+		if mh > 0 {
+			name = "maxhop=" + itoa(mh)
+		}
+		b.Run(name, func(b *testing.B) {
+			p := core.DefaultParams()
+			p.PathStrategy = core.PathEnumerate
+			p.MaxHops = mh
+			solveBench(b, 4, p)
+		})
+	}
+}
+
+// BenchmarkFig9 runs the heuristic and the optimizer on the same 4-k
+// scenario (the figure's two contenders).
+func BenchmarkFig9(b *testing.B) {
+	s := fixedScenario(b, 4, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	b.Run("heuristic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveHeuristic(s, p, core.HeuristicGreedy); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("optimizer", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(s, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFig10 is the large-scale optimization cost at the paper's
+// recommended max-hop settings (7 at 8-k, 4 at 16-k).
+func BenchmarkFig10(b *testing.B) {
+	cases := []struct {
+		name string
+		k    int
+		mh   int
+	}{
+		{"8k/maxhop=7", 8, 7},
+		{"16k/maxhop=4", 16, 4},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			p := core.DefaultParams()
+			p.PathStrategy = core.PathEnumerate
+			p.MaxHops = c.mh
+			solveBench(b, c.k, p)
+		})
+	}
+}
+
+// BenchmarkFig11HFR is the heuristic across scales (Figure 11a's x-axis).
+func BenchmarkFig11HFR(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 64} {
+		b.Run(itoa(k)+"k", func(b *testing.B) {
+			s := fixedScenario(b, k, 1)
+			p := core.DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveHeuristic(s, p, core.HeuristicGreedy); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Heuristic64k is the figure's largest point: the one-hop
+// heuristic on 5120 nodes / 131072 edges.
+func BenchmarkFig12Heuristic64k(b *testing.B) {
+	s := fixedScenario(b, 64, 1)
+	p := core.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.SolveHeuristic(s, p, core.HeuristicGreedy); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationTransportVsSimplex isolates the optimization engine on
+// identical 8-k inputs.
+func BenchmarkAblationTransportVsSimplex(b *testing.B) {
+	for _, solver := range []core.SolverKind{core.SolverTransport, core.SolverSimplex} {
+		b.Run(solver.String(), func(b *testing.B) {
+			p := core.DefaultParams()
+			p.PathStrategy = core.PathDP
+			p.MaxHops = 7
+			p.Solver = solver
+			solveBench(b, 8, p)
+		})
+	}
+}
+
+// BenchmarkAblationPathStrategies isolates the controllable-route
+// computation on identical 8-k inputs.
+func BenchmarkAblationPathStrategies(b *testing.B) {
+	for _, strat := range []core.PathStrategy{core.PathEnumerate, core.PathDP} {
+		b.Run(strat.String(), func(b *testing.B) {
+			p := core.DefaultParams()
+			p.PathStrategy = strat
+			p.MaxHops = 7
+			solveBench(b, 8, p)
+		})
+	}
+}
+
+// BenchmarkAblationHeuristicGreedyVsLP isolates Algorithm 1's inner
+// minimization.
+func BenchmarkAblationHeuristicGreedyVsLP(b *testing.B) {
+	for _, mode := range []core.HeuristicMode{core.HeuristicGreedy, core.HeuristicLP} {
+		b.Run(mode.String(), func(b *testing.B) {
+			s := fixedScenario(b, 8, 1)
+			p := core.DefaultParams()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SolveHeuristic(s, p, mode); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationZoning compares zone-partitioned and global exact
+// solving on a 16-k network (Section V-B's recommendation).
+func BenchmarkAblationZoning(b *testing.B) {
+	s := fixedScenario(b, 16, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.MaxHops = 4
+	b.Run("zoned80", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SolveZoned(s, p, 80); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("global", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Solve(s, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkSimplex is the raw LP engine on a dense random instance.
+func BenchmarkSimplex(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n = 40, 120
+	model := lp.NewModel(lp.Minimize)
+	vars := make([]lp.VarID, n)
+	for j := range vars {
+		vars[j] = model.AddVar("x", 0, 100, rng.Float64()*10)
+	}
+	for i := 0; i < m; i++ {
+		terms := make([]lp.Term, 0, n/4)
+		for j := 0; j < n; j += 4 {
+			terms = append(terms, lp.Term{Var: vars[(i+j)%n], Coeff: 1 + rng.Float64()})
+		}
+		model.AddConstraint("c", terms, lp.GE, 50+rng.Float64()*50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTransportSolver is the raw network-method solver on a balanced
+// 100×150 instance.
+func BenchmarkTransportSolver(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const m, n = 100, 150
+	prob := lp.TransportProblem{
+		Supply: make([]float64, m),
+		Demand: make([]float64, n),
+		Cost:   make([][]float64, m),
+	}
+	for i := range prob.Supply {
+		prob.Supply[i] = float64(1 + rng.Intn(20))
+		prob.Cost[i] = make([]float64, n)
+		for j := range prob.Cost[i] {
+			prob.Cost[i][j] = rng.Float64() * 100
+		}
+	}
+	for j := range prob.Demand {
+		prob.Demand[j] = float64(10 + rng.Intn(20))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sol, err := lp.SolveTransport(prob)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sol.Status != lp.StatusOptimal {
+			b.Fatal("unexpectedly infeasible")
+		}
+	}
+}
+
+// BenchmarkPathEnumeration and BenchmarkPathDP isolate the two route
+// engines between a fixed fat-tree node pair.
+func BenchmarkPathEnumeration(b *testing.B) {
+	g := graph.FatTree(8, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.AllSimplePaths(g, 0, 8, 7, 0)
+	}
+}
+
+func BenchmarkPathDP(b *testing.B) {
+	g := graph.FatTree(8, 1000)
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return e.CapMbps })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.HopBoundedShortest(g, 0, 7, cost)
+	}
+}
+
+// BenchmarkTrafficApply is the VxLAN workload imposition on an 8-k tree.
+func BenchmarkTrafficApply(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	base := graph.FatTree(8, 1000)
+	eps := graph.FatTreeEdgeSwitches(8)
+	flows, err := traffic.Generate(base, eps, traffic.DefaultConfig(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := base.Clone()
+		if _, err := traffic.Apply(g, flows); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkYenKShortest ranks 8 backup routes between inter-pod edge
+// switches on an 8-k fat-tree.
+func BenchmarkYenKShortest(b *testing.B) {
+	g := graph.FatTree(8, 1000)
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return e.CapMbps })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.KShortestPaths(g, 0, 8, 8, cost)
+	}
+}
+
+// BenchmarkSolveHeterogeneous measures the persona-coefficient solve
+// (routed through the general simplex) against the homogeneous baseline.
+func BenchmarkSolveHeterogeneous(b *testing.B) {
+	s := fixedScenario(b, 8, 1)
+	personas := make([]core.Persona, s.G.NumNodes())
+	for i := range personas {
+		if i%3 == 0 {
+			personas[i] = core.DefaultPersona(core.ClassServer)
+		} else {
+			personas[i] = core.DefaultPersona(core.ClassSwitch)
+		}
+	}
+	if err := s.SetPersonas(personas); err != nil {
+		b.Fatal(err)
+	}
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.MaxHops = 7
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(s, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,126 @@
+// Command dustclient runs one DUST-Client backed by the simulated
+// database-driven switch OS: it registers with the manager, reports STAT
+// at the assigned Update-Interval, and executes offload/host/replica
+// instructions by flipping its monitor agents between local and
+// export-only modes.
+//
+// Usage:
+//
+//	dustclient -manager 127.0.0.1:7700 -node 0 -kpps 29.4
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/proto"
+	"repro/internal/switchos"
+)
+
+func main() {
+	var (
+		managerAddr = flag.String("manager", "127.0.0.1:7700", "manager address")
+		node        = flag.Int("node", 0, "this client's node index in the manager's topology")
+		kpps        = flag.Float64("kpps", 29.4, "transit traffic in thousands of packets/second")
+		capable     = flag.Bool("capable", true, "participate in offloading")
+		cmax        = flag.Float64("cmax", 0, "self-declared busy threshold (0 = manager default)")
+		comax       = flag.Float64("comax", 0, "self-declared candidate threshold (0 = manager default)")
+		seed        = flag.Int64("seed", 0, "switch simulation seed (0 = node index)")
+	)
+	flag.Parse()
+
+	if *seed == 0 {
+		*seed = int64(*node) + 1
+	}
+	cfg := switchos.Aruba8325()
+	cfg.Name = "switch-" + strconv.Itoa(*node)
+	sw, err := switchos.New(cfg, switchos.StandardAgents(), *seed)
+	if err != nil {
+		log.Fatalf("dustclient: %v", err)
+	}
+	sw.SetTrafficKpps(*kpps)
+
+	// Advance the simulated switch once per wall second and expose its
+	// latest snapshot to the STAT path.
+	var mu sync.Mutex
+	var snap switchos.Snapshot
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for range tick.C {
+			s, err := sw.Step(1)
+			if err != nil {
+				log.Printf("dustclient: switch step: %v", err)
+				return
+			}
+			mu.Lock()
+			snap = s
+			mu.Unlock()
+		}
+	}()
+
+	conn, err := proto.Dial(*managerAddr)
+	if err != nil {
+		log.Fatalf("dustclient: %v", err)
+	}
+	defer conn.Close()
+
+	client, err := cluster.NewClient(cluster.ClientConfig{
+		Node:    *node,
+		Capable: *capable,
+		CMax:    *cmax,
+		COMax:   *comax,
+		Resources: func() cluster.Resources {
+			mu.Lock()
+			defer mu.Unlock()
+			return cluster.Resources{
+				UtilPct:   snap.DeviceCPUPct,
+				DataMb:    50, // exported monitoring data volume per interval
+				NumAgents: len(switchos.StandardAgents()),
+			}
+		},
+		OnHost: func(busy int, amount float64, route []int32) bool {
+			log.Printf("hosting %.1f%% of node %d's monitoring (route %v)", amount, busy, route)
+			for _, spec := range switchos.StandardAgents() {
+				if err := sw.HostRemote(spec, "node-"+strconv.Itoa(busy), func() float64 { return *kpps }); err != nil {
+					log.Printf("host: %v", err)
+					return false
+				}
+			}
+			return true
+		},
+		OnRelease: func(busy int) {
+			log.Printf("releasing node %d's hosted monitoring", busy)
+			for _, spec := range switchos.StandardAgents() {
+				_ = sw.EvictRemote("node-"+strconv.Itoa(busy), spec.Name)
+			}
+		},
+		OnRedirect: func(amount float64, route []int32) {
+			log.Printf("redirecting %.1f%% of local monitoring along %v", amount, route)
+			sw.OffloadAll(switchos.ModeOffloaded)
+		},
+		OnReplica: func(busy, failed int, amount float64) {
+			log.Printf("substituting failed destination %d for busy %d (%.1f%%)", failed, busy, amount)
+		},
+	}, conn)
+	if err != nil {
+		log.Fatalf("dustclient: %v", err)
+	}
+	if err := client.Handshake(); err != nil {
+		log.Fatalf("dustclient: handshake: %v", err)
+	}
+	log.Printf("dustclient: node %d registered, update interval %.0fs", *node, client.UpdateInterval())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := client.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Fatalf("dustclient: %v", err)
+	}
+}

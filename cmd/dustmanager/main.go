@@ -1,0 +1,160 @@
+// Command dustmanager runs a DUST-Manager: it listens for DUST-Client
+// connections, maintains the NMDB from their STAT reports, and
+// periodically runs the placement optimization, failure detection, and
+// reclaim policies.
+//
+// Usage:
+//
+//	dustmanager -listen 127.0.0.1:7700 -k 4 -interval 10s
+//
+// The topology is the k-port fat-tree clients index into with their -node
+// flags.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/proto"
+)
+
+func main() {
+	var (
+		listen    = flag.String("listen", "127.0.0.1:7700", "listen address")
+		snapshot  = flag.String("snapshot", "", "NMDB snapshot file (loaded at start, saved each interval)")
+		k         = flag.Int("k", 4, "fat-tree port count of the managed topology")
+		interval  = flag.Duration("interval", 30*time.Second, "placement/update interval")
+		cmax      = flag.Float64("cmax", 80, "default busy threshold (percent)")
+		comax     = flag.Float64("comax", 50, "default offload-candidate threshold (percent)")
+		xmin      = flag.Float64("xmin", 10, "minimum node usage (percent)")
+		maxHops   = flag.Int("maxhops", 0, "controllable-route hop bound (0 = unbounded)")
+		heuristic = flag.Bool("fastpaths", true, "use the polynomial route DP instead of exhaustive enumeration")
+	)
+	flag.Parse()
+
+	topo := graph.FatTree(*k, 1000)
+	th := core.Thresholds{CMax: *cmax, COMax: *comax, XMin: *xmin}
+	if delta := th.DeltaIO(); delta < core.RecommendedKIO {
+		log.Printf("warning: Δ_io = %.2f below the recommended K_io = %.0f; expect infeasible rounds",
+			delta, core.RecommendedKIO)
+	}
+	params := core.DefaultParams()
+	params.Thresholds = th
+	params.MaxHops = *maxHops
+	if *heuristic {
+		params.PathStrategy = core.PathDP
+	}
+
+	mgr, err := cluster.NewManager(cluster.ManagerConfig{
+		Topology:          topo,
+		Defaults:          th,
+		Params:            params,
+		UpdateIntervalSec: interval.Seconds(),
+		KeepaliveTimeout:  3 * *interval,
+	})
+	if err != nil {
+		log.Fatalf("dustmanager: %v", err)
+	}
+	l, err := proto.Listen(*listen)
+	if err != nil {
+		log.Fatalf("dustmanager: %v", err)
+	}
+	nodes, edges := graph.FatTreeSizes(*k)
+	log.Printf("dustmanager: managing %d-k fat-tree (%d nodes, %d edges) on %s", *k, nodes, edges, l.Addr())
+
+	if *snapshot != "" {
+		if f, err := os.Open(*snapshot); err == nil {
+			err := mgr.NMDB().LoadSnapshot(f)
+			f.Close()
+			if err != nil {
+				log.Fatalf("dustmanager: load snapshot: %v", err)
+			}
+			log.Printf("dustmanager: restored NMDB from %s (%d clients, %d active assignments)",
+				*snapshot, len(mgr.NMDB().Nodes()), len(mgr.NMDB().ActiveAssignments()))
+		}
+	}
+	saveSnapshot := func() {
+		if *snapshot == "" {
+			return
+		}
+		tmp := *snapshot + ".tmp"
+		f, err := os.Create(tmp)
+		if err != nil {
+			log.Printf("snapshot: %v", err)
+			return
+		}
+		err = mgr.NMDB().SaveSnapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err == nil {
+			err = os.Rename(tmp, *snapshot)
+		}
+		if err != nil {
+			log.Printf("snapshot: %v", err)
+		}
+	}
+
+	go func() {
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for range tick.C {
+			report, err := mgr.RunPlacement()
+			if err != nil {
+				log.Printf("placement: %v", err)
+				continue
+			}
+			if report.Result == nil {
+				log.Printf("placement: no busy nodes")
+				continue
+			}
+			log.Printf("placement: status=%v β=%.3f accepted=%d declined=%d timed-out=%d",
+				report.Result.Status, report.Result.Objective,
+				len(report.Accepted), len(report.Declined), len(report.TimedOut))
+			for _, a := range report.Accepted {
+				log.Printf("  offload %.1f%% of node %d → node %d (Trmin %.3fs)",
+					a.Amount, a.Busy, a.Candidate, a.ResponseTimeSec)
+			}
+			subs, err := mgr.CheckKeepalives()
+			if err != nil {
+				log.Printf("keepalive check: %v", err)
+				continue
+			}
+			for _, s := range subs {
+				log.Printf("  substituted failed destination %d with %d for busy %d (%.1f%%)",
+					s.Failed, s.Replica, s.Busy, s.Amount)
+			}
+			// Reclaim origins whose STAT dropped back below CMax.
+			for _, b := range activeBusyNodes(mgr) {
+				if rec, ok := mgr.NMDB().Client(b); ok && rec.UtilPct < th.CMax {
+					released := mgr.ReclaimBusy(b)
+					if len(released) > 0 {
+						log.Printf("  reclaimed %d assignment(s) for recovered node %d", len(released), b)
+					}
+				}
+			}
+			saveSnapshot()
+		}
+	}()
+
+	if err := mgr.Serve(l); err != nil {
+		log.Printf("dustmanager: serve: %v", err)
+	}
+}
+
+func activeBusyNodes(mgr *cluster.Manager) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, a := range mgr.NMDB().ActiveAssignments() {
+		if !seen[a.Busy] {
+			seen[a.Busy] = true
+			out = append(out, a.Busy)
+		}
+	}
+	return out
+}

@@ -1,0 +1,126 @@
+// Command dusttopo generates and inspects the topologies DUST evaluates
+// on: switch-only fat-trees plus the synthetic families used in tests.
+//
+// Usage:
+//
+//	dusttopo -topology fattree -k 8
+//	dusttopo -topology random -n 50 -p 0.1 -seed 3
+//	dusttopo -topology fattree -k 4 -paths 0,4 -maxhops 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+func main() {
+	var (
+		topo    = flag.String("topology", "fattree", "fattree|ring|line|star|grid|random")
+		k       = flag.Int("k", 4, "fat-tree port count (even)")
+		n       = flag.Int("n", 20, "node count for non-fat-tree families")
+		rows    = flag.Int("rows", 4, "grid rows")
+		cols    = flag.Int("cols", 5, "grid cols")
+		p       = flag.Float64("p", 0.1, "random-graph edge probability")
+		capMbps = flag.Float64("cap", 1000, "link capacity in Mbps")
+		seed    = flag.Int64("seed", 1, "random-graph seed")
+		paths   = flag.String("paths", "", "count simple paths between a node pair, e.g. 0,4")
+		maxHops = flag.Int("maxhops", 0, "hop bound for -paths (0 = unbounded)")
+	)
+	flag.Parse()
+
+	var g *graph.Graph
+	switch *topo {
+	case "fattree":
+		g = graph.FatTree(*k, *capMbps)
+	case "ring":
+		g = graph.Ring(*n, *capMbps)
+	case "line":
+		g = graph.Line(*n, *capMbps)
+	case "star":
+		g = graph.Star(*n, *capMbps)
+	case "grid":
+		g = graph.Grid(*rows, *cols, *capMbps)
+	case "random":
+		g = graph.RandomConnected(*n, *p, *capMbps, rand.New(rand.NewSource(*seed)))
+	default:
+		fmt.Fprintf(os.Stderr, "dusttopo: unknown topology %q\n", *topo)
+		os.Exit(2)
+	}
+	if err := g.Validate(); err != nil {
+		fmt.Fprintf(os.Stderr, "dusttopo: generated graph invalid: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("topology: %s\n", *topo)
+	fmt.Printf("nodes:    %d\n", g.NumNodes())
+	fmt.Printf("edges:    %d\n", g.NumEdges())
+	fmt.Printf("connected: %v\n", g.Connected())
+
+	// Degree histogram.
+	hist := map[int]int{}
+	for i := 0; i < g.NumNodes(); i++ {
+		hist[g.Degree(i)]++
+	}
+	fmt.Printf("degrees:  ")
+	first := true
+	for d := 0; d <= maxKey(hist); d++ {
+		if c, ok := hist[d]; ok {
+			if !first {
+				fmt.Printf(", ")
+			}
+			fmt.Printf("%d×deg%d", c, d)
+			first = false
+		}
+	}
+	fmt.Println()
+
+	if *topo == "fattree" {
+		layers := map[string]int{}
+		for i := 0; i < g.NumNodes(); i++ {
+			layers[g.Node(i).Layer.String()]++
+		}
+		fmt.Printf("layers:   edge=%d agg=%d core=%d\n", layers["edge"], layers["agg"], layers["core"])
+	}
+
+	// BFS eccentricity from node 0 as a cheap diameter proxy.
+	d := g.HopDistances(0)
+	maxD := 0
+	for _, v := range d {
+		if v > maxD {
+			maxD = v
+		}
+	}
+	fmt.Printf("ecc(n0):  %d hops\n", maxD)
+
+	if *paths != "" {
+		parts := strings.Split(*paths, ",")
+		if len(parts) != 2 {
+			fmt.Fprintln(os.Stderr, "dusttopo: -paths wants src,dst")
+			os.Exit(2)
+		}
+		src, err1 := strconv.Atoi(strings.TrimSpace(parts[0]))
+		dst, err2 := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err1 != nil || err2 != nil || src < 0 || dst < 0 || src >= g.NumNodes() || dst >= g.NumNodes() {
+			fmt.Fprintln(os.Stderr, "dusttopo: bad -paths node pair")
+			os.Exit(2)
+		}
+		count := graph.CountSimplePaths(g, src, dst, *maxHops)
+		fmt.Printf("simple paths %d→%d (maxhops=%d): %d\n", src, dst, *maxHops, count)
+	}
+}
+
+func maxKey(m map[int]int) int {
+	out := 0
+	for k := range m {
+		if k > out {
+			out = k
+		}
+	}
+	return out
+}

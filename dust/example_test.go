@@ -1,0 +1,74 @@
+package dust_test
+
+import (
+	"fmt"
+
+	"repro/dust"
+)
+
+// ExampleSolve places the excess monitoring load of one overloaded switch
+// onto the cheaper of two candidates.
+func ExampleSolve() {
+	g := dust.NewGraph(3) // busy — near candidate — far candidate
+	for i := 0; i < 2; i++ {
+		id := g.AddEdge(i, i+1, 100)
+		g.SetUtilization(id, 0.5) // Lu = 50 Mbps per link
+	}
+	state := dust.NewState(g)
+	state.Util = []float64{90, 20, 20} // CMax=80 → node 0 must shed 10 points
+	state.DataMb = []float64{100, 0, 0}
+
+	res, _ := dust.Solve(state, dust.DefaultParams())
+	for _, a := range res.Assignments {
+		fmt.Printf("%.0f points from node %d to node %d in %.0fs\n",
+			a.Amount, a.Busy, a.Candidate, a.ResponseTimeSec)
+	}
+	// Output:
+	// 10 points from node 0 to node 1 in 2s
+}
+
+// ExampleSolveHeuristic shows Algorithm 1's one-hop restriction: capacity
+// two hops away is invisible to it, and the failure shows up as HFR.
+func ExampleSolveHeuristic() {
+	g := dust.NewGraph(3)
+	for i := 0; i < 2; i++ {
+		id := g.AddEdge(i, i+1, 100)
+		g.SetUtilization(id, 0.5)
+	}
+	state := dust.NewState(g)
+	state.Util = []float64{90, 60, 20} // neighbor is neutral, candidate is 2 hops
+	state.DataMb = []float64{100, 0, 0}
+
+	h, _ := dust.SolveHeuristic(state, dust.DefaultParams(), dust.HeuristicGreedy)
+	fmt.Printf("HFR = %.0f%%\n", h.HFRPercent)
+	// Output:
+	// HFR = 100%
+}
+
+// ExampleClassify splits nodes into the DUST roles of Section III-B.
+func ExampleClassify() {
+	g := dust.NewGraph(3)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 2, 100)
+	state := dust.NewState(g)
+	state.Util = []float64{95, 30, 65}
+
+	c, _ := dust.Classify(state, dust.Thresholds{CMax: 80, COMax: 50, XMin: 10})
+	for i, role := range c.Roles {
+		fmt.Printf("node %d: %v\n", i, role)
+	}
+	// Output:
+	// node 0: busy
+	// node 1: offload-candidate
+	// node 2: neutral
+}
+
+// ExampleThresholds_DeltaIO evaluates the paper's Δ_io feasibility
+// parameter (Eq. 5); values at or above K_io = 2 keep infeasible
+// optimizations rare.
+func ExampleThresholds_DeltaIO() {
+	th := dust.Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	fmt.Printf("Δ_io = %.1f (recommend >= %.0f)\n", th.DeltaIO(), dust.RecommendedKIO)
+	// Output:
+	// Δ_io = 2.0 (recommend >= 2)
+}

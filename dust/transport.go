@@ -1,0 +1,37 @@
+package dust
+
+import "repro/internal/proto"
+
+// Transport re-exports: the control-plane wire protocol and transports.
+type (
+	// Conn is a message-oriented connection between a client and the
+	// manager.
+	Conn = proto.Conn
+	// Message is the union of DUST's control-plane messages.
+	Message = proto.Message
+	// MsgType discriminates protocol messages.
+	MsgType = proto.MsgType
+)
+
+// Protocol message types (Section III-B).
+const (
+	MsgOffloadCapable = proto.MsgOffloadCapable
+	MsgAck            = proto.MsgAck
+	MsgStat           = proto.MsgStat
+	MsgOffloadRequest = proto.MsgOffloadRequest
+	MsgOffloadAck     = proto.MsgOffloadAck
+	MsgKeepalive      = proto.MsgKeepalive
+	MsgRep            = proto.MsgRep
+)
+
+// Pipe returns two connected in-memory endpoints (tests, simulations).
+func Pipe(depth int) (Conn, Conn) { return proto.Pipe(depth) }
+
+// Dial connects to a DUST-Manager's TCP listener.
+func Dial(addr string) (Conn, error) { return proto.Dial(addr) }
+
+// Listener accepts manager-side connections.
+type Listener = proto.Listener
+
+// Listen starts a TCP listener ("127.0.0.1:0" picks an ephemeral port).
+func Listen(addr string) (*Listener, error) { return proto.Listen(addr) }

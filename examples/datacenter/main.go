@@ -1,0 +1,112 @@
+// Datacenter: the full Figure-5-style testbed simulation. A 4-k fat-tree
+// pod carries 20% line-rate VxLAN overlay traffic; every switch runs the
+// ten in-device monitor agents on the simulated database-driven NOS. The
+// switches that concentrate transit (a hot edge switch plus the busiest
+// aggregation layer) cross the busy threshold, and DUST offloads their
+// monitoring to the optimizer's picks — reproducing the local-vs-DUST
+// resource comparison of Figure 6 inside a live topology, including the
+// paper's flexible one-to-many offloading and the federated network-wide
+// telemetry view.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dust"
+	"repro/internal/testbed"
+)
+
+func main() {
+	tb, err := testbed.New(testbed.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm-up: 120 virtual seconds of local monitoring everywhere.
+	warm, err := tb.Run(120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after warm-up (local monitoring everywhere):")
+	fmt.Printf("  hotspot sw0: monitoring %.1f%% (single-core), device CPU %.1f%%, mem %.1f%%\n",
+		warm[0].MonitorCPUPct, warm[0].DeviceCPUPct, warm[0].MemPct)
+
+	// Build the NMDB snapshot from the switches' device CPU and run the
+	// placement optimization (thresholds on the device-CPU scale).
+	params := dust.DefaultParams()
+	params.Thresholds = dust.Thresholds{CMax: 60, COMax: 30, XMin: 5}
+	state := tb.BuildState(50)
+	res, err := dust.Solve(state, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nplacement: %v, β = %.3f\n", res.Status, res.Objective)
+	if res.Status != dust.StatusOptimal {
+		log.Fatal("expected a feasible placement — hotspot not busy enough")
+	}
+	for _, a := range res.Assignments {
+		fmt.Printf("  offload %.1f pts: sw%d → sw%d (Trmin %.3f s, %d-hop route)\n",
+			a.Amount, a.Busy, a.Candidate, a.ResponseTimeSec, a.Route.Hops())
+	}
+
+	// Execute: each busy switch relocates just enough of its ten agents
+	// to shed its assigned excess.
+	moves, err := tb.Execute(res.Assignments)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perBusy := map[int]int{}
+	for _, m := range moves {
+		perBusy[m.From]++
+	}
+	for _, bi := range res.Classification.Busy {
+		fmt.Printf("  sw%d relocated %d of 10 agents\n", bi, perBusy[bi])
+	}
+
+	after, err := tb.Run(120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter DUST offloading:")
+	for _, bi := range res.Classification.Busy {
+		fmt.Printf("  busy sw%d: CPU %.1f%% → %.1f%%\n", bi, warm[bi].DeviceCPUPct, after[bi].DeviceCPUPct)
+	}
+
+	// Figure 6's single-DUT experiment offloads the *entire* monitoring
+	// module: finish the job for the hotspot on the coolest non-busy node.
+	busySet := map[int]bool{}
+	for _, bi := range res.Classification.Busy {
+		busySet[bi] = true
+	}
+	best, bestCPU := -1, 101.0
+	for i := range tb.Switches {
+		if busySet[i] {
+			continue
+		}
+		if after[i].DeviceCPUPct < bestCPU {
+			best, bestCPU = i, after[i].DeviceCPUPct
+		}
+	}
+	moved, err := tb.FullyOffload(0, best)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfull offload of hotspot: %d remaining agents → sw%d\n", moved, best)
+	final, err := tb.Run(120)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hotspot CPU: %.1f%% → %.1f%% (%.0f%% saving; paper: 31%%→15%%, −52%%)\n",
+		warm[0].DeviceCPUPct, final[0].DeviceCPUPct,
+		(warm[0].DeviceCPUPct-final[0].DeviceCPUPct)/warm[0].DeviceCPUPct*100)
+	fmt.Printf("hotspot mem: %.1f%% → %.1f%% (paper: 70%%→62%%)\n", warm[0].MemPct, final[0].MemPct)
+	fmt.Printf("full-offload host sw%d: CPU %.1f%%, mem %.1f%%\n",
+		best, final[best].DeviceCPUPct, final[best].MemPct)
+
+	// Time-Series Federation (Figure 2): network-wide monitoring hot spots.
+	fmt.Println("\nfederated view — top monitoring load (mean single-core % over the run):")
+	for _, nl := range tb.TopMonitoringLoad(3) {
+		fmt.Printf("  %-5s %.1f%%\n", nl.Node, nl.MeanPct)
+	}
+}

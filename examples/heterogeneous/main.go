@@ -1,0 +1,122 @@
+// Heterogeneous: DUST across mixed hardware — switches, servers, DPUs,
+// and SmartNICs (the paper's hardware-agnostic claim, Section I). Shows
+// capability coefficients (a server absorbs more than its raw spare
+// points), SmartNIC in-situ compression shrinking response times, an NMS
+// alert rule triggering the placement automatically, shadow-price
+// bottleneck analysis, and ranked backup routes for each offload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dust"
+	"repro/internal/switchos"
+	"repro/internal/tsdb"
+)
+
+func main() {
+	// A leaf-spine pod: two overloaded leaf switches (0, 1), two spines
+	// (2, 3) as relays, a beefy server (4), a DPU (5), and a SmartNIC-
+	// attached host (6).
+	g := dust.NewGraph(7)
+	link := func(u, v int, util float64) {
+		id := g.AddEdge(u, v, 1000)
+		g.SetUtilization(id, util)
+	}
+	link(0, 2, 0.5)
+	link(0, 3, 0.4)
+	link(1, 2, 0.5)
+	link(1, 3, 0.6)
+	link(2, 4, 0.5)
+	link(2, 5, 0.5)
+	link(3, 4, 0.3)
+	link(3, 6, 0.5)
+
+	state := dust.NewState(g)
+	state.Util = []float64{93, 88, 60, 60, 35, 30, 40}
+	state.DataMb = []float64{80, 60, 0, 0, 0, 0, 0}
+	personas := []dust.Persona{
+		dust.DefaultPersona(dust.ClassSmartNIC), // leaf 0 compresses in situ
+		dust.DefaultPersona(dust.ClassSwitch),
+		dust.DefaultPersona(dust.ClassSwitch),
+		dust.DefaultPersona(dust.ClassSwitch),
+		dust.DefaultPersona(dust.ClassServer), // capability 2.0
+		dust.DefaultPersona(dust.ClassDPU),    // capability 1.5
+		dust.DefaultPersona(dust.ClassSwitch),
+	}
+	if err := state.SetPersonas(personas); err != nil {
+		log.Fatal(err)
+	}
+
+	// The NMS watches the leaf's monitoring CPU and triggers the DUST
+	// placement when it stays hot (automated trigger, Figure 2).
+	sw, err := switchos.New(switchos.Aruba8325(), switchos.StandardAgents(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sw.SetTrafficKpps(29.4)
+	nms := switchos.NewNMS(sw)
+	triggered := false
+	nms.OnAlert = func(a switchos.Alert) {
+		fmt.Printf("NMS alert: %s (value %.1f%% > %.0f%% for %.0fs) → triggering placement\n",
+			a.Rule.Name, a.Value, a.Rule.Threshold, a.Rule.ForSec)
+		triggered = true
+	}
+	if err := nms.AddRule(switchos.Rule{
+		Name: "monitoring-hot", Key: tsdb.Key("monitor_cpu_pct", nil),
+		Threshold: 100, ForSec: 5,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	for t := 1; t <= 10 && !triggered; t++ {
+		if _, err := sw.Step(1); err != nil {
+			log.Fatal(err)
+		}
+		nms.Evaluate(float64(t))
+	}
+	if !triggered {
+		log.Fatal("NMS rule never fired")
+	}
+
+	params := dust.DefaultParams()
+	res, err := dust.Solve(state, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"leaf0/smartnic", "leaf1/switch", "spine2", "spine3",
+		"server4", "dpu5", "host6"}
+	fmt.Printf("\nplacement: %v, β = %.3f s·pct\n", res.Status, res.Objective)
+	for _, a := range res.Assignments {
+		consumed := state.HostCost(a.Busy, a.Candidate, a.Amount)
+		fmt.Printf("  %.1f pts %s → %s (consumes %.1f pts there, Trmin %.3fs)\n",
+			a.Amount, names[a.Busy], names[a.Candidate], consumed, a.ResponseTimeSec)
+		for i, alt := range dust.AlternateRoutes(state, a, params.RateModel, 3) {
+			marker := "primary"
+			if i > 0 {
+				marker = fmt.Sprintf("backup %d", i)
+			}
+			fmt.Printf("      %-9s %v  (%.3fs)\n", marker, alt.Route.Nodes(g), alt.ResponseTimeSec)
+		}
+	}
+
+	// Where would extra compute pay off most?
+	if bn := res.Bottlenecks(); len(bn) > 0 {
+		fmt.Println("\ncapacity bottlenecks (shadow price = seconds saved per extra point):")
+		for _, b := range bn {
+			fmt.Printf("  %-14s %.3f\n", names[b.Node], b.ShadowPrice)
+		}
+	} else {
+		fmt.Println("\nno capacity bottlenecks: spare capacity is not binding")
+	}
+
+	// Execute and show the heterogeneous end state.
+	if err := dust.Apply(state, params.Thresholds, res.Assignments); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nutilization after offload:")
+	for i, u := range state.Util {
+		fmt.Printf("  %-14s %5.1f%%  (%s, capability %.1f)\n",
+			names[i], u, personas[i].Class, personas[i].Capability)
+	}
+}

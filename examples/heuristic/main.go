@@ -1,0 +1,82 @@
+// Heuristic at scale: run Algorithm 1's one-hop heuristic on the paper's
+// largest topology — the 64-k fat-tree with 5120 switches and 131072
+// links (Figure 12) — and compare its failure rate and runtime against
+// the exact optimizer on a smaller cut of the same scenario family
+// (Figure 11's trade-off).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/dust"
+)
+
+func main() {
+	params := dust.DefaultParams()
+	params.PathStrategy = dust.PathDP
+	params.MaxHops = 4
+	sc := dust.DefaultScenario()
+	sc.PBusy, sc.PCandidate = 0.35, 0.4
+
+	fmt.Println("scale        nodes   busy    HFR      placed    heuristic-time")
+	for _, k := range []int{4, 8, 16, 32, 64} {
+		g := dust.FatTree(k, 1000)
+		state, err := dust.RandomState(g, sc, rand.New(rand.NewSource(int64(k))))
+		if err != nil {
+			log.Fatal(err)
+		}
+		h, err := dust.SolveHeuristic(state, params, dust.HeuristicGreedy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		placedPct := 0.0
+		if total := h.Classification.TotalCs(); total > 0 {
+			placedPct = h.TotalPlaced() / total * 100
+		}
+		fmt.Printf("%2d-k      %7d  %5d   %5.1f%%   %5.1f%%    %v\n",
+			k, g.NumNodes(), len(h.Classification.Busy), h.HFRPercent, placedPct, h.Duration)
+	}
+
+	// On the 16-k network, show the optimizer finishing what the heuristic
+	// left behind — the complementary deployment the paper suggests.
+	fmt.Println("\n16-k follow-up: optimizer completes the heuristic's leftovers")
+	g := dust.FatTree(16, 1000)
+	state, err := dust.RandomState(g, sc, rand.New(rand.NewSource(16)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := dust.SolveHeuristic(state, params, dust.HeuristicGreedy)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  heuristic: placed %.1f pts, failed %.1f pts (HFR %.1f%%) in %v\n",
+		h.TotalPlaced(), h.TotalFailed(), h.HFRPercent, h.Duration)
+
+	// Apply the heuristic's placements, then run the exact solve on the
+	// residual state.
+	if err := dust.Apply(state, params.Thresholds, h.Assignments); err != nil {
+		log.Fatal(err)
+	}
+	res, err := dust.Solve(state, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  optimizer on residual: %v, placed %.1f pts, β=%.2f in %v\n",
+		res.Status, res.TotalOffloaded(), res.Objective,
+		res.RouteDuration+res.SolveDuration)
+
+	// Zoned solving (Section V-B: <= 80-node zones) as the scalable exact
+	// alternative.
+	state2, err := dust.RandomState(dust.FatTree(16, 1000), sc, rand.New(rand.NewSource(16)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	z, err := dust.SolveZoned(state2, params, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nzoned exact solve (80-node zones): %v, %d zones, β=%.2f in %v\n",
+		z.Status, len(z.Zones), z.Objective, z.Duration)
+}

@@ -1,0 +1,65 @@
+// Quickstart: build the paper's illustrative 7-node network (Figure 4),
+// mark S1 busy and S2/S6 offload candidates, and let DUST pick the
+// minimum-response-time destination and controllable route.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/dust"
+)
+
+func main() {
+	// Figure 4's network: S1..S7 with seven links. All links 100 Mbps at
+	// 50% data-plane utilization → Lu = 50 Mbps everywhere.
+	g := dust.NewGraph(7)
+	links := [][2]int{
+		{0, 2}, // e1: S1-S3
+		{2, 1}, // e2: S3-S2
+		{2, 3}, // e3: S3-S4
+		{3, 1}, // e4: S4-S2
+		{1, 4}, // e5: S2-S5
+		{4, 5}, // e6: S5-S6
+		{2, 6}, // e7: S3-S7
+	}
+	for _, l := range links {
+		id := g.AddEdge(l[0], l[1], 100)
+		g.SetUtilization(id, 0.5)
+	}
+
+	state := dust.NewState(g)
+	// S1 is overloaded at 90% with 50 Mb of monitoring data to relocate;
+	// S2 and S6 are under-utilized candidates; the rest are neutral relays.
+	state.Util = []float64{90, 20, 60, 60, 60, 30, 60}
+	state.DataMb = []float64{50, 0, 0, 0, 0, 0, 0}
+
+	params := dust.DefaultParams() // CMax=80, COMax=50, xmin=10 → Δ_io = 2
+	res, err := dust.Solve(state, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	names := []string{"S1", "S2", "S3", "S4", "S5", "S6", "S7"}
+	fmt.Printf("status: %v, objective β = %.2f s·pct\n", res.Status, res.Objective)
+	for _, a := range res.Assignments {
+		route := ""
+		for i, n := range a.Route.Nodes(g) {
+			if i > 0 {
+				route += " → "
+			}
+			route += names[n]
+		}
+		fmt.Printf("offload %.1f capacity points: %s → %s  (route %s, Trmin %.2f s)\n",
+			a.Amount, names[a.Busy], names[a.Candidate], route, a.ResponseTimeSec)
+	}
+
+	// Execute the plan (homogeneity assumption) and show the new state.
+	if err := dust.Apply(state, params.Thresholds, res.Assignments); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nutilization after offload:")
+	for i, u := range state.Util {
+		fmt.Printf("  %s: %5.1f%%\n", names[i], u)
+	}
+}

@@ -1,0 +1,245 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Resources reports a client's current state for STAT messages.
+type Resources struct {
+	UtilPct   float64
+	DataMb    float64
+	NumAgents int
+}
+
+// ClientConfig configures a DUST-Client.
+type ClientConfig struct {
+	// Node is this client's node index in the manager's topology.
+	Node int
+	// Capable is the Offload-capable flag ('1' = participate).
+	Capable bool
+	// CMax and COMax are self-declared thresholds (0 = manager defaults).
+	CMax, COMax float64
+	// Resources supplies the STAT payload; required.
+	Resources func() Resources
+	// OnHost is invoked when the manager asks this node to host amountPct
+	// of busy's workload; returning false declines (Offload-ACK verdict).
+	// Nil accepts everything.
+	OnHost func(busy int, amountPct float64, route []int32) bool
+	// OnRelease is invoked when the manager withdraws busy's hosted
+	// workload (reclaim, or this node being substituted).
+	OnRelease func(busy int)
+	// OnRedirect is invoked on the busy node when the manager confirms a
+	// destination: start redirecting amountPct of monitoring toward the
+	// route's last node.
+	OnRedirect func(amountPct float64, route []int32)
+	// OnReplica is invoked when this node substitutes a failed destination
+	// (REP message).
+	OnReplica func(busy, failed int, amountPct float64)
+}
+
+// Client is the per-device DUST agent.
+type Client struct {
+	cfg  ClientConfig
+	conn proto.Conn
+
+	mu             sync.Mutex
+	seq            uint64
+	updateInterval float64
+	hosting        map[int]float64 // busy node -> hosted percentage
+}
+
+// NewClient wraps a connection; call Handshake before anything else.
+func NewClient(cfg ClientConfig, conn proto.Conn) (*Client, error) {
+	if cfg.Resources == nil {
+		return nil, errors.New("cluster: client needs a Resources source")
+	}
+	return &Client{cfg: cfg, conn: conn, hosting: make(map[int]float64)}, nil
+}
+
+// Handshake registers with the manager (Offload-capable → ACK) and adopts
+// the assigned Update-Interval.
+func (c *Client) Handshake() error {
+	err := c.conn.Send(&proto.Message{
+		Type: proto.MsgOffloadCapable, From: int32(c.cfg.Node), To: ManagerNode,
+		Seq: c.nextSeq(), Capable: c.cfg.Capable,
+		CMax: c.cfg.CMax, COMax: c.cfg.COMax,
+	})
+	if err != nil {
+		return fmt.Errorf("cluster: send offload-capable: %w", err)
+	}
+	ack, err := c.conn.Recv()
+	if err != nil {
+		return fmt.Errorf("cluster: await ack: %w", err)
+	}
+	if ack.Type != proto.MsgAck {
+		return fmt.Errorf("cluster: handshake got %v, want ack", ack.Type)
+	}
+	c.mu.Lock()
+	c.updateInterval = ack.UpdateIntervalSec
+	c.mu.Unlock()
+	return nil
+}
+
+// UpdateInterval returns the manager-assigned STAT cadence in seconds
+// (zero before Handshake).
+func (c *Client) UpdateInterval() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updateInterval
+}
+
+// Hosting returns a copy of the busy→amount map this node currently hosts.
+func (c *Client) Hosting() map[int]float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[int]float64, len(c.hosting))
+	for k, v := range c.hosting {
+		out[k] = v
+	}
+	return out
+}
+
+// IsDestination reports whether this node hosts any offloaded workload.
+func (c *Client) IsDestination() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.hosting) > 0
+}
+
+func (c *Client) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// SendStat reports current resources (the periodic STAT of Section III-B).
+func (c *Client) SendStat() error {
+	r := c.cfg.Resources()
+	return c.conn.Send(&proto.Message{
+		Type: proto.MsgStat, From: int32(c.cfg.Node), To: ManagerNode,
+		Seq: c.nextSeq(), UtilPct: r.UtilPct, DataMb: r.DataMb,
+		NumAgents: int32(r.NumAgents),
+	})
+}
+
+// SendKeepalive emits the offload-destination liveness beacon.
+func (c *Client) SendKeepalive() error {
+	return c.conn.Send(&proto.Message{
+		Type: proto.MsgKeepalive, From: int32(c.cfg.Node), To: ManagerNode,
+		Seq: c.nextSeq(),
+	})
+}
+
+// Step receives and processes exactly one manager message. It returns the
+// processed message (for tests/instrumentation) or the connection error.
+func (c *Client) Step() (*proto.Message, error) {
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return nil, err
+	}
+	c.dispatch(msg)
+	return msg, nil
+}
+
+func (c *Client) dispatch(msg *proto.Message) {
+	switch msg.Type {
+	case proto.MsgOffloadRequest:
+		busy := int(msg.BusyNode)
+		switch {
+		case busy == c.cfg.Node:
+			// Redirect instruction for this busy node.
+			if c.cfg.OnRedirect != nil {
+				c.cfg.OnRedirect(msg.AmountPct, msg.RouteNodes)
+			}
+		case msg.AmountPct == 0:
+			// Release instruction for a hosted workload.
+			c.mu.Lock()
+			_, had := c.hosting[busy]
+			delete(c.hosting, busy)
+			c.mu.Unlock()
+			if had && c.cfg.OnRelease != nil {
+				c.cfg.OnRelease(busy)
+			}
+		default:
+			// Hosting request: apply policy and answer with Offload-ACK.
+			accept := true
+			if c.cfg.OnHost != nil {
+				accept = c.cfg.OnHost(busy, msg.AmountPct, msg.RouteNodes)
+			}
+			if accept {
+				c.mu.Lock()
+				c.hosting[busy] += msg.AmountPct
+				c.mu.Unlock()
+			}
+			_ = c.conn.Send(&proto.Message{
+				Type: proto.MsgOffloadAck, From: int32(c.cfg.Node), To: ManagerNode,
+				Seq: c.nextSeq(), BusyNode: msg.BusyNode, Accept: accept,
+			})
+		}
+	case proto.MsgRep:
+		c.mu.Lock()
+		c.hosting[int(msg.BusyNode)] += msg.AmountPct
+		c.mu.Unlock()
+		if c.cfg.OnReplica != nil {
+			c.cfg.OnReplica(int(msg.BusyNode), int(msg.FailedNode), msg.AmountPct)
+		}
+	}
+}
+
+// Run drives the client autonomously: a reader loop dispatching manager
+// messages, plus STAT at the assigned Update-Interval and Keepalives at a
+// third of the interval while acting as a destination. It returns when
+// ctx is canceled or the connection closes. Handshake must have run.
+func (c *Client) Run(ctx context.Context) error {
+	interval := c.UpdateInterval()
+	if interval <= 0 {
+		return errors.New("cluster: Run before Handshake")
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		for {
+			if _, err := c.Step(); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+
+	statTick := time.NewTicker(time.Duration(interval * float64(time.Second)))
+	defer statTick.Stop()
+	kaTick := time.NewTicker(time.Duration(interval / 3 * float64(time.Second)))
+	defer kaTick.Stop()
+
+	if err := c.SendStat(); err != nil {
+		return err
+	}
+	for {
+		select {
+		case <-ctx.Done():
+			c.conn.Close()
+			return ctx.Err()
+		case err := <-errCh:
+			if errors.Is(err, proto.ErrClosed) {
+				return nil
+			}
+			return err
+		case <-statTick.C:
+			if err := c.SendStat(); err != nil {
+				return err
+			}
+		case <-kaTick.C:
+			if c.IsDestination() {
+				if err := c.SendKeepalive(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

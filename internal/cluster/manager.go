@@ -1,0 +1,532 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/proto"
+)
+
+// ManagerNode is the conventional node ID of the DUST-Manager in message
+// From/To fields.
+const ManagerNode int32 = -1
+
+// ManagerConfig configures a DUST-Manager.
+type ManagerConfig struct {
+	// Topology is the network graph stored in the NMDB.
+	Topology *graph.Graph
+	// Defaults are the thresholds for clients that do not declare their
+	// own CMax/COMax.
+	Defaults core.Thresholds
+	// Params configures the optimization engine.
+	Params core.Params
+	// UpdateIntervalSec is the STAT cadence assigned in ACK messages
+	// (the paper's Update-Interval Time, "typically in minutes").
+	UpdateIntervalSec float64
+	// KeepaliveTimeout is how stale a destination's keepalive may be
+	// before it is declared failed and substituted (Section III-C).
+	KeepaliveTimeout time.Duration
+	// AckTimeout bounds how long a placement waits for Offload-ACKs.
+	AckTimeout time.Duration
+	// Now injects a clock; nil means time.Now (tests inject virtual time).
+	Now func() time.Time
+}
+
+// Manager is the DUST decision node.
+type Manager struct {
+	cfg     ManagerConfig
+	nmdb    *NMDB
+	planner *core.Planner
+
+	mu      sync.Mutex
+	conns   map[int]proto.Conn
+	pending map[pendingKey]*pendingOffload
+	seq     uint64
+	wg      sync.WaitGroup
+	closed  bool
+}
+
+type pendingKey struct{ busy, dest int }
+
+type pendingOffload struct {
+	assignment core.Assignment
+	done       chan bool // receives the Offload-ACK verdict
+}
+
+// NewManager creates a manager over the given configuration.
+func NewManager(cfg ManagerConfig) (*Manager, error) {
+	if cfg.Topology == nil {
+		return nil, errors.New("cluster: manager needs a topology")
+	}
+	if err := cfg.Defaults.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.UpdateIntervalSec <= 0 {
+		cfg.UpdateIntervalSec = 60
+	}
+	if cfg.KeepaliveTimeout <= 0 {
+		cfg.KeepaliveTimeout = 3 * time.Duration(cfg.UpdateIntervalSec*float64(time.Second))
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	cfg.Params.Thresholds = cfg.Defaults
+	return &Manager{
+		cfg:     cfg,
+		nmdb:    NewNMDB(cfg.Topology),
+		planner: core.NewPlanner(cfg.Params),
+		conns:   make(map[int]proto.Conn),
+		pending: make(map[pendingKey]*pendingOffload),
+	}, nil
+}
+
+// NMDB exposes the manager's database (read-mostly; used by tooling).
+func (m *Manager) NMDB() *NMDB { return m.nmdb }
+
+// Attach adopts a client connection: it performs the registration
+// handshake (Offload-capable → ACK) and then services the connection in a
+// background goroutine until it closes. It returns the registered node ID.
+func (m *Manager) Attach(conn proto.Conn) (int, error) {
+	first, err := conn.Recv()
+	if err != nil {
+		return 0, fmt.Errorf("cluster: handshake recv: %w", err)
+	}
+	if first.Type != proto.MsgOffloadCapable {
+		return 0, fmt.Errorf("cluster: handshake got %v, want offload-capable", first.Type)
+	}
+	node := int(first.From)
+	if err := m.nmdb.Register(node, first.Capable, first.CMax, first.COMax); err != nil {
+		return 0, err
+	}
+	ack := &proto.Message{
+		Type: proto.MsgAck, From: ManagerNode, To: first.From,
+		Seq: m.nextSeq(), UpdateIntervalSec: m.cfg.UpdateIntervalSec,
+	}
+	if err := conn.Send(ack); err != nil {
+		return 0, fmt.Errorf("cluster: handshake ack: %w", err)
+	}
+
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return 0, errors.New("cluster: manager closed")
+	}
+	m.conns[node] = conn
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	go func() {
+		defer m.wg.Done()
+		m.serveConn(node, conn)
+	}()
+	return node, nil
+}
+
+// Serve accepts and attaches connections until the listener closes.
+func (m *Manager) Serve(l *proto.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			if _, err := m.Attach(conn); err != nil {
+				conn.Close()
+			}
+		}()
+	}
+}
+
+// Close detaches all clients and stops connection handlers.
+func (m *Manager) Close() {
+	m.mu.Lock()
+	m.closed = true
+	conns := make([]proto.Conn, 0, len(m.conns))
+	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	m.conns = make(map[int]proto.Conn)
+	m.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	m.wg.Wait()
+}
+
+func (m *Manager) nextSeq() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.seq++
+	return m.seq
+}
+
+func (m *Manager) connFor(node int) (proto.Conn, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.conns[node]
+	return c, ok
+}
+
+// serveConn dispatches a client's messages until its connection closes.
+func (m *Manager) serveConn(node int, conn proto.Conn) {
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			m.mu.Lock()
+			if m.conns[node] == conn {
+				delete(m.conns, node)
+			}
+			m.mu.Unlock()
+			return
+		}
+		m.handle(node, msg)
+	}
+}
+
+func (m *Manager) handle(node int, msg *proto.Message) {
+	now := m.cfg.Now()
+	switch msg.Type {
+	case proto.MsgStat:
+		_ = m.nmdb.RecordStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
+	case proto.MsgKeepalive:
+		_ = m.nmdb.RecordKeepalive(node, now)
+	case proto.MsgOffloadCapable:
+		// Re-registration on an existing connection (capability change).
+		_ = m.nmdb.Register(node, msg.Capable, msg.CMax, msg.COMax)
+	case proto.MsgOffloadAck:
+		key := pendingKey{busy: int(msg.BusyNode), dest: node}
+		m.mu.Lock()
+		p, ok := m.pending[key]
+		if ok {
+			delete(m.pending, key)
+		}
+		m.mu.Unlock()
+		if !ok {
+			return
+		}
+		if msg.Accept {
+			m.nmdb.RecordOffload([]core.Assignment{p.assignment})
+			m.sendRedirect(p.assignment)
+		}
+		p.done <- msg.Accept
+	}
+}
+
+// sendRedirect tells the busy node to start redirecting its monitoring
+// data toward the acknowledged destination.
+func (m *Manager) sendRedirect(a core.Assignment) {
+	conn, ok := m.connFor(a.Busy)
+	if !ok {
+		return
+	}
+	_ = conn.Send(&proto.Message{
+		Type: proto.MsgOffloadRequest, From: ManagerNode,
+		To: int32(a.Busy), Seq: m.nextSeq(),
+		BusyNode:   int32(a.Busy),
+		AmountPct:  a.Amount,
+		RouteNodes: m.wireRoute(a),
+	})
+}
+
+// wireRoute converts an assignment's route to the node sequence carried
+// on the wire; assignments without an explicit route (replica
+// substitutions) degrade to the endpoint pair.
+func (m *Manager) wireRoute(a core.Assignment) []int32 {
+	if len(a.Route.Edges) == 0 {
+		return []int32{int32(a.Busy), int32(a.Candidate)}
+	}
+	return nodesToWire(a.Route.Nodes(m.nmdb.Topology()))
+}
+
+// PlacementReport is the outcome of one placement round.
+type PlacementReport struct {
+	// Result is the optimization output (nil when no busy nodes existed).
+	Result *core.Result
+	// Accepted and Declined partition the assignments by Offload-ACK
+	// verdict; TimedOut lists destinations that never answered.
+	Accepted, Declined, TimedOut []core.Assignment
+}
+
+// RunPlacement executes one round of the DUST Monitoring Placement
+// Workflow: snapshot the NMDB, classify roles (honoring per-client
+// thresholds), run the optimization engine, send Offload-Requests to the
+// chosen destinations, and wait for their Offload-ACKs. Accepted
+// assignments are recorded in the ledger and the busy nodes told to
+// redirect.
+func (m *Manager) RunPlacement() (*PlacementReport, error) {
+	state := m.nmdb.BuildState(m.cfg.Defaults)
+	cls, err := m.classify(state)
+	if err != nil {
+		return nil, err
+	}
+	for i, role := range cls.Roles {
+		m.nmdb.SetRole(i, role)
+	}
+	report := &PlacementReport{}
+	if len(cls.Busy) == 0 {
+		return report, nil
+	}
+	// The planner reuses route computations across rounds while the
+	// topology's link rates are unchanged.
+	res, err := m.planner.SolveClassified(state, cls)
+	if err != nil {
+		return nil, err
+	}
+	report.Result = res
+	if res.Status != core.StatusOptimal {
+		return report, nil
+	}
+
+	type wait struct {
+		a    core.Assignment
+		done chan bool
+	}
+	var waits []wait
+	for _, a := range res.Assignments {
+		conn, ok := m.connFor(a.Candidate)
+		if !ok {
+			report.TimedOut = append(report.TimedOut, a)
+			continue
+		}
+		done := make(chan bool, 1)
+		m.mu.Lock()
+		m.pending[pendingKey{busy: a.Busy, dest: a.Candidate}] = &pendingOffload{assignment: a, done: done}
+		m.mu.Unlock()
+		msg := &proto.Message{
+			Type: proto.MsgOffloadRequest, From: ManagerNode,
+			To: int32(a.Candidate), Seq: m.nextSeq(),
+			BusyNode:   int32(a.Busy),
+			AmountPct:  a.Amount,
+			RouteNodes: nodesToWire(a.Route.Nodes(state.G)),
+		}
+		if err := conn.Send(msg); err != nil {
+			m.mu.Lock()
+			delete(m.pending, pendingKey{busy: a.Busy, dest: a.Candidate})
+			m.mu.Unlock()
+			report.TimedOut = append(report.TimedOut, a)
+			continue
+		}
+		waits = append(waits, wait{a: a, done: done})
+	}
+
+	timer := time.NewTimer(m.cfg.AckTimeout)
+	defer timer.Stop()
+	for _, w := range waits {
+		select {
+		case ok := <-w.done:
+			if ok {
+				report.Accepted = append(report.Accepted, w.a)
+			} else {
+				report.Declined = append(report.Declined, w.a)
+			}
+		case <-timer.C:
+			m.mu.Lock()
+			delete(m.pending, pendingKey{busy: w.a.Busy, dest: w.a.Candidate})
+			m.mu.Unlock()
+			report.TimedOut = append(report.TimedOut, w.a)
+		}
+	}
+	return report, nil
+}
+
+func nodesToWire(nodes []int) []int32 {
+	out := make([]int32, len(nodes))
+	for i, n := range nodes {
+		out[i] = int32(n)
+	}
+	return out
+}
+
+// classify builds the role split honoring per-client threshold overrides.
+func (m *Manager) classify(state *core.State) (*core.Classification, error) {
+	if err := state.Validate(); err != nil {
+		return nil, err
+	}
+	n := state.G.NumNodes()
+	cls := &core.Classification{Roles: make([]core.Role, n)}
+	for i := 0; i < n; i++ {
+		if !state.Offloadable[i] {
+			cls.Roles[i] = core.RoleNone
+			continue
+		}
+		t := m.nmdb.thresholdsFor(i, m.cfg.Defaults)
+		if err := t.Validate(); err != nil {
+			return nil, fmt.Errorf("cluster: node %d thresholds: %w", i, err)
+		}
+		switch {
+		case state.Util[i] >= t.CMax:
+			cls.Roles[i] = core.RoleBusy
+			cls.Busy = append(cls.Busy, i)
+			cls.Cs = append(cls.Cs, state.Util[i]-t.CMax)
+		case state.Util[i] <= t.COMax:
+			cls.Roles[i] = core.RoleCandidate
+			cls.Candidates = append(cls.Candidates, i)
+			cls.Cd = append(cls.Cd, t.COMax-state.Util[i])
+		default:
+			cls.Roles[i] = core.RoleNeutral
+		}
+	}
+	return cls, nil
+}
+
+// Substitution records one replica replacement after a destination failure.
+type Substitution struct {
+	Failed   int
+	Busy     int
+	Replica  int
+	Amount   float64
+	Notified bool
+}
+
+// CheckKeepalives implements the post-offloading failure handling of
+// Section III-C: destinations whose keepalive is older than the timeout
+// are declared failed; their hosted workloads are re-placed on replica
+// nodes, which are notified with REP messages, and the busy nodes told to
+// redirect.
+func (m *Manager) CheckKeepalives() ([]Substitution, error) {
+	now := m.cfg.Now()
+	var subs []Substitution
+	for _, dest := range m.nmdb.Destinations() {
+		rec, ok := m.nmdb.Client(dest)
+		if !ok {
+			continue
+		}
+		if now.Sub(rec.LastKeepalive) <= m.cfg.KeepaliveTimeout {
+			continue
+		}
+		displaced := m.nmdb.ReleaseDestination(dest)
+		state := m.nmdb.BuildState(m.cfg.Defaults)
+		for _, a := range displaced {
+			replica, rt, found := m.pickReplica(state, a, dest)
+			sub := Substitution{Failed: dest, Busy: a.Busy, Amount: a.Amount, Replica: replica}
+			if found {
+				na := core.Assignment{
+					Busy: a.Busy, Candidate: replica,
+					Amount: a.Amount, ResponseTimeSec: rt,
+				}
+				m.nmdb.RecordOffload([]core.Assignment{na})
+				if conn, ok := m.connFor(replica); ok {
+					err := conn.Send(&proto.Message{
+						Type: proto.MsgRep, From: ManagerNode,
+						To: int32(replica), Seq: m.nextSeq(),
+						BusyNode:   int32(a.Busy),
+						AmountPct:  a.Amount,
+						FailedNode: int32(dest),
+					})
+					sub.Notified = err == nil
+				}
+				m.sendRedirect(core.Assignment{
+					Busy: a.Busy, Candidate: replica, Amount: a.Amount,
+				})
+			} else {
+				sub.Replica = -1
+			}
+			subs = append(subs, sub)
+		}
+	}
+	return subs, nil
+}
+
+// pickReplica finds the cheapest reachable candidate (excluding the failed
+// destination) with enough spare capacity for the displaced amount.
+func (m *Manager) pickReplica(state *core.State, a core.Assignment, failed int) (int, float64, bool) {
+	cls, err := m.classify(state)
+	if err != nil {
+		return -1, 0, false
+	}
+	// Subtract already-recorded hosting from candidate spare capacity.
+	// STATs may already reflect hosted load, in which case this double
+	// counts and the selection is conservative — a replica is never
+	// overcommitted, at the cost of occasionally rejecting a workable one.
+	spare := make(map[int]float64)
+	for j, cand := range cls.Candidates {
+		spare[cand] = cls.Cd[j]
+	}
+	for _, act := range m.nmdb.ActiveAssignments() {
+		if _, ok := spare[act.Candidate]; ok {
+			spare[act.Candidate] -= act.Amount
+		}
+	}
+	rt, err := core.ComputeRoutes(state, cls, m.cfg.Params.RateModel, core.PathDP, m.cfg.Params.MaxHops)
+	if err != nil {
+		return -1, 0, false
+	}
+	bi := -1
+	for i, b := range cls.Busy {
+		if b == a.Busy {
+			bi = i
+			break
+		}
+	}
+	if bi < 0 {
+		// The origin may no longer classify busy (its STAT already shows
+		// the offloaded level); fall back to a direct route scan.
+		return m.pickReplicaDirect(state, a, failed, spare)
+	}
+	best, bestSec := -1, math.Inf(1)
+	for cj, cand := range cls.Candidates {
+		if cand == failed || spare[cand] < a.Amount-1e-9 {
+			continue
+		}
+		if sec := rt.Seconds[bi][cj]; sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestSec, true
+}
+
+// pickReplicaDirect scans candidates by hop-bounded response time from the
+// busy node without requiring it to classify busy.
+func (m *Manager) pickReplicaDirect(state *core.State, a core.Assignment, failed int, spare map[int]float64) (int, float64, bool) {
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 {
+		if m.cfg.Params.RateModel == core.RateAvailable {
+			return e.AvailableMbps()
+		}
+		return e.UtilizedMbps()
+	})
+	dist, _ := graph.HopBoundedShortest(state.G, a.Busy, m.cfg.Params.MaxHops, cost)
+	best, bestSec := -1, math.Inf(1)
+	for cand, sp := range spare {
+		if cand == failed || sp < a.Amount-1e-9 {
+			continue
+		}
+		sec := state.DataMb[a.Busy] * dist[cand]
+		if sec < bestSec {
+			best, bestSec = cand, sec
+		}
+	}
+	if best < 0 {
+		return -1, 0, false
+	}
+	return best, bestSec, true
+}
+
+// ReclaimBusy releases every assignment originating at busy (its local
+// resources freed up, per the STAT-driven reclaim of Section III-B),
+// telling each destination to drop the hosted workload (an
+// Offload-Request with AmountPct 0 is the release instruction).
+func (m *Manager) ReclaimBusy(busy int) []core.Assignment {
+	released := m.nmdb.ReleaseBusy(busy)
+	for _, a := range released {
+		if conn, ok := m.connFor(a.Candidate); ok {
+			_ = conn.Send(&proto.Message{
+				Type: proto.MsgOffloadRequest, From: ManagerNode,
+				To: int32(a.Candidate), Seq: m.nextSeq(),
+				BusyNode: int32(a.Busy), AmountPct: 0,
+			})
+		}
+	}
+	return released
+}

@@ -1,0 +1,297 @@
+// Package cluster implements DUST's control plane: the DUST-Manager (the
+// decision node with its Network Monitoring Data Base and optimization
+// engine) and the DUST-Client (the per-device agent that registers with
+// Offload-capable, reports STAT, executes Offload-Requests, and emits
+// Keepalives when acting as an offload destination) — the node roles and
+// packet flows of Figure 3.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// ClientRecord is the NMDB's view of one registered client.
+type ClientRecord struct {
+	// Node is the client's node index in the topology.
+	Node int
+	// Capable is the Offload-capable flag from registration.
+	Capable bool
+	// CMax and COMax are the client's self-declared thresholds; zero means
+	// "use the manager defaults".
+	CMax, COMax float64
+	// UtilPct, DataMb, and NumAgents come from the latest STAT.
+	UtilPct   float64
+	DataMb    float64
+	NumAgents int
+	// LastStat and LastKeepalive timestamp the latest reports.
+	LastStat      time.Time
+	LastKeepalive time.Time
+	// Role is the manager-assigned role after the last classification.
+	Role core.Role
+	// HostingFor lists busy nodes whose workload this client hosts.
+	HostingFor []int
+}
+
+// NMDB is the manager's network-monitoring database: topology, per-client
+// records, and the active offload ledger (Section III-B: "network
+// typologies, link utilization, nodes' monitoring and offloading
+// capabilities").
+type NMDB struct {
+	mu      sync.Mutex
+	topo    *graph.Graph
+	clients map[int]*ClientRecord
+	// active maps busy node -> its current assignments.
+	active map[int][]core.Assignment
+}
+
+// NewNMDB creates an NMDB over the given topology.
+func NewNMDB(topo *graph.Graph) *NMDB {
+	return &NMDB{
+		topo:    topo,
+		clients: make(map[int]*ClientRecord),
+		active:  make(map[int][]core.Assignment),
+	}
+}
+
+// Topology returns the stored topology (shared, not copied: link
+// utilization updates flow through it).
+func (db *NMDB) Topology() *graph.Graph { return db.topo }
+
+// Register records an Offload-capable handshake. Unknown node indices are
+// rejected.
+func (db *NMDB) Register(node int, capable bool, cmax, comax float64) error {
+	if node < 0 || node >= db.topo.NumNodes() {
+		return fmt.Errorf("cluster: node %d outside topology (%d nodes)", node, db.topo.NumNodes())
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.clients[node]
+	if !ok {
+		rec = &ClientRecord{Node: node}
+		db.clients[node] = rec
+	}
+	rec.Capable = capable
+	rec.CMax = cmax
+	rec.COMax = comax
+	return nil
+}
+
+// RecordStat stores a STAT report.
+func (db *NMDB) RecordStat(node int, utilPct, dataMb float64, numAgents int, at time.Time) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.clients[node]
+	if !ok {
+		return fmt.Errorf("cluster: STAT from unregistered node %d", node)
+	}
+	rec.UtilPct = utilPct
+	rec.DataMb = dataMb
+	rec.NumAgents = numAgents
+	rec.LastStat = at
+	return nil
+}
+
+// RecordKeepalive stores a destination's liveness beacon.
+func (db *NMDB) RecordKeepalive(node int, at time.Time) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.clients[node]
+	if !ok {
+		return fmt.Errorf("cluster: keepalive from unregistered node %d", node)
+	}
+	rec.LastKeepalive = at
+	return nil
+}
+
+// Client returns a copy of the record for node.
+func (db *NMDB) Client(node int) (ClientRecord, bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	rec, ok := db.clients[node]
+	if !ok {
+		return ClientRecord{}, false
+	}
+	cp := *rec
+	cp.HostingFor = append([]int(nil), rec.HostingFor...)
+	return cp, true
+}
+
+// Nodes lists registered node indices, ascending.
+func (db *NMDB) Nodes() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]int, 0, len(db.clients))
+	for n := range db.clients {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BuildState snapshots the NMDB into the optimizer's input. Nodes that
+// never registered or declined offloading are marked non-offloadable;
+// their utilization defaults to a neutral mid-range value so they are
+// never classified busy or candidate.
+func (db *NMDB) BuildState(defaults core.Thresholds) *core.State {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s := core.NewState(db.topo)
+	neutral := (defaults.CMax + defaults.COMax) / 2
+	for i := 0; i < db.topo.NumNodes(); i++ {
+		rec, ok := db.clients[i]
+		if !ok || !rec.Capable {
+			s.Offloadable[i] = false
+			s.Util[i] = neutral
+			continue
+		}
+		s.Util[i] = rec.UtilPct
+		s.DataMb[i] = rec.DataMb
+	}
+	return s
+}
+
+// thresholdsFor resolves a node's effective thresholds (its self-declared
+// values, falling back to the manager defaults).
+func (db *NMDB) thresholdsFor(node int, defaults core.Thresholds) core.Thresholds {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t := defaults
+	if rec, ok := db.clients[node]; ok {
+		if rec.CMax > 0 {
+			t.CMax = rec.CMax
+		}
+		if rec.COMax > 0 {
+			t.COMax = rec.COMax
+		}
+	}
+	return t
+}
+
+// SetRole stores a manager-assigned role.
+func (db *NMDB) SetRole(node int, role core.Role) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if rec, ok := db.clients[node]; ok {
+		rec.Role = role
+	}
+}
+
+// RecordOffload appends assignments to the active ledger and marks the
+// destinations as hosting.
+func (db *NMDB) RecordOffload(assignments []core.Assignment) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, a := range assignments {
+		db.active[a.Busy] = append(db.active[a.Busy], a)
+		if rec, ok := db.clients[a.Candidate]; ok {
+			rec.HostingFor = appendUnique(rec.HostingFor, a.Busy)
+		}
+	}
+}
+
+// ActiveAssignments returns a copy of the full active ledger.
+func (db *NMDB) ActiveAssignments() []core.Assignment {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var out []core.Assignment
+	keys := make([]int, 0, len(db.active))
+	for b := range db.active {
+		keys = append(keys, b)
+	}
+	sort.Ints(keys)
+	for _, b := range keys {
+		out = append(out, db.active[b]...)
+	}
+	return out
+}
+
+// ReleaseBusy removes every assignment originating at busy and returns
+// them (the reclaim path).
+func (db *NMDB) ReleaseBusy(busy int) []core.Assignment {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	as := db.active[busy]
+	delete(db.active, busy)
+	for _, a := range as {
+		if rec, ok := db.clients[a.Candidate]; ok {
+			rec.HostingFor = removeValue(rec.HostingFor, busy)
+		}
+	}
+	return as
+}
+
+// ReleaseDestination removes every assignment hosted at dest and returns
+// them (the failed-destination path feeding replica selection).
+func (db *NMDB) ReleaseDestination(dest int) []core.Assignment {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var displaced []core.Assignment
+	for busy, as := range db.active {
+		var keep []core.Assignment
+		for _, a := range as {
+			if a.Candidate == dest {
+				displaced = append(displaced, a)
+			} else {
+				keep = append(keep, a)
+			}
+		}
+		if len(keep) == 0 {
+			delete(db.active, busy)
+		} else {
+			db.active[busy] = keep
+		}
+	}
+	if rec, ok := db.clients[dest]; ok {
+		rec.HostingFor = nil
+	}
+	sort.Slice(displaced, func(i, j int) bool {
+		if displaced[i].Busy != displaced[j].Busy {
+			return displaced[i].Busy < displaced[j].Busy
+		}
+		return displaced[i].Candidate < displaced[j].Candidate
+	})
+	return displaced
+}
+
+// Destinations lists nodes currently hosting offloaded workloads.
+func (db *NMDB) Destinations() []int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	set := make(map[int]bool)
+	for _, as := range db.active {
+		for _, a := range as {
+			set[a.Candidate] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func appendUnique(s []int, v int) []int {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+func removeValue(s []int, v int) []int {
+	out := s[:0]
+	for _, x := range s {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+)
+
+// nmdbSnapshot is the JSON wire form of the NMDB's durable state: client
+// records and the active offload ledger (the topology is configuration,
+// not state, and is not serialized).
+type nmdbSnapshot struct {
+	Version int                  `json:"version"`
+	Clients []clientSnapshot     `json:"clients"`
+	Active  []assignmentSnapshot `json:"active"`
+}
+
+type clientSnapshot struct {
+	Node          int       `json:"node"`
+	Capable       bool      `json:"capable"`
+	CMax          float64   `json:"cmax,omitempty"`
+	COMax         float64   `json:"comax,omitempty"`
+	UtilPct       float64   `json:"util_pct"`
+	DataMb        float64   `json:"data_mb"`
+	NumAgents     int       `json:"num_agents"`
+	LastStat      time.Time `json:"last_stat"`
+	LastKeepalive time.Time `json:"last_keepalive"`
+	Role          uint8     `json:"role"`
+	HostingFor    []int     `json:"hosting_for,omitempty"`
+}
+
+type assignmentSnapshot struct {
+	Busy            int     `json:"busy"`
+	Candidate       int     `json:"candidate"`
+	Amount          float64 `json:"amount"`
+	ResponseTimeSec float64 `json:"response_time_sec"`
+}
+
+const snapshotVersion = 1
+
+// SaveSnapshot serializes the NMDB's durable state as JSON, letting a
+// restarted Manager resume with its client registry and offload ledger
+// intact (clients re-register and STAT refreshes the dynamic fields).
+func (db *NMDB) SaveSnapshot(w io.Writer) error {
+	db.mu.Lock()
+	snap := nmdbSnapshot{Version: snapshotVersion}
+	for _, node := range sortedClientNodes(db.clients) {
+		rec := db.clients[node]
+		snap.Clients = append(snap.Clients, clientSnapshot{
+			Node: rec.Node, Capable: rec.Capable,
+			CMax: rec.CMax, COMax: rec.COMax,
+			UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
+			LastStat: rec.LastStat, LastKeepalive: rec.LastKeepalive,
+			Role:       uint8(rec.Role),
+			HostingFor: append([]int(nil), rec.HostingFor...),
+		})
+	}
+	for _, busy := range sortedActiveKeys(db.active) {
+		for _, a := range db.active[busy] {
+			snap.Active = append(snap.Active, assignmentSnapshot{
+				Busy: a.Busy, Candidate: a.Candidate,
+				Amount: a.Amount, ResponseTimeSec: a.ResponseTimeSec,
+			})
+		}
+	}
+	db.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// LoadSnapshot restores state saved by SaveSnapshot into this NMDB,
+// replacing the current client registry and ledger. Records referencing
+// nodes outside the topology are rejected.
+func (db *NMDB) LoadSnapshot(r io.Reader) error {
+	var snap nmdbSnapshot
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return fmt.Errorf("cluster: decode snapshot: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return fmt.Errorf("cluster: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	n := db.topo.NumNodes()
+	clients := make(map[int]*ClientRecord, len(snap.Clients))
+	for _, c := range snap.Clients {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("cluster: snapshot client %d outside topology (%d nodes)", c.Node, n)
+		}
+		clients[c.Node] = &ClientRecord{
+			Node: c.Node, Capable: c.Capable,
+			CMax: c.CMax, COMax: c.COMax,
+			UtilPct: c.UtilPct, DataMb: c.DataMb, NumAgents: c.NumAgents,
+			LastStat: c.LastStat, LastKeepalive: c.LastKeepalive,
+			Role:       core.Role(c.Role),
+			HostingFor: append([]int(nil), c.HostingFor...),
+		}
+	}
+	active := make(map[int][]core.Assignment, len(snap.Active))
+	for _, a := range snap.Active {
+		if a.Busy < 0 || a.Busy >= n || a.Candidate < 0 || a.Candidate >= n {
+			return fmt.Errorf("cluster: snapshot assignment %d→%d outside topology", a.Busy, a.Candidate)
+		}
+		if a.Amount < 0 {
+			return fmt.Errorf("cluster: snapshot assignment with negative amount %g", a.Amount)
+		}
+		active[a.Busy] = append(active[a.Busy], core.Assignment{
+			Busy: a.Busy, Candidate: a.Candidate,
+			Amount: a.Amount, ResponseTimeSec: a.ResponseTimeSec,
+		})
+	}
+
+	db.mu.Lock()
+	db.clients = clients
+	db.active = active
+	db.mu.Unlock()
+	return nil
+}
+
+func sortedClientNodes(m map[int]*ClientRecord) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func sortedActiveKeys(m map[int][]core.Assignment) []int {
+	out := make([]int, 0, len(m))
+	for n := range m {
+		out = append(out, n)
+	}
+	sort.Ints(out)
+	return out
+}

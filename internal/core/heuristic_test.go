@@ -1,0 +1,317 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestHeuristicOneHopOnly(t *testing.T) {
+	// Candidate 2 hops away must be ignored by the heuristic even though
+	// the optimizer would use it.
+	g := graph.Line(3, 100)
+	g.SetUtilization(0, 0.5)
+	g.SetUtilization(1, 0.5)
+	s := NewState(g)
+	s.Util = []float64{95, 60, 10} // neighbor neutral, far node candidate
+	s.DataMb = []float64{10, 0, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Assignments) != 0 {
+		t.Fatalf("heuristic placed %d assignments, want 0 (no one-hop candidate)", len(h.Assignments))
+	}
+	if math.Abs(h.HFRPercent-100) > 1e-9 {
+		t.Fatalf("HFR = %g, want 100", h.HFRPercent)
+	}
+	if !h.NoSuccess() {
+		t.Fatal("should report no success")
+	}
+
+	// The optimizer succeeds where the heuristic fails — the trade-off
+	// Figure 9 measures.
+	res, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("optimizer status = %v, want optimal", res.Status)
+	}
+}
+
+func TestHeuristicFullSuccess(t *testing.T) {
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{90, 20}
+	s.DataMb = []float64{100, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.FullSuccess() || h.HFRPercent != 0 {
+		t.Fatalf("want full success with HFR 0, got HFR=%g", h.HFRPercent)
+	}
+	if len(h.Assignments) != 1 || h.Assignments[0].Route.Hops() != 1 {
+		t.Fatalf("assignments = %+v, want one 1-hop placement", h.Assignments)
+	}
+	// β = 10 pts · (100 Mb / 50 Mbps) = 20.
+	if math.Abs(h.Objective-20) > 1e-9 {
+		t.Fatalf("objective = %g, want 20", h.Objective)
+	}
+}
+
+func TestHeuristicPartialFailure(t *testing.T) {
+	// One-hop candidate has less spare capacity than the excess.
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{95, 45} // Cs = 15, Cd = 5
+	s.DataMb = []float64{10, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FullSuccess() || h.NoSuccess() {
+		t.Fatal("want partial outcome")
+	}
+	if math.Abs(h.TotalPlaced()-5) > 1e-9 || math.Abs(h.TotalFailed()-10) > 1e-9 {
+		t.Fatalf("placed/failed = %g/%g, want 5/10", h.TotalPlaced(), h.TotalFailed())
+	}
+	// HFR = Cse/Cs = 10/15.
+	if math.Abs(h.HFRPercent-1000.0/15.0) > 1e-9 {
+		t.Fatalf("HFR = %g, want %g", h.HFRPercent, 1000.0/15.0)
+	}
+}
+
+func TestHeuristicSharedCapacity(t *testing.T) {
+	// Two busy nodes share one candidate: capacity consumed in node order,
+	// the second busy node fails the remainder.
+	g := graph.Star(3, 100) // center 0 candidate
+	g.SetUtilization(0, 0.5)
+	g.SetUtilization(1, 0.5)
+	s := NewState(g)
+	s.Util = []float64{30, 95, 95} // Cd = 20; Cs1 = Cs2 = 15
+	s.DataMb = []float64{0, 10, 10}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(h.TotalPlaced()-20) > 1e-9 {
+		t.Fatalf("placed = %g, want 20 (all of Cd)", h.TotalPlaced())
+	}
+	if math.Abs(h.TotalFailed()-10) > 1e-9 {
+		t.Fatalf("failed = %g, want 10", h.TotalFailed())
+	}
+	if math.Abs(h.PerBusy[0].Placed-15) > 1e-9 {
+		t.Fatalf("first busy node placed %g, want all 15", h.PerBusy[0].Placed)
+	}
+	if math.Abs(h.PerBusy[1].Failed-10) > 1e-9 {
+		t.Fatalf("second busy node failed %g, want 10", h.PerBusy[1].Failed)
+	}
+}
+
+func TestHeuristicPicksCheapestNeighbor(t *testing.T) {
+	// Two one-hop candidates with different link rates: the greedy fill
+	// must start with the faster (cheaper) link.
+	g := graph.Star(3, 100)
+	fast, _ := g.EdgeBetween(0, 1)
+	slow, _ := g.EdgeBetween(0, 2)
+	g.SetUtilization(fast.ID, 0.9) // Lu = 90 → cheaper under utilized model
+	g.SetUtilization(slow.ID, 0.1) // Lu = 10
+	s := NewState(g)
+	s.Util = []float64{90, 20, 20}
+	s.DataMb = []float64{90, 0, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Assignments) != 1 || h.Assignments[0].Candidate != 1 {
+		t.Fatalf("assignments = %+v, want all 10 pts on node 1 (fast link)", h.Assignments)
+	}
+	// Response time 90/90 = 1 s.
+	if math.Abs(h.Assignments[0].ResponseTimeSec-1) > 1e-9 {
+		t.Fatalf("response time = %g, want 1", h.Assignments[0].ResponseTimeSec)
+	}
+}
+
+func TestHeuristicGreedyMatchesLPMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	cfg := DefaultScenario()
+	for trial := 0; trial < 15; trial++ {
+		g := graph.RandomConnected(10, 0.3, 1000, rng)
+		s, err := RandomState(g, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := DefaultParams()
+		hg, err := SolveHeuristic(s, p, HeuristicGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hl, err := SolveHeuristic(s, p, HeuristicLP)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(hg.Objective-hl.Objective) > 1e-6*math.Max(1, hg.Objective) {
+			t.Fatalf("trial %d: greedy β=%g vs LP-mode β=%g", trial, hg.Objective, hl.Objective)
+		}
+		if math.Abs(hg.HFRPercent-hl.HFRPercent) > 1e-6 {
+			t.Fatalf("trial %d: greedy HFR=%g vs LP-mode HFR=%g", trial, hg.HFRPercent, hl.HFRPercent)
+		}
+	}
+}
+
+func TestHeuristicNeverBeatsOptimizer(t *testing.T) {
+	// When the heuristic fully succeeds, its objective is an upper bound
+	// on the optimizer's (same problem, restricted route set).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(10, 0.35, 1000, rng)
+		s, err := RandomState(g, DefaultScenario(), rng)
+		if err != nil {
+			return false
+		}
+		p := DefaultParams()
+		p.PathStrategy = PathDP
+		h, err := SolveHeuristic(s, p, HeuristicGreedy)
+		if err != nil {
+			return false
+		}
+		if !h.FullSuccess() {
+			return true // bound only holds for full placements
+		}
+		res, err := Solve(s, p)
+		if err != nil || res.Status != StatusOptimal {
+			// Heuristic success implies global feasibility.
+			return false
+		}
+		return res.Objective <= h.Objective+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeuristicAssignmentsRespectInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(12, 0.3, 1000, rng)
+		s, err := RandomState(g, DefaultScenario(), rng)
+		if err != nil {
+			return false
+		}
+		p := DefaultParams()
+		h, err := SolveHeuristic(s, p, HeuristicGreedy)
+		if err != nil {
+			return false
+		}
+		c := h.Classification
+		cd := make(map[int]float64)
+		for j, n := range c.Candidates {
+			cd[n] = c.Cd[j]
+		}
+		placedPer := make(map[int]float64)
+		recvPer := make(map[int]float64)
+		for _, a := range h.Assignments {
+			if a.Amount <= 0 || a.Route.Hops() != 1 {
+				return false
+			}
+			// One-hop route must be a real edge between the endpoints.
+			e := s.G.Edge(a.Route.Edges[0])
+			if !((e.U == a.Busy && e.V == a.Candidate) || (e.V == a.Busy && e.U == a.Candidate)) {
+				return false
+			}
+			placedPer[a.Busy] += a.Amount
+			recvPer[a.Candidate] += a.Amount
+		}
+		for bi, b := range c.Busy {
+			if placedPer[b] > c.Cs[bi]+1e-9 {
+				return false
+			}
+		}
+		for n, amt := range recvPer {
+			if amt > cd[n]+1e-9 {
+				return false
+			}
+		}
+		// HFR in [0, 100].
+		return h.HFRPercent >= -1e-9 && h.HFRPercent <= 100+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApplyAndReclaimRoundTrip(t *testing.T) {
+	s, th := lineState()
+	p := DefaultParams()
+	p.Thresholds = th
+	res, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := append([]float64(nil), s.Util...)
+	if err := Apply(s, th, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	// Busy node drained exactly to CMax; destination grew.
+	if math.Abs(s.Util[0]-th.CMax) > 1e-9 {
+		t.Fatalf("busy node at %g after apply, want CMax=%g", s.Util[0], th.CMax)
+	}
+	if s.Util[1] <= before[1] {
+		t.Fatal("destination utilization should grow")
+	}
+	if err := Reclaim(s, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if math.Abs(s.Util[i]-before[i]) > 1e-9 {
+			t.Fatalf("node %d at %g after reclaim, want %g", i, s.Util[i], before[i])
+		}
+	}
+}
+
+func TestApplyRejectsOverload(t *testing.T) {
+	s, th := lineState()
+	bad := []Assignment{{Busy: 0, Candidate: 1, Amount: 40}} // Cd(1) = 30
+	if err := Apply(s, th, bad); err == nil {
+		t.Fatal("apply should reject pushing a destination past COmax")
+	}
+	bad = []Assignment{{Busy: 0, Candidate: 1, Amount: -1}}
+	if err := Apply(s, th, bad); err == nil {
+		t.Fatal("apply should reject negative amounts")
+	}
+	bad = []Assignment{{Busy: 0, Candidate: 0, Amount: 1}}
+	if err := Apply(s, th, bad); err == nil {
+		t.Fatal("apply should reject self-offload")
+	}
+}
+
+func TestReclaimRejectsPhantomLoad(t *testing.T) {
+	s, _ := lineState()
+	bad := []Assignment{{Busy: 0, Candidate: 1, Amount: 50}}
+	if err := Reclaim(s, bad); err == nil {
+		t.Fatal("reclaim should reject more load than the destination holds")
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import "fmt"
+
+// DeviceClass is the hardware persona of a node. DUST is hardware-agnostic
+// (Section I: "deployable on switches, servers, DPUs, SmartNICs"), and the
+// class determines default capability and in-situ compression behaviour.
+type DeviceClass int
+
+// Device classes.
+const (
+	ClassSwitch DeviceClass = iota
+	ClassServer
+	ClassDPU
+	ClassSmartNIC
+)
+
+func (c DeviceClass) String() string {
+	switch c {
+	case ClassServer:
+		return "server"
+	case ClassDPU:
+		return "dpu"
+	case ClassSmartNIC:
+		return "smartnic"
+	default:
+		return "switch"
+	}
+}
+
+// Persona captures the per-node heterogeneity the paper defers to
+// "industry implementations": a capability coefficient relating platform
+// capacities (Section IV-A: "it can be adjusted with a coefficient factor
+// relating two endpoint platform capacities") and the in-situ compression
+// of SmartNIC-class devices that "aid in reducing data transfers"
+// (Section III-A).
+type Persona struct {
+	Class DeviceClass
+	// Capability scales compute capacity relative to the baseline switch.
+	// Hosting x percentage points offloaded from node i consumes
+	// x·(Capability_i / Capability_j) points at destination j: a more
+	// capable destination absorbs the same workload with less of its own
+	// capacity. Must be positive.
+	Capability float64
+	// Compression is the fraction of the node's monitoring data volume
+	// that actually crosses the network when offloading from it, in
+	// (0, 1]. SmartNIC/DPU personas compress in situ.
+	Compression float64
+}
+
+// DefaultPersona returns the class's standard profile.
+func DefaultPersona(c DeviceClass) Persona {
+	switch c {
+	case ClassServer:
+		return Persona{Class: c, Capability: 2.0, Compression: 1.0}
+	case ClassDPU:
+		return Persona{Class: c, Capability: 1.5, Compression: 0.7}
+	case ClassSmartNIC:
+		return Persona{Class: c, Capability: 0.8, Compression: 0.5}
+	default:
+		return Persona{Class: c, Capability: 1.0, Compression: 1.0}
+	}
+}
+
+// Validate rejects non-physical personas.
+func (p Persona) Validate() error {
+	if p.Capability <= 0 {
+		return fmt.Errorf("core: persona capability %g must be positive", p.Capability)
+	}
+	if p.Compression <= 0 || p.Compression > 1 {
+		return fmt.Errorf("core: persona compression %g outside (0, 1]", p.Compression)
+	}
+	return nil
+}
+
+// SetPersonas attaches personas to the state (len must equal the node
+// count). A nil Personas slice means the paper's homogeneity assumption.
+func (s *State) SetPersonas(personas []Persona) error {
+	if len(personas) != s.G.NumNodes() {
+		return fmt.Errorf("core: %d personas for %d nodes", len(personas), s.G.NumNodes())
+	}
+	for i, p := range personas {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+	}
+	s.Personas = personas
+	return nil
+}
+
+// Heterogeneous reports whether any node deviates from the baseline
+// persona (capability or compression ≠ 1).
+func (s *State) Heterogeneous() bool {
+	for _, p := range s.Personas {
+		if p.Capability != 1 || p.Compression != 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// capability returns node n's capability coefficient (1 when personas are
+// unset).
+func (s *State) capability(n int) float64 {
+	if s.Personas == nil {
+		return 1
+	}
+	return s.Personas[n].Capability
+}
+
+// effectiveDataMb returns the monitoring data volume that crosses the
+// network when offloading from n, after in-situ compression.
+func (s *State) effectiveDataMb(n int) float64 {
+	if s.Personas == nil {
+		return s.DataMb[n]
+	}
+	return s.DataMb[n] * s.Personas[n].Compression
+}
+
+// HostCost converts amount origin-points offloaded from busy into the
+// destination-capacity points consumed at candidate: the paper's
+// homogeneity assumption generalized with the capability coefficient.
+func (s *State) HostCost(busy, candidate int, amount float64) float64 {
+	return amount * s.capability(busy) / s.capability(candidate)
+}

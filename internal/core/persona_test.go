@@ -1,0 +1,297 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPersonaValidate(t *testing.T) {
+	for _, c := range []DeviceClass{ClassSwitch, ClassServer, ClassDPU, ClassSmartNIC} {
+		p := DefaultPersona(c)
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%v default persona invalid: %v", c, err)
+		}
+		if p.Class.String() == "" {
+			t.Fatalf("%v has no name", c)
+		}
+	}
+	if (Persona{Capability: 0, Compression: 1}).Validate() == nil {
+		t.Fatal("zero capability accepted")
+	}
+	if (Persona{Capability: 1, Compression: 0}).Validate() == nil {
+		t.Fatal("zero compression accepted")
+	}
+	if (Persona{Capability: 1, Compression: 1.5}).Validate() == nil {
+		t.Fatal("compression > 1 accepted")
+	}
+}
+
+func TestSetPersonas(t *testing.T) {
+	g := graph.Ring(3, 100)
+	s := NewState(g)
+	if err := s.SetPersonas([]Persona{DefaultPersona(ClassSwitch)}); err == nil {
+		t.Fatal("wrong length accepted")
+	}
+	bad := []Persona{DefaultPersona(ClassSwitch), DefaultPersona(ClassServer), {Capability: -1, Compression: 1}}
+	if err := s.SetPersonas(bad); err == nil {
+		t.Fatal("invalid persona accepted")
+	}
+	good := []Persona{DefaultPersona(ClassSwitch), DefaultPersona(ClassServer), DefaultPersona(ClassDPU)}
+	if err := s.SetPersonas(good); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Heterogeneous() {
+		t.Fatal("server/DPU personas should count as heterogeneous")
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Clone carries personas independently.
+	c := s.Clone()
+	c.Personas[0] = DefaultPersona(ClassSmartNIC)
+	if s.Personas[0].Class == ClassSmartNIC {
+		t.Fatal("clone shares personas")
+	}
+}
+
+func TestHomogeneousPersonasMatchNilPersonas(t *testing.T) {
+	// Explicit all-baseline personas must solve identically to nil.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(10, 0.3, 1000, rng)
+		s, err := RandomState(g, DefaultScenario(), rng)
+		if err != nil {
+			return false
+		}
+		s2 := s.Clone()
+		personas := make([]Persona, g.NumNodes())
+		for i := range personas {
+			personas[i] = DefaultPersona(ClassSwitch)
+		}
+		if err := s2.SetPersonas(personas); err != nil {
+			return false
+		}
+		if s2.Heterogeneous() {
+			return false
+		}
+		p := DefaultParams()
+		p.PathStrategy = PathDP
+		r1, err1 := Solve(s, p)
+		r2, err2 := Solve(s2, p)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if r1.Status != r2.Status {
+			return false
+		}
+		if r1.Status == StatusOptimal &&
+			math.Abs(r1.Objective-r2.Objective) > 1e-6*math.Max(1, r1.Objective) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapabilityStretchesDestination(t *testing.T) {
+	// A weak destination (capability 0.5) can only absorb half its spare
+	// capacity in origin points; a strong server (capability 2) absorbs
+	// double. Busy node 0, Cs = 20; both candidates have Cd = 10.
+	g := graph.Star(3, 100)
+	g.SetUtilization(0, 0.5)
+	g.SetUtilization(1, 0.5)
+	s := NewState(g)
+	s.Util = []float64{100, 40, 40}
+	s.DataMb = []float64{10, 0, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+
+	// Homogeneous: Cd total = 20 ≥ Cs = 20 → feasible.
+	res, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("homogeneous status = %v", res.Status)
+	}
+
+	// Both destinations weak: each absorbs only 10·(0.5/1)... wait,
+	// HostCost(busy→weak, x) = x·cap_busy/cap_weak = 2x, so 10 points of
+	// spare capacity absorb only 5 origin points each → infeasible.
+	weak := []Persona{
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassSmartNIC, Capability: 0.5, Compression: 1},
+		{Class: ClassSmartNIC, Capability: 0.5, Compression: 1},
+	}
+	sw := s.Clone()
+	if err := sw.SetPersonas(weak); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Solve(sw, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("weak destinations should be infeasible, got %v", res.Status)
+	}
+
+	// One strong server: 10 spare points absorb 20 origin points alone.
+	strong := []Persona{
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassServer, Capability: 2, Compression: 1},
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+	}
+	ss := s.Clone()
+	if err := ss.SetPersonas(strong); err != nil {
+		t.Fatal(err)
+	}
+	res, err = Solve(ss, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("strong server should make it feasible, got %v", res.Status)
+	}
+	if err := VerifyResult(ss, th, res); err != nil {
+		t.Fatal(err)
+	}
+	// The server must receive at least the overflow the weak node can't
+	// take: node 1 gets ≥ 10 origin points.
+	var serverAmount float64
+	for _, a := range res.Assignments {
+		if a.Candidate == 1 {
+			serverAmount += a.Amount
+		}
+	}
+	if serverAmount < 10-1e-9 {
+		t.Fatalf("server received %g origin points, want >= 10", serverAmount)
+	}
+
+	// Apply honors the conversion: the server's utilization grows by
+	// amount/2, not amount.
+	before := ss.Util[1]
+	if err := Apply(ss, th, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	growth := ss.Util[1] - before
+	if math.Abs(growth-serverAmount/2) > 1e-9 {
+		t.Fatalf("server grew %g points for %g origin points, want %g", growth, serverAmount, serverAmount/2)
+	}
+	if err := Reclaim(ss, res.Assignments); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ss.Util[1]-before) > 1e-9 {
+		t.Fatal("reclaim did not restore the server")
+	}
+}
+
+func TestCompressionShortensResponseTime(t *testing.T) {
+	// A SmartNIC origin compresses in situ: its effective data volume, and
+	// therefore every response time, halves.
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{90, 20}
+	s.DataMb = []float64{100, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+
+	plain, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nic := s.Clone()
+	personas := []Persona{
+		{Class: ClassSmartNIC, Capability: 1, Compression: 0.5},
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+	}
+	if err := nic.SetPersonas(personas); err != nil {
+		t.Fatal(err)
+	}
+	compressed, err := Solve(nic, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Status != StatusOptimal || compressed.Status != StatusOptimal {
+		t.Fatal("both should be feasible")
+	}
+	if math.Abs(compressed.Objective-plain.Objective/2) > 1e-9 {
+		t.Fatalf("compressed β = %g, want half of %g", compressed.Objective, plain.Objective)
+	}
+}
+
+func TestHeuristicHonorsCapability(t *testing.T) {
+	// One-hop candidate with capability 2 absorbs the full excess even
+	// though its raw Cd is half of Cs.
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{100, 40} // Cs = 20, Cd = 10
+	s.DataMb = []float64{10, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	p := DefaultParams()
+	p.Thresholds = th
+
+	h, err := SolveHeuristic(s, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.FullSuccess() {
+		t.Fatal("homogeneous case should fail partially (Cd < Cs)")
+	}
+
+	personas := []Persona{
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassServer, Capability: 2, Compression: 1},
+	}
+	s2 := s.Clone()
+	if err := s2.SetPersonas(personas); err != nil {
+		t.Fatal(err)
+	}
+	h, err = SolveHeuristic(s2, p, HeuristicGreedy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.FullSuccess() {
+		t.Fatalf("capability-2 destination should absorb everything, HFR = %g%%", h.HFRPercent)
+	}
+}
+
+func TestHeterogeneousILPStillFeasible(t *testing.T) {
+	// The ILP mode composes with personas (integral origin points,
+	// fractional destination consumption).
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{90, 30}
+	s.DataMb = []float64{10, 0}
+	personas := []Persona{
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassServer, Capability: 2, Compression: 1},
+	}
+	if err := s.SetPersonas(personas); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Solver = SolverILP
+	res, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	for _, a := range res.Assignments {
+		if math.Abs(a.Amount-math.Round(a.Amount)) > 1e-6 {
+			t.Fatalf("ILP produced fractional amount %g", a.Amount)
+		}
+	}
+}

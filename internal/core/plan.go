@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Apply executes an offload plan against the state under the paper's
+// homogeneity assumption: removing x percentage points of monitoring load
+// from the busy node adds the same x points at the destination. It
+// verifies the plan is internally consistent — no busy node gives up more
+// than its excess over CMax and no destination is pushed past COMax
+// (constraints 3a/3b) — before mutating anything.
+func Apply(s *State, t Thresholds, assignments []Assignment) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	outgoing := make(map[int]float64)
+	incoming := make(map[int]float64)
+	for _, a := range assignments {
+		if a.Amount < 0 {
+			return fmt.Errorf("core: negative assignment amount %g (%d→%d)", a.Amount, a.Busy, a.Candidate)
+		}
+		if a.Busy == a.Candidate {
+			return fmt.Errorf("core: self-offload on node %d", a.Busy)
+		}
+		outgoing[a.Busy] += a.Amount
+		incoming[a.Candidate] += s.HostCost(a.Busy, a.Candidate, a.Amount)
+	}
+	for b, amt := range outgoing {
+		if excess := s.Util[b] - t.CMax; amt > excess+1e-9 {
+			return fmt.Errorf("core: node %d offloads %g > excess %g", b, amt, excess)
+		}
+	}
+	for c, amt := range incoming {
+		if s.Util[c]+amt > t.COMax+1e-9 {
+			return fmt.Errorf("core: node %d would reach %g%% > COmax %g%%", c, s.Util[c]+amt, t.COMax)
+		}
+	}
+	for b, amt := range outgoing {
+		s.Util[b] -= amt
+	}
+	for c, amt := range incoming {
+		s.Util[c] += amt
+	}
+	return nil
+}
+
+// Reclaim reverses a previously applied plan: the busy node takes its
+// monitoring load back once local resources free up (the STAT-driven
+// reclaim of Section III-B). The inverse of Apply, with the same
+// validation inverted — destinations must actually hold the load.
+func Reclaim(s *State, assignments []Assignment) error {
+	incoming := make(map[int]float64)
+	for _, a := range assignments {
+		if a.Amount < 0 {
+			return fmt.Errorf("core: negative assignment amount %g", a.Amount)
+		}
+		incoming[a.Candidate] += s.HostCost(a.Busy, a.Candidate, a.Amount)
+	}
+	for c, amt := range incoming {
+		if s.Util[c] < amt-1e-9 {
+			return fmt.Errorf("core: node %d holds %g%% < reclaim %g%%", c, s.Util[c], amt)
+		}
+	}
+	for _, a := range assignments {
+		s.Util[a.Candidate] -= s.HostCost(a.Busy, a.Candidate, a.Amount)
+		s.Util[a.Busy] += a.Amount
+	}
+	return nil
+}
+
+// VerifyResult checks the optimality-independent invariants of a solve
+// result against its inputs: per-busy conservation (Eq. 3b), per-candidate
+// capacity (Eq. 3a), route validity, and objective consistency. Used by
+// tests and the Manager's sanity gate before issuing Offload-Requests.
+func VerifyResult(s *State, t Thresholds, res *Result) error {
+	if res.Status != StatusOptimal {
+		return nil
+	}
+	c := res.Classification
+	placed := make(map[int]float64)
+	received := make(map[int]float64)
+	obj := 0.0
+	for _, a := range res.Assignments {
+		placed[a.Busy] += a.Amount
+		received[a.Candidate] += s.HostCost(a.Busy, a.Candidate, a.Amount)
+		obj += a.Amount * a.ResponseTimeSec
+		if math.IsInf(a.ResponseTimeSec, 1) {
+			return fmt.Errorf("core: assignment %d→%d uses unreachable route", a.Busy, a.Candidate)
+		}
+		if len(a.Route.Edges) > 0 {
+			if a.Route.Src != a.Busy || a.Route.Dst != a.Candidate {
+				return fmt.Errorf("core: route endpoints %d→%d mismatch assignment %d→%d",
+					a.Route.Src, a.Route.Dst, a.Busy, a.Candidate)
+			}
+			nodes := a.Route.Nodes(s.G)
+			if nodes[len(nodes)-1] != a.Candidate {
+				return fmt.Errorf("core: route does not end at candidate %d", a.Candidate)
+			}
+		}
+	}
+	for bi, b := range c.Busy {
+		if math.Abs(placed[b]-c.Cs[bi]) > 1e-6 {
+			return fmt.Errorf("core: busy %d placed %g, want Cs=%g", b, placed[b], c.Cs[bi])
+		}
+	}
+	for cj, cand := range c.Candidates {
+		if received[cand] > c.Cd[cj]+1e-6 {
+			return fmt.Errorf("core: candidate %d received %g > Cd=%g", cand, received[cand], c.Cd[cj])
+		}
+	}
+	if math.Abs(obj-res.Objective) > 1e-6*math.Max(1, math.Abs(res.Objective)) {
+		return fmt.Errorf("core: objective %g inconsistent with assignments sum %g", res.Objective, obj)
+	}
+	return nil
+}

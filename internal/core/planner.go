@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Planner is a Solve front-end that caches per-source route computations
+// across placement rounds. Between the Manager's periodic rounds the
+// topology's link utilizations usually do not change even though node
+// roles do (STAT updates move C_j, not Lu); the hop-bounded DP from one
+// busy node is then reusable verbatim. The cache keys on the graph's
+// mutation version and invalidates itself automatically.
+//
+// Only the PathDP strategy is cacheable (exhaustive enumeration is
+// per-pair and dominated by path explosion by design); Solve calls with
+// PathEnumerate pass through uncached.
+type Planner struct {
+	params Params
+
+	mu sync.Mutex
+	// The cache is valid for one (graph instance, version) pair: version
+	// counters are per-instance, so two clones can coincidentally share a
+	// version while carrying different link rates.
+	g       *graph.Graph
+	version uint64
+	// perUnit[src] holds the per-unit (per-Mb) minimum costs and paths
+	// from src under the cached version.
+	perUnit map[int]plannerEntry
+	hits    int
+	misses  int
+}
+
+type plannerEntry struct {
+	dist  []float64
+	paths []graph.Path
+}
+
+// NewPlanner creates a planner with fixed parameters.
+func NewPlanner(params Params) *Planner {
+	return &Planner{params: params, perUnit: make(map[int]plannerEntry)}
+}
+
+// Params returns the planner's solve configuration.
+func (pl *Planner) Params() Params { return pl.params }
+
+// Stats reports cache hits and misses (for tests and telemetry).
+func (pl *Planner) Stats() (hits, misses int) {
+	pl.mu.Lock()
+	defer pl.mu.Unlock()
+	return pl.hits, pl.misses
+}
+
+// Solve runs the placement pipeline, reusing cached route computations
+// when the graph version matches.
+func (pl *Planner) Solve(s *State) (*Result, error) {
+	c, err := Classify(s, pl.params.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	return pl.SolveClassified(s, c)
+}
+
+// SolveClassified is Solve with a caller-supplied classification (the
+// Manager classifies with per-client threshold overrides).
+func (pl *Planner) SolveClassified(s *State, c *Classification) (*Result, error) {
+	if pl.params.PathStrategy != PathDP {
+		return SolveClassified(s, c, pl.params)
+	}
+
+	// Build the route table from cached per-unit DP results.
+	rt := &RouteTable{
+		Busy:       c.Busy,
+		Candidates: c.Candidates,
+		Seconds:    make([][]float64, len(c.Busy)),
+		Routes:     make([][]graph.Path, len(c.Busy)),
+	}
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return pl.params.RateModel.rate(e) })
+	for bi, b := range c.Busy {
+		entry := pl.lookup(s.G, b, cost)
+		data := s.effectiveDataMb(b)
+		rt.Seconds[bi] = make([]float64, len(c.Candidates))
+		rt.Routes[bi] = make([]graph.Path, len(c.Candidates))
+		for cj, cand := range c.Candidates {
+			if math.IsInf(entry.dist[cand], 1) {
+				rt.Seconds[bi][cj] = math.Inf(1)
+				continue
+			}
+			rt.Seconds[bi][cj] = data * entry.dist[cand]
+			rt.Routes[bi][cj] = entry.paths[cand]
+		}
+	}
+	return solveWithRoutes(s, c, rt, pl.params)
+}
+
+// lookup returns the per-unit DP result for src, computing and caching it
+// on miss. The cache resets whenever the graph version moves.
+func (pl *Planner) lookup(g *graph.Graph, src int, cost graph.EdgeCost) plannerEntry {
+	pl.mu.Lock()
+	if g != pl.g || g.Version() != pl.version {
+		pl.g = g
+		pl.version = g.Version()
+		pl.perUnit = make(map[int]plannerEntry)
+	}
+	if e, ok := pl.perUnit[src]; ok {
+		pl.hits++
+		pl.mu.Unlock()
+		return e
+	}
+	pl.misses++
+	pl.mu.Unlock()
+
+	dist, paths := graph.HopBoundedShortest(g, src, pl.params.MaxHops, cost)
+	e := plannerEntry{dist: dist, paths: paths}
+
+	pl.mu.Lock()
+	// Only store if the cache generation is still current (a concurrent
+	// mutation or graph swap may have invalidated the computation).
+	if g == pl.g && g.Version() == pl.version {
+		pl.perUnit[src] = e
+	}
+	pl.mu.Unlock()
+	return e
+}
+
+// solveWithRoutes is SolveClassified with a precomputed route table.
+func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Result, error) {
+	res := &Result{Status: StatusOptimal, Classification: c, Routes: rt}
+	if len(c.Busy) == 0 {
+		return res, nil
+	}
+	hetero := s.Heterogeneous()
+	if len(c.Candidates) == 0 || (!hetero && c.TotalCs() > c.TotalCd()+1e-9) {
+		res.Status = StatusInfeasible
+		return res, nil
+	}
+	solver := p.Solver
+	if hetero && solver == SolverTransport {
+		solver = SolverSimplex
+	}
+	var err error
+	switch solver {
+	case SolverTransport:
+		err = solveTransport(c, rt, res)
+	case SolverSimplex:
+		err = solveLP(s, c, rt, res, false)
+	case SolverILP:
+		err = solveLP(s, c, rt, res, true)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestPlannerMatchesSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	g := graph.FatTree(8, 1000)
+	params := DefaultParams()
+	params.PathStrategy = PathDP
+	params.MaxHops = 7
+	pl := NewPlanner(params)
+
+	for trial := 0; trial < 8; trial++ {
+		s, err := RandomState(g.Clone(), DefaultScenario(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(s, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := pl.Solve(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Status != got.Status {
+			t.Fatalf("trial %d: status %v vs %v", trial, want.Status, got.Status)
+		}
+		if want.Status == StatusOptimal &&
+			math.Abs(want.Objective-got.Objective) > 1e-6*math.Max(1, want.Objective) {
+			t.Fatalf("trial %d: objective %g vs %g", trial, want.Objective, got.Objective)
+		}
+		if got.Status == StatusOptimal {
+			if err := VerifyResult(s, params.Thresholds, got); err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+		}
+	}
+}
+
+func TestPlannerCachesAcrossRounds(t *testing.T) {
+	// Same graph (and therefore graph version), roles changing between
+	// rounds: the second round's busy nodes that repeat must hit.
+	rng := rand.New(rand.NewSource(3))
+	g := graph.FatTree(4, 1000)
+	graph.RandomizeUtilization(g, 0.2, 0.8, rng)
+	params := DefaultParams()
+	params.PathStrategy = PathDP
+	pl := NewPlanner(params)
+
+	s := NewState(g)
+	for i := range s.Util {
+		s.Util[i] = 30
+	}
+	s.Util[0] = 90
+	s.DataMb[0] = 50
+	if _, err := pl.Solve(s); err != nil {
+		t.Fatal(err)
+	}
+	_, misses1 := pl.Stats()
+	if misses1 != 1 {
+		t.Fatalf("first round misses = %d, want 1 (one busy node)", misses1)
+	}
+
+	// Round 2: the same node busy again (e.g. its STAT moved) — pure hit.
+	s.Util[0] = 95
+	if _, err := pl.Solve(s); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := pl.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("after round 2: hits=%d misses=%d, want 1/1", hits, misses)
+	}
+
+	// Link utilization changes → version moves → cache invalidated.
+	g.SetUtilization(0, 0.9)
+	if _, err := pl.Solve(s); err != nil {
+		t.Fatal(err)
+	}
+	hits, misses = pl.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("after invalidation: hits=%d misses=%d, want 1/2", hits, misses)
+	}
+}
+
+func TestPlannerPassThroughForEnumeration(t *testing.T) {
+	s, th := lineState()
+	params := DefaultParams()
+	params.Thresholds = th
+	params.PathStrategy = PathEnumerate
+	pl := NewPlanner(params)
+	res, err := pl.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("status = %v", res.Status)
+	}
+	if hits, misses := pl.Stats(); hits != 0 || misses != 0 {
+		t.Fatal("enumeration mode must bypass the cache")
+	}
+}
+
+func BenchmarkPlannerRepeatedRounds(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.FatTree(8, 1000)
+	graph.RandomizeUtilization(g, 0.2, 0.8, rng)
+	params := DefaultParams()
+	params.PathStrategy = PathDP
+	params.MaxHops = 7
+	s, err := RandomState(g, DefaultScenario(), rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := Solve(s, params); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("planner", func(b *testing.B) {
+		pl := NewPlanner(params)
+		for i := 0; i < b.N; i++ {
+			if _, err := pl.Solve(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func TestPlannerParamsAndInfeasible(t *testing.T) {
+	params := DefaultParams()
+	params.PathStrategy = PathDP
+	params.MaxHops = 3
+	pl := NewPlanner(params)
+	if pl.Params().MaxHops != 3 {
+		t.Fatal("Params should echo the configuration")
+	}
+	// Infeasible through the cached path: no candidates at all.
+	g := graph.Line(2, 100)
+	g.SetUtilization(0, 0.5)
+	s := NewState(g)
+	s.Util = []float64{90, 60}
+	s.DataMb = []float64{10, 0}
+	res, err := pl.Solve(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible (no candidates)", res.Status)
+	}
+	// Heterogeneous solve through the planner (simplex branch of
+	// solveWithRoutes) and the ILP branch.
+	s2 := NewState(graph.Line(2, 100).Clone())
+	s2.G.SetUtilization(0, 0.5)
+	s2.Util = []float64{100, 40}
+	s2.DataMb = []float64{10, 0}
+	if err := s2.SetPersonas([]Persona{
+		DefaultPersona(ClassSwitch), DefaultPersona(ClassServer),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	res, err = pl.Solve(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("heterogeneous planner solve = %v", res.Status)
+	}
+	ilp := DefaultParams()
+	ilp.PathStrategy = PathDP
+	ilp.Solver = SolverILP
+	pl2 := NewPlanner(ilp)
+	s3, th := lineState()
+	_ = th
+	res, err = pl2.Solve(s3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != StatusOptimal {
+		t.Fatalf("ILP planner solve = %v", res.Status)
+	}
+}

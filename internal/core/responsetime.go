@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// RateModel selects how the per-link rate Lu is derived from an edge's
+// physical capacity and dynamic utilization.
+type RateModel int
+
+const (
+	// RateUtilized is the paper-literal definition (Section IV-B): Lu is
+	// the physical bandwidth multiplied by the dynamic utilization rate.
+	RateUtilized RateModel = iota
+	// RateAvailable uses the remaining headroom Cap·(1−Utilization); the
+	// physically conservative reading under which offload traffic rides
+	// only spare bandwidth. Exposed for ablation; the figures use the
+	// paper-literal model.
+	RateAvailable
+)
+
+func (m RateModel) String() string {
+	if m == RateAvailable {
+		return "available"
+	}
+	return "utilized"
+}
+
+// rate returns Lu for edge e under the model, in Mbps.
+func (m RateModel) rate(e graph.Edge) float64 {
+	if m == RateAvailable {
+		return e.AvailableMbps()
+	}
+	return e.UtilizedMbps()
+}
+
+// PathStrategy selects how minimum response times over controllable
+// routes are computed.
+type PathStrategy int
+
+const (
+	// PathEnumerate exhaustively enumerates every simple path within the
+	// max-hop bound, exactly as the paper's formulation defines the route
+	// set p = {r_1, …, r_n}. Its cost explodes with max-hop — the effect
+	// Figures 8 and 10 measure.
+	PathEnumerate PathStrategy = iota
+	// PathDP computes the same hop-bounded minimum with a Bellman–Ford
+	// layer DP in polynomial time. Used by the ablation bench and the
+	// production-oriented solver configuration.
+	PathDP
+)
+
+func (p PathStrategy) String() string {
+	if p == PathDP {
+		return "dp"
+	}
+	return "enumerate"
+}
+
+// RouteTable holds, for one state snapshot, the minimum response time
+// T_rmin(i,j) (Eq. 2) and the realizing route for every (busy, candidate)
+// pair, plus enumeration statistics.
+type RouteTable struct {
+	// Busy and Candidates echo the classification's node lists.
+	Busy       []int
+	Candidates []int
+	// Seconds[bi][cj] is T_rmin between Busy[bi] and Candidates[cj]; +Inf
+	// when no route exists within the hop bound.
+	Seconds [][]float64
+	// Routes[bi][cj] is the minimum-response-time path.
+	Routes [][]graph.Path
+	// PathsExplored counts enumerated simple paths (PathEnumerate only).
+	PathsExplored int
+}
+
+// ComputeRoutes builds the route table for the classified state.
+// The per-edge transfer time for busy node i's data is D_i/Lu_e (Eq. 1);
+// summing over a route and minimizing over the route set gives Eq. 2.
+// maxHops <= 0 means unbounded.
+func ComputeRoutes(s *State, c *Classification, model RateModel, strat PathStrategy, maxHops int) (*RouteTable, error) {
+	rt := &RouteTable{
+		Busy:       c.Busy,
+		Candidates: c.Candidates,
+		Seconds:    make([][]float64, len(c.Busy)),
+		Routes:     make([][]graph.Path, len(c.Busy)),
+	}
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return model.rate(e) })
+
+	for bi, b := range c.Busy {
+		rt.Seconds[bi] = make([]float64, len(c.Candidates))
+		rt.Routes[bi] = make([]graph.Path, len(c.Candidates))
+		for j := range rt.Seconds[bi] {
+			rt.Seconds[bi][j] = math.Inf(1)
+		}
+		// In-situ compression (SmartNIC/DPU personas) shrinks what actually
+		// crosses the network.
+		data := s.effectiveDataMb(b)
+		if data < 0 {
+			return nil, fmt.Errorf("core: busy node %d has negative data volume", b)
+		}
+
+		switch strat {
+		case PathEnumerate:
+			for cj, cand := range c.Candidates {
+				paths := graph.AllSimplePaths(s.G, b, cand, maxHops, 0)
+				rt.PathsExplored += len(paths)
+				best := math.Inf(1)
+				var bestPath graph.Path
+				for _, p := range paths {
+					// Per-unit cost Σ 1/Lu_e; response time scales by D_i.
+					unit := p.Cost(s.G, cost)
+					if math.IsInf(unit, 1) {
+						continue
+					}
+					t := data * unit
+					if t < best || (t == best && p.Hops() < bestPath.Hops()) {
+						best = t
+						bestPath = p
+					}
+				}
+				rt.Seconds[bi][cj] = best
+				rt.Routes[bi][cj] = bestPath
+			}
+		case PathDP:
+			dist, paths := graph.HopBoundedShortest(s.G, b, maxHops, cost)
+			for cj, cand := range c.Candidates {
+				if math.IsInf(dist[cand], 1) {
+					continue
+				}
+				rt.Seconds[bi][cj] = data * dist[cand]
+				rt.Routes[bi][cj] = paths[cand]
+			}
+		default:
+			return nil, fmt.Errorf("core: unknown path strategy %d", strat)
+		}
+	}
+	return rt, nil
+}
+
+// ReachableCandidates returns, for busy row bi, the candidate columns with
+// a finite response time.
+func (rt *RouteTable) ReachableCandidates(bi int) []int {
+	var out []int
+	for cj, sec := range rt.Seconds[bi] {
+		if !math.IsInf(sec, 1) {
+			out = append(out, cj)
+		}
+	}
+	return out
+}
+
+// AlternateRoutes returns up to k ranked controllable routes for an
+// assignment — the minimum-response-time route first, then loopless
+// backups in nondecreasing response time (Yen's algorithm). The Manager
+// can pre-provision these as failover routes for the offload transfer.
+func AlternateRoutes(s *State, a Assignment, model RateModel, k int) []RankedRoute {
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return model.rate(e) })
+	paths := graph.KShortestPaths(s.G, a.Busy, a.Candidate, k, cost)
+	data := s.effectiveDataMb(a.Busy)
+	out := make([]RankedRoute, 0, len(paths))
+	for _, p := range paths {
+		out = append(out, RankedRoute{
+			Route:           p,
+			ResponseTimeSec: data * p.Cost(s.G, cost),
+		})
+	}
+	return out
+}
+
+// RankedRoute is one controllable-route alternative.
+type RankedRoute struct {
+	Route           graph.Path
+	ResponseTimeSec float64
+}

@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// SolverKind selects the engine for the min-cost offload problem (Eq. 3).
+type SolverKind int
+
+const (
+	// SolverTransport solves the placement as a transportation problem
+	// with the specialized network method — the default fast exact path.
+	SolverTransport SolverKind = iota
+	// SolverSimplex solves the same LP with the general two-phase simplex;
+	// used as an independent cross-check and ablation baseline.
+	SolverSimplex
+	// SolverILP solves the integral variant (whole percentage points) with
+	// branch-and-bound, the reading under which the paper's "ILP" name is
+	// literal. Supplies are rounded up and capacities down, conservatively.
+	SolverILP
+)
+
+func (k SolverKind) String() string {
+	switch k {
+	case SolverSimplex:
+		return "simplex"
+	case SolverILP:
+		return "ilp"
+	default:
+		return "transport"
+	}
+}
+
+// Params configures a placement solve.
+type Params struct {
+	Thresholds Thresholds
+	// MaxHops bounds the controllable-route length; <= 0 means unbounded.
+	MaxHops int
+	// RateModel selects the Lu definition (paper-literal by default).
+	RateModel RateModel
+	// PathStrategy selects exhaustive enumeration (paper-literal) or the
+	// polynomial DP.
+	PathStrategy PathStrategy
+	// Solver selects the optimization engine.
+	Solver SolverKind
+}
+
+// DefaultParams returns the configuration used by the paper's evaluation:
+// Δ_io = 2 thresholds, unbounded hops, paper-literal rate model,
+// exhaustive route enumeration, and the transportation solver.
+func DefaultParams() Params {
+	return Params{
+		Thresholds: Thresholds{CMax: 80, COMax: 50, XMin: 10},
+	}
+}
+
+// Status is the outcome of a placement solve.
+type Status int
+
+const (
+	// StatusOptimal means every busy node's excess was placed at minimum
+	// total response-time cost.
+	StatusOptimal Status = iota
+	// StatusInfeasible means the excess cannot be fully placed: spare
+	// capacity or reachability is insufficient (the event Figure 7 counts).
+	StatusInfeasible
+)
+
+func (s Status) String() string {
+	if s == StatusInfeasible {
+		return "infeasible"
+	}
+	return "optimal"
+}
+
+// Assignment is one x_ij > 0 of the solution: offload Amount percentage
+// points from Busy to Candidate along Route.
+type Assignment struct {
+	Busy, Candidate int
+	// Amount is the offloaded capacity in percentage points.
+	Amount float64
+	// ResponseTimeSec is T_rmin(i,j) for the busy node's data volume.
+	ResponseTimeSec float64
+	// Route is the minimum-response-time controllable route.
+	Route graph.Path
+}
+
+// Result is the output of Solve.
+type Result struct {
+	Status Status
+	// Objective is β = Σ x_ij·T_rmin(i,j) (seconds·percentage-points).
+	Objective float64
+	// Assignments lists the nonzero x_ij.
+	Assignments []Assignment
+	// Classification echoes the role split the solve used.
+	Classification *Classification
+	// Routes is the response-time table the objective was built from.
+	Routes *RouteTable
+	// RouteDuration and SolveDuration split the wall time between
+	// controllable-route computation and optimization.
+	RouteDuration, SolveDuration time.Duration
+	// Pivots counts simplex/MODI pivot steps; Nodes counts B&B nodes.
+	Pivots, Nodes int
+	// ShadowPrices maps each candidate node to the marginal objective
+	// improvement per extra percentage point of spare capacity there —
+	// the Manager's bottleneck signal for where adding compute (a DPU, a
+	// server) would pay off most. Populated by the transportation solver
+	// (MODI potentials) and the simplex (constraint duals); nil for the
+	// ILP mode, whose value function has no gradients.
+	ShadowPrices map[int]float64
+}
+
+// Bottlenecks returns the candidates with positive shadow price, sorted
+// by descending price: the spare-capacity bottlenecks of this placement.
+func (r *Result) Bottlenecks() []BottleneckEntry {
+	var out []BottleneckEntry
+	for node, price := range r.ShadowPrices {
+		if price > 1e-9 {
+			out = append(out, BottleneckEntry{Node: node, ShadowPrice: price})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ShadowPrice != out[j].ShadowPrice {
+			return out[i].ShadowPrice > out[j].ShadowPrice
+		}
+		return out[i].Node < out[j].Node
+	})
+	return out
+}
+
+// BottleneckEntry is one capacity bottleneck.
+type BottleneckEntry struct {
+	Node        int
+	ShadowPrice float64
+}
+
+// TotalOffloaded sums the assignment amounts.
+func (r *Result) TotalOffloaded() float64 {
+	sum := 0.0
+	for _, a := range r.Assignments {
+		sum += a.Amount
+	}
+	return sum
+}
+
+// Solve runs the full DUST placement pipeline on a state snapshot:
+// classify roles, compute minimum response times over controllable routes,
+// and solve the min-cost offload problem (Eq. 3). A state with no busy
+// nodes yields an empty optimal result.
+func Solve(s *State, p Params) (*Result, error) {
+	c, err := Classify(s, p.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	return SolveClassified(s, c, p)
+}
+
+// SolveClassified is Solve with a precomputed classification, for callers
+// (the Manager, the experiment harness) that already track roles.
+func SolveClassified(s *State, c *Classification, p Params) (*Result, error) {
+	res := &Result{Status: StatusOptimal, Classification: c}
+	if len(c.Busy) == 0 {
+		return res, nil
+	}
+
+	t0 := time.Now()
+	rt, err := ComputeRoutes(s, c, p.RateModel, p.PathStrategy, p.MaxHops)
+	if err != nil {
+		return nil, err
+	}
+	res.Routes = rt
+	res.RouteDuration = time.Since(t0)
+
+	hetero := s.Heterogeneous()
+	if len(c.Candidates) == 0 || (!hetero && c.TotalCs() > c.TotalCd()+1e-9) {
+		res.Status = StatusInfeasible
+		return res, nil
+	}
+
+	t1 := time.Now()
+	defer func() { res.SolveDuration = time.Since(t1) }()
+	solver := p.Solver
+	if hetero && solver == SolverTransport {
+		// Capability coefficients put per-cell weights on the capacity
+		// constraints, which the pure transportation method cannot carry;
+		// the general simplex solves the generalized problem exactly.
+		solver = SolverSimplex
+	}
+	switch solver {
+	case SolverTransport:
+		err = solveTransport(c, rt, res)
+	case SolverSimplex:
+		err = solveLP(s, c, rt, res, false)
+	case SolverILP:
+		err = solveLP(s, c, rt, res, true)
+	default:
+		err = fmt.Errorf("core: unknown solver kind %d", p.Solver)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func solveTransport(c *Classification, rt *RouteTable, res *Result) error {
+	prob := lp.TransportProblem{
+		Supply: c.Cs,
+		Demand: c.Cd,
+		Cost:   rt.Seconds,
+	}
+	sol, err := lp.SolveTransport(prob)
+	if err != nil {
+		return err
+	}
+	res.Pivots = sol.Iterations
+	if sol.Status != lp.StatusOptimal {
+		res.Status = StatusInfeasible
+		return nil
+	}
+	res.Objective = sol.Objective
+	res.ShadowPrices = make(map[int]float64, len(c.Candidates))
+	for cj, cand := range c.Candidates {
+		price := -sol.DualDemand[cj]
+		if price < 0 {
+			price = 0
+		}
+		res.ShadowPrices[cand] = price
+	}
+	for bi := range c.Busy {
+		for cj := range c.Candidates {
+			if f := sol.Flow[bi][cj]; f > 1e-9 {
+				res.Assignments = append(res.Assignments, Assignment{
+					Busy:            c.Busy[bi],
+					Candidate:       c.Candidates[cj],
+					Amount:          f,
+					ResponseTimeSec: rt.Seconds[bi][cj],
+					Route:           rt.Routes[bi][cj],
+				})
+			}
+		}
+	}
+	return nil
+}
+
+func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral bool) error {
+	model := lp.NewModel(lp.Minimize)
+	type pair struct{ bi, cj int }
+	vars := make(map[pair]lp.VarID)
+	for bi := range c.Busy {
+		for cj := range c.Candidates {
+			sec := rt.Seconds[bi][cj]
+			if math.IsInf(sec, 1) {
+				continue // no route within the hop bound: x_ij fixed at 0
+			}
+			name := fmt.Sprintf("x_%d_%d", c.Busy[bi], c.Candidates[cj])
+			if integral {
+				vars[pair{bi, cj}] = model.AddIntVar(name, 0, math.Ceil(c.Cs[bi]), sec)
+			} else {
+				vars[pair{bi, cj}] = model.AddVar(name, 0, math.Inf(1), sec)
+			}
+		}
+	}
+	// Eq. 3b: each busy node fully offloads its excess.
+	for bi := range c.Busy {
+		var terms []lp.Term
+		for cj := range c.Candidates {
+			if v, ok := vars[pair{bi, cj}]; ok {
+				terms = append(terms, lp.Term{Var: v, Coeff: 1})
+			}
+		}
+		supply := c.Cs[bi]
+		if integral {
+			supply = math.Ceil(supply - 1e-9)
+		}
+		if terms == nil {
+			if supply > 1e-9 {
+				res.Status = StatusInfeasible
+				return nil
+			}
+			continue
+		}
+		model.AddConstraint(fmt.Sprintf("supply_%d", c.Busy[bi]), terms, lp.EQ, supply)
+	}
+	// Eq. 3a: candidate spare capacity. With heterogeneous personas, one
+	// origin point consumes cap_i/cap_j destination points.
+	capCon := make(map[int]int) // candidate column -> constraint index
+	for cj := range c.Candidates {
+		var terms []lp.Term
+		for bi := range c.Busy {
+			if v, ok := vars[pair{bi, cj}]; ok {
+				coeff := s.HostCost(c.Busy[bi], c.Candidates[cj], 1)
+				terms = append(terms, lp.Term{Var: v, Coeff: coeff})
+			}
+		}
+		if terms == nil {
+			continue
+		}
+		capacity := c.Cd[cj]
+		if integral {
+			capacity = math.Floor(capacity + 1e-9)
+		}
+		capCon[cj] = model.NumConstraints()
+		model.AddConstraint(fmt.Sprintf("cap_%d", c.Candidates[cj]), terms, lp.LE, capacity)
+	}
+
+	sol, err := model.Solve()
+	if err != nil {
+		return err
+	}
+	res.Pivots = sol.Pivots
+	res.Nodes = sol.Nodes
+	if sol.Status != lp.StatusOptimal {
+		res.Status = StatusInfeasible
+		return nil
+	}
+	res.Objective = sol.Objective
+	if sol.Duals != nil {
+		// Shadow price of candidate j's capacity: −dual of its LE row
+		// (the dual is dβ/dRHS ≤ 0 for a minimization).
+		res.ShadowPrices = make(map[int]float64, len(capCon))
+		for cj, k := range capCon {
+			price := -sol.Dual(k)
+			if price < 0 {
+				price = 0
+			}
+			res.ShadowPrices[c.Candidates[cj]] = price
+		}
+	}
+	for bi := range c.Busy {
+		for cj := range c.Candidates {
+			v, ok := vars[pair{bi, cj}]
+			if !ok {
+				continue
+			}
+			if f := sol.Value(v); f > 1e-9 {
+				res.Assignments = append(res.Assignments, Assignment{
+					Busy:            c.Busy[bi],
+					Candidate:       c.Candidates[cj],
+					Amount:          f,
+					ResponseTimeSec: rt.Seconds[bi][cj],
+					Route:           rt.Routes[bi][cj],
+				})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestThresholdsValidate(t *testing.T) {
+	good := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid thresholds rejected: %v", err)
+	}
+	bad := []Thresholds{
+		{CMax: 50, COMax: 80, XMin: 10},  // COmax > Cmax
+		{CMax: 80, COMax: 80, XMin: 10},  // COmax == Cmax
+		{CMax: 80, COMax: 50, XMin: 60},  // xmin > COmax
+		{CMax: 120, COMax: 50, XMin: 10}, // Cmax > 100
+		{CMax: 80, COMax: 50, XMin: -5},  // xmin < 0
+	}
+	for i, th := range bad {
+		if err := th.Validate(); err == nil {
+			t.Errorf("case %d: invalid thresholds %+v accepted", i, th)
+		}
+	}
+}
+
+func TestDeltaIO(t *testing.T) {
+	// Δ_io = (COmax - xmin) / (100 - Cmax). Paper recommends >= 2.
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	if got := th.DeltaIO(); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("DeltaIO = %g, want 2", got)
+	}
+	th = Thresholds{CMax: 90, COMax: 45, XMin: 10}
+	if got := th.DeltaIO(); math.Abs(got-3.5) > 1e-12 {
+		t.Fatalf("DeltaIO = %g, want 3.5", got)
+	}
+	th = Thresholds{CMax: 100, COMax: 50, XMin: 10}
+	if !math.IsInf(th.DeltaIO(), 1) {
+		t.Fatal("DeltaIO with CMax=100 should be +Inf")
+	}
+}
+
+func TestNewStateDefaults(t *testing.T) {
+	g := graph.Ring(4, 100)
+	s := NewState(g)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if !s.Offloadable[i] {
+			t.Fatal("nodes should default to offload-capable")
+		}
+	}
+}
+
+func TestStateValidateRejectsBadValues(t *testing.T) {
+	g := graph.Ring(4, 100)
+	s := NewState(g)
+	s.Util[2] = 150
+	if err := s.Validate(); err == nil {
+		t.Fatal("utilization > 100 accepted")
+	}
+	s.Util[2] = 50
+	s.DataMb[1] = -3
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative data volume accepted")
+	}
+	s.DataMb[1] = 0
+	s.Util = s.Util[:2]
+	if err := s.Validate(); err == nil {
+		t.Fatal("mis-sized arrays accepted")
+	}
+}
+
+func TestStateCloneIndependent(t *testing.T) {
+	g := graph.Ring(4, 100)
+	s := NewState(g)
+	s.Util[0] = 90
+	c := s.Clone()
+	c.Util[0] = 10
+	c.G.SetUtilization(0, 0.7)
+	if s.Util[0] != 90 {
+		t.Fatal("clone shares Util")
+	}
+	if s.G.Edge(0).Utilization != 0 {
+		t.Fatal("clone shares graph")
+	}
+}
+
+func TestClassifyRoles(t *testing.T) {
+	g := graph.Line(5, 100)
+	s := NewState(g)
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+	s.Util = []float64{95, 30, 65, 80, 50} // busy, cand, neutral, busy(=CMax), cand(=COmax)
+	s.Offloadable[1] = false               // opts out → RoleNone despite low util
+
+	c, err := Classify(s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRoles := []Role{RoleBusy, RoleNone, RoleNeutral, RoleBusy, RoleCandidate}
+	for i, want := range wantRoles {
+		if c.Roles[i] != want {
+			t.Fatalf("node %d role = %v, want %v", i, c.Roles[i], want)
+		}
+	}
+	if len(c.Busy) != 2 || c.Busy[0] != 0 || c.Busy[1] != 3 {
+		t.Fatalf("busy = %v, want [0 3]", c.Busy)
+	}
+	if len(c.Candidates) != 1 || c.Candidates[0] != 4 {
+		t.Fatalf("candidates = %v, want [4]", c.Candidates)
+	}
+	// Cs_i = C_i - CMax; Cd_j = COmax - C_j.
+	if math.Abs(c.Cs[0]-15) > 1e-12 || math.Abs(c.Cs[1]-0) > 1e-12 {
+		t.Fatalf("Cs = %v, want [15 0]", c.Cs)
+	}
+	if math.Abs(c.Cd[0]-0) > 1e-12 {
+		t.Fatalf("Cd = %v, want [0]", c.Cd)
+	}
+	if math.Abs(c.TotalCs()-15) > 1e-12 || c.TotalCd() != 0 {
+		t.Fatalf("totals = %g/%g, want 15/0", c.TotalCs(), c.TotalCd())
+	}
+}
+
+func TestClassifyRejectsBadThresholds(t *testing.T) {
+	g := graph.Ring(3, 100)
+	if _, err := Classify(NewState(g), Thresholds{CMax: 10, COMax: 50, XMin: 0}); err == nil {
+		t.Fatal("bad thresholds accepted")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleBusy: "busy", RoleCandidate: "offload-candidate",
+		RoleNeutral: "neutral", RoleNone: "none-offloading",
+	} {
+		if r.String() != want {
+			t.Fatalf("Role(%d).String() = %q, want %q", r, r.String(), want)
+		}
+	}
+}
+
+func TestRandomStateRespectsRoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := graph.FatTree(4, 1000)
+	cfg := DefaultScenario()
+	s, err := RandomState(g, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	th := cfg.Thresholds
+	for i, u := range s.Util {
+		if u < th.XMin-1e-9 || u > 100+1e-9 {
+			t.Fatalf("node %d utilization %g outside [xmin, 100]", i, u)
+		}
+		if s.DataMb[i] < cfg.DataMinMb || s.DataMb[i] > cfg.DataMaxMb {
+			t.Fatalf("node %d data %g outside [%g, %g]", i, s.DataMb[i], cfg.DataMinMb, cfg.DataMaxMb)
+		}
+	}
+	for _, e := range g.Edges() {
+		if e.Utilization < cfg.UtilLo || e.Utilization > cfg.UtilHi {
+			t.Fatalf("edge %d utilization %g outside scenario range", e.ID, e.Utilization)
+		}
+	}
+}
+
+func TestRandomStateDeterministic(t *testing.T) {
+	cfg := DefaultScenario()
+	s1, err := RandomState(graph.FatTree(4, 1000), cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := RandomState(graph.FatTree(4, 1000), cfg, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range s1.Util {
+		if s1.Util[i] != s2.Util[i] || s1.DataMb[i] != s2.DataMb[i] {
+			t.Fatal("same seed should give identical states")
+		}
+	}
+}
+
+func TestRandomStateRejectsBadConfig(t *testing.T) {
+	g := graph.Ring(4, 100)
+	rng := rand.New(rand.NewSource(1))
+	bad := DefaultScenario()
+	bad.PBusy = 0.8
+	bad.PCandidate = 0.5
+	if _, err := RandomState(g, bad, rng); err == nil {
+		t.Fatal("probabilities summing > 1 accepted")
+	}
+	bad = DefaultScenario()
+	bad.DataMinMb = 50
+	bad.DataMaxMb = 10
+	if _, err := RandomState(g, bad, rng); err == nil {
+		t.Fatal("inverted data range accepted")
+	}
+	bad = DefaultScenario()
+	bad.Thresholds = Thresholds{CMax: 10, COMax: 50, XMin: 0}
+	if _, err := RandomState(g, bad, rng); err == nil {
+		t.Fatal("bad thresholds accepted")
+	}
+}
+
+func TestRandomStateRoleFractions(t *testing.T) {
+	// With many nodes, the realized busy/candidate fractions should be
+	// near the configured probabilities.
+	rng := rand.New(rand.NewSource(17))
+	g := graph.FatTree(16, 1000) // 320 nodes
+	cfg := DefaultScenario()
+	s, err := RandomState(g, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Classify(s, cfg.Thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := float64(g.NumNodes())
+	busyFrac := float64(len(c.Busy)) / n
+	candFrac := float64(len(c.Candidates)) / n
+	if math.Abs(busyFrac-cfg.PBusy) > 0.1 {
+		t.Fatalf("busy fraction %g far from %g", busyFrac, cfg.PBusy)
+	}
+	if math.Abs(candFrac-cfg.PCandidate) > 0.1 {
+		t.Fatalf("candidate fraction %g far from %g", candFrac, cfg.PCandidate)
+	}
+}

@@ -1,0 +1,179 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// ZonedResult is the outcome of SolveZoned: per-zone placement results
+// merged into a network-wide view.
+type ZonedResult struct {
+	// Zones lists the node sets solved independently.
+	Zones [][]int
+	// PerZone holds each zone's result with node indices already remapped
+	// back to the full network.
+	PerZone []*Result
+	// Status is optimal only if every zone succeeded.
+	Status Status
+	// Objective sums the per-zone objectives.
+	Objective float64
+	// Assignments concatenates all zones' assignments (network indices;
+	// routes refer to zone subgraphs and are omitted).
+	Assignments []Assignment
+	Duration    time.Duration
+}
+
+// PartitionZones splits the network into connected zones of at most
+// zoneSize nodes by BFS accretion, the paper's Section V-B recommendation
+// ("dividing large-scale networks into zones containing a maximum of 80
+// nodes"). Every node lands in exactly one zone.
+func PartitionZones(s *State, zoneSize int) ([][]int, error) {
+	if zoneSize < 1 {
+		return nil, fmt.Errorf("core: zone size must be >= 1, got %d", zoneSize)
+	}
+	n := s.G.NumNodes()
+	assigned := make([]bool, n)
+	var zones [][]int
+	for seed := 0; seed < n; seed++ {
+		if assigned[seed] {
+			continue
+		}
+		zone := []int{seed}
+		assigned[seed] = true
+		queue := []int{seed}
+		for len(queue) > 0 && len(zone) < zoneSize {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, nb := range s.G.Neighbors(cur) {
+				if assigned[nb] || len(zone) >= zoneSize {
+					continue
+				}
+				assigned[nb] = true
+				zone = append(zone, nb)
+				queue = append(queue, nb)
+			}
+		}
+		zones = append(zones, zone)
+	}
+	return zones, nil
+}
+
+// PartitionZonesByPod groups a fat-tree by pod — each pod's edge and
+// aggregation switches form a zone — and spreads the core switches across
+// the pod zones round-robin so every zone keeps offload capacity near its
+// traffic sources. Non-fat-tree graphs (no pod metadata) fall back to BFS
+// accretion with the mean pod size.
+func PartitionZonesByPod(s *State) ([][]int, error) {
+	byPod := make(map[int][]int)
+	var cores []int
+	var podOrder []int
+	for i := 0; i < s.G.NumNodes(); i++ {
+		pod := s.G.Node(i).Pod
+		if pod < 0 {
+			cores = append(cores, i)
+			continue
+		}
+		if _, seen := byPod[pod]; !seen {
+			podOrder = append(podOrder, pod)
+		}
+		byPod[pod] = append(byPod[pod], i)
+	}
+	if len(byPod) == 0 {
+		// No pod structure: approximate with BFS zones sized like a pod
+		// would be (sqrt-ish heuristic bounded below at 4).
+		size := s.G.NumNodes() / 4
+		if size < 4 {
+			size = 4
+		}
+		return PartitionZones(s, size)
+	}
+	zones := make([][]int, 0, len(byPod))
+	for _, pod := range podOrder {
+		zones = append(zones, byPod[pod])
+	}
+	for i, c := range cores {
+		z := i % len(zones)
+		zones[z] = append(zones[z], c)
+	}
+	return zones, nil
+}
+
+// SolveZonedWithPartition is SolveZoned over a caller-supplied partition.
+func SolveZonedWithPartition(s *State, p Params, zones [][]int) (*ZonedResult, error) {
+	start := time.Now()
+	zr := &ZonedResult{Zones: zones, Status: StatusOptimal}
+	if err := solveZones(s, p, zr); err != nil {
+		return nil, err
+	}
+	zr.Duration = time.Since(start)
+	return zr, nil
+}
+
+// SolveZoned partitions the network into zones of at most zoneSize nodes
+// and solves the placement problem independently inside each zone. Busy
+// nodes may only offload within their own zone, trading optimality for a
+// bounded per-solve cost; BenchmarkAblationZoning quantifies the trade.
+func SolveZoned(s *State, p Params, zoneSize int) (*ZonedResult, error) {
+	start := time.Now()
+	zones, err := PartitionZones(s, zoneSize)
+	if err != nil {
+		return nil, err
+	}
+	zr := &ZonedResult{Zones: zones, Status: StatusOptimal}
+	if err := solveZones(s, p, zr); err != nil {
+		return nil, err
+	}
+	zr.Duration = time.Since(start)
+	return zr, nil
+}
+
+// solveZones runs the per-zone solves and merges results into zr.
+func solveZones(s *State, p Params, zr *ZonedResult) error {
+	for _, zone := range zr.Zones {
+		subG, newToOld := s.G.InducedSubgraph(zone)
+		sub := NewState(subG)
+		for i, old := range newToOld {
+			sub.Util[i] = s.Util[old]
+			sub.DataMb[i] = s.DataMb[old]
+			sub.Offloadable[i] = s.Offloadable[old]
+		}
+		if s.Personas != nil {
+			personas := make([]Persona, len(newToOld))
+			for i, old := range newToOld {
+				personas[i] = s.Personas[old]
+			}
+			if err := sub.SetPersonas(personas); err != nil {
+				return err
+			}
+		}
+		res, err := Solve(sub, p)
+		if err != nil {
+			return err
+		}
+		// Remap node indices back to the full network. Routes refer to the
+		// zone subgraph and are not remappable edge-by-edge; drop them.
+		remapped := &Result{
+			Status:        res.Status,
+			Objective:     res.Objective,
+			RouteDuration: res.RouteDuration,
+			SolveDuration: res.SolveDuration,
+			Pivots:        res.Pivots,
+			Nodes:         res.Nodes,
+		}
+		for _, a := range res.Assignments {
+			remapped.Assignments = append(remapped.Assignments, Assignment{
+				Busy:            newToOld[a.Busy],
+				Candidate:       newToOld[a.Candidate],
+				Amount:          a.Amount,
+				ResponseTimeSec: a.ResponseTimeSec,
+			})
+		}
+		zr.PerZone = append(zr.PerZone, remapped)
+		if res.Status != StatusOptimal {
+			zr.Status = StatusInfeasible
+		}
+		zr.Objective += res.Objective
+		zr.Assignments = append(zr.Assignments, remapped.Assignments...)
+	}
+	return nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestPartitionZonesCoversAllNodes(t *testing.T) {
+	g := graph.FatTree(8, 1000)
+	s := NewState(g)
+	zones, err := PartitionZones(s, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	for _, z := range zones {
+		if len(z) == 0 || len(z) > 20 {
+			t.Fatalf("zone size %d outside (0, 20]", len(z))
+		}
+		for _, n := range z {
+			if seen[n] {
+				t.Fatalf("node %d in two zones", n)
+			}
+			seen[n] = true
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("zones cover %d nodes, want %d", len(seen), g.NumNodes())
+	}
+}
+
+func TestPartitionZonesRejectsBadSize(t *testing.T) {
+	s := NewState(graph.Ring(4, 100))
+	if _, err := PartitionZones(s, 0); err == nil {
+		t.Fatal("zone size 0 accepted")
+	}
+}
+
+func TestPartitionZonesSingleZone(t *testing.T) {
+	g := graph.Ring(6, 100)
+	s := NewState(g)
+	zones, err := PartitionZones(s, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 1 || len(zones[0]) != 6 {
+		t.Fatalf("zones = %v, want one zone of 6", zones)
+	}
+}
+
+func TestSolveZonedMatchesGlobalWhenOneZone(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	g := graph.FatTree(4, 1000)
+	s, err := RandomState(g, DefaultScenario(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.PathStrategy = PathDP
+	global, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoned, err := SolveZoned(s, p, g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zoned.Status != global.Status {
+		t.Fatalf("zoned %v vs global %v", zoned.Status, global.Status)
+	}
+	if global.Status == StatusOptimal {
+		diff := zoned.Objective - global.Objective
+		if diff < -1e-6 || diff > 1e-6 {
+			t.Fatalf("single-zone objective %g != global %g", zoned.Objective, global.Objective)
+		}
+	}
+}
+
+func TestSolveZonedNeverBeatsGlobal(t *testing.T) {
+	// Restricting offloads to intra-zone destinations cannot improve the
+	// optimum; when both are feasible the zoned objective dominates.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.RandomConnected(16, 0.25, 1000, rng)
+		s, err := RandomState(g, DefaultScenario(), rng)
+		if err != nil {
+			return false
+		}
+		p := DefaultParams()
+		p.PathStrategy = PathDP
+		global, err := Solve(s, p)
+		if err != nil {
+			return false
+		}
+		zoned, err := SolveZoned(s, p, 6)
+		if err != nil {
+			return false
+		}
+		if zoned.Status == StatusInfeasible {
+			return true // zoning may lose feasibility; that's the trade
+		}
+		if global.Status != StatusOptimal {
+			return false // zoned feasible implies global feasible
+		}
+		return zoned.Objective >= global.Objective-1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveZonedAssignmentsStayInZone(t *testing.T) {
+	rng := rand.New(rand.NewSource(88))
+	g := graph.FatTree(8, 1000)
+	s, err := RandomState(g, DefaultScenario(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.PathStrategy = PathDP
+	zoned, err := SolveZoned(s, p, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	zoneOf := make(map[int]int)
+	for zi, z := range zoned.Zones {
+		for _, n := range z {
+			zoneOf[n] = zi
+		}
+	}
+	for _, a := range zoned.Assignments {
+		if zoneOf[a.Busy] != zoneOf[a.Candidate] {
+			t.Fatalf("assignment %d→%d crosses zones %d→%d",
+				a.Busy, a.Candidate, zoneOf[a.Busy], zoneOf[a.Candidate])
+		}
+	}
+}
+
+func TestPartitionZonesByPod(t *testing.T) {
+	g := graph.FatTree(4, 1000)
+	s := NewState(g)
+	zones, err := PartitionZonesByPod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(zones) != 4 {
+		t.Fatalf("zones = %d, want 4 pods", len(zones))
+	}
+	seen := make(map[int]bool)
+	for _, z := range zones {
+		// Each pod zone: 4 pod switches + 1 core (4 cores spread over 4 pods).
+		if len(z) != 5 {
+			t.Fatalf("zone size = %d, want 5", len(z))
+		}
+		pods := make(map[int]bool)
+		for _, n := range z {
+			if seen[n] {
+				t.Fatalf("node %d in two zones", n)
+			}
+			seen[n] = true
+			if p := g.Node(n).Pod; p >= 0 {
+				pods[p] = true
+			}
+		}
+		if len(pods) != 1 {
+			t.Fatalf("zone mixes pods: %v", pods)
+		}
+	}
+	if len(seen) != g.NumNodes() {
+		t.Fatalf("zones cover %d nodes, want %d", len(seen), g.NumNodes())
+	}
+}
+
+func TestPartitionZonesByPodFallback(t *testing.T) {
+	g := graph.Ring(12, 100)
+	s := NewState(g)
+	zones, err := PartitionZonesByPod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for _, z := range zones {
+		seen += len(z)
+	}
+	if seen != 12 {
+		t.Fatalf("fallback zones cover %d nodes, want 12", seen)
+	}
+}
+
+func TestSolveZonedWithPodPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	g := graph.FatTree(8, 1000)
+	s, err := RandomState(g, DefaultScenario(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.PathStrategy = PathDP
+	zones, err := PartitionZonesByPod(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	podZoned, err := SolveZonedWithPartition(s, p, zones)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global, err := Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pod zoning keeps candidates near sources, so when both succeed the
+	// objective must still dominate the global optimum.
+	if podZoned.Status == StatusOptimal && global.Status == StatusOptimal {
+		if podZoned.Objective < global.Objective-1e-6 {
+			t.Fatalf("pod-zoned objective %g beats global %g", podZoned.Objective, global.Objective)
+		}
+	}
+	// Assignments stay inside their zone.
+	zoneOf := make(map[int]int)
+	for zi, z := range podZoned.Zones {
+		for _, n := range z {
+			zoneOf[n] = zi
+		}
+	}
+	for _, a := range podZoned.Assignments {
+		if zoneOf[a.Busy] != zoneOf[a.Candidate] {
+			t.Fatalf("assignment %d→%d crosses pod zones", a.Busy, a.Candidate)
+		}
+	}
+}
+
+func TestSolveZonedCarriesPersonas(t *testing.T) {
+	g := graph.Line(4, 100)
+	for i := 0; i < g.NumEdges(); i++ {
+		g.SetUtilization(graph.EdgeID(i), 0.5)
+	}
+	s := NewState(g)
+	s.Util = []float64{100, 40, 30, 30} // Cs = 20 in zone {0,1}
+	s.DataMb = []float64{10, 0, 0, 0}
+	personas := []Persona{
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassServer, Capability: 2, Compression: 1},
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+		{Class: ClassSwitch, Capability: 1, Compression: 1},
+	}
+	if err := s.SetPersonas(personas); err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.PathStrategy = PathDP
+	// Zone {0,1}: homogeneous capacity would be infeasible (Cd=10 < Cs=20),
+	// but node 1's capability-2 persona absorbs it — only if personas
+	// propagate into the zone subproblem.
+	zr, err := SolveZonedWithPartition(s, p, [][]int{{0, 1}, {2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zr.Status != StatusOptimal {
+		t.Fatalf("zoned status = %v, want optimal via persona propagation", zr.Status)
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/proto"
+)
+
+// DynamicResult summarizes a multi-round closed-loop run of the full DUST
+// control plane (Manager + Clients over the real message protocol) under
+// drifting load, destination failures, and reclaim — the dynamic,
+// usage-based operation of Section III that the paper describes but does
+// not quantify.
+type DynamicResult struct {
+	Rounds        int
+	Offloads      int
+	Substitutions int
+	Reclaims      int
+	// OverloadRoundsDUST counts node-rounds spent at or above CMax with
+	// DUST active; OverloadRoundsBaseline the same without offloading.
+	OverloadRoundsDUST     int
+	OverloadRoundsBaseline int
+	// ReliefPct is the reduction of overload exposure DUST achieves.
+	ReliefPct float64
+	// FinalHosted is the total capacity still hosted at the end.
+	FinalHosted float64
+}
+
+// dynamicModel is the shared load model the clients' Resources closures
+// read and the experiment mutates as placements/reclaims happen.
+type dynamicModel struct {
+	mu        sync.Mutex
+	base      []float64 // random-walk intrinsic load
+	offloaded []float64 // capacity this node redirected away
+	hosted    []float64 // capacity this node hosts for others
+}
+
+func (m *dynamicModel) effective(n int) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.effectiveLocked(n)
+}
+
+func (m *dynamicModel) effectiveLocked(n int) float64 {
+	u := m.base[n] - m.offloaded[n] + m.hosted[n]
+	if u < 0 {
+		u = 0
+	}
+	if u > 100 {
+		u = 100
+	}
+	return u
+}
+
+// RunDynamic drives cfg.Iterations rounds (one per virtual minute) of the
+// closed control loop on the Figure-4-scale topology.
+func RunDynamic(cfg Config) (*DynamicResult, error) {
+	const n = 20
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	topo := graph.FatTree(4, 1000)
+	graph.RandomizeUtilization(topo, 0.2, 0.8, rng)
+	th := core.Thresholds{CMax: 80, COMax: 50, XMin: 10}
+
+	var clockMu sync.Mutex
+	clock := time.Unix(0, 0)
+	now := func() time.Time {
+		clockMu.Lock()
+		defer clockMu.Unlock()
+		return clock
+	}
+	advance := func(d time.Duration) {
+		clockMu.Lock()
+		clock = clock.Add(d)
+		clockMu.Unlock()
+	}
+	params := core.DefaultParams()
+	params.Thresholds = th
+	params.PathStrategy = core.PathDP
+	mgr, err := cluster.NewManager(cluster.ManagerConfig{
+		Topology:          topo,
+		Defaults:          th,
+		Params:            params,
+		UpdateIntervalSec: 60,
+		KeepaliveTimeout:  150 * time.Second,
+		AckTimeout:        5 * time.Second,
+		Now:               now,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer mgr.Close()
+
+	model := &dynamicModel{
+		base:      make([]float64, n),
+		offloaded: make([]float64, n),
+		hosted:    make([]float64, n),
+	}
+	for i := range model.base {
+		model.base[i] = 30 + 40*rng.Float64()
+	}
+
+	clients := make([]*cluster.Client, n)
+	for i := 0; i < n; i++ {
+		i := i
+		clientEnd, managerEnd := proto.Pipe(32)
+		cl, err := cluster.NewClient(cluster.ClientConfig{
+			Node: i, Capable: true,
+			Resources: func() cluster.Resources {
+				return cluster.Resources{UtilPct: model.effective(i), DataMb: 50, NumAgents: 10}
+			},
+		}, clientEnd)
+		if err != nil {
+			return nil, err
+		}
+		attachErr := make(chan error, 1)
+		go func() {
+			_, err := mgr.Attach(managerEnd)
+			attachErr <- err
+		}()
+		if err := cl.Handshake(); err != nil {
+			return nil, err
+		}
+		if err := <-attachErr; err != nil {
+			return nil, err
+		}
+		clients[i] = cl
+		go func() {
+			for {
+				if _, err := cl.Step(); err != nil {
+					return
+				}
+			}
+		}()
+	}
+
+	res := &DynamicResult{Rounds: cfg.Iterations * 2}
+	failedDest := -1
+	for round := 0; round < res.Rounds; round++ {
+		advance(time.Minute)
+
+		// Load drift: bounded random walk.
+		model.mu.Lock()
+		for i := range model.base {
+			model.base[i] += rng.NormFloat64() * 6
+			if model.base[i] < 10 {
+				model.base[i] = 10
+			}
+			if model.base[i] > 100 {
+				model.base[i] = 100
+			}
+			// Baseline exposure: the same walk with no offloading.
+			if model.base[i] >= th.CMax {
+				res.OverloadRoundsBaseline++
+			}
+			if model.effectiveLocked(i) >= th.CMax {
+				res.OverloadRoundsDUST++
+			}
+		}
+		model.mu.Unlock()
+
+		// STAT from every client; wait for the NMDB to reflect it.
+		for i, cl := range clients {
+			if err := cl.SendStat(); err != nil {
+				return nil, err
+			}
+			want := model.effective(i)
+			if err := waitNMDB(mgr, i, want); err != nil {
+				return nil, err
+			}
+		}
+
+		// Destinations keepalive unless failed.
+		for _, dest := range mgr.NMDB().Destinations() {
+			if dest == failedDest {
+				continue
+			}
+			if err := clients[dest].SendKeepalive(); err != nil {
+				return nil, err
+			}
+		}
+		subs, err := mgr.CheckKeepalives()
+		if err != nil {
+			return nil, err
+		}
+		model.mu.Lock()
+		for _, s := range subs {
+			res.Substitutions++
+			if s.Failed >= 0 {
+				model.hosted[s.Failed] -= s.Amount
+			}
+			if s.Replica >= 0 {
+				model.hosted[s.Replica] += s.Amount
+			} else {
+				// No replica: the origin takes its load back.
+				model.offloaded[s.Busy] -= s.Amount
+			}
+		}
+		if len(subs) > 0 {
+			failedDest = -1
+		}
+		model.mu.Unlock()
+
+		// Reclaim origins whose intrinsic load recovered well below CMax.
+		for _, a := range activeBusy(mgr) {
+			model.mu.Lock()
+			recovered := model.base[a]-model.offloaded[a] < th.CMax-15
+			model.mu.Unlock()
+			if !recovered {
+				continue
+			}
+			released := mgr.ReclaimBusy(a)
+			model.mu.Lock()
+			for _, as := range released {
+				res.Reclaims++
+				model.offloaded[as.Busy] -= as.Amount
+				model.hosted[as.Candidate] -= as.Amount
+			}
+			model.mu.Unlock()
+		}
+
+		// Placement round.
+		report, err := mgr.RunPlacement()
+		if err != nil {
+			return nil, err
+		}
+		model.mu.Lock()
+		for _, a := range report.Accepted {
+			res.Offloads++
+			model.offloaded[a.Busy] += a.Amount
+			model.hosted[a.Candidate] += a.Amount
+		}
+		model.mu.Unlock()
+
+		// Occasionally a destination goes silent.
+		if failedDest < 0 && rng.Float64() < 0.15 {
+			if dests := mgr.NMDB().Destinations(); len(dests) > 0 {
+				failedDest = dests[rng.Intn(len(dests))]
+			}
+		}
+	}
+
+	model.mu.Lock()
+	for _, h := range model.hosted {
+		res.FinalHosted += h
+	}
+	model.mu.Unlock()
+	if res.OverloadRoundsBaseline > 0 {
+		res.ReliefPct = (1 - float64(res.OverloadRoundsDUST)/float64(res.OverloadRoundsBaseline)) * 100
+	}
+	return res, nil
+}
+
+func waitNMDB(mgr *cluster.Manager, node int, want float64) error {
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		rec, ok := mgr.NMDB().Client(node)
+		if ok && rec.UtilPct == want {
+			return nil
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	return fmt.Errorf("experiments: STAT from node %d never recorded", node)
+}
+
+func activeBusy(mgr *cluster.Manager) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, a := range mgr.NMDB().ActiveAssignments() {
+		if !seen[a.Busy] {
+			seen[a.Busy] = true
+			out = append(out, a.Busy)
+		}
+	}
+	return out
+}
+
+// Table renders the run summary.
+func (r *DynamicResult) Table() string {
+	rows := [][]string{
+		{"rounds (virtual minutes)", fmt.Sprintf("%d", r.Rounds)},
+		{"offload placements accepted", fmt.Sprintf("%d", r.Offloads)},
+		{"destination substitutions (REP)", fmt.Sprintf("%d", r.Substitutions)},
+		{"reclaims", fmt.Sprintf("%d", r.Reclaims)},
+		{"overload node-rounds, baseline", fmt.Sprintf("%d", r.OverloadRoundsBaseline)},
+		{"overload node-rounds, DUST", fmt.Sprintf("%d", r.OverloadRoundsDUST)},
+		{"overload relief", f1(r.ReliefPct) + "%"},
+		{"capacity still hosted at end", f1(r.FinalHosted) + " pts"},
+	}
+	return "Dynamic closed-loop control plane (Section III workflows)\n" +
+		table([]string{"metric", "value"}, rows)
+}

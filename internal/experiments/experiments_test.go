@@ -1,0 +1,409 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFig1Shape(t *testing.T) {
+	cfg := Quick()
+	// Long enough for the seeded fault-finder bursts to fire at least once
+	// (deterministic for a fixed seed).
+	cfg.SimSeconds = 400
+	res, err := Fig1MonitoringCPU(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4 line-rate levels", len(res.Points))
+	}
+	// Monitoring CPU must grow with traffic.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].AvgPct <= res.Points[i-1].AvgPct {
+			t.Fatalf("avg CPU not monotone in traffic: %+v", res.Points)
+		}
+	}
+	// The paper's 20% operating point: ≈100% average with heavy spikes.
+	var p20 *Fig1Point
+	for i := range res.Points {
+		if res.Points[i].LineRateFraction == 0.2 {
+			p20 = &res.Points[i]
+		}
+	}
+	if p20 == nil {
+		t.Fatal("20% line-rate point missing")
+	}
+	if p20.AvgPct < 90 || p20.AvgPct > 180 {
+		t.Fatalf("20%% avg = %g%%, want ≈100–150%%", p20.AvgPct)
+	}
+	if p20.MaxPct < p20.AvgPct*1.5 {
+		t.Fatalf("20%% max = %g%% should spike well above avg %g%%", p20.MaxPct, p20.AvgPct)
+	}
+	if len(res.Series) != cfg.SimSeconds {
+		t.Fatalf("series length = %d, want %d", len(res.Series), cfg.SimSeconds)
+	}
+	if !strings.Contains(res.Table(), "Fig 1") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res, err := Fig6OffloadSavings(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: CPU 31%→15% (−52%), memory 70%→62% (−12%), ≈1.2 GiB moved.
+	if res.LocalCPUPct < 27 || res.LocalCPUPct > 36 {
+		t.Fatalf("local CPU = %g%%, want ≈31%%", res.LocalCPUPct)
+	}
+	if res.DustCPUPct < 12 || res.DustCPUPct > 19 {
+		t.Fatalf("DUST CPU = %g%%, want ≈15%%", res.DustCPUPct)
+	}
+	if res.CPUSavingPct < 40 || res.CPUSavingPct > 62 {
+		t.Fatalf("CPU saving = %g%%, want ≈52%%", res.CPUSavingPct)
+	}
+	if res.LocalMemPct < 66 || res.LocalMemPct > 74 {
+		t.Fatalf("local mem = %g%%, want ≈70%%", res.LocalMemPct)
+	}
+	if res.DustMemPct < 58 || res.DustMemPct > 66 {
+		t.Fatalf("DUST mem = %g%%, want ≈62%%", res.DustMemPct)
+	}
+	if res.MonitoringMemMB < 1100 || res.MonitoringMemMB > 1500 {
+		t.Fatalf("relocated memory = %g MB, want ≈1.2 GiB", res.MonitoringMemMB)
+	}
+	// The destination pays for hosting: its CPU must exceed a light base.
+	if res.HostCPUPct <= res.DustCPUPct {
+		t.Fatalf("host CPU %g%% should exceed the relieved origin's %g%%", res.HostCPUPct, res.DustCPUPct)
+	}
+	if !strings.Contains(res.Table(), "saving") {
+		t.Fatal("table missing savings column")
+	}
+}
+
+func TestFig7Shape(t *testing.T) {
+	res, err := Fig7InfeasibleRate(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 7 {
+		t.Fatalf("points = %d, want 7 Δ_io settings", len(res.Points))
+	}
+	// Infeasibility must fall as Δ_io grows; compare the extremes.
+	lo, hi := res.Points[0], res.Points[len(res.Points)-1]
+	if lo.DeltaIO != 0.8 || hi.DeltaIO != 3.5 {
+		t.Fatalf("sweep endpoints = %g..%g", lo.DeltaIO, hi.DeltaIO)
+	}
+	if lo.IORatePct <= hi.IORatePct {
+		t.Fatalf("io rate should fall with Δ_io: %.1f%% at 0.8 vs %.1f%% at 3.5",
+			lo.IORatePct, hi.IORatePct)
+	}
+	if lo.IORatePct < 10 {
+		t.Fatalf("io rate at Δ=0.8 = %.1f%%, want substantial (paper: 69%%)", lo.IORatePct)
+	}
+	// K_io >= 2 keeps infeasibility low.
+	for _, p := range res.Points {
+		if p.DeltaIO >= 2 && p.IORatePct > 20 {
+			t.Fatalf("Δ=%g has io rate %.1f%%, want low above the K_io recommendation", p.DeltaIO, p.IORatePct)
+		}
+	}
+	if !strings.Contains(res.Table(), "Δ_io") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFig8Shape(t *testing.T) {
+	res, err := Fig8SmallScaleTime(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K != 4 || res.Nodes != 20 {
+		t.Fatalf("sweep ran on %d-k/%d nodes, want 4-k/20", res.K, res.Nodes)
+	}
+	// Path counts must grow with the hop bound, and the unbounded point
+	// must dominate.
+	var prev float64 = -1
+	for _, p := range res.Points {
+		if p.MaxHops == 0 {
+			continue
+		}
+		if p.PathsExplored < prev {
+			t.Fatalf("paths explored not monotone in max-hop: %+v", res.Points)
+		}
+		prev = p.PathsExplored
+	}
+	unbounded := res.Points[len(res.Points)-1]
+	if unbounded.MaxHops != 0 || unbounded.PathsExplored < prev {
+		t.Fatalf("unbounded point should explore the most paths: %+v", unbounded)
+	}
+	// Feasibility improves (or holds) as routes are added.
+	first, last := res.Points[0], unbounded
+	if last.InfeasiblePct > first.InfeasiblePct {
+		t.Fatalf("infeasibility grew with max-hop: %.1f%% → %.1f%%", first.InfeasiblePct, last.InfeasiblePct)
+	}
+	if !strings.Contains(res.Table(), "max-hop") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestFig10Shape(t *testing.T) {
+	results, err := Fig10LargeScaleTime(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0].K != 8 || results[1].K != 16 {
+		t.Fatalf("want 8-k and 16-k sweeps, got %d results", len(results))
+	}
+	for _, r := range results {
+		// Cost must grow with max-hop (enumeration explosion).
+		first, last := r.Points[0], r.Points[len(r.Points)-1]
+		if last.MeanTime <= first.MeanTime {
+			t.Fatalf("%d-k: time not growing with max-hop: %v → %v", r.K, first.MeanTime, last.MeanTime)
+		}
+		if last.PathsExplored <= first.PathsExplored {
+			t.Fatalf("%d-k: paths not growing with max-hop", r.K)
+		}
+	}
+	// 16-k at the same hop bound costs more than 8-k (scale explosion).
+	if results[1].Points[len(results[1].Points)-1].MeanTime <=
+		results[0].Points[1].MeanTime {
+		t.Fatalf("16-k deepest sweep should dominate 8-k shallow sweep")
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	cfg := Quick()
+	cfg.Iterations = 40 // enough runs for a stable three-way split
+	res, err := Fig9SuccessRate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.FullPct + res.PartialPct + res.NonePct
+	if total < 99.9 || total > 100.1 {
+		t.Fatalf("split sums to %g%%", total)
+	}
+	// Paper shape: partial dominates (75.5%), the others are minorities.
+	if res.PartialPct < res.FullPct || res.PartialPct < res.NonePct {
+		t.Fatalf("partial offloading should dominate: full=%.1f partial=%.1f none=%.1f",
+			res.FullPct, res.PartialPct, res.NonePct)
+	}
+	if res.MeanHFRPct <= 0 || res.MeanHFRPct >= 100 {
+		t.Fatalf("mean HFR = %g%%, want interior", res.MeanHFRPct)
+	}
+	if !strings.Contains(res.Table(), "18.37%") {
+		t.Fatal("table should cite the paper's reference values")
+	}
+}
+
+func TestFig11Shape(t *testing.T) {
+	res, err := Fig11Scalability(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5 scales", len(res.Points))
+	}
+	// HFR falls with scale (paper: 47.9% → 11.0%, ≈ power -0.5).
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.K != 4 || last.K != 64 {
+		t.Fatalf("scale endpoints = %d-k..%d-k", first.K, last.K)
+	}
+	if last.MeanHFRPct >= first.MeanHFRPct {
+		t.Fatalf("HFR should fall with scale: %.1f%% (4-k) vs %.1f%% (64-k)",
+			first.MeanHFRPct, last.MeanHFRPct)
+	}
+	if res.PowerLawOK {
+		if res.PowerLawExponent >= 0 || res.PowerLawExponent < -1.2 {
+			t.Fatalf("power-law exponent = %.2f, want negative near -0.5", res.PowerLawExponent)
+		}
+	}
+	// Optimization time grows with scale where it ran.
+	var optTimes []float64
+	for _, p := range res.Points {
+		if p.OptRan {
+			optTimes = append(optTimes, p.MeanOptTime.Seconds())
+		}
+	}
+	if len(optTimes) < 2 || optTimes[len(optTimes)-1] <= optTimes[0] {
+		t.Fatalf("optimization time should grow with scale: %v", optTimes)
+	}
+	// Heuristic stays far cheaper than optimization at the largest
+	// optimized scale.
+	for _, p := range res.Points {
+		if p.K == 16 && p.MeanHeurTime >= p.MeanOptTime {
+			t.Fatalf("heuristic (%v) should beat optimization (%v) at 16-k",
+				p.MeanHeurTime, p.MeanOptTime)
+		}
+	}
+}
+
+func TestFig12Shape(t *testing.T) {
+	res, err := Fig12HeuristicScale(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5 scales", len(res.Points))
+	}
+	// Runtime grows with network size; endpoints are what matter.
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if last.Nodes != 5120 || last.Edges != 131072 {
+		t.Fatalf("largest point = %d nodes/%d edges, want the 64-k sizes", last.Nodes, last.Edges)
+	}
+	if last.MeanTime <= first.MeanTime {
+		t.Fatalf("heuristic time should grow with size: %v (20 nodes) vs %v (5120 nodes)",
+			first.MeanTime, last.MeanTime)
+	}
+	for _, p := range res.Points {
+		if p.MeanPlacedPct <= 0 || p.MeanPlacedPct > 100 {
+			t.Fatalf("placed share = %g%% at %d-k", p.MeanPlacedPct, p.K)
+		}
+	}
+	if !strings.Contains(res.Table(), "5120") {
+		t.Fatal("table missing the 5120-node row")
+	}
+}
+
+func TestAblations(t *testing.T) {
+	res, err := RunAblations(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ObjectiveAgreement {
+		t.Fatal("transport and simplex disagreed on an objective")
+	}
+	// The DP route computation must beat exhaustive enumeration.
+	if res.DPTime >= res.EnumerateTime {
+		t.Fatalf("DP (%v) should beat enumeration (%v)", res.DPTime, res.EnumerateTime)
+	}
+	// Greedy fill must beat spawning an LP per busy node.
+	if res.GreedyTime >= res.HeurLPTime {
+		t.Fatalf("greedy (%v) should beat per-node LP (%v)", res.GreedyTime, res.HeurLPTime)
+	}
+	if !strings.Contains(res.Table(), "Ablations") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestConfigs(t *testing.T) {
+	d, q := Default(), Quick()
+	if d.Iterations <= q.Iterations {
+		t.Fatal("default config should be larger than quick")
+	}
+	if !q.Fast || d.Fast {
+		t.Fatal("quick should be fast, default faithful")
+	}
+}
+
+func TestQoSGuarantee(t *testing.T) {
+	res, err := RunQoS(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want 5 congestion levels", len(res.Points))
+	}
+	for _, p := range res.Points {
+		// Section III-C: the remote node's primary traffic never suffers.
+		if p.PrimaryDeliveredPct != 100 {
+			t.Fatalf("primary delivery %.1f%% at bg=%.0f%%, want 100%%",
+				p.PrimaryDeliveredPct, p.BackgroundUtil*100)
+		}
+	}
+	// Telemetry delivery must degrade monotonically with congestion and
+	// actually be shed at the heaviest level.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].TelemetryDeliveredPct > res.Points[i-1].TelemetryDeliveredPct+1e-9 {
+			t.Fatalf("telemetry delivery not monotone: %+v", res.Points)
+		}
+	}
+	last := res.Points[len(res.Points)-1]
+	if last.TelemetryDeliveredPct >= 100 {
+		t.Fatalf("telemetry should be shed at 95%% background, got %.1f%%", last.TelemetryDeliveredPct)
+	}
+	if !strings.Contains(res.Table(), "QoS") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestRouteValidation(t *testing.T) {
+	res, err := RunRouteValidation(Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) == 0 {
+		t.Fatal("no assignments validated")
+	}
+	// On uncontended links the event simulator must reproduce Eq. 1
+	// exactly (store-and-forward at rate Lu per edge).
+	if res.MaxRelErr > 1e-9 {
+		t.Fatalf("simulated time deviates from Eq. 1 by %g, want exact", res.MaxRelErr)
+	}
+	// Competing traffic can only slow the telemetry down.
+	for _, p := range res.Points {
+		if p.CongestedSec < p.SimulatedSec-1e-9 {
+			t.Fatalf("congestion sped up a transfer: %+v", p)
+		}
+	}
+	if res.MeanCongestionInflation < 1 {
+		t.Fatalf("mean inflation = %g, want >= 1", res.MeanCongestionInflation)
+	}
+	if !strings.Contains(res.Table(), "Route validation") {
+		t.Fatal("table header missing")
+	}
+}
+
+func TestDynamicControlLoop(t *testing.T) {
+	cfg := Quick()
+	cfg.Iterations = 15 // 30 rounds
+	res, err := RunDynamic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Offloads == 0 {
+		t.Fatal("drifting load never triggered an offload")
+	}
+	// DUST must reduce overload exposure relative to the no-offload
+	// baseline of the same load trajectory.
+	if res.OverloadRoundsDUST >= res.OverloadRoundsBaseline {
+		t.Fatalf("DUST overload rounds %d >= baseline %d",
+			res.OverloadRoundsDUST, res.OverloadRoundsBaseline)
+	}
+	if res.ReliefPct <= 0 {
+		t.Fatalf("relief = %g%%, want positive", res.ReliefPct)
+	}
+	if res.FinalHosted < 0 {
+		t.Fatalf("hosted capacity went negative: %g", res.FinalHosted)
+	}
+	if !strings.Contains(res.Table(), "relief") {
+		t.Fatal("table missing relief row")
+	}
+}
+
+func TestHardwareMix(t *testing.T) {
+	cfg := Quick()
+	cfg.Iterations = 25
+	res, err := RunHardwareMix(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4 mixes", len(res.Points))
+	}
+	first, last := res.Points[0], res.Points[len(res.Points)-1]
+	if first.ServerFrac != 0 || last.ServerFrac != 1 {
+		t.Fatalf("sweep endpoints = %g..%g", first.ServerFrac, last.ServerFrac)
+	}
+	// Upgrading every candidate to server-class can only help feasibility.
+	if last.InfeasiblePct > first.InfeasiblePct {
+		t.Fatalf("infeasibility rose with servers: %.1f%% → %.1f%%",
+			first.InfeasiblePct, last.InfeasiblePct)
+	}
+	// The all-server mix must strictly improve something on a stressed
+	// scenario family (feasibility or HFR).
+	if last.InfeasiblePct == first.InfeasiblePct && last.MeanHFRPct >= first.MeanHFRPct {
+		t.Fatalf("server upgrade bought nothing: %+v", res.Points)
+	}
+	if !strings.Contains(res.Table(), "Hardware mix") {
+		t.Fatal("table header missing")
+	}
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/switchos"
+	"repro/internal/tsdb"
+)
+
+// Fig1Point is one traffic level's monitoring-CPU profile.
+type Fig1Point struct {
+	// LineRateFraction is the offered VxLAN load relative to line rate.
+	LineRateFraction float64
+	// Kpps is the resulting transit packet rate.
+	Kpps float64
+	// AvgPct, P95Pct, and MaxPct summarize the monitoring module's CPU in
+	// single-core percent over the run.
+	AvgPct, P95Pct, MaxPct float64
+}
+
+// Fig1Result reproduces Figure 1: CPU utilization of the in-device
+// monitoring module (single-core percent on the 8-core DUT) under VxLAN
+// overlay traffic, with the paper's 20% line-rate point highlighted
+// ("around 100% average, spiking to as high as 600%").
+type Fig1Result struct {
+	Points []Fig1Point
+	// Series is the raw 20%-line-rate time series (the plotted curve).
+	Series []tsdb.Point
+}
+
+// kppsPerFraction converts a line-rate fraction on the testbed's 1 Gbps
+// access link to transit kpps at the mean VxLAN packet size (850 B).
+const kppsPerFraction = 1000.0 /*Mbps*/ * 1e6 / 8 / 850 / 1000
+
+// Fig1MonitoringCPU runs the monitoring-module CPU profile at several
+// line-rate fractions on the simulated Aruba 8325.
+func Fig1MonitoringCPU(cfg Config) (*Fig1Result, error) {
+	res := &Fig1Result{}
+	for _, frac := range []float64{0.05, 0.1, 0.2, 0.4} {
+		sw, err := switchos.New(switchos.Aruba8325(), switchos.StandardAgents(), cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		kpps := frac * kppsPerFraction
+		sw.SetTrafficKpps(kpps)
+		var sum metrics.Summary
+		var samples []float64
+		for i := 0; i < cfg.SimSeconds; i++ {
+			snap, err := sw.Step(1)
+			if err != nil {
+				return nil, err
+			}
+			sum.Add(snap.MonitorCPUPct)
+			samples = append(samples, snap.MonitorCPUPct)
+			if frac == 0.2 {
+				res.Series = append(res.Series, tsdb.Point{T: snap.Time, V: snap.MonitorCPUPct})
+			}
+		}
+		res.Points = append(res.Points, Fig1Point{
+			LineRateFraction: frac,
+			Kpps:             kpps,
+			AvgPct:           sum.Mean(),
+			P95Pct:           metrics.Percentile(samples, 95),
+			MaxPct:           sum.Max(),
+		})
+	}
+	return res, nil
+}
+
+// Table renders the figure's summary rows.
+func (r *Fig1Result) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.LineRateFraction*100),
+			f1(p.Kpps), f1(p.AvgPct), f1(p.P95Pct), f1(p.MaxPct),
+		})
+	}
+	return "Fig 1 — monitoring-module CPU (single-core %) vs VxLAN line rate\n" +
+		table([]string{"line-rate", "kpps", "avg%", "p95%", "max%"}, rows)
+}

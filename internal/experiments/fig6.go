@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/switchos"
+)
+
+// Fig6Result reproduces Figure 6: average device CPU (all-cores %) and
+// memory (%) with local monitoring versus DUST offloading, plus the
+// paper's headline savings (CPU −52%: 31%→15%; memory −12%: 70%→62%) and
+// the ≈1.2 GiB of monitoring memory the offload relocates.
+type Fig6Result struct {
+	LocalCPUPct, DustCPUPct float64
+	LocalMemPct, DustMemPct float64
+	CPUSavingPct            float64
+	MemSavingPct            float64
+	MonitoringMemMB         float64
+	// HostCPUPct and HostMemPct are the offload-destination's averages
+	// while hosting the ten relocated agents (the cost side of the trade).
+	HostCPUPct, HostMemPct float64
+}
+
+// Fig6OffloadSavings runs the local-vs-DUST comparison on the simulated
+// testbed at the paper's 20% line-rate operating point.
+func Fig6OffloadSavings(cfg Config) (*Fig6Result, error) {
+	const kpps = 0.2 * kppsPerFraction
+
+	run := func(offload bool) (cpu, mem, hostCPU, hostMem float64, monMem float64, err error) {
+		origin, err := switchos.New(switchos.Aruba8325(), switchos.StandardAgents(), cfg.Seed)
+		if err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+		origin.SetTrafficKpps(kpps)
+		hostCfg := switchos.Aruba8325()
+		hostCfg.Name = "offload-destination"
+		host, err := switchos.New(hostCfg, switchos.StandardAgents(), cfg.Seed+1)
+		if err != nil {
+			return 0, 0, 0, 0, 0, err
+		}
+		host.SetTrafficKpps(5) // lightly-loaded destination
+		host.OffloadAll(switchos.ModeLocal)
+		monMem = origin.MonitoringMemoryMB()
+		if offload {
+			origin.OffloadAll(switchos.ModeOffloaded)
+			// The destination hosts the origin's agents; its own agents are
+			// its normal (light) load.
+			for _, spec := range switchos.StandardAgents() {
+				if err := host.HostRemote(spec, origin.Config().Name, origin.TrafficKpps); err != nil {
+					return 0, 0, 0, 0, 0, err
+				}
+			}
+		}
+		var cpuSum, memSum, hostCPUSum, hostMemSum metrics.Summary
+		for i := 0; i < cfg.SimSeconds; i++ {
+			snap, err := origin.Step(1)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			hsnap, err := host.Step(1)
+			if err != nil {
+				return 0, 0, 0, 0, 0, err
+			}
+			cpuSum.Add(snap.DeviceCPUPct)
+			memSum.Add(snap.MemPct)
+			hostCPUSum.Add(hsnap.DeviceCPUPct)
+			hostMemSum.Add(hsnap.MemPct)
+		}
+		return cpuSum.Mean(), memSum.Mean(), hostCPUSum.Mean(), hostMemSum.Mean(), monMem, nil
+	}
+
+	localCPU, localMem, _, _, monMem, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	dustCPU, dustMem, hostCPU, hostMem, _, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig6Result{
+		LocalCPUPct: localCPU, DustCPUPct: dustCPU,
+		LocalMemPct: localMem, DustMemPct: dustMem,
+		CPUSavingPct:    (localCPU - dustCPU) / localCPU * 100,
+		MemSavingPct:    (localMem - dustMem) / localMem * 100,
+		MonitoringMemMB: monMem,
+		HostCPUPct:      hostCPU, HostMemPct: hostMem,
+	}, nil
+}
+
+// Table renders the figure's comparison.
+func (r *Fig6Result) Table() string {
+	rows := [][]string{
+		{"device CPU (all-cores %)", f1(r.LocalCPUPct), f1(r.DustCPUPct), f1(r.CPUSavingPct) + "%"},
+		{"device memory (%)", f1(r.LocalMemPct), f1(r.DustMemPct), f1(r.MemSavingPct) + "%"},
+	}
+	return "Fig 6 — local monitoring vs DUST offloading (20% line-rate VxLAN)\n" +
+		table([]string{"metric", "local", "DUST", "saving"}, rows) +
+		fmt.Sprintf("monitoring memory relocated: %.0f MB (paper: ~1.2 GiB)\n", r.MonitoringMemMB) +
+		fmt.Sprintf("destination while hosting: CPU %.1f%%, memory %.1f%%\n", r.HostCPUPct, r.HostMemPct)
+}

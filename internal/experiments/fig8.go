@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// HopSweepPoint is one max-hop setting's optimization cost.
+type HopSweepPoint struct {
+	// MaxHops is the controllable-route bound (0 = unbounded).
+	MaxHops int
+	// MeanTime and MaxTime aggregate total solve wall time per iteration.
+	MeanTime, MaxTime time.Duration
+	// PathsExplored is the mean number of enumerated simple paths.
+	PathsExplored float64
+	// InfeasiblePct is the share of iterations without a full placement.
+	InfeasiblePct float64
+}
+
+// HopSweepResult is the max-hop sweep for one fat-tree size, the data
+// behind Figure 8 (4-k) and Figures 10a/10b (8-k, 16-k).
+type HopSweepResult struct {
+	K          int
+	Nodes      int
+	Iterations int
+	Points     []HopSweepPoint
+}
+
+// Fig8SmallScaleTime reproduces Figure 8: ILP optimization computation
+// time on the small-scale (4-k, 20-node) network versus max-hop, with
+// exhaustive paper-literal path enumeration. The paper reports <= 3.5 s
+// with no hop limit and recommends max-hop 10 for a 0.5 s budget.
+func Fig8SmallScaleTime(cfg Config) (*HopSweepResult, error) {
+	return hopSweep(cfg, 4, []int{2, 4, 6, 8, 10, 12, 14, 0}, cfg.Iterations)
+}
+
+// Fig10LargeScaleTime reproduces Figures 10a and 10b: the same sweep on
+// the large-scale 8-k (80-node) and 16-k (320-node) networks. The paper
+// recommends max-hop 7 (8-k) and 4 (16-k) under a 300 s threshold and
+// observes a tenfold cost increase from hop 4 to 5 at 16-k.
+func Fig10LargeScaleTime(cfg Config) ([]*HopSweepResult, error) {
+	hops8, hops16 := []int{2, 3, 4, 5, 6, 7}, []int{2, 3, 4, 5}
+	if cfg.Fast {
+		hops8, hops16 = []int{2, 3, 4, 5}, []int{2, 3, 4}
+	}
+	eight, err := hopSweep(cfg, 8, hops8, cfg.LargeIterations*3)
+	if err != nil {
+		return nil, err
+	}
+	sixteen, err := hopSweep(cfg, 16, hops16, cfg.LargeIterations)
+	if err != nil {
+		return nil, err
+	}
+	return []*HopSweepResult{eight, sixteen}, nil
+}
+
+func hopSweep(cfg Config, k int, hops []int, iters int) (*HopSweepResult, error) {
+	if iters < 1 {
+		iters = 1
+	}
+	sc := core.DefaultScenario()
+	params := core.DefaultParams()
+	params.Thresholds = sc.Thresholds
+	params.PathStrategy = core.PathEnumerate
+
+	nodes, _ := graphSizes(k)
+	res := &HopSweepResult{K: k, Nodes: nodes, Iterations: iters}
+	for _, mh := range hops {
+		params.MaxHops = mh
+		rng := rand.New(rand.NewSource(cfg.Seed)) // same scenarios per hop setting
+		var times metrics.Summary
+		var paths metrics.Summary
+		infeasible := 0
+		for i := 0; i < iters; i++ {
+			s, err := scenario(k, sc, rng)
+			if err != nil {
+				return nil, err
+			}
+			r, elapsed, err := solveElapsed(s, params)
+			if err != nil {
+				return nil, err
+			}
+			times.Add(elapsed.Seconds())
+			if r.Routes != nil {
+				paths.Add(float64(r.Routes.PathsExplored))
+			}
+			if r.Status != core.StatusOptimal {
+				infeasible++
+			}
+		}
+		res.Points = append(res.Points, HopSweepPoint{
+			MaxHops:       mh,
+			MeanTime:      time.Duration(times.Mean() * float64(time.Second)),
+			MaxTime:       time.Duration(times.Max() * float64(time.Second)),
+			PathsExplored: paths.Mean(),
+			InfeasiblePct: float64(infeasible) / float64(iters) * 100,
+		})
+	}
+	return res, nil
+}
+
+func graphSizes(k int) (nodes, edges int) {
+	return 5 * k * k / 4, k * k * k / 2
+}
+
+// Table renders one sweep.
+func (r *HopSweepResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		hop := fmt.Sprintf("%d", p.MaxHops)
+		if p.MaxHops == 0 {
+			hop = "unltd"
+		}
+		rows = append(rows, []string{
+			hop, fdur(p.MeanTime), fdur(p.MaxTime),
+			fmt.Sprintf("%.0f", p.PathsExplored), f1(p.InfeasiblePct) + "%",
+		})
+	}
+	return fmt.Sprintf("Fig %s — optimization time vs max-hop (%d-k fat-tree, %d nodes, %d iters)\n",
+		r.figureName(), r.K, r.Nodes, r.Iterations) +
+		table([]string{"max-hop", "mean time", "max time", "paths", "infeasible"}, rows)
+}
+
+func (r *HopSweepResult) figureName() string {
+	switch r.K {
+	case 4:
+		return "8"
+	case 8:
+		return "10a"
+	case 16:
+		return "10b"
+	default:
+		return "10"
+	}
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// HardwareMixPoint is one deployment mix's outcome.
+type HardwareMixPoint struct {
+	// ServerFrac is the fraction of offload-candidate nodes upgraded to
+	// server-class compute (capability 2.0).
+	ServerFrac float64
+	// InfeasiblePct is the share of scenarios whose placement failed.
+	InfeasiblePct float64
+	// MeanObjective averages β over feasible scenarios.
+	MeanObjective float64
+	// MeanHFRPct is the one-hop heuristic's failure rate.
+	MeanHFRPct float64
+}
+
+// HardwareMixResult quantifies the deployment question behind the
+// paper's DSS/DPU motivation (Section I): how much does adding
+// server/DPU-class compute to the candidate pool buy? Sweeps the
+// fraction of candidates upgraded to capability-2 servers on an 8-k
+// fat-tree and measures feasibility, optimal cost, and heuristic HFR.
+type HardwareMixResult struct {
+	Points []HardwareMixPoint
+}
+
+// RunHardwareMix sweeps the server fraction over stressed scenarios
+// (scarce candidate capacity, so the upgrade is binding).
+func RunHardwareMix(cfg Config) (*HardwareMixResult, error) {
+	sc := core.DefaultScenario()
+	// Stress capacity: more busy nodes, fewer candidates.
+	sc.PBusy, sc.PCandidate = 0.4, 0.3
+	params := core.DefaultParams()
+	params.Thresholds = sc.Thresholds
+	params.PathStrategy = core.PathDP
+
+	res := &HardwareMixResult{}
+	iters := cfg.Iterations
+	for _, frac := range []float64{0, 0.25, 0.5, 1.0} {
+		rng := rand.New(rand.NewSource(cfg.Seed)) // same scenarios per mix
+		var obj, hfr metrics.Summary
+		infeasible, runs := 0, 0
+		for i := 0; i < iters; i++ {
+			s, err := scenario(8, sc, rng)
+			if err != nil {
+				return nil, err
+			}
+			if err := upgradeCandidates(s, params.Thresholds, frac, rng); err != nil {
+				return nil, err
+			}
+			r, err := core.Solve(s, params)
+			if err != nil {
+				return nil, err
+			}
+			if len(r.Classification.Busy) == 0 {
+				continue
+			}
+			runs++
+			if r.Status != core.StatusOptimal {
+				infeasible++
+			} else {
+				obj.Add(r.Objective)
+			}
+			h, err := core.SolveHeuristic(s, params, core.HeuristicGreedy)
+			if err != nil {
+				return nil, err
+			}
+			hfr.Add(h.HFRPercent)
+		}
+		p := HardwareMixPoint{ServerFrac: frac, MeanObjective: obj.Mean(), MeanHFRPct: hfr.Mean()}
+		if runs > 0 {
+			p.InfeasiblePct = float64(infeasible) / float64(runs) * 100
+		}
+		res.Points = append(res.Points, p)
+	}
+	return res, nil
+}
+
+// upgradeCandidates gives a random frac of the candidate set the
+// server-class persona; everyone else keeps the baseline switch persona.
+func upgradeCandidates(s *core.State, th core.Thresholds, frac float64, rng *rand.Rand) error {
+	cls, err := core.Classify(s, th)
+	if err != nil {
+		return err
+	}
+	personas := make([]core.Persona, s.G.NumNodes())
+	for i := range personas {
+		personas[i] = core.DefaultPersona(core.ClassSwitch)
+	}
+	for _, cand := range cls.Candidates {
+		if rng.Float64() < frac {
+			personas[cand] = core.DefaultPersona(core.ClassServer)
+		}
+	}
+	return s.SetPersonas(personas)
+}
+
+// Table renders the sweep.
+func (r *HardwareMixResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			fmt.Sprintf("%.0f%%", p.ServerFrac*100),
+			f1(p.InfeasiblePct) + "%",
+			f2(p.MeanObjective),
+			f1(p.MeanHFRPct) + "%",
+		})
+	}
+	return "Hardware mix — server-class candidates vs placement quality (8-k, stressed)\n" +
+		table([]string{"servers among candidates", "infeasible", "mean β", "heuristic HFR"}, rows)
+}

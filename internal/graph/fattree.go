@@ -1,0 +1,95 @@
+package graph
+
+import "fmt"
+
+// FatTreeSizes reports the node and edge counts of the switch-only k-port
+// fat-tree used throughout the paper's evaluation: 5k²/4 switches and k³/2
+// inter-switch links (k=4 → 20 nodes / 32 edges, k=64 → 5120 / 131072).
+func FatTreeSizes(k int) (nodes, edges int) {
+	return 5 * k * k / 4, k * k * k / 2
+}
+
+// FatTree builds the switch-only three-level k-port fat-tree topology of
+// Al-Fares et al. (SIGCOMM'08), the topology the paper evaluates on.
+//
+// Layout: k pods, each with k/2 edge switches and k/2 aggregation switches
+// fully bipartitely connected inside the pod; (k/2)² core switches, where
+// core switch (i,j) connects to the j-th aggregation switch of every pod.
+// All links get capMbps capacity and zero initial utilization.
+//
+// Node index layout (useful for tests and scenario generators):
+//
+//	pod p edge switch e:  p·k + e              (e in 0..k/2-1)
+//	pod p agg  switch a:  p·k + k/2 + a        (a in 0..k/2-1)
+//	core switch (i,j):    k² + i·(k/2) + j     (i,j in 0..k/2-1)
+//
+// k must be even and ≥ 2.
+func FatTree(k int, capMbps float64) *Graph {
+	if k < 2 || k%2 != 0 {
+		panic(fmt.Sprintf("graph: fat-tree k must be even and >= 2, got %d", k))
+	}
+	half := k / 2
+	numNodes, _ := FatTreeSizes(k)
+	g := New(numNodes)
+
+	edgeSwitch := func(pod, i int) int { return pod*k + i }
+	aggSwitch := func(pod, i int) int { return pod*k + half + i }
+	coreSwitch := func(i, j int) int { return k*k + i*half + j }
+
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			g.SetNode(edgeSwitch(p, i), NodeInfo{
+				Name:  fmt.Sprintf("edge-p%d-%d", p, i),
+				Layer: LayerEdge,
+				Pod:   p,
+			})
+			g.SetNode(aggSwitch(p, i), NodeInfo{
+				Name:  fmt.Sprintf("agg-p%d-%d", p, i),
+				Layer: LayerAgg,
+				Pod:   p,
+			})
+		}
+	}
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			g.SetNode(coreSwitch(i, j), NodeInfo{
+				Name:  fmt.Sprintf("core-%d-%d", i, j),
+				Layer: LayerCore,
+				Pod:   -1,
+			})
+		}
+	}
+
+	// Intra-pod: every edge switch to every aggregation switch.
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			for a := 0; a < half; a++ {
+				g.AddEdge(edgeSwitch(p, e), aggSwitch(p, a), capMbps)
+			}
+		}
+	}
+	// Core: core (i,j) connects to aggregation switch i of every pod.
+	// Each aggregation switch thus has k/2 core uplinks, matching k³/4
+	// core links total and the k³/2 grand total.
+	for i := 0; i < half; i++ {
+		for j := 0; j < half; j++ {
+			for p := 0; p < k; p++ {
+				g.AddEdge(aggSwitch(p, i), coreSwitch(i, j), capMbps)
+			}
+		}
+	}
+	return g
+}
+
+// FatTreeEdgeSwitches returns the node indices of all edge-layer switches
+// of a fat-tree built by FatTree(k, ·), in pod order.
+func FatTreeEdgeSwitches(k int) []int {
+	half := k / 2
+	out := make([]int, 0, k*half)
+	for p := 0; p < k; p++ {
+		for e := 0; e < half; e++ {
+			out = append(out, p*k+e)
+		}
+	}
+	return out
+}

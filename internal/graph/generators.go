@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Ring builds an n-node cycle with uniform link capacity.
+func Ring(n int, capMbps float64) *Graph {
+	if n < 3 {
+		panic(fmt.Sprintf("graph: ring needs n >= 3, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, capMbps)
+	}
+	return g
+}
+
+// Line builds an n-node path graph with uniform link capacity.
+func Line(n int, capMbps float64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: line needs n >= 2, got %d", n))
+	}
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1, capMbps)
+	}
+	return g
+}
+
+// Star builds a star with node 0 at the center and n-1 leaves.
+func Star(n int, capMbps float64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("graph: star needs n >= 2, got %d", n))
+	}
+	g := New(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(0, i, capMbps)
+	}
+	return g
+}
+
+// Grid builds a rows×cols 2D mesh with uniform link capacity.
+func Grid(rows, cols int, capMbps float64) *Graph {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("graph: grid needs positive dimensions, got %dx%d", rows, cols))
+	}
+	g := New(rows * cols)
+	at := func(r, c int) int { return r*cols + c }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				g.AddEdge(at(r, c), at(r, c+1), capMbps)
+			}
+			if r+1 < rows {
+				g.AddEdge(at(r, c), at(r+1, c), capMbps)
+			}
+		}
+	}
+	return g
+}
+
+// RandomConnected builds a connected Erdős–Rényi-style graph: a random
+// spanning tree plus each remaining pair joined with probability p. The
+// result is deterministic for a given rng state.
+func RandomConnected(n int, p float64, capMbps float64, rng *rand.Rand) *Graph {
+	if n < 1 {
+		panic(fmt.Sprintf("graph: random graph needs n >= 1, got %d", n))
+	}
+	g := New(n)
+	// Random spanning tree: attach each node i>0 to a uniformly random
+	// earlier node over a random permutation, guaranteeing connectivity.
+	perm := rng.Perm(n)
+	inTree := make(map[[2]int]bool)
+	for i := 1; i < n; i++ {
+		u, v := perm[i], perm[rng.Intn(i)]
+		if u > v {
+			u, v = v, u
+		}
+		g.AddEdge(u, v, capMbps)
+		inTree[[2]int{u, v}] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if inTree[[2]int{u, v}] {
+				continue
+			}
+			if rng.Float64() < p {
+				g.AddEdge(u, v, capMbps)
+			}
+		}
+	}
+	return g
+}
+
+// RandomizeUtilization assigns every edge an independent utilization drawn
+// uniformly from [lo, hi], clamped to [0, 1].
+func RandomizeUtilization(g *Graph, lo, hi float64, rng *rand.Rand) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		g.SetUtilization(EdgeID(i), lo+(hi-lo)*rng.Float64())
+	}
+}

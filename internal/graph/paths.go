@@ -1,0 +1,344 @@
+package graph
+
+import (
+	"math"
+)
+
+// Path is a sequence of edges from a source to a destination. The node
+// sequence is implied by the edge sequence.
+type Path struct {
+	// Src is the first node and Dst the last.
+	Src, Dst int
+	// Edges lists the traversed edges in order.
+	Edges []EdgeID
+}
+
+// Hops returns the number of edges on the path.
+func (p Path) Hops() int { return len(p.Edges) }
+
+// Cost sums costFn over the path's edges in g.
+func (p Path) Cost(g *Graph, costFn EdgeCost) float64 {
+	sum := 0.0
+	for _, id := range p.Edges {
+		sum += costFn(g.Edge(id))
+	}
+	return sum
+}
+
+// Nodes reconstructs the node sequence (Src .. Dst) from the edge list.
+func (p Path) Nodes(g *Graph) []int {
+	nodes := make([]int, 0, len(p.Edges)+1)
+	cur := p.Src
+	nodes = append(nodes, cur)
+	for _, id := range p.Edges {
+		cur = g.Edge(id).Other(cur)
+		nodes = append(nodes, cur)
+	}
+	return nodes
+}
+
+// EdgeCost maps an edge to a nonnegative traversal cost.
+type EdgeCost func(Edge) float64
+
+// InverseRateCost returns the paper's per-edge response-time weight for a
+// unit of data: 1/Lu_e seconds per megabit, where Lu is obtained from
+// rate. Edges with a nonpositive rate are impassable (+Inf).
+func InverseRateCost(rate func(Edge) float64) EdgeCost {
+	return func(e Edge) float64 {
+		r := rate(e)
+		if r <= 0 {
+			return math.Inf(1)
+		}
+		return 1 / r
+	}
+}
+
+// UnitCost weights every edge 1, so path cost equals hop count.
+func UnitCost(Edge) float64 { return 1 }
+
+// AllSimplePaths enumerates every simple path from src to dst with at most
+// maxHops edges, in DFS order. maxHops <= 0 means unbounded (bounded only
+// by simplicity). limit caps the number of returned paths (<=0: no cap).
+//
+// This is the paper-literal controllable-routes set p = {r_1, ..., r_n}
+// (Section IV-B); its size explodes combinatorially with maxHops, which is
+// exactly the effect Figures 8 and 10 measure.
+func AllSimplePaths(g *Graph, src, dst, maxHops, limit int) []Path {
+	if maxHops <= 0 {
+		maxHops = g.NumNodes() // simple paths can never exceed N-1 edges
+	}
+	var out []Path
+	onPath := make([]bool, g.NumNodes())
+	var edgeStack []EdgeID
+
+	var dfs func(cur int)
+	dfs = func(cur int) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if cur == dst {
+			out = append(out, Path{Src: src, Dst: dst, Edges: append([]EdgeID(nil), edgeStack...)})
+			return
+		}
+		if len(edgeStack) >= maxHops {
+			return
+		}
+		onPath[cur] = true
+		for _, id := range g.Incident(cur) {
+			next := g.Edge(id).Other(cur)
+			if onPath[next] || next == src {
+				continue
+			}
+			edgeStack = append(edgeStack, id)
+			dfs(next)
+			edgeStack = edgeStack[:len(edgeStack)-1]
+			if limit > 0 && len(out) >= limit {
+				break
+			}
+		}
+		onPath[cur] = false
+	}
+	if src == dst {
+		return []Path{{Src: src, Dst: dst}}
+	}
+	dfs(src)
+	return out
+}
+
+// CountSimplePaths counts simple paths from src to dst with at most
+// maxHops edges without materializing them.
+func CountSimplePaths(g *Graph, src, dst, maxHops int) int {
+	if src == dst {
+		return 1
+	}
+	if maxHops <= 0 {
+		maxHops = g.NumNodes()
+	}
+	count := 0
+	onPath := make([]bool, g.NumNodes())
+	depth := 0
+	var dfs func(cur int)
+	dfs = func(cur int) {
+		if cur == dst {
+			count++
+			return
+		}
+		if depth >= maxHops {
+			return
+		}
+		onPath[cur] = true
+		depth++
+		for _, id := range g.Incident(cur) {
+			next := g.Edge(id).Other(cur)
+			if !onPath[next] && next != src {
+				dfs(next)
+			}
+		}
+		depth--
+		onPath[cur] = false
+	}
+	dfs(src)
+	return count
+}
+
+// MinCostPath finds, via exhaustive simple-path enumeration, the
+// minimum-cost path from src to dst using at most maxHops edges. It
+// returns ok=false when no path within the hop bound exists. Ties on cost
+// are broken toward fewer hops, matching the paper's objective statement
+// ("minimal hops distance priority whenever minimum response time is
+// achieved").
+func MinCostPath(g *Graph, src, dst, maxHops int, costFn EdgeCost) (Path, float64, bool) {
+	paths := AllSimplePaths(g, src, dst, maxHops, 0)
+	best, bestCost, ok := pickBest(g, paths, costFn)
+	return best, bestCost, ok
+}
+
+func pickBest(g *Graph, paths []Path, costFn EdgeCost) (Path, float64, bool) {
+	bestCost := math.Inf(1)
+	bestIdx := -1
+	for i, p := range paths {
+		c := p.Cost(g, costFn)
+		if math.IsInf(c, 1) {
+			continue
+		}
+		if bestIdx < 0 || c < bestCost || (c == bestCost && p.Hops() < paths[bestIdx].Hops()) {
+			bestCost = c
+			bestIdx = i
+		}
+	}
+	if bestIdx < 0 {
+		return Path{}, math.Inf(1), false
+	}
+	return paths[bestIdx], bestCost, true
+}
+
+// HopBoundedShortest computes, with a Bellman–Ford-style dynamic program,
+// the minimum path cost from src to every node using at most maxHops
+// edges. Costs must be nonnegative (an optimal bounded walk is then a
+// simple path). It returns dist (cost, +Inf if unreachable within the
+// bound) and, for path reconstruction, the predecessor edge for each
+// (hops, node) layer flattened to the best layer per node.
+//
+// This is the polynomial-time alternative to exhaustive enumeration; the
+// ablation bench BenchmarkAblationPathStrategies compares the two.
+func HopBoundedShortest(g *Graph, src, maxHops int, costFn EdgeCost) ([]float64, []Path) {
+	n := g.NumNodes()
+	if maxHops <= 0 {
+		maxHops = n
+	}
+	const unset = EdgeID(-1)
+	// cur[v]: best cost to v with <= h hops; prev layer rolled in place.
+	cur := make([]float64, n)
+	prevEdge := make([][]EdgeID, maxHops+1) // prevEdge[h][v]: edge used to reach v at its first improvement at hop h
+	bestHop := make([]int, n)
+	for v := range cur {
+		cur[v] = math.Inf(1)
+		bestHop[v] = -1
+	}
+	cur[src] = 0
+	bestHop[src] = 0
+	for h := 0; h <= maxHops; h++ {
+		prevEdge[h] = make([]EdgeID, n)
+		for v := range prevEdge[h] {
+			prevEdge[h][v] = unset
+		}
+	}
+	for h := 1; h <= maxHops; h++ {
+		next := make([]float64, n)
+		copy(next, cur)
+		improved := false
+		for _, e := range g.edges {
+			c := costFn(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if cur[e.U]+c < next[e.V] {
+				next[e.V] = cur[e.U] + c
+				prevEdge[h][e.V] = e.ID
+				bestHop[e.V] = h
+				improved = true
+			}
+			if cur[e.V]+c < next[e.U] {
+				next[e.U] = cur[e.V] + c
+				prevEdge[h][e.U] = e.ID
+				bestHop[e.U] = h
+				improved = true
+			}
+		}
+		cur = next
+		if !improved {
+			break
+		}
+	}
+	paths := make([]Path, n)
+	for v := 0; v < n; v++ {
+		if math.IsInf(cur[v], 1) || v == src {
+			paths[v] = Path{Src: src, Dst: v}
+			continue
+		}
+		var rev []EdgeID
+		node, hop := v, bestHop[v]
+		for node != src {
+			var id EdgeID = unset
+			// Find the layer at which node was last improved at or below hop.
+			for h := hop; h >= 1; h-- {
+				if prevEdge[h][node] != unset {
+					id = prevEdge[h][node]
+					hop = h - 1
+					break
+				}
+			}
+			if id == unset {
+				break // defensive: reconstruction failed, return cost only
+			}
+			rev = append(rev, id)
+			node = g.Edge(id).Other(node)
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		paths[v] = Path{Src: src, Dst: v, Edges: rev}
+	}
+	return cur, paths
+}
+
+// Dijkstra computes single-source minimum costs with no hop bound.
+// Costs must be nonnegative. Unreachable nodes get +Inf.
+func Dijkstra(g *Graph, src int, costFn EdgeCost) []float64 {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &costHeap{items: []costItem{{node: src, cost: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		for _, id := range g.Incident(it.node) {
+			e := g.Edge(id)
+			c := costFn(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			m := e.Other(it.node)
+			if nd := it.cost + c; nd < dist[m] {
+				dist[m] = nd
+				h.push(costItem{node: m, cost: nd})
+			}
+		}
+	}
+	return dist
+}
+
+type costItem struct {
+	node int
+	cost float64
+}
+
+// costHeap is a minimal binary min-heap; container/heap's interface
+// indirection is avoided on this hot path.
+type costHeap struct{ items []costItem }
+
+func (h *costHeap) Len() int { return len(h.items) }
+
+func (h *costHeap) push(it costItem) {
+	h.items = append(h.items, it)
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].cost <= h.items[i].cost {
+			break
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *costHeap) pop() costItem {
+	top := h.items[0]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.items = h.items[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.items) && h.items[l].cost < h.items[small].cost {
+			small = l
+		}
+		if r < len(h.items) && h.items[r].cost < h.items[small].cost {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.items[i], h.items[small] = h.items[small], h.items[i]
+		i = small
+	}
+	return top
+}

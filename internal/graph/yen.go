@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// KShortestPaths returns up to K loopless minimum-cost paths from src to
+// dst in nondecreasing cost order, using Yen's algorithm over a masked
+// Dijkstra. Costs must be nonnegative. Fewer than K paths are returned
+// when the graph does not contain them.
+//
+// This gives the Manager ranked controllable-route alternatives — backup
+// routes for an offload transfer — without enumerating the full
+// exponential route set.
+func KShortestPaths(g *Graph, src, dst, K int, costFn EdgeCost) []Path {
+	if K <= 0 || src == dst {
+		return nil
+	}
+	first, _, ok := dijkstraMasked(g, src, dst, costFn, nil, nil)
+	if !ok {
+		return nil
+	}
+	accepted := []Path{first}
+	type candidate struct {
+		path Path
+		cost float64
+	}
+	var pool []candidate
+	seen := map[string]bool{pathKey(first): true}
+
+	nodeMask := make([]bool, g.NumNodes())
+	edgeMask := make([]bool, g.NumEdges())
+
+	for len(accepted) < K {
+		prev := accepted[len(accepted)-1]
+		prevNodes := prev.Nodes(g)
+		// Spur from every node of the previous path except dst.
+		for i := 0; i < len(prevNodes)-1; i++ {
+			spur := prevNodes[i]
+			rootEdges := prev.Edges[:i]
+
+			// Mask the next edge of every accepted path sharing this root.
+			for j := range edgeMask {
+				edgeMask[j] = false
+			}
+			for _, a := range accepted {
+				if len(a.Edges) > i && equalEdges(a.Edges[:i], rootEdges) {
+					edgeMask[a.Edges[i]] = true
+				}
+			}
+			// Mask root-path nodes (except the spur) to keep paths simple.
+			for j := range nodeMask {
+				nodeMask[j] = false
+			}
+			for _, n := range prevNodes[:i] {
+				nodeMask[n] = true
+			}
+
+			spurPath, _, ok := dijkstraMasked(g, spur, dst, costFn, nodeMask, edgeMask)
+			if !ok {
+				continue
+			}
+			total := Path{
+				Src: src, Dst: dst,
+				Edges: append(append([]EdgeID(nil), rootEdges...), spurPath.Edges...),
+			}
+			key := pathKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			pool = append(pool, candidate{path: total, cost: total.Cost(g, costFn)})
+		}
+		if len(pool) == 0 {
+			break
+		}
+		sort.Slice(pool, func(a, b int) bool {
+			if pool[a].cost != pool[b].cost {
+				return pool[a].cost < pool[b].cost
+			}
+			if len(pool[a].path.Edges) != len(pool[b].path.Edges) {
+				return len(pool[a].path.Edges) < len(pool[b].path.Edges)
+			}
+			return pathKey(pool[a].path) < pathKey(pool[b].path)
+		})
+		accepted = append(accepted, pool[0].path)
+		pool = pool[1:]
+	}
+	return accepted
+}
+
+func equalEdges(a, b []EdgeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func pathKey(p Path) string {
+	buf := make([]byte, 0, len(p.Edges)*4)
+	for _, id := range p.Edges {
+		buf = append(buf, byte(id>>24), byte(id>>16), byte(id>>8), byte(id))
+	}
+	return string(buf)
+}
+
+// dijkstraMasked is Dijkstra with path reconstruction over the subgraph
+// excluding masked nodes and edges (nil masks allow everything). The
+// source is allowed even if masked.
+func dijkstraMasked(g *Graph, src, dst int, costFn EdgeCost, nodeMask []bool, edgeMask []bool) (Path, float64, bool) {
+	n := g.NumNodes()
+	dist := make([]float64, n)
+	prevEdge := make([]EdgeID, n)
+	done := make([]bool, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevEdge[i] = -1
+	}
+	dist[src] = 0
+	h := &costHeap{items: []costItem{{node: src, cost: 0}}}
+	for h.Len() > 0 {
+		it := h.pop()
+		if done[it.node] {
+			continue
+		}
+		if it.node == dst {
+			break
+		}
+		done[it.node] = true
+		for _, id := range g.Incident(it.node) {
+			if edgeMask != nil && edgeMask[id] {
+				continue
+			}
+			e := g.Edge(id)
+			m := e.Other(it.node)
+			if nodeMask != nil && nodeMask[m] {
+				continue
+			}
+			c := costFn(e)
+			if math.IsInf(c, 1) {
+				continue
+			}
+			if nd := it.cost + c; nd < dist[m] {
+				dist[m] = nd
+				prevEdge[m] = id
+				h.push(costItem{node: m, cost: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return Path{}, math.Inf(1), false
+	}
+	var rev []EdgeID
+	cur := dst
+	for cur != src {
+		id := prevEdge[cur]
+		rev = append(rev, id)
+		cur = g.Edge(id).Other(cur)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return Path{Src: src, Dst: dst, Edges: rev}, dist[dst], true
+}

@@ -1,0 +1,127 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestKShortestSimpleDiamond(t *testing.T) {
+	// Two disjoint routes 0→3 plus a long detour.
+	g := New(5)
+	g.AddEdge(0, 1, 100) // cheap branch
+	g.AddEdge(1, 3, 100)
+	g.AddEdge(0, 2, 50) // pricier branch (lower rate)
+	g.AddEdge(2, 3, 50)
+	g.AddEdge(1, 4, 100)
+	g.AddEdge(4, 3, 100)
+	cost := InverseRateCost(func(e Edge) float64 { return e.CapMbps })
+
+	paths := KShortestPaths(g, 0, 3, 3, cost)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	// Best: 0-1-3 (2/100); second: 0-1-4-3 (3/100); third: 0-2-3 (2/50).
+	if got := paths[0].Cost(g, cost); math.Abs(got-0.02) > 1e-12 {
+		t.Fatalf("best cost = %g, want 0.02", got)
+	}
+	if got := paths[1].Cost(g, cost); math.Abs(got-0.03) > 1e-12 {
+		t.Fatalf("second cost = %g, want 0.03", got)
+	}
+	if got := paths[2].Cost(g, cost); math.Abs(got-0.04) > 1e-12 {
+		t.Fatalf("third cost = %g, want 0.04", got)
+	}
+	for _, p := range paths {
+		nodes := p.Nodes(g)
+		seen := map[int]bool{}
+		for _, n := range nodes {
+			if seen[n] {
+				t.Fatalf("path not simple: %v", nodes)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestKShortestEdgeCases(t *testing.T) {
+	g := Line(3, 100)
+	cost := UnitCost
+	if got := KShortestPaths(g, 0, 0, 3, cost); got != nil {
+		t.Fatal("src==dst should return nil")
+	}
+	if got := KShortestPaths(g, 0, 2, 0, cost); got != nil {
+		t.Fatal("K=0 should return nil")
+	}
+	// A line has exactly one path — asking for 5 returns 1.
+	if got := KShortestPaths(g, 0, 2, 5, cost); len(got) != 1 {
+		t.Fatalf("line returned %d paths, want 1", len(got))
+	}
+	// Disconnected.
+	g2 := New(3)
+	g2.AddEdge(0, 1, 100)
+	if got := KShortestPaths(g2, 0, 2, 2, cost); got != nil {
+		t.Fatal("disconnected pair should return nil")
+	}
+}
+
+// TestKShortestMatchesEnumeration cross-checks Yen's cost sequence against
+// the brute-force top-K of all simple paths.
+func TestKShortestMatchesEnumeration(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := RandomConnected(8, 0.35, 100, rng)
+		RandomizeUtilization(g, 0.1, 0.9, rng)
+		cost := InverseRateCost(func(e Edge) float64 { return e.UtilizedMbps() })
+		const K = 5
+		yen := KShortestPaths(g, 0, 7, K, cost)
+
+		all := AllSimplePaths(g, 0, 7, 0, 0)
+		costs := make([]float64, 0, len(all))
+		for _, p := range all {
+			costs = append(costs, p.Cost(g, cost))
+		}
+		sort.Float64s(costs)
+		want := K
+		if len(costs) < K {
+			want = len(costs)
+		}
+		if len(yen) != want {
+			return false
+		}
+		for i, p := range yen {
+			if math.Abs(p.Cost(g, cost)-costs[i]) > 1e-9 {
+				return false
+			}
+			// Nondecreasing order.
+			if i > 0 && p.Cost(g, cost) < yen[i-1].Cost(g, cost)-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKShortestOnFatTree(t *testing.T) {
+	// Inter-pod edge switches in a 4-k fat-tree have exactly 4 equal-cost
+	// 4-hop shortest paths (one per core switch).
+	g := FatTree(4, 1000)
+	paths := KShortestPaths(g, 0, 4, 4, UnitCost)
+	if len(paths) != 4 {
+		t.Fatalf("got %d paths, want 4", len(paths))
+	}
+	for _, p := range paths {
+		if p.Hops() != 4 {
+			t.Fatalf("path hops = %d, want 4", p.Hops())
+		}
+	}
+	// The 5th-best is a 6-hop route.
+	paths = KShortestPaths(g, 0, 4, 5, UnitCost)
+	if len(paths) != 5 || paths[4].Hops() != 6 {
+		t.Fatalf("5th path hops = %d, want 6", paths[4].Hops())
+	}
+}

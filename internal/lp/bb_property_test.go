@@ -1,0 +1,169 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteForceIP exhaustively solves min c·x over integer boxes subject to
+// the constraints, for tiny instances.
+func bruteForceIP(c []float64, lo, hi []int, cons []struct {
+	coeffs []float64
+	rel    Rel
+	rhs    float64
+}) (float64, bool) {
+	n := len(c)
+	best := math.Inf(1)
+	found := false
+	x := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			for _, con := range cons {
+				lhs := 0.0
+				for j, coef := range con.coeffs {
+					lhs += coef * float64(x[j])
+				}
+				switch con.rel {
+				case LE:
+					if lhs > con.rhs+1e-9 {
+						return
+					}
+				case GE:
+					if lhs < con.rhs-1e-9 {
+						return
+					}
+				case EQ:
+					if math.Abs(lhs-con.rhs) > 1e-9 {
+						return
+					}
+				}
+			}
+			obj := 0.0
+			for j := range c {
+				obj += c[j] * float64(x[j])
+			}
+			if obj < best {
+				best = obj
+				found = true
+			}
+			return
+		}
+		for v := lo[i]; v <= hi[i]; v++ {
+			x[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best, found
+}
+
+// TestBranchBoundMatchesBruteForce cross-checks B&B against exhaustive
+// enumeration on random small integer programs.
+func TestBranchBoundMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(3)       // 2-4 vars
+		numCons := 1 + rng.Intn(3) // 1-3 constraints
+
+		c := make([]float64, n)
+		lo := make([]int, n)
+		hi := make([]int, n)
+		model := NewModel(Minimize)
+		vars := make([]VarID, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(rng.Intn(21) - 10)
+			lo[j] = 0
+			hi[j] = 1 + rng.Intn(4)
+			vars[j] = model.AddIntVar("x", float64(lo[j]), float64(hi[j]), c[j])
+		}
+		cons := make([]struct {
+			coeffs []float64
+			rel    Rel
+			rhs    float64
+		}, numCons)
+		for k := range cons {
+			cons[k].coeffs = make([]float64, n)
+			terms := make([]Term, 0, n)
+			for j := 0; j < n; j++ {
+				coef := float64(rng.Intn(7) - 3)
+				cons[k].coeffs[j] = coef
+				if coef != 0 {
+					terms = append(terms, Term{vars[j], coef})
+				}
+			}
+			cons[k].rel = Rel(rng.Intn(2)) // LE or GE (EQ is often infeasible noise)
+			cons[k].rhs = float64(rng.Intn(15) - 3)
+			if len(terms) == 0 {
+				// Constant constraint: encode as 0 <= rhs / 0 >= rhs by
+				// skipping — replace with a trivial satisfied constraint.
+				cons[k].rel = LE
+				cons[k].rhs = math.Abs(cons[k].rhs)
+				continue
+			}
+			model.AddConstraint("c", terms, cons[k].rel, cons[k].rhs)
+		}
+
+		want, feasible := bruteForceIP(c, lo, hi, cons)
+		sol, err := model.Solve()
+		if err != nil {
+			return false
+		}
+		if feasible != (sol.Status == StatusOptimal) {
+			return false
+		}
+		if feasible && math.Abs(sol.Objective-want) > 1e-6 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBranchBoundMaximizeMatchesBruteForce covers the Maximize direction.
+func TestBranchBoundMaximizeMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(2)
+		model := NewModel(Maximize)
+		c := make([]float64, n)
+		lo := make([]int, n)
+		hi := make([]int, n)
+		vars := make([]VarID, n)
+		negC := make([]float64, n)
+		for j := 0; j < n; j++ {
+			c[j] = float64(1 + rng.Intn(10))
+			negC[j] = -c[j]
+			hi[j] = 1 + rng.Intn(3)
+			vars[j] = model.AddIntVar("x", 0, float64(hi[j]), c[j])
+		}
+		coeffs := make([]float64, n)
+		terms := make([]Term, n)
+		for j := 0; j < n; j++ {
+			coeffs[j] = float64(1 + rng.Intn(4))
+			terms[j] = Term{vars[j], coeffs[j]}
+		}
+		rhs := float64(2 + rng.Intn(10))
+		model.AddConstraint("cap", terms, LE, rhs)
+
+		cons := []struct {
+			coeffs []float64
+			rel    Rel
+			rhs    float64
+		}{{coeffs: coeffs, rel: LE, rhs: rhs}}
+		// Brute force minimizes, so negate the objective.
+		wantNeg, feasible := bruteForceIP(negC, lo, hi, cons)
+		sol, err := model.Solve()
+		if err != nil || !feasible {
+			return false // x=0 is always feasible for LE with rhs >= 0
+		}
+		return sol.Status == StatusOptimal && math.Abs(sol.Objective-(-wantNeg)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

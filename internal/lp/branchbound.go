@@ -1,0 +1,174 @@
+package lp
+
+import (
+	"math"
+	"sort"
+)
+
+// intTol is the tolerance within which a relaxation value counts as
+// integral.
+const intTol = 1e-6
+
+// solveBB runs best-first branch-and-bound over LP relaxations for models
+// with integer variables. Branching variable: most fractional; node order:
+// best relaxation bound first.
+func (m *Model) solveBB() (*Solution, error) {
+	n := len(m.vars)
+	root := bbNode{lo: nanSlice(n), hi: nanSlice(n)}
+
+	relax, err := m.solveRelaxation(root.lo, root.hi)
+	if err != nil {
+		return nil, err
+	}
+	totalPivots := relax.Pivots
+	nodes := 1
+	if relax.Status != StatusOptimal {
+		relax.Pivots = totalPivots
+		relax.Nodes = nodes
+		return relax, nil
+	}
+	root.bound = m.directedObj(relax.Objective)
+	root.relax = relax
+
+	var incumbent *Solution
+	queue := []bbNode{root}
+	for len(queue) > 0 {
+		// Pop the node with the best (smallest directed) bound.
+		sort.Slice(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
+		node := queue[0]
+		queue = queue[1:]
+
+		if incumbent != nil && node.bound >= m.directedObj(incumbent.Objective)-1e-12 {
+			continue // bound cannot beat the incumbent
+		}
+		sol := node.relax
+		if sol == nil {
+			s, err := m.solveRelaxation(node.lo, node.hi)
+			if err != nil {
+				return nil, err
+			}
+			totalPivots += s.Pivots
+			nodes++
+			if s.Status != StatusOptimal {
+				continue
+			}
+			if incumbent != nil && m.directedObj(s.Objective) >= m.directedObj(incumbent.Objective)-1e-12 {
+				continue
+			}
+			sol = s
+		}
+
+		frac := m.mostFractional(sol.Values)
+		if frac < 0 {
+			// Integral: new incumbent.
+			if incumbent == nil || m.directedObj(sol.Objective) < m.directedObj(incumbent.Objective) {
+				incumbent = sol
+			}
+			continue
+		}
+
+		val := sol.Values[frac]
+		floorV, ceilV := math.Floor(val), math.Ceil(val)
+		down := bbNode{lo: cloneSlice(node.lo), hi: cloneSlice(node.hi), bound: m.directedObj(sol.Objective)}
+		down.hi[frac] = minBound(down.hi[frac], m.vars[frac].hi, floorV)
+		up := bbNode{lo: cloneSlice(node.lo), hi: cloneSlice(node.hi), bound: m.directedObj(sol.Objective)}
+		up.lo[frac] = maxBound(up.lo[frac], m.vars[frac].lo, ceilV)
+		if down.hi[frac] >= boundOr(down.lo[frac], m.vars[frac].lo) {
+			queue = append(queue, down)
+		}
+		if boundOr(up.hi[frac], m.vars[frac].hi) >= up.lo[frac] {
+			queue = append(queue, up)
+		}
+	}
+
+	if incumbent == nil {
+		return &Solution{Status: StatusInfeasible, Pivots: totalPivots, Nodes: nodes}, nil
+	}
+	// Snap integer values exactly; relaxation duals are meaningless for
+	// the integer program.
+	incumbent.Duals = nil
+	for i, v := range m.vars {
+		if v.integer {
+			incumbent.Values[i] = math.Round(incumbent.Values[i])
+		}
+	}
+	obj := 0.0
+	for i, v := range m.vars {
+		obj += v.obj * incumbent.Values[i]
+	}
+	incumbent.Objective = obj
+	incumbent.Pivots = totalPivots
+	incumbent.Nodes = nodes
+	return incumbent, nil
+}
+
+type bbNode struct {
+	lo, hi []float64 // NaN = inherit model bound
+	bound  float64   // directed objective of the parent relaxation
+	relax  *Solution // root node carries its pre-solved relaxation
+}
+
+// directedObj maps an objective value to "smaller is better" space.
+func (m *Model) directedObj(obj float64) float64 {
+	if m.sense == Maximize {
+		return -obj
+	}
+	return obj
+}
+
+// mostFractional returns the integer variable whose relaxation value is
+// farthest from integral, or -1 if all are integral.
+func (m *Model) mostFractional(values []float64) int {
+	best, bestDist := -1, intTol
+	for i, v := range m.vars {
+		if !v.integer {
+			continue
+		}
+		f := values[i] - math.Floor(values[i])
+		dist := math.Min(f, 1-f)
+		if dist > bestDist {
+			best, bestDist = i, dist
+		}
+	}
+	return best
+}
+
+func nanSlice(n int) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = math.NaN()
+	}
+	return s
+}
+
+func cloneSlice(s []float64) []float64 {
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+// minBound returns the tighter of (override-or-model upper bound) and v.
+func minBound(override, model, v float64) float64 {
+	cur := model
+	if !math.IsNaN(override) {
+		cur = override
+	}
+	return math.Min(cur, v)
+}
+
+// maxBound returns the tighter of (override-or-model lower bound) and v.
+func maxBound(override, model, v float64) float64 {
+	cur := model
+	if !math.IsNaN(override) {
+		cur = override
+	}
+	return math.Max(cur, v)
+}
+
+// boundOr returns override when set, else model.
+func boundOr(override, model float64) float64 {
+	if math.IsNaN(override) {
+		return model
+	}
+	return override
+}

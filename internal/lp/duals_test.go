@@ -1,0 +1,292 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDualsKnownGE(t *testing.T) {
+	// min x + 2y s.t. x + y >= 4, x <= 3 → (3, 1). Raising the rhs to 5
+	// forces one more unit of y: dObj/dRHS = 2.
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, 3, 1)
+	y := m.AddVar("y", 0, 5, 2)
+	m.AddConstraint("cover", []Term{{x, 1}, {y, 1}}, GE, 4)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Duals) != 1 || !approx(sol.Dual(0), 2, 1e-7) {
+		t.Fatalf("dual = %v, want [2]", sol.Duals)
+	}
+}
+
+func TestDualsKnownLEMaximize(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 → x=4, y=0.
+	// Constraint 1 binds with marginal value 3; constraint 2 is slack.
+	m := NewModel(Maximize)
+	x := m.AddVar("x", 0, math.Inf(1), 3)
+	y := m.AddVar("y", 0, math.Inf(1), 2)
+	m.AddConstraint("c1", []Term{{x, 1}, {y, 1}}, LE, 4)
+	m.AddConstraint("c2", []Term{{x, 1}, {y, 3}}, LE, 6)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Dual(0), 3, 1e-7) {
+		t.Fatalf("binding dual = %g, want 3", sol.Dual(0))
+	}
+	if !approx(sol.Dual(1), 0, 1e-7) {
+		t.Fatalf("slack dual = %g, want 0", sol.Dual(1))
+	}
+}
+
+func TestDualsKnownEquality(t *testing.T) {
+	// min 2x + 3y s.t. x + y = 10, x <= 6 → (6, 4). One more unit of rhs
+	// lands on y: dual 3.
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, 6, 2)
+	y := m.AddVar("y", 0, math.Inf(1), 3)
+	m.AddConstraint("sum", []Term{{x, 1}, {y, 1}}, EQ, 10)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Dual(0), 3, 1e-7) {
+		t.Fatalf("equality dual = %g, want 3", sol.Dual(0))
+	}
+}
+
+func TestDualsNegativeRHS(t *testing.T) {
+	// A row that gets sign-normalized internally: min x s.t. -x <= -2
+	// (i.e. x >= 2) → x=2; dObj/dRHS of the LE row: raising -2 toward 0
+	// relaxes... -x <= b with b=-2 → x >= -b → obj = -b → dObj/db = -1.
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, 100, 1)
+	m.AddConstraint("neg", []Term{{x, -1}}, LE, -2)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value(x), 2, 1e-7) {
+		t.Fatalf("x = %g, want 2", sol.Value(x))
+	}
+	if !approx(sol.Dual(0), -1, 1e-7) {
+		t.Fatalf("dual = %g, want -1", sol.Dual(0))
+	}
+}
+
+func TestDualsAbsentForMIP(t *testing.T) {
+	m := NewModel(Minimize)
+	x := m.AddIntVar("x", 0, 10, 1)
+	m.AddConstraint("c", []Term{{x, 1}}, GE, 3)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Duals != nil {
+		t.Fatal("MIP solutions must not carry relaxation duals")
+	}
+	if sol.Dual(0) != 0 {
+		t.Fatal("Dual() should degrade to 0 without duals")
+	}
+}
+
+func TestDualSignConventions(t *testing.T) {
+	// For minimization: tightening a GE (raising rhs) cannot decrease the
+	// objective (dual >= 0); relaxing an LE (raising rhs) cannot increase
+	// it (dual <= 0).
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		m, _ := randomFeasibleLP(rng)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			continue
+		}
+		for k, con := range m.cons {
+			switch con.rel {
+			case GE:
+				if sol.Dual(k) < -1e-7 {
+					t.Fatalf("trial %d: GE dual %g < 0", trial, sol.Dual(k))
+				}
+			case LE:
+				if sol.Dual(k) > 1e-7 {
+					t.Fatalf("trial %d: LE dual %g > 0", trial, sol.Dual(k))
+				}
+			}
+			// Complementary slackness: a nonzero dual implies a tight row.
+			if math.Abs(sol.Dual(k)) > 1e-6 {
+				lhs := 0.0
+				for _, term := range con.terms {
+					lhs += term.Coeff * sol.Value(term.Var)
+				}
+				if math.Abs(lhs-con.rhs) > 1e-5 {
+					t.Fatalf("trial %d: dual %g on slack constraint (lhs %g, rhs %g)",
+						trial, sol.Dual(k), lhs, con.rhs)
+				}
+			}
+		}
+	}
+}
+
+// TestDualsMatchFiniteDifferences verifies each dual is a subgradient of
+// the optimal-value function in its constraint's rhs: it must lie between
+// the left and right difference quotients.
+func TestDualsMatchFiniteDifferences(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	checked := 0
+	for trial := 0; trial < 60 && checked < 60; trial++ {
+		m, _ := randomFeasibleLP(rng)
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != StatusOptimal {
+			continue
+		}
+		const h = 1e-4
+		for k := range m.cons {
+			slopes := make([]float64, 0, 2)
+			for _, delta := range []float64{h, -h} {
+				pert := *m
+				pert.cons = append([]constraint(nil), m.cons...)
+				pert.cons[k].rhs += delta
+				psol, err := pert.Solve()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if psol.Status != StatusOptimal {
+					continue
+				}
+				slopes = append(slopes, (psol.Objective-sol.Objective)/delta)
+			}
+			if len(slopes) < 2 {
+				continue
+			}
+			lo := math.Min(slopes[0], slopes[1]) - 1e-5
+			hi := math.Max(slopes[0], slopes[1]) + 1e-5
+			if sol.Dual(k) < lo || sol.Dual(k) > hi {
+				t.Fatalf("trial %d constraint %d: dual %g outside difference-quotient range [%g, %g]",
+					trial, k, sol.Dual(k), lo, hi)
+			}
+			checked++
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d dual/FD comparisons ran; generator too restrictive", checked)
+	}
+}
+
+// randomFeasibleLP builds a small bounded LP that is feasible by
+// construction (x = mid-bounds satisfies every constraint with margin).
+func randomFeasibleLP(rng *rand.Rand) (*Model, []VarID) {
+	n := 2 + rng.Intn(3)
+	m := NewModel(Minimize)
+	vars := make([]VarID, n)
+	mid := make([]float64, n)
+	for j := 0; j < n; j++ {
+		hi := 5 + rng.Float64()*10
+		mid[j] = hi / 2
+		vars[j] = m.AddVar("x", 0, hi, rng.Float64()*10-2)
+	}
+	numCons := 1 + rng.Intn(3)
+	for k := 0; k < numCons; k++ {
+		terms := make([]Term, 0, n)
+		lhsAtMid := 0.0
+		for j := 0; j < n; j++ {
+			c := float64(rng.Intn(7) - 3)
+			if c == 0 {
+				continue
+			}
+			terms = append(terms, Term{vars[j], c})
+			lhsAtMid += c * mid[j]
+		}
+		if len(terms) == 0 {
+			continue
+		}
+		if rng.Intn(2) == 0 {
+			m.AddConstraint("le", terms, LE, lhsAtMid+1+rng.Float64()*5)
+		} else {
+			m.AddConstraint("ge", terms, GE, lhsAtMid-1-rng.Float64()*5)
+		}
+	}
+	return m, vars
+}
+
+func TestDualsRedundantRowIsZero(t *testing.T) {
+	// A duplicated equality yields a redundant (evicted) row whose
+	// canonical dual is 0; the surviving copy carries the sensitivity.
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, math.Inf(1), 1)
+	y := m.AddVar("y", 0, math.Inf(1), 1)
+	m.AddConstraint("e1", []Term{{x, 1}, {y, 1}}, EQ, 5)
+	m.AddConstraint("e2", []Term{{x, 1}, {y, 1}}, EQ, 5)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Exactly one of the two identical rows carries the dual 1 (any split
+	// is a valid subgradient, but the evicted row is pinned to 0).
+	sum := sol.Dual(0) + sol.Dual(1)
+	if !approx(sum, 1, 1e-7) {
+		t.Fatalf("dual sum = %g, want 1", sum)
+	}
+}
+
+func TestDualsGENegativeRHS(t *testing.T) {
+	// min x s.t. x >= -3 with x in [0, 10]: the constraint is slack at
+	// x = 0, so its dual is 0.
+	m := NewModel(Minimize)
+	x := m.AddVar("x", 0, 10, 1)
+	m.AddConstraint("g", []Term{{x, 1}}, GE, -3)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Value(x), 0, 1e-9) || !approx(sol.Dual(0), 0, 1e-7) {
+		t.Fatalf("x = %g dual = %g, want 0/0", sol.Value(x), sol.Dual(0))
+	}
+}
+
+func TestDualsTransportAgreement(t *testing.T) {
+	// On a non-degenerate transportation instance, the simplex constraint
+	// duals must match the MODI potentials for the sink capacities.
+	p := TransportProblem{
+		Supply: []float64{10},
+		Demand: []float64{5, 20},
+		Cost:   [][]float64{{1, 4}},
+	}
+	ts, err := SolveTransport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := NewModel(Minimize)
+	x0 := m.AddVar("x0", 0, math.Inf(1), 1)
+	x1 := m.AddVar("x1", 0, math.Inf(1), 4)
+	m.AddConstraint("supply", []Term{{x0, 1}, {x1, 1}}, EQ, 10)
+	m.AddConstraint("cap0", []Term{{x0, 1}}, LE, 5)
+	m.AddConstraint("cap1", []Term{{x1, 1}}, LE, 20)
+	ls, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ts.Objective, ls.Objective, 1e-9) {
+		t.Fatalf("objectives differ: %g vs %g", ts.Objective, ls.Objective)
+	}
+	// Sink duals: tight cap0 at -3 (simplex, dObj/dRHS) vs MODI v_0; the
+	// slack sink is 0 in both conventions.
+	if !approx(ls.Dual(1), ts.DualDemand[0], 1e-7) {
+		t.Fatalf("cap0 dual %g vs MODI potential %g", ls.Dual(1), ts.DualDemand[0])
+	}
+	if !approx(ls.Dual(2), ts.DualDemand[1], 1e-7) {
+		t.Fatalf("cap1 dual %g vs MODI potential %g", ls.Dual(2), ts.DualDemand[1])
+	}
+}

@@ -1,0 +1,323 @@
+// Package lp is a self-contained linear-programming toolkit standing in
+// for the commercial solver (Gurobi) the paper uses: a modeling layer, a
+// dense two-phase primal simplex, branch-and-bound for integer variables,
+// and a specialized transportation-problem solver used both as a fast path
+// for the DUST placement LP and as an independent cross-check.
+//
+// Only the features the DUST formulation needs are implemented — bounded
+// continuous/integer variables, linear constraints with <=, >=, = senses,
+// and minimization/maximization — but they are implemented completely:
+// infeasibility and unboundedness are detected and reported, and Bland's
+// rule guards against cycling.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the optimization direction.
+type Sense int
+
+// Optimization directions.
+const (
+	Minimize Sense = iota
+	Maximize
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // left-hand side <= rhs
+	GE            // left-hand side >= rhs
+	EQ            // left-hand side == rhs
+)
+
+func (r Rel) String() string {
+	switch r {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "=="
+	default:
+		return "?"
+	}
+}
+
+// VarID identifies a variable within a Model.
+type VarID int
+
+// Term is one coefficient·variable product in a linear expression.
+type Term struct {
+	Var   VarID
+	Coeff float64
+}
+
+type variable struct {
+	name    string
+	lo, hi  float64 // hi may be +Inf
+	obj     float64
+	integer bool
+}
+
+type constraint struct {
+	name  string
+	terms []Term
+	rel   Rel
+	rhs   float64
+}
+
+// Model is a linear (or mixed-integer) program under construction.
+type Model struct {
+	sense Sense
+	vars  []variable
+	cons  []constraint
+}
+
+// NewModel returns an empty model with the given optimization direction.
+func NewModel(sense Sense) *Model {
+	return &Model{sense: sense}
+}
+
+// NumVars returns the number of variables added so far.
+func (m *Model) NumVars() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVar adds a continuous variable with bounds [lo, hi] (hi may be +Inf)
+// and objective coefficient obj, returning its ID. lo must be finite and
+// <= hi; DUST's decision variables are all of the form [0, ub].
+func (m *Model) AddVar(name string, lo, hi, obj float64) VarID {
+	return m.addVar(name, lo, hi, obj, false)
+}
+
+// AddIntVar adds an integer variable with bounds [lo, hi].
+func (m *Model) AddIntVar(name string, lo, hi, obj float64) VarID {
+	return m.addVar(name, lo, hi, obj, true)
+}
+
+func (m *Model) addVar(name string, lo, hi, obj float64, integer bool) VarID {
+	if math.IsInf(lo, 0) || math.IsNaN(lo) || math.IsNaN(hi) {
+		panic(fmt.Sprintf("lp: variable %q needs a finite lower bound, got lo=%g", name, lo))
+	}
+	if hi < lo {
+		panic(fmt.Sprintf("lp: variable %q has hi %g < lo %g", name, hi, lo))
+	}
+	id := VarID(len(m.vars))
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj, integer: integer})
+	return id
+}
+
+// AddConstraint adds the linear constraint Σ terms rel rhs. Duplicate
+// variables in terms are summed.
+func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) {
+	for _, t := range terms {
+		if int(t.Var) < 0 || int(t.Var) >= len(m.vars) {
+			panic(fmt.Sprintf("lp: constraint %q references unknown variable %d", name, t.Var))
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: combineTerms(terms), rel: rel, rhs: rhs})
+}
+
+func combineTerms(terms []Term) []Term {
+	byVar := make(map[VarID]float64, len(terms))
+	order := make([]VarID, 0, len(terms))
+	for _, t := range terms {
+		if _, seen := byVar[t.Var]; !seen {
+			order = append(order, t.Var)
+		}
+		byVar[t.Var] += t.Coeff
+	}
+	out := make([]Term, 0, len(order))
+	for _, v := range order {
+		out = append(out, Term{Var: v, Coeff: byVar[v]})
+	}
+	return out
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota
+	StatusInfeasible
+	StatusUnbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	default:
+		return "unknown"
+	}
+}
+
+// Solution is the result of solving a Model.
+type Solution struct {
+	Status    Status
+	Objective float64
+	// Values holds the optimal value of each variable by VarID.
+	Values []float64
+	// Pivots counts simplex pivot operations across all LP solves
+	// (including branch-and-bound nodes).
+	Pivots int
+	// Nodes counts branch-and-bound nodes explored (1 for pure LPs).
+	Nodes int
+	// Duals holds, for pure LPs solved to optimality, the dual value of
+	// each constraint in AddConstraint order: the sensitivity
+	// dObjective/dRHS in the model's own optimization sense. Nil for
+	// mixed-integer models (integer value functions have no gradients)
+	// and non-optimal outcomes. Under primal degeneracy the dual is one
+	// valid subgradient of the value function.
+	Duals []float64
+}
+
+// Dual returns the dual value of the k-th constraint (AddConstraint
+// order); zero when duals are unavailable.
+func (s *Solution) Dual(k int) float64 {
+	if s.Duals == nil || k < 0 || k >= len(s.Duals) {
+		return 0
+	}
+	return s.Duals[k]
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v VarID) float64 { return s.Values[v] }
+
+// ErrIterationLimit is returned when the simplex exceeds its pivot budget,
+// which indicates a numerical pathology rather than a model property.
+var ErrIterationLimit = errors.New("lp: simplex iteration limit exceeded")
+
+// Solve optimizes the model. Pure LPs run a single two-phase simplex;
+// models with integer variables run branch-and-bound over LP relaxations.
+// Infeasible and unbounded models are reported via Solution.Status, not an
+// error; errors indicate numerical failure.
+func (m *Model) Solve() (*Solution, error) {
+	hasInt := false
+	for _, v := range m.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	if hasInt {
+		return m.solveBB()
+	}
+	sol, err := m.solveRelaxation(nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	sol.Nodes = 1
+	return sol, nil
+}
+
+// solveRelaxation solves the LP relaxation with optional per-variable
+// bound overrides (nil means model bounds).
+func (m *Model) solveRelaxation(loOverride, hiOverride []float64) (*Solution, error) {
+	std := m.toStandard(loOverride, hiOverride)
+	res, err := std.solve()
+	if err != nil {
+		return nil, err
+	}
+	sol := &Solution{Status: res.status, Pivots: res.pivots}
+	if res.status != StatusOptimal {
+		return sol, nil
+	}
+	sol.Values = make([]float64, len(m.vars))
+	for i := range m.vars {
+		lo := m.vars[i].lo
+		if loOverride != nil && !math.IsNaN(loOverride[i]) {
+			lo = loOverride[i]
+		}
+		sol.Values[i] = lo + res.x[std.shifted[i]]
+	}
+	// Constraint duals: standard-form rows are the upper-bound rows
+	// followed by the model constraints in order; flip sign for Maximize
+	// (the standard form minimizes the negated objective).
+	if len(m.cons) > 0 {
+		dir := 1.0
+		if m.sense == Maximize {
+			dir = -1
+		}
+		numUB := len(std.rows) - len(m.cons)
+		sol.Duals = make([]float64, len(m.cons))
+		for k := range m.cons {
+			sol.Duals[k] = dir * res.y[numUB+k]
+		}
+	}
+	obj := 0.0
+	for i, v := range m.vars {
+		obj += v.obj * sol.Values[i]
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+// standard is the model in computational standard form:
+// minimize c·y subject to A y (rel) b, y >= 0, where y_i = x_i - lo_i and
+// finite upper bounds became explicit rows.
+type standard struct {
+	nCols   int
+	rows    []stdRow
+	c       []float64
+	shifted []int // original var index -> column (identity here, kept for clarity)
+}
+
+type stdRow struct {
+	coeffs []float64
+	rel    Rel
+	rhs    float64
+}
+
+func (m *Model) toStandard(loOverride, hiOverride []float64) *standard {
+	n := len(m.vars)
+	std := &standard{nCols: n, shifted: make([]int, n), c: make([]float64, n)}
+	lo := make([]float64, n)
+	hi := make([]float64, n)
+	for i, v := range m.vars {
+		std.shifted[i] = i
+		lo[i], hi[i] = v.lo, v.hi
+		if loOverride != nil && !math.IsNaN(loOverride[i]) {
+			lo[i] = loOverride[i]
+		}
+		if hiOverride != nil && !math.IsNaN(hiOverride[i]) {
+			hi[i] = hiOverride[i]
+		}
+		coeff := v.obj
+		if m.sense == Maximize {
+			coeff = -coeff
+		}
+		std.c[i] = coeff
+	}
+	// Upper bounds as explicit rows: y_i <= hi_i - lo_i.
+	for i := range m.vars {
+		if math.IsInf(hi[i], 1) {
+			continue
+		}
+		coeffs := make([]float64, n)
+		coeffs[i] = 1
+		std.rows = append(std.rows, stdRow{coeffs: coeffs, rel: LE, rhs: hi[i] - lo[i]})
+	}
+	for _, con := range m.cons {
+		coeffs := make([]float64, n)
+		shift := 0.0
+		for _, t := range con.terms {
+			coeffs[t.Var] = t.Coeff
+			shift += t.Coeff * lo[t.Var]
+		}
+		std.rows = append(std.rows, stdRow{coeffs: coeffs, rel: con.rel, rhs: con.rhs - shift})
+	}
+	return std
+}

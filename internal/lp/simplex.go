@@ -1,0 +1,350 @@
+package lp
+
+import "math"
+
+const (
+	// eps is the feasibility/optimality tolerance of the simplex.
+	eps = 1e-9
+	// blandTrigger is the number of consecutive non-improving (degenerate)
+	// pivots after which the solver switches from Dantzig's rule to
+	// Bland's rule, which provably terminates.
+	blandTrigger = 64
+)
+
+type result struct {
+	status Status
+	x      []float64 // values of the n structural columns
+	// y[i] is the dual value of standard-form row i, in the original
+	// (pre-normalization) row orientation of the minimization form.
+	y      []float64
+	pivots int
+}
+
+// solve runs a dense two-phase primal simplex on the standard-form model.
+func (s *standard) solve() (result, error) {
+	m := len(s.rows)
+	n := s.nCols
+
+	// Column layout: [0,n) structural, [n, n+slacks) slack/surplus,
+	// [n+slacks, total) artificial, and a separate rhs vector.
+	slackCol := make([]int, m) // -1 if the row is an equality
+	numSlacks := 0
+	for i, r := range s.rows {
+		if r.rel == EQ {
+			slackCol[i] = -1
+		} else {
+			slackCol[i] = n + numSlacks
+			numSlacks++
+		}
+	}
+
+	// First pass: build rows with slack coefficients, then normalize
+	// rhs >= 0 (negating rows flips the slack sign).
+	type rowBuf struct {
+		coeffs []float64 // length n+numSlacks
+		rhs    float64
+	}
+	rows := make([]rowBuf, m)
+	// rowSign records rhs normalization so duals map back to the original
+	// row orientation; unitCol[i] is the column that is +e_i at setup
+	// (slack or artificial), from which the row's dual is read.
+	rowSign := make([]float64, m)
+	unitCol := make([]int, m)
+	for i := range rowSign {
+		rowSign[i] = 1
+	}
+	for i, r := range s.rows {
+		buf := rowBuf{coeffs: make([]float64, n+numSlacks), rhs: r.rhs}
+		copy(buf.coeffs, r.coeffs)
+		switch r.rel {
+		case LE:
+			buf.coeffs[slackCol[i]] = 1
+		case GE:
+			buf.coeffs[slackCol[i]] = -1
+		}
+		if buf.rhs < 0 {
+			for j := range buf.coeffs {
+				buf.coeffs[j] = -buf.coeffs[j]
+			}
+			buf.rhs = -buf.rhs
+			rowSign[i] = -1
+		}
+		rows[i] = buf
+	}
+
+	// Decide the starting basis: a slack column with coefficient +1 can be
+	// basic directly; otherwise the row gets an artificial variable.
+	basis := make([]int, m)
+	numArt := 0
+	artRows := make([]int, 0, m)
+	for i := range rows {
+		if sc := slackCol[i]; sc >= 0 && rows[i].coeffs[sc] == 1 {
+			basis[i] = sc
+			unitCol[i] = sc
+		} else {
+			basis[i] = -1
+			artRows = append(artRows, i)
+			numArt++
+		}
+	}
+	total := n + numSlacks + numArt
+
+	// Dense tableau T (m × total) and rhs.
+	T := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i := range rows {
+		T[i] = make([]float64, total)
+		copy(T[i], rows[i].coeffs)
+		rhs[i] = rows[i].rhs
+	}
+	for k, i := range artRows {
+		col := n + numSlacks + k
+		T[i][col] = 1
+		basis[i] = col
+		unitCol[i] = col
+	}
+	artStart := n + numSlacks
+
+	live := make([]bool, m) // rows still active (redundant rows get dropped)
+	for i := range live {
+		live[i] = true
+	}
+
+	tab := &tableau{
+		T: T, rhs: rhs, basis: basis, live: live,
+		nStruct: n, artStart: artStart, total: total,
+		maxPivots: 20000 + 50*(m+total),
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	if numArt > 0 {
+		phase1 := make([]float64, total)
+		for j := artStart; j < total; j++ {
+			phase1[j] = 1
+		}
+		status, err := tab.optimize(phase1, total)
+		if err != nil {
+			return result{}, err
+		}
+		if status == StatusUnbounded {
+			// Phase-1 objective is bounded below by 0; unboundedness here
+			// would be a solver bug, treat as numerical failure.
+			return result{}, ErrIterationLimit
+		}
+		if tab.objective(phase1) > 1e-7 {
+			return result{status: StatusInfeasible, pivots: tab.pivots}, nil
+		}
+		tab.evictArtificials()
+	}
+
+	// Phase 2: minimize the real objective over columns < artStart.
+	phase2 := make([]float64, total)
+	copy(phase2, s.c)
+	status, err := tab.optimize(phase2, artStart)
+	if err != nil {
+		return result{}, err
+	}
+	if status == StatusUnbounded {
+		return result{status: StatusUnbounded, pivots: tab.pivots}, nil
+	}
+
+	x := make([]float64, n)
+	for i := range tab.T {
+		if tab.live[i] && tab.basis[i] < n {
+			x[tab.basis[i]] = tab.rhs[i]
+		}
+	}
+
+	// Dual extraction: row i's designated unit column u_i entered the
+	// tableau as +e_i with zero phase-2 cost, so its reduced cost there is
+	// −y_i for the normalized system; undo the rhs normalization to get
+	// the dual in the original row orientation. Rows evicted as redundant
+	// carry the canonical dual 0.
+	rAll := tab.reducedCosts(phase2, total)
+	y := make([]float64, m)
+	for i := 0; i < m; i++ {
+		if !tab.live[i] {
+			continue
+		}
+		y[i] = -rAll[unitCol[i]] * rowSign[i]
+	}
+	return result{status: StatusOptimal, x: x, y: y, pivots: tab.pivots}, nil
+}
+
+// tableau is the mutable state of a simplex run in canonical form: basic
+// columns form an identity across live rows.
+type tableau struct {
+	T         [][]float64
+	rhs       []float64
+	basis     []int
+	live      []bool
+	nStruct   int
+	artStart  int
+	total     int
+	pivots    int
+	maxPivots int
+}
+
+// objective evaluates c over the current basic solution.
+func (t *tableau) objective(c []float64) float64 {
+	obj := 0.0
+	for i := range t.T {
+		if t.live[i] {
+			obj += c[t.basis[i]] * t.rhs[i]
+		}
+	}
+	return obj
+}
+
+// reducedCosts computes r_j = c_j - c_B·T_j for all columns < colLimit.
+func (t *tableau) reducedCosts(c []float64, colLimit int) []float64 {
+	r := make([]float64, colLimit)
+	copy(r, c[:colLimit])
+	for i := range t.T {
+		if !t.live[i] {
+			continue
+		}
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.T[i]
+		for j := 0; j < colLimit; j++ {
+			r[j] -= cb * row[j]
+		}
+	}
+	return r
+}
+
+// optimize pivots until the objective c is optimal over columns
+// [0, colLimit), or unboundedness is detected.
+func (t *tableau) optimize(c []float64, colLimit int) (Status, error) {
+	r := t.reducedCosts(c, colLimit)
+	lastObj := t.objective(c)
+	stall := 0
+	for {
+		useBland := stall >= blandTrigger
+		enter := -1
+		if useBland {
+			for j := 0; j < colLimit; j++ {
+				if r[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		} else {
+			best := -eps
+			for j := 0; j < colLimit; j++ {
+				if r[j] < best {
+					best = r[j]
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			return StatusOptimal, nil
+		}
+
+		// Ratio test over live rows; Bland tie-break on smallest basis index.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := range t.T {
+			if !t.live[i] {
+				continue
+			}
+			a := t.T[i][enter]
+			if a <= eps {
+				continue
+			}
+			ratio := t.rhs[i] / a
+			if ratio < bestRatio-eps ||
+				(ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+				bestRatio = ratio
+				leave = i
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded, nil
+		}
+
+		t.pivot(leave, enter, r)
+		obj := t.objective(c)
+		if obj < lastObj-1e-12 {
+			stall = 0
+		} else {
+			stall++
+		}
+		lastObj = obj
+		if t.pivots > t.maxPivots {
+			return StatusOptimal, ErrIterationLimit
+		}
+	}
+}
+
+// pivot makes column enter basic in row leave, updating the tableau and the
+// reduced-cost row r in place.
+func (t *tableau) pivot(leave, enter int, r []float64) {
+	t.pivots++
+	prow := t.T[leave]
+	pval := prow[enter]
+	inv := 1 / pval
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.rhs[leave] *= inv
+	prow[enter] = 1 // exact
+
+	for i := range t.T {
+		if i == leave || !t.live[i] {
+			continue
+		}
+		f := t.T[i][enter]
+		if f == 0 {
+			continue
+		}
+		row := t.T[i]
+		for j := range row {
+			row[j] -= f * prow[j]
+		}
+		row[enter] = 0 // exact
+		t.rhs[i] -= f * t.rhs[leave]
+		if t.rhs[i] < 0 && t.rhs[i] > -1e-11 {
+			t.rhs[i] = 0
+		}
+	}
+	if r != nil {
+		f := r[enter]
+		if f != 0 {
+			for j := range r {
+				if j < len(prow) {
+					r[j] -= f * prow[j]
+				}
+			}
+			r[enter] = 0
+		}
+	}
+	t.basis[leave] = enter
+}
+
+// evictArtificials removes artificial variables from the basis after a
+// successful phase 1: each basic artificial (necessarily at value 0) is
+// either pivoted out on any non-artificial column or, when its row has no
+// such column (a redundant constraint), the row is deactivated.
+func (t *tableau) evictArtificials() {
+	for i := range t.T {
+		if !t.live[i] || t.basis[i] < t.artStart {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.T[i][j]) > 1e-7 {
+				t.pivot(i, j, nil)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			t.live[i] = false
+		}
+	}
+}

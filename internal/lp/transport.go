@@ -1,0 +1,456 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TransportProblem is the min-cost transportation problem the DUST
+// placement LP reduces to: ship Supply[i] units out of each source i into
+// sinks with capacity Demand[j], paying Cost[i][j] per unit, minimizing
+// total cost. A Cost of +Inf forbids the lane (e.g. no path within the
+// max-hop bound).
+//
+// Constraints: Σ_j x_ij = Supply[i] (each busy node fully offloads, paper
+// Eq. 3b) and Σ_i x_ij <= Demand[j] (candidate spare capacity, Eq. 3a).
+type TransportProblem struct {
+	Supply []float64
+	Demand []float64
+	Cost   [][]float64
+}
+
+// TransportSolution is the result of SolveTransport.
+type TransportSolution struct {
+	Status    Status
+	Objective float64
+	// Flow[i][j] is the optimal shipment from source i to sink j.
+	Flow [][]float64
+	// Iterations counts MODI pivot steps.
+	Iterations int
+	// DualSupply[i] and DualDemand[j] are the optimal dual values (the
+	// MODI potentials u_i and v_j, gauged so the balancing dummy source's
+	// potential is zero). −DualDemand[j] is sink j's shadow price: the
+	// objective improvement per extra unit of capacity at j (exactly 0
+	// for sinks with slack capacity).
+	DualSupply, DualDemand []float64
+}
+
+var errMalformed = errors.New("lp: malformed transportation problem")
+
+// SolveTransport solves the transportation problem with the classical
+// network method: a least-cost initial basic feasible solution followed by
+// MODI (u-v) optimality iterations on the basis spanning tree. It detects
+// infeasibility (total supply exceeding total sink capacity, or forbidden
+// lanes making some supply unroutable).
+func SolveTransport(p TransportProblem) (*TransportSolution, error) {
+	m, n := len(p.Supply), len(p.Demand)
+	if m == 0 || n == 0 {
+		return nil, fmt.Errorf("%w: %d sources, %d sinks", errMalformed, m, n)
+	}
+	if len(p.Cost) != m {
+		return nil, fmt.Errorf("%w: cost has %d rows, want %d", errMalformed, len(p.Cost), m)
+	}
+	totalSupply, totalDemand := 0.0, 0.0
+	maxCost := 0.0
+	for i := range p.Supply {
+		if p.Supply[i] < 0 {
+			return nil, fmt.Errorf("%w: negative supply %g at source %d", errMalformed, p.Supply[i], i)
+		}
+		if len(p.Cost[i]) != n {
+			return nil, fmt.Errorf("%w: cost row %d has %d entries, want %d", errMalformed, i, len(p.Cost[i]), n)
+		}
+		totalSupply += p.Supply[i]
+		for j := range p.Cost[i] {
+			if c := p.Cost[i][j]; !math.IsInf(c, 1) && c > maxCost {
+				maxCost = c
+			}
+		}
+	}
+	for j := range p.Demand {
+		if p.Demand[j] < 0 {
+			return nil, fmt.Errorf("%w: negative demand %g at sink %d", errMalformed, p.Demand[j], j)
+		}
+		totalDemand += p.Demand[j]
+	}
+	if totalSupply > totalDemand+eps {
+		return &TransportSolution{Status: StatusInfeasible}, nil
+	}
+
+	// Balance: a dummy source absorbs unused sink capacity at zero cost,
+	// turning the <= sink constraints into equalities. Forbidden lanes get
+	// a Big-M cost; positive flow on one after optimization means the real
+	// problem is infeasible.
+	bigM := (maxCost + 1) * float64(m+n) * 1e3
+	M := m + 1 // rows including dummy
+	cost := make([][]float64, M)
+	supply := make([]float64, M)
+	copy(supply, p.Supply)
+	supply[m] = totalDemand - totalSupply
+	for i := 0; i < M; i++ {
+		cost[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			switch {
+			case i == m:
+				cost[i][j] = 0
+			case math.IsInf(p.Cost[i][j], 1):
+				cost[i][j] = bigM
+			default:
+				cost[i][j] = p.Cost[i][j]
+			}
+		}
+	}
+	demand := append([]float64(nil), p.Demand...)
+
+	t := newTransportTableau(supply, demand, cost)
+	t.initialBasis()
+	if err := t.optimize(); err != nil {
+		return nil, err
+	}
+
+	u, v := t.potentials()
+	// Normalize the dual gauge so the dummy source's potential is zero:
+	// slack sinks (fed by the dummy at cost 0) then get dual exactly 0 and
+	// -v_j is directly sink j's shadow price.
+	shift := u[m]
+	sol := &TransportSolution{
+		Status:     StatusOptimal,
+		Flow:       make([][]float64, m),
+		Iterations: t.iterations,
+		DualSupply: make([]float64, m),
+		DualDemand: make([]float64, n),
+	}
+	for i := 0; i < m; i++ {
+		sol.DualSupply[i] = u[i] - shift
+	}
+	for j := 0; j < n; j++ {
+		sol.DualDemand[j] = v[j] + shift
+	}
+	obj := 0.0
+	for i := 0; i < m; i++ {
+		sol.Flow[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			f := t.flowAt(i, j)
+			if f < eps {
+				f = 0
+			}
+			if f > 0 && math.IsInf(p.Cost[i][j], 1) {
+				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+			}
+			sol.Flow[i][j] = f
+			if f > 0 {
+				obj += f * p.Cost[i][j]
+			}
+		}
+	}
+	sol.Objective = obj
+	return sol, nil
+}
+
+// transportTableau holds the balanced problem and its basis spanning tree.
+type transportTableau struct {
+	m, n       int
+	supply     []float64
+	demand     []float64
+	cost       [][]float64
+	flow       map[cell]float64 // flow on basic cells
+	basic      map[cell]bool
+	rowBasics  [][]cell // basic cells per source row
+	colBasics  [][]cell // basic cells per sink column
+	iterations int
+}
+
+type cell struct{ i, j int }
+
+func newTransportTableau(supply, demand []float64, cost [][]float64) *transportTableau {
+	return &transportTableau{
+		m: len(supply), n: len(demand),
+		supply: supply, demand: demand, cost: cost,
+		flow:      make(map[cell]float64),
+		basic:     make(map[cell]bool),
+		rowBasics: make([][]cell, len(supply)),
+		colBasics: make([][]cell, len(demand)),
+	}
+}
+
+func (t *transportTableau) addBasic(c cell, f float64) {
+	t.basic[c] = true
+	t.flow[c] = f
+	t.rowBasics[c.i] = append(t.rowBasics[c.i], c)
+	t.colBasics[c.j] = append(t.colBasics[c.j], c)
+}
+
+func (t *transportTableau) removeBasic(c cell) {
+	delete(t.basic, c)
+	delete(t.flow, c)
+	t.rowBasics[c.i] = removeCell(t.rowBasics[c.i], c)
+	t.colBasics[c.j] = removeCell(t.colBasics[c.j], c)
+}
+
+func removeCell(s []cell, c cell) []cell {
+	for i := range s {
+		if s[i] == c {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+func (t *transportTableau) flowAt(i, j int) float64 { return t.flow[cell{i, j}] }
+
+// initialBasis builds a basic feasible solution with the least-cost
+// method, then pads zero-flow basics until the basis is a spanning tree
+// with exactly m+n-1 cells.
+func (t *transportTableau) initialBasis() {
+	type costCell struct {
+		c    float64
+		cell cell
+	}
+	all := make([]costCell, 0, t.m*t.n)
+	for i := 0; i < t.m; i++ {
+		for j := 0; j < t.n; j++ {
+			all = append(all, costCell{t.cost[i][j], cell{i, j}})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].c != all[b].c {
+			return all[a].c < all[b].c
+		}
+		if all[a].cell.i != all[b].cell.i {
+			return all[a].cell.i < all[b].cell.i
+		}
+		return all[a].cell.j < all[b].cell.j
+	})
+
+	remS := append([]float64(nil), t.supply...)
+	remD := append([]float64(nil), t.demand...)
+	for _, cc := range all {
+		i, j := cc.cell.i, cc.cell.j
+		if remS[i] <= eps || remD[j] <= eps {
+			continue
+		}
+		f := math.Min(remS[i], remD[j])
+		t.addBasic(cc.cell, f)
+		remS[i] -= f
+		remD[j] -= f
+	}
+
+	// Union-find over row-nodes [0,m) and col-nodes [m, m+n) to pad the
+	// basis into a spanning tree with zero-flow cells.
+	parent := make([]int, t.m+t.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	for c := range t.basic {
+		union(c.i, t.m+c.j)
+	}
+	for _, cc := range all {
+		if len(t.basic) >= t.m+t.n-1 {
+			break
+		}
+		if t.basic[cc.cell] {
+			continue
+		}
+		if union(cc.cell.i, t.m+cc.cell.j) {
+			t.addBasic(cc.cell, 0)
+		}
+	}
+}
+
+// potentials computes the MODI dual values u (rows) and v (cols) by
+// traversing the basis tree from row 0 with u[0] = 0.
+func (t *transportTableau) potentials() (u, v []float64) {
+	u = make([]float64, t.m)
+	v = make([]float64, t.n)
+	seenRow := make([]bool, t.m)
+	seenCol := make([]bool, t.n)
+	type frame struct {
+		isRow bool
+		idx   int
+	}
+	for start := 0; start < t.m; start++ {
+		if seenRow[start] {
+			continue
+		}
+		seenRow[start] = true
+		u[start] = 0
+		stack := []frame{{true, start}}
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if f.isRow {
+				for _, c := range t.rowBasics[f.idx] {
+					if !seenCol[c.j] {
+						seenCol[c.j] = true
+						v[c.j] = t.cost[c.i][c.j] - u[c.i]
+						stack = append(stack, frame{false, c.j})
+					}
+				}
+			} else {
+				for _, c := range t.colBasics[f.idx] {
+					if !seenRow[c.i] {
+						seenRow[c.i] = true
+						u[c.i] = t.cost[c.i][c.j] - v[c.j]
+						stack = append(stack, frame{true, c.i})
+					}
+				}
+			}
+		}
+	}
+	return u, v
+}
+
+// cyclePath finds the unique path in the basis tree from row-node i to
+// col-node j, returned as the alternating cell sequence. Adding the
+// entering cell (i,j) to this path closes the pivot cycle.
+func (t *transportTableau) cyclePath(i, j int) []cell {
+	// BFS over the tree from row i to col j.
+	type nodeKey struct {
+		isRow bool
+		idx   int
+	}
+	prev := make(map[nodeKey]cell)
+	seen := map[nodeKey]bool{{true, i}: true}
+	queue := []nodeKey{{true, i}}
+	target := nodeKey{false, j}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == target {
+			break
+		}
+		var nexts []cell
+		if cur.isRow {
+			nexts = t.rowBasics[cur.idx]
+		} else {
+			nexts = t.colBasics[cur.idx]
+		}
+		for _, c := range nexts {
+			var nk nodeKey
+			if cur.isRow {
+				nk = nodeKey{false, c.j}
+			} else {
+				nk = nodeKey{true, c.i}
+			}
+			if seen[nk] {
+				continue
+			}
+			seen[nk] = true
+			prev[nk] = c
+			queue = append(queue, nk)
+		}
+	}
+	if !seen[target] {
+		return nil // disconnected basis — should not happen with a spanning tree
+	}
+	// Walk back from target to source collecting cells.
+	var rev []cell
+	cur := target
+	for cur != (nodeKey{true, i}) {
+		c := prev[cur]
+		rev = append(rev, c)
+		if cur.isRow {
+			cur = nodeKey{false, c.j}
+		} else {
+			cur = nodeKey{true, c.i}
+		}
+	}
+	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
+		rev[a], rev[b] = rev[b], rev[a]
+	}
+	return rev
+}
+
+// optimize runs MODI iterations to optimality.
+func (t *transportTableau) optimize() error {
+	maxIter := 200*(t.m+t.n) + 10000
+	stall := 0
+	for {
+		u, v := t.potentials()
+		enter := cell{-1, -1}
+		useBland := stall >= blandTrigger
+		best := -eps
+	scan:
+		for i := 0; i < t.m; i++ {
+			for j := 0; j < t.n; j++ {
+				c := cell{i, j}
+				if t.basic[c] {
+					continue
+				}
+				r := t.cost[i][j] - u[i] - v[j]
+				if useBland {
+					if r < -eps {
+						enter = c
+						break scan
+					}
+				} else if r < best {
+					best = r
+					enter = c
+				}
+			}
+		}
+		if enter.i < 0 {
+			return nil // optimal
+		}
+
+		path := t.cyclePath(enter.i, enter.j)
+		if path == nil {
+			return fmt.Errorf("lp: transport basis lost connectivity at cell (%d,%d)", enter.i, enter.j)
+		}
+		// Cycle: enter (+), then alternate -, +, -, ... along path.
+		theta := math.Inf(1)
+		leave := cell{-1, -1}
+		for k, c := range path {
+			if k%2 == 0 { // minus position
+				f := t.flow[c]
+				if f < theta || (f == theta && (leave.i < 0 || lessCell(c, leave))) {
+					theta = f
+					leave = c
+				}
+			}
+		}
+		for k, c := range path {
+			if k%2 == 0 {
+				t.flow[c] -= theta
+			} else {
+				t.flow[c] += theta
+			}
+		}
+		t.removeBasic(leave)
+		t.addBasic(enter, theta)
+		t.iterations++
+		if theta <= eps {
+			stall++
+		} else {
+			stall = 0
+		}
+		if t.iterations > maxIter {
+			return ErrIterationLimit
+		}
+	}
+}
+
+func lessCell(a, b cell) bool {
+	if a.i != b.i {
+		return a.i < b.i
+	}
+	return a.j < b.j
+}

@@ -1,0 +1,171 @@
+// Package metrics provides small statistical utilities shared by the
+// experiment harness and the cluster runtime: streaming summaries,
+// percentiles, and the log-log power-law fit the paper applies to the
+// heuristic failure rate (Figure 11a, "negative power function of ~-0.5").
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates a stream of observations with Welford's algorithm,
+// keeping mean and variance numerically stable without storing samples.
+type Summary struct {
+	n        int
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	d := x - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Var returns the sample variance (n-1 denominator), or 0 for n < 2.
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation, or 0 with none.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 with none.
+func (s *Summary) Max() float64 { return s.max }
+
+// String formats the summary for experiment tables.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Stddev(), s.min, s.max)
+}
+
+// Percentile returns the p-th percentile (0..100) of xs via linear
+// interpolation on a sorted copy. It panics on empty input or p outside
+// [0, 100].
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		panic("metrics: percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic(fmt.Sprintf("metrics: percentile %g outside [0,100]", p))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(rank))
+	hi := int(math.Ceil(rank))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// PowerLawFit fits y = a·x^b by least squares in log-log space, returning
+// the coefficient a and exponent b. All inputs must be positive; the
+// paper uses this to characterize HFR versus network scale (b ≈ -0.5).
+func PowerLawFit(xs, ys []float64) (a, b float64, err error) {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return 0, 0, fmt.Errorf("metrics: power-law fit needs >= 2 paired points, got %d/%d", len(xs), len(ys))
+	}
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		if xs[i] <= 0 || ys[i] <= 0 {
+			return 0, 0, fmt.Errorf("metrics: power-law fit needs positive data, got (%g, %g)", xs[i], ys[i])
+		}
+		lx, ly := math.Log(xs[i]), math.Log(ys[i])
+		sx += lx
+		sy += ly
+		sxx += lx * lx
+		sxy += lx * ly
+	}
+	n := float64(len(xs))
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, 0, fmt.Errorf("metrics: degenerate x values for power-law fit")
+	}
+	b = (n*sxy - sx*sy) / den
+	a = math.Exp((sy - b*sx) / n)
+	return a, b, nil
+}
+
+// RateTracker measures an event rate over a sliding logical-time window,
+// used by the simulated switch OS to convert packet events into per-second
+// telemetry load.
+type RateTracker struct {
+	window   float64 // seconds
+	events   []float64
+	lastTrim float64
+}
+
+// NewRateTracker creates a tracker with the given window in seconds.
+func NewRateTracker(windowSec float64) *RateTracker {
+	if windowSec <= 0 {
+		panic(fmt.Sprintf("metrics: rate window must be positive, got %g", windowSec))
+	}
+	return &RateTracker{window: windowSec}
+}
+
+// Observe records an event at logical time t (seconds, nondecreasing).
+func (r *RateTracker) Observe(t float64) {
+	r.events = append(r.events, t)
+	if t-r.lastTrim > r.window {
+		r.trim(t)
+	}
+}
+
+// Rate returns events per second within the window ending at t.
+func (r *RateTracker) Rate(t float64) float64 {
+	r.trim(t)
+	return float64(len(r.events)) / r.window
+}
+
+func (r *RateTracker) trim(t float64) {
+	cut := t - r.window
+	// Keep events strictly inside (t-window, t].
+	i := sort.Search(len(r.events), func(k int) bool { return r.events[k] > cut })
+	if i > 0 {
+		r.events = append(r.events[:0], r.events[i:]...)
+	}
+	r.lastTrim = t
+}

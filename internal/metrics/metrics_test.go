@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("n = %d, want 8", s.N())
+	}
+	if math.Abs(s.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %g, want 5", s.Mean())
+	}
+	// Sample variance of this classic dataset: population var is 4,
+	// sample var = 32/7.
+	if math.Abs(s.Var()-32.0/7.0) > 1e-12 {
+		t.Fatalf("var = %g, want %g", s.Var(), 32.0/7.0)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %g/%g, want 2/9", s.Min(), s.Max())
+	}
+	if s.String() == "" {
+		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
+		t.Fatal("zero-value summary should report zeros")
+	}
+	s.Add(3)
+	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single observation summary wrong")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(50)
+		xs := make([]float64, n)
+		var s Summary
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 100
+			s.Add(xs[i])
+		}
+		mean := Mean(xs)
+		if math.Abs(s.Mean()-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+			return false
+		}
+		v := 0.0
+		for _, x := range xs {
+			v += (x - mean) * (x - mean)
+		}
+		v /= float64(n - 1)
+		return math.Abs(s.Var()-v) <= 1e-7*math.Max(1, v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	if got := Percentile(xs, 0); got != 15 {
+		t.Fatalf("p0 = %g, want 15", got)
+	}
+	if got := Percentile(xs, 100); got != 50 {
+		t.Fatalf("p100 = %g, want 50", got)
+	}
+	if got := Percentile(xs, 50); got != 35 {
+		t.Fatalf("p50 = %g, want 35", got)
+	}
+	// Interpolated: p25 between 20 and 35 → 20.
+	if got := Percentile(xs, 25); got != 20 {
+		t.Fatalf("p25 = %g, want 20", got)
+	}
+	if got := Percentile([]float64{7}, 99); got != 7 {
+		t.Fatalf("single-element percentile = %g, want 7", got)
+	}
+	// Input must not be mutated.
+	orig := []float64{3, 1, 2}
+	Percentile(orig, 50)
+	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Percentile(nil, 50) },
+		func() { Percentile([]float64{1}, -1) },
+		func() { Percentile([]float64{1}, 101) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPowerLawFitExact(t *testing.T) {
+	// y = 3 x^-0.5 exactly.
+	xs := []float64{1, 4, 16, 64, 256}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 3 * math.Pow(x, -0.5)
+	}
+	a, b, err := PowerLawFit(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-3) > 1e-9 || math.Abs(b+0.5) > 1e-9 {
+		t.Fatalf("fit = %g·x^%g, want 3·x^-0.5", a, b)
+	}
+}
+
+func TestPowerLawFitErrors(t *testing.T) {
+	if _, _, err := PowerLawFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("expected error for single point")
+	}
+	if _, _, err := PowerLawFit([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("expected error for length mismatch")
+	}
+	if _, _, err := PowerLawFit([]float64{1, -2}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error for nonpositive x")
+	}
+	if _, _, err := PowerLawFit([]float64{2, 2}, []float64{1, 3}); err == nil {
+		t.Fatal("expected error for degenerate x")
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+}
+
+func TestRateTracker(t *testing.T) {
+	r := NewRateTracker(1.0)
+	for i := 0; i < 10; i++ {
+		r.Observe(float64(i) * 0.1) // 10 events in [0, 0.9]
+	}
+	if got := r.Rate(1.0); math.Abs(got-9) > 1e-9 {
+		// Events strictly after t-window=0: 0.1..0.9 → 9 events.
+		t.Fatalf("rate = %g, want 9", got)
+	}
+	// Far in the future the window is empty.
+	if got := r.Rate(100); got != 0 {
+		t.Fatalf("rate = %g, want 0", got)
+	}
+}
+
+func TestRateTrackerPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRateTracker(0)
+}

@@ -1,0 +1,218 @@
+// Package netsim is a small discrete-event simulator used to emulate the
+// paper's testbed dynamics: serialized link transmissions with priority
+// queues (offloaded telemetry rides at the lowest priority and is dropped
+// first under congestion, the QoS guarantee of Section III-C), and
+// periodic processes (monitor-agent scans, STAT intervals).
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulator owns the virtual clock and the pending-event queue.
+// It is single-goroutine: handlers run synchronously inside Run.
+type Simulator struct {
+	now    float64
+	events eventQueue
+	seq    uint64
+	steps  int
+}
+
+// NewSimulator returns a simulator at time 0.
+func NewSimulator() *Simulator {
+	return &Simulator{}
+}
+
+// Now returns the current virtual time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Steps returns the number of events executed so far.
+func (s *Simulator) Steps() int { return s.steps }
+
+// At schedules fn at absolute virtual time t; t must not be in the past.
+func (s *Simulator) At(t float64, fn func()) error {
+	if t < s.now {
+		return fmt.Errorf("netsim: cannot schedule at %g, now is %g", t, s.now)
+	}
+	s.seq++
+	heap.Push(&s.events, event{t: t, seq: s.seq, fn: fn})
+	return nil
+}
+
+// After schedules fn d seconds from now; negative d is an error.
+func (s *Simulator) After(d float64, fn func()) error {
+	return s.At(s.now+d, fn)
+}
+
+// Every schedules fn at start and then every interval seconds for as long
+// as fn returns true.
+func (s *Simulator) Every(start, interval float64, fn func() bool) error {
+	if interval <= 0 {
+		return fmt.Errorf("netsim: interval must be positive, got %g", interval)
+	}
+	var tick func()
+	tick = func() {
+		if fn() {
+			// Scheduling from inside a handler cannot be in the past.
+			_ = s.After(interval, tick)
+		}
+	}
+	return s.At(start, tick)
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (s *Simulator) Run() float64 {
+	for s.events.Len() > 0 {
+		s.step()
+	}
+	return s.now
+}
+
+// RunUntil executes events with time <= t, then advances the clock to t.
+func (s *Simulator) RunUntil(t float64) {
+	for s.events.Len() > 0 && s.events[0].t <= t {
+		s.step()
+	}
+	if t > s.now {
+		s.now = t
+	}
+}
+
+func (s *Simulator) step() {
+	ev := heap.Pop(&s.events).(event)
+	s.now = ev.t
+	s.steps++
+	ev.fn()
+}
+
+type event struct {
+	t   float64
+	seq uint64 // FIFO tie-break for simultaneous events
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Priority orders link transmissions; lower value = higher priority.
+type Priority uint8
+
+// Transmission priorities. Offloaded monitoring data always uses PrioLow
+// so it is "safely discarded in the event of network congestion"
+// (Section III-C).
+const (
+	PrioHigh Priority = iota
+	PrioNormal
+	PrioLow
+)
+
+func (p Priority) String() string {
+	switch p {
+	case PrioHigh:
+		return "high"
+	case PrioNormal:
+		return "normal"
+	default:
+		return "low"
+	}
+}
+
+// LinkStats counts a link's transmission outcomes.
+type LinkStats struct {
+	Delivered, Dropped int
+	DeliveredMb        float64
+	DroppedMb          float64
+}
+
+// Link models a serialized transmission resource: capacity shared with
+// background data-plane traffic, a propagation delay, and a bounded
+// acceptable queueing delay past which low-priority traffic is shed.
+type Link struct {
+	sim *Simulator
+	// CapMbps is the physical rate; BackgroundUtil the fraction consumed
+	// by data-plane traffic, leaving Cap·(1−BackgroundUtil) for telemetry.
+	CapMbps        float64
+	BackgroundUtil float64
+	// PropDelaySec is added to every delivery.
+	PropDelaySec float64
+	// MaxQueueSec is the queueing delay beyond which PrioLow transmissions
+	// are dropped (congestion shedding). High/normal always queue.
+	MaxQueueSec float64
+
+	busyUntil float64
+	stats     LinkStats
+}
+
+// NewLink creates a link attached to sim.
+func NewLink(sim *Simulator, capMbps, backgroundUtil, propDelaySec, maxQueueSec float64) (*Link, error) {
+	if capMbps <= 0 {
+		return nil, fmt.Errorf("netsim: link capacity must be positive, got %g", capMbps)
+	}
+	if backgroundUtil < 0 || backgroundUtil >= 1 {
+		return nil, fmt.Errorf("netsim: background utilization %g outside [0,1)", backgroundUtil)
+	}
+	if propDelaySec < 0 || maxQueueSec < 0 {
+		return nil, fmt.Errorf("netsim: negative delay")
+	}
+	return &Link{
+		sim: sim, CapMbps: capMbps, BackgroundUtil: backgroundUtil,
+		PropDelaySec: propDelaySec, MaxQueueSec: maxQueueSec,
+	}, nil
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// AvailableMbps is the rate left after background traffic.
+func (l *Link) AvailableMbps() float64 { return l.CapMbps * (1 - l.BackgroundUtil) }
+
+// Transmit queues a transfer of sizeMb at the given priority. deliver is
+// invoked (possibly immediately for drops) with ok=false when the
+// transfer was shed under congestion, otherwise at the delivery time with
+// ok=true. The callback may be nil.
+func (l *Link) Transmit(sizeMb float64, prio Priority, deliver func(ok bool)) error {
+	if sizeMb < 0 {
+		return fmt.Errorf("netsim: negative transfer size %g", sizeMb)
+	}
+	now := l.sim.Now()
+	start := now
+	if l.busyUntil > start {
+		start = l.busyUntil
+	}
+	queueDelay := start - now
+	if prio == PrioLow && queueDelay > l.MaxQueueSec {
+		l.stats.Dropped++
+		l.stats.DroppedMb += sizeMb
+		if deliver != nil {
+			deliver(false)
+		}
+		return nil
+	}
+	txTime := sizeMb / l.AvailableMbps()
+	l.busyUntil = start + txTime
+	l.stats.Delivered++
+	l.stats.DeliveredMb += sizeMb
+	done := l.busyUntil + l.PropDelaySec
+	return l.sim.At(done, func() {
+		if deliver != nil {
+			deliver(true)
+		}
+	})
+}

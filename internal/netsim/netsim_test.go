@@ -1,0 +1,185 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchedulingOrder(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	s.At(2, func() { order = append(order, 2) })
+	s.At(1, func() { order = append(order, 1) })
+	s.At(3, func() { order = append(order, 3) })
+	end := s.Run()
+	if end != 3 {
+		t.Fatalf("final time = %g, want 3", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order = %v", order)
+		}
+	}
+	if s.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", s.Steps())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := NewSimulator()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("same-time events out of insertion order: %v", order)
+		}
+	}
+}
+
+func TestPastSchedulingRejected(t *testing.T) {
+	s := NewSimulator()
+	s.At(5, func() {})
+	s.Run()
+	if err := s.At(1, func() {}); err == nil {
+		t.Fatal("scheduling in the past accepted")
+	}
+	if err := s.After(-1, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := NewSimulator()
+	hits := 0
+	s.At(1, func() {
+		s.After(1, func() { hits++ })
+	})
+	s.Run()
+	if hits != 1 || s.Now() != 2 {
+		t.Fatalf("hits=%d now=%g, want 1 at t=2", hits, s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	s.Every(0, 1, func() bool { count++; return true })
+	s.RunUntil(5.5)
+	if count != 6 { // t = 0,1,2,3,4,5
+		t.Fatalf("count = %d, want 6", count)
+	}
+	if s.Now() != 5.5 {
+		t.Fatalf("now = %g, want 5.5", s.Now())
+	}
+}
+
+func TestEveryStopsOnFalse(t *testing.T) {
+	s := NewSimulator()
+	count := 0
+	s.Every(0, 1, func() bool {
+		count++
+		return count < 3
+	})
+	s.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if err := s.Every(0, 0, func() bool { return false }); err == nil {
+		t.Fatal("zero interval accepted")
+	}
+}
+
+func TestLinkTransmitTiming(t *testing.T) {
+	s := NewSimulator()
+	// 100 Mbps, 50% background → 50 Mbps available; 10 ms propagation.
+	l, err := NewLink(s, 100, 0.5, 0.01, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deliveredAt float64
+	l.Transmit(100, PrioNormal, func(ok bool) {
+		if !ok {
+			t.Error("unexpected drop")
+		}
+		deliveredAt = s.Now()
+	})
+	s.Run()
+	// 100 Mb / 50 Mbps = 2 s + 0.01 s propagation.
+	if math.Abs(deliveredAt-2.01) > 1e-9 {
+		t.Fatalf("delivered at %g, want 2.01", deliveredAt)
+	}
+	if st := l.Stats(); st.Delivered != 1 || st.DeliveredMb != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkSerialization(t *testing.T) {
+	s := NewSimulator()
+	l, _ := NewLink(s, 100, 0, 0, 100)
+	var times []float64
+	for i := 0; i < 3; i++ {
+		l.Transmit(100, PrioNormal, func(ok bool) { times = append(times, s.Now()) })
+	}
+	s.Run()
+	// Each 100 Mb at 100 Mbps = 1 s, serialized: deliveries at 1, 2, 3.
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if math.Abs(times[i]-want[i]) > 1e-9 {
+			t.Fatalf("delivery times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestLinkLowPriorityShedding(t *testing.T) {
+	s := NewSimulator()
+	// Max queue delay 0.5 s: the second low-prio transfer sees 1 s queue.
+	l, _ := NewLink(s, 100, 0, 0, 0.5)
+	outcomes := make(map[bool]int)
+	l.Transmit(100, PrioLow, func(ok bool) { outcomes[ok]++ })  // starts immediately
+	l.Transmit(100, PrioLow, func(ok bool) { outcomes[ok]++ })  // queue 1 s > 0.5 → drop
+	l.Transmit(100, PrioHigh, func(ok bool) { outcomes[ok]++ }) // high prio always queues
+	s.Run()
+	if outcomes[true] != 2 || outcomes[false] != 1 {
+		t.Fatalf("outcomes = %v, want 2 delivered / 1 dropped", outcomes)
+	}
+	st := l.Stats()
+	if st.Dropped != 1 || st.DroppedMb != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLinkValidation(t *testing.T) {
+	s := NewSimulator()
+	if _, err := NewLink(s, 0, 0, 0, 0); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := NewLink(s, 100, 1.0, 0, 0); err == nil {
+		t.Fatal("fully-utilized link accepted")
+	}
+	if _, err := NewLink(s, 100, 0, -1, 0); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	l, _ := NewLink(s, 100, 0, 0, 0)
+	if err := l.Transmit(-1, PrioLow, nil); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestPriorityString(t *testing.T) {
+	if PrioHigh.String() != "high" || PrioNormal.String() != "normal" || PrioLow.String() != "low" {
+		t.Fatal("priority names wrong")
+	}
+}
+
+func TestLinkNilCallback(t *testing.T) {
+	s := NewSimulator()
+	l, _ := NewLink(s, 100, 0, 0, 0)
+	if err := l.Transmit(10, PrioNormal, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.Run() // must not panic
+}

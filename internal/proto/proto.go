@@ -1,0 +1,277 @@
+// Package proto defines DUST's control-plane messages (Section III-B and
+// Figure 3) — Offload-capable, ACK, STAT, Offload-Request, Offload-ACK,
+// Keepalive, and REP — together with a compact length-prefixed binary
+// codec and transports (in-memory for tests/simulation, TCP for real
+// deployments) that carry them between DUST-Clients and the DUST-Manager.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType discriminates the protocol messages.
+type MsgType uint8
+
+// Protocol message types, in the order Section III-B introduces them.
+const (
+	// MsgOffloadCapable is the client's registration: whether it
+	// participates in offloading, and its self-declared thresholds.
+	MsgOffloadCapable MsgType = iota + 1
+	// MsgAck is the Manager's acknowledgment carrying the Update-Interval.
+	MsgAck
+	// MsgStat is the client's periodic resource report.
+	MsgStat
+	// MsgOffloadRequest directs a busy node's workload to a destination.
+	MsgOffloadRequest
+	// MsgOffloadAck confirms (or declines) an offload request.
+	MsgOffloadAck
+	// MsgKeepalive is the offload-destination's liveness beacon.
+	MsgKeepalive
+	// MsgRep notifies a replica node that it substitutes a failed
+	// destination.
+	MsgRep
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgOffloadCapable:
+		return "offload-capable"
+	case MsgAck:
+		return "ack"
+	case MsgStat:
+		return "stat"
+	case MsgOffloadRequest:
+		return "offload-request"
+	case MsgOffloadAck:
+		return "offload-ack"
+	case MsgKeepalive:
+		return "keepalive"
+	case MsgRep:
+		return "rep"
+	default:
+		return fmt.Sprintf("unknown(%d)", uint8(t))
+	}
+}
+
+// Message is the union of all protocol payloads; Type selects which
+// fields are meaningful. A single struct keeps the codec and transports
+// simple while staying allocation-friendly.
+type Message struct {
+	Type MsgType
+	// From and To are node identifiers; the Manager is node -1 by
+	// convention.
+	From, To int32
+	// Seq is a per-sender sequence number for ordering and dedup.
+	Seq uint64
+
+	// Capable is MsgOffloadCapable's participation flag ('1' in the
+	// paper's description).
+	Capable bool
+	// CMax and COMax are the client's self-declared thresholds.
+	CMax, COMax float64
+	// UpdateIntervalSec rides on MsgAck and configures STAT cadence.
+	UpdateIntervalSec float64
+	// UtilPct, DataMb, and NumAgents ride on MsgStat.
+	UtilPct float64
+	DataMb  float64
+	// NumAgents is the number of user-defined monitoring agents running.
+	NumAgents int32
+	// AmountPct is the offload volume for MsgOffloadRequest/MsgRep.
+	AmountPct float64
+	// BusyNode is the origin of the workload in MsgOffloadRequest,
+	// MsgOffloadAck, and MsgRep.
+	BusyNode int32
+	// Accept is MsgOffloadAck's verdict.
+	Accept bool
+	// Agents names the monitor agents to relocate.
+	Agents []string
+	// RouteNodes is the controllable route (node sequence) the Manager
+	// selected for the transfer.
+	RouteNodes []int32
+	// FailedNode is the malfunctioning destination MsgRep replaces.
+	FailedNode int32
+}
+
+// maxMessageSize bounds a decoded frame; a frame claiming more is corrupt.
+const maxMessageSize = 1 << 20
+
+// ErrFrameTooLarge reports a frame exceeding maxMessageSize.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
+
+// Encode serializes m to its binary wire form (without framing).
+func Encode(m *Message) []byte {
+	var b []byte
+	b = append(b, byte(m.Type))
+	b = appendInt32(b, m.From)
+	b = appendInt32(b, m.To)
+	b = binary.BigEndian.AppendUint64(b, m.Seq)
+	b = appendBool(b, m.Capable)
+	b = appendFloat(b, m.CMax)
+	b = appendFloat(b, m.COMax)
+	b = appendFloat(b, m.UpdateIntervalSec)
+	b = appendFloat(b, m.UtilPct)
+	b = appendFloat(b, m.DataMb)
+	b = appendInt32(b, m.NumAgents)
+	b = appendFloat(b, m.AmountPct)
+	b = appendInt32(b, m.BusyNode)
+	b = appendBool(b, m.Accept)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Agents)))
+	for _, a := range m.Agents {
+		b = binary.BigEndian.AppendUint32(b, uint32(len(a)))
+		b = append(b, a...)
+	}
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.RouteNodes)))
+	for _, n := range m.RouteNodes {
+		b = appendInt32(b, n)
+	}
+	b = appendInt32(b, m.FailedNode)
+	return b
+}
+
+// Decode parses the binary wire form produced by Encode.
+func Decode(data []byte) (*Message, error) {
+	d := &decoder{buf: data}
+	m := &Message{}
+	m.Type = MsgType(d.byte())
+	m.From = d.int32()
+	m.To = d.int32()
+	m.Seq = d.uint64()
+	m.Capable = d.bool()
+	m.CMax = d.float()
+	m.COMax = d.float()
+	m.UpdateIntervalSec = d.float()
+	m.UtilPct = d.float()
+	m.DataMb = d.float()
+	m.NumAgents = d.int32()
+	m.AmountPct = d.float()
+	m.BusyNode = d.int32()
+	m.Accept = d.bool()
+	nAgents := d.uint32()
+	if d.err == nil && nAgents > maxMessageSize {
+		return nil, fmt.Errorf("proto: agent count %d implausible", nAgents)
+	}
+	for i := uint32(0); i < nAgents && d.err == nil; i++ {
+		ln := d.uint32()
+		m.Agents = append(m.Agents, string(d.bytes(int(ln))))
+	}
+	nRoute := d.uint32()
+	if d.err == nil && nRoute > maxMessageSize {
+		return nil, fmt.Errorf("proto: route length %d implausible", nRoute)
+	}
+	for i := uint32(0); i < nRoute && d.err == nil; i++ {
+		m.RouteNodes = append(m.RouteNodes, d.int32())
+	}
+	m.FailedNode = d.int32()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if len(d.buf) != d.off {
+		return nil, fmt.Errorf("proto: %d trailing bytes", len(d.buf)-d.off)
+	}
+	if m.Type < MsgOffloadCapable || m.Type > MsgRep {
+		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
+	}
+	return m, nil
+}
+
+// WriteFrame writes m with a 4-byte big-endian length prefix.
+func WriteFrame(w io.Writer, m *Message) error {
+	payload := Encode(m)
+	if len(payload) > maxMessageSize {
+		return ErrFrameTooLarge
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxMessageSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}
+
+func appendInt32(b []byte, v int32) []byte {
+	return binary.BigEndian.AppendUint32(b, uint32(v))
+}
+
+func appendBool(b []byte, v bool) []byte {
+	if v {
+		return append(b, 1)
+	}
+	return append(b, 0)
+}
+
+func appendFloat(b []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+var errTruncated = errors.New("proto: truncated message")
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.buf) {
+		d.err = errTruncated
+		return nil
+	}
+	out := d.buf[d.off : d.off+n]
+	d.off += n
+	return out
+}
+
+func (d *decoder) byte() byte {
+	b := d.bytes(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) bool() bool { return d.byte() != 0 }
+
+func (d *decoder) uint32() uint32 {
+	b := d.bytes(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) int32() int32 { return int32(d.uint32()) }
+
+func (d *decoder) uint64() uint64 {
+	b := d.bytes(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (d *decoder) float() float64 { return math.Float64frombits(d.uint64()) }

@@ -1,0 +1,256 @@
+package proto
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Type: MsgOffloadRequest,
+		From: -1, To: 7, Seq: 42,
+		Capable: true, CMax: 80, COMax: 50,
+		UpdateIntervalSec: 60,
+		UtilPct:           91.5, DataMb: 120.25, NumAgents: 10,
+		AmountPct: 11.5, BusyNode: 3, Accept: true,
+		Agents:     []string{"fault-finder", "rx-tx-packet-rates"},
+		RouteNodes: []int32{3, 9, 7},
+		FailedNode: -1,
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("roundtrip mismatch:\n in: %+v\nout: %+v", m, got)
+	}
+}
+
+func TestEncodeDecodeAllTypes(t *testing.T) {
+	for ty := MsgOffloadCapable; ty <= MsgRep; ty++ {
+		m := &Message{Type: ty, From: 1, To: 2, Seq: uint64(ty)}
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("type %v: %v", ty, err)
+		}
+		if got.Type != ty {
+			t.Fatalf("type %v decoded as %v", ty, got.Type)
+		}
+		if ty.String() == "" || ty.String()[0] == 'u' {
+			t.Fatalf("type %v has no name", ty)
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	raw := Encode(sampleMessage())
+	if _, err := Decode(raw[:len(raw)-3]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+	if _, err := Decode(append(raw, 0xFF)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] = 99 // unknown type
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestDecodeRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := &Message{
+			Type:      MsgType(1 + rng.Intn(7)),
+			From:      int32(rng.Intn(1000) - 1),
+			To:        int32(rng.Intn(1000) - 1),
+			Seq:       rng.Uint64(),
+			Capable:   rng.Intn(2) == 0,
+			CMax:      rng.Float64() * 100,
+			COMax:     rng.Float64() * 100,
+			UtilPct:   rng.Float64() * 100,
+			DataMb:    rng.Float64() * 1000,
+			NumAgents: int32(rng.Intn(20)),
+			AmountPct: rng.Float64() * 50,
+			BusyNode:  int32(rng.Intn(100)),
+			Accept:    rng.Intn(2) == 0,
+		}
+		for i := 0; i < rng.Intn(5); i++ {
+			m.Agents = append(m.Agents, string(rune('a'+i)))
+		}
+		for i := 0; i < rng.Intn(6); i++ {
+			m.RouteNodes = append(m.RouteNodes, int32(rng.Intn(500)))
+		}
+		got, err := Decode(Encode(m))
+		return err == nil && reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFraming(t *testing.T) {
+	var buf bytes.Buffer
+	msgs := []*Message{
+		sampleMessage(),
+		{Type: MsgKeepalive, From: 4, Seq: 1},
+		{Type: MsgStat, From: 2, UtilPct: 33},
+	}
+	for _, m := range msgs {
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range msgs {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("frame %d mismatch", i)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("reading from empty buffer should fail")
+	}
+}
+
+func TestReadFrameRejectsHugeClaims(t *testing.T) {
+	buf := bytes.NewBuffer([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPipeBidirectional(t *testing.T) {
+	a, b := Pipe(4)
+	defer a.Close()
+	if err := a.Send(&Message{Type: MsgStat, From: 1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil || m.From != 1 {
+		t.Fatalf("recv = %+v, %v", m, err)
+	}
+	if err := b.Send(&Message{Type: MsgAck, From: -1}); err != nil {
+		t.Fatal(err)
+	}
+	m, err = a.Recv()
+	if err != nil || m.Type != MsgAck {
+		t.Fatalf("recv = %+v, %v", m, err)
+	}
+}
+
+func TestPipeClose(t *testing.T) {
+	a, b := Pipe(1)
+	a.Send(&Message{Type: MsgStat})
+	a.Close()
+	// Queued message still drains after close.
+	if m, err := b.Recv(); err != nil || m == nil {
+		t.Fatalf("queued message lost: %v", err)
+	}
+	if _, err := b.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want ErrClosed", err)
+	}
+	if err := b.Send(&Message{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send on closed = %v, want ErrClosed", err)
+	}
+}
+
+func TestPipeBlockingSendUnblocksOnClose(t *testing.T) {
+	a, b := Pipe(0)
+	_ = b
+	done := make(chan error, 1)
+	go func() { done <- a.Send(&Message{Type: MsgStat}) }()
+	a.Close()
+	if err := <-done; !errors.Is(err, ErrClosed) {
+		t.Fatalf("blocked send after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPTransport(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := l.Accept()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer conn.Close()
+		m, err := conn.Recv()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		m.To, m.From = m.From, m.To
+		if err := conn.Send(m); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	want := sampleMessage()
+	if err := c.Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != want.To || got.To != want.From {
+		t.Fatalf("echo did not swap endpoints: %+v", got)
+	}
+	wg.Wait()
+}
+
+func TestTCPRecvAfterPeerClose(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		conn, err := l.Accept()
+		if err == nil {
+			conn.Close()
+		}
+	}()
+	c, err := Dial(l.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Recv(); err == nil {
+		t.Fatal("recv from closed peer should error")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Fatal("dial to closed port should fail")
+	}
+}

@@ -1,0 +1,144 @@
+package proto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Conn is a bidirectional, message-oriented connection between one
+// DUST-Client and the DUST-Manager.
+type Conn interface {
+	// Send delivers m to the peer; it blocks until accepted or the
+	// connection closes.
+	Send(m *Message) error
+	// Recv returns the next message from the peer, blocking until one
+	// arrives or the connection closes (io.EOF-like error).
+	Recv() (*Message, error)
+	// Close tears the connection down; pending and future Send/Recv fail.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed connection.
+var ErrClosed = errors.New("proto: connection closed")
+
+// chanConn is one endpoint of an in-memory connection pair.
+type chanConn struct {
+	out       chan<- *Message
+	in        <-chan *Message
+	closeOnce *sync.Once
+	closed    chan struct{}
+}
+
+// Pipe returns two connected in-memory endpoints with the given buffer
+// depth. Closing either endpoint closes both directions.
+func Pipe(depth int) (Conn, Conn) {
+	ab := make(chan *Message, depth)
+	ba := make(chan *Message, depth)
+	closed := make(chan struct{})
+	once := &sync.Once{}
+	a := &chanConn{out: ab, in: ba, closeOnce: once, closed: closed}
+	b := &chanConn{out: ba, in: ab, closeOnce: once, closed: closed}
+	return a, b
+}
+
+func (c *chanConn) Send(m *Message) error {
+	select {
+	case <-c.closed:
+		return ErrClosed
+	default:
+	}
+	select {
+	case c.out <- m:
+		return nil
+	case <-c.closed:
+		return ErrClosed
+	}
+}
+
+func (c *chanConn) Recv() (*Message, error) {
+	select {
+	case m := <-c.in:
+		return m, nil
+	case <-c.closed:
+		// Drain anything already queued before reporting closure.
+		select {
+		case m := <-c.in:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (c *chanConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return nil
+}
+
+// tcpConn frames messages over a net.Conn.
+type tcpConn struct {
+	nc     net.Conn
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+}
+
+// NewNetConn wraps a stream connection (TCP, Unix socket) in the framed
+// message protocol. Safe for one concurrent sender and one receiver.
+func NewNetConn(nc net.Conn) Conn {
+	return &tcpConn{nc: nc}
+}
+
+func (c *tcpConn) Send(m *Message) error {
+	c.sendMu.Lock()
+	defer c.sendMu.Unlock()
+	return WriteFrame(c.nc, m)
+}
+
+func (c *tcpConn) Recv() (*Message, error) {
+	c.recvMu.Lock()
+	defer c.recvMu.Unlock()
+	return ReadFrame(c.nc)
+}
+
+func (c *tcpConn) Close() error { return c.nc.Close() }
+
+// Dial connects to a DUST-Manager's TCP listener.
+func Dial(addr string) (Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
+	}
+	return NewNetConn(nc), nil
+}
+
+// Listener accepts framed-message connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen starts a TCP listener for the manager side. addr like
+// "127.0.0.1:0" picks an ephemeral port; Addr reports the bound address.
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("proto: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Accept waits for the next client connection.
+func (l *Listener) Accept() (Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewNetConn(nc), nil
+}
+
+// Close stops the listener.
+func (l *Listener) Close() error { return l.nl.Close() }

@@ -1,0 +1,146 @@
+package switchos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// Rule is a threshold alert over a node-local time series: it fires when
+// the series stays above (or below) the threshold for a sustained window.
+// The paper's TSDB "stores the metrics and rules established by these
+// Monitor Agents"; rules are what turns stored telemetry into the
+// automated triggers the Network Monitor Service reacts to.
+type Rule struct {
+	// Name identifies the rule (unique per NMS).
+	Name string
+	// Key selects the series in the switch's store.
+	Key tsdb.SeriesKey
+	// Threshold and Below define the breach condition: value > Threshold
+	// (or < Threshold when Below is set).
+	Threshold float64
+	Below     bool
+	// ForSec is how long the breach must persist before firing.
+	ForSec float64
+}
+
+// breached reports whether v violates the rule.
+func (r Rule) breached(v float64) bool {
+	if r.Below {
+		return v < r.Threshold
+	}
+	return v > r.Threshold
+}
+
+// Alert is one rule firing.
+type Alert struct {
+	Rule Rule
+	// At is the virtual time the rule fired; Value the sample that
+	// completed the sustained breach.
+	At    float64
+	Value float64
+}
+
+// NMS is the Network Monitor Service of Figure 2: it owns a catalog of
+// installable monitor agents, starts them on user request or automated
+// trigger, and evaluates alert rules over the switch's TSDB.
+type NMS struct {
+	sw      *Switch
+	catalog map[string]AgentSpec
+	rules   map[string]*ruleState
+	order   []string
+	// OnAlert, when set, receives every firing (e.g. the DUST-Manager
+	// hook that launches a placement round).
+	OnAlert func(Alert)
+}
+
+type ruleState struct {
+	rule Rule
+	// breachedSince is the virtual time the current breach started, or
+	// NaN-equivalent (-1) when not breached.
+	breachedSince float64
+	firing        bool
+}
+
+// NewNMS creates a service over sw with the standard agent catalog.
+func NewNMS(sw *Switch) *NMS {
+	n := &NMS{
+		sw:      sw,
+		catalog: make(map[string]AgentSpec),
+		rules:   make(map[string]*ruleState),
+	}
+	for _, spec := range StandardAgents() {
+		n.catalog[spec.Name] = spec
+	}
+	return n
+}
+
+// Catalog lists installable agent names, sorted.
+func (n *NMS) Catalog() []string {
+	out := make([]string, 0, len(n.catalog))
+	for name := range n.catalog {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StartMonitoring installs the named catalog agent on the switch (the
+// paper: NMS "creat[es] a 'Monitor Agent' for each required metric").
+// Installing an agent that is already running is an error.
+func (n *NMS) StartMonitoring(agent string) error {
+	spec, ok := n.catalog[agent]
+	if !ok {
+		return fmt.Errorf("switchos: no catalog agent %q", agent)
+	}
+	return n.sw.install(spec, false, "", nil)
+}
+
+// AddRule registers an alert rule.
+func (n *NMS) AddRule(r Rule) error {
+	if r.Name == "" {
+		return fmt.Errorf("switchos: rule needs a name")
+	}
+	if r.ForSec < 0 {
+		return fmt.Errorf("switchos: rule %q has negative duration", r.Name)
+	}
+	if _, dup := n.rules[r.Name]; dup {
+		return fmt.Errorf("switchos: duplicate rule %q", r.Name)
+	}
+	n.rules[r.Name] = &ruleState{rule: r, breachedSince: -1}
+	n.order = append(n.order, r.Name)
+	return nil
+}
+
+// Evaluate checks every rule against the latest sample in the store,
+// returning the alerts that fired at virtual time now. A rule fires once
+// per breach episode and re-arms when the series recovers.
+func (n *NMS) Evaluate(now float64) []Alert {
+	var alerts []Alert
+	for _, name := range n.order {
+		st := n.rules[name]
+		p, ok := n.sw.Store().Last(st.rule.Key)
+		if !ok {
+			continue
+		}
+		if !st.rule.breached(p.V) {
+			st.breachedSince = -1
+			st.firing = false
+			continue
+		}
+		if st.breachedSince < 0 {
+			st.breachedSince = now
+		}
+		if st.firing || now-st.breachedSince < st.rule.ForSec {
+			continue
+		}
+		st.firing = true
+		a := Alert{Rule: st.rule, At: now, Value: p.V}
+		alerts = append(alerts, a)
+		if n.OnAlert != nil {
+			n.OnAlert(a)
+		}
+	}
+	return alerts
+}

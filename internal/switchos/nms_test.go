@@ -1,0 +1,150 @@
+package switchos
+
+import (
+	"testing"
+
+	"repro/internal/tsdb"
+)
+
+func TestNMSCatalogAndStart(t *testing.T) {
+	// A switch born with no agents; NMS installs them on demand.
+	sw, err := New(Aruba8325(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms := NewNMS(sw)
+	if len(nms.Catalog()) != 10 {
+		t.Fatalf("catalog = %d agents, want 10", len(nms.Catalog()))
+	}
+	if err := nms.StartMonitoring("fault-finder"); err != nil {
+		t.Fatal(err)
+	}
+	if names := sw.AgentNames(); len(names) != 1 || names[0] != "fault-finder" {
+		t.Fatalf("agents = %v", names)
+	}
+	if err := nms.StartMonitoring("fault-finder"); err == nil {
+		t.Fatal("double install accepted")
+	}
+	if err := nms.StartMonitoring("no-such-metric"); err == nil {
+		t.Fatal("unknown catalog agent accepted")
+	}
+	// The installed agent actually burns CPU under traffic.
+	sw.SetTrafficKpps(29.4)
+	snap, err := sw.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MonitorCPUPct <= 0 {
+		t.Fatal("installed agent should consume monitoring CPU")
+	}
+}
+
+func TestNMSRuleLifecycle(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms := NewNMS(sw)
+	key := tsdb.Key("monitor_cpu_pct", nil)
+	if err := nms.AddRule(Rule{
+		Name: "hot-monitoring", Key: key, Threshold: 50, ForSec: 3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := nms.AddRule(Rule{Name: "hot-monitoring", Key: key, Threshold: 1}); err == nil {
+		t.Fatal("duplicate rule accepted")
+	}
+	if err := nms.AddRule(Rule{Name: "", Key: key}); err == nil {
+		t.Fatal("nameless rule accepted")
+	}
+	if err := nms.AddRule(Rule{Name: "neg", Key: key, ForSec: -1}); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+
+	var notified []Alert
+	nms.OnAlert = func(a Alert) { notified = append(notified, a) }
+
+	// Idle switch: monitoring stays below 50%, no alert.
+	sw.SetTrafficKpps(0)
+	for i := 1; i <= 5; i++ {
+		if _, err := sw.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if alerts := nms.Evaluate(float64(i)); len(alerts) != 0 {
+			t.Fatalf("idle switch alerted: %+v", alerts)
+		}
+	}
+
+	// Heavy traffic: breach must be sustained ForSec before firing, then
+	// fire exactly once per episode.
+	sw.SetTrafficKpps(29.4)
+	fired := 0
+	for i := 6; i <= 15; i++ {
+		if _, err := sw.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		alerts := nms.Evaluate(float64(i))
+		fired += len(alerts)
+		if i < 9 && fired > 0 {
+			t.Fatalf("rule fired at t=%d, before the 3 s sustain window", i)
+		}
+	}
+	if fired != 1 {
+		t.Fatalf("rule fired %d times in one breach episode, want 1", fired)
+	}
+	if len(notified) != 1 || notified[0].Rule.Name != "hot-monitoring" {
+		t.Fatalf("OnAlert saw %+v", notified)
+	}
+
+	// Recovery re-arms the rule; the next breach fires again.
+	sw.SetTrafficKpps(0)
+	for i := 16; i <= 20; i++ {
+		if _, err := sw.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		nms.Evaluate(float64(i))
+	}
+	sw.SetTrafficKpps(29.4)
+	for i := 21; i <= 30; i++ {
+		if _, err := sw.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		fired += len(nms.Evaluate(float64(i)))
+	}
+	if fired != 2 {
+		t.Fatalf("rule fired %d times across two episodes, want 2", fired)
+	}
+}
+
+func TestNMSBelowRule(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms := NewNMS(sw)
+	// Fires when device CPU drops below an absurd floor — i.e. always.
+	if err := nms.AddRule(Rule{
+		Name: "under-utilized", Key: tsdb.Key("device_cpu_pct", nil),
+		Threshold: 99, Below: true, ForSec: 0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Step(1); err != nil {
+		t.Fatal(err)
+	}
+	if alerts := nms.Evaluate(1); len(alerts) != 1 {
+		t.Fatalf("below-rule alerts = %+v, want 1", alerts)
+	}
+}
+
+func TestNMSRuleWithoutSeries(t *testing.T) {
+	sw, err := New(Aruba8325(), nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nms := NewNMS(sw)
+	nms.AddRule(Rule{Name: "ghost", Key: tsdb.Key("missing", nil), Threshold: 1})
+	if alerts := nms.Evaluate(1); len(alerts) != 0 {
+		t.Fatal("rule over a missing series fired")
+	}
+}

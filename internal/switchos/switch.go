@@ -1,0 +1,389 @@
+package switchos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/tsdb"
+)
+
+// Mode is where an agent's analysis runs.
+type Mode int
+
+const (
+	// ModeLocal runs the agent's full analysis on this switch.
+	ModeLocal Mode = iota
+	// ModeOffloaded streams DB deltas to a remote host; only the export
+	// residual cost stays on this switch.
+	ModeOffloaded
+)
+
+func (m Mode) String() string {
+	if m == ModeOffloaded {
+		return "offloaded"
+	}
+	return "local"
+}
+
+// Config is the hardware/baseline profile of a simulated switch.
+type Config struct {
+	Name string
+	// Cores is the CPU core count (the testbed DUT has 8).
+	Cores int
+	// MemTotalMB is installed memory (testbed: 16 GB).
+	MemTotalMB float64
+	// BaseMemMB is the NOS's resident memory without any monitor agents.
+	BaseMemMB float64
+	// IdleCPUPct is the all-cores-normalized CPU of the NOS with no
+	// traffic and no monitoring.
+	IdleCPUPct float64
+	// CPUPctPerKpps is the all-cores-normalized data-plane CPU per
+	// thousand packets/second of transit traffic.
+	CPUPctPerKpps float64
+}
+
+// Aruba8325 is the testbed switch profile (Section V-A): 8 cores, 16 GB,
+// with baseline costs calibrated against Figure 6's local-monitoring
+// operating point.
+func Aruba8325() Config {
+	return Config{
+		Name:          "aruba-8325",
+		Cores:         8,
+		MemTotalMB:    16384,
+		BaseMemMB:     10139,
+		IdleCPUPct:    10,
+		CPUPctPerKpps: 0.15,
+	}
+}
+
+// Validate rejects non-physical configurations.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("switchos: cores must be >= 1, got %d", c.Cores)
+	}
+	if c.MemTotalMB <= 0 || c.BaseMemMB < 0 || c.BaseMemMB > c.MemTotalMB {
+		return fmt.Errorf("switchos: bad memory profile total=%g base=%g", c.MemTotalMB, c.BaseMemMB)
+	}
+	if c.IdleCPUPct < 0 || c.CPUPctPerKpps < 0 {
+		return fmt.Errorf("switchos: negative baseline CPU parameters")
+	}
+	return nil
+}
+
+// Snapshot is one tick's resource readings.
+type Snapshot struct {
+	// Time is the tick's virtual timestamp in seconds.
+	Time float64
+	// MonitorCPUPct is the monitoring module's CPU in single-core percent
+	// (Figure 1's unit: can exceed 100 on a multicore switch).
+	MonitorCPUPct float64
+	// DeviceCPUPct is total device CPU normalized to all cores (Figure 6a's
+	// unit).
+	DeviceCPUPct float64
+	// MemUsedMB and MemPct describe resident memory (Figure 6b).
+	MemUsedMB float64
+	MemPct    float64
+}
+
+// agentRuntime is an agent attached to this switch, local or hosted.
+type agentRuntime struct {
+	spec AgentSpec
+	mode Mode
+	// hosted marks an agent offloaded *to* this switch from elsewhere;
+	// originKpps supplies the origin switch's traffic level.
+	hosted     bool
+	origin     string
+	originKpps func() float64
+	// nextScan is the virtual time of the next periodic scan.
+	nextScan float64
+	// pendingEventUs accumulates DB-notification work since the last tick.
+	pendingEventUs float64
+	// carry holds the fractional table-update remainder between ticks.
+	carry float64
+}
+
+// Switch simulates one database-driven network OS instance.
+type Switch struct {
+	cfg    Config
+	db     *DB
+	store  *tsdb.DB
+	rng    *rand.Rand
+	agents map[string]*agentRuntime
+	// order preserves installation order so Step's stochastic draws are
+	// deterministic for a given seed (map iteration order is not).
+	order []string
+	kpps  float64
+	now   float64
+}
+
+// New creates a switch with the given agents installed locally.
+func New(cfg Config, specs []AgentSpec, seed int64) (*Switch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sw := &Switch{
+		cfg:    cfg,
+		db:     NewDB(),
+		store:  tsdb.New(),
+		rng:    rand.New(rand.NewSource(seed)),
+		agents: make(map[string]*agentRuntime),
+	}
+	for _, spec := range specs {
+		if err := sw.install(spec, false, "", nil); err != nil {
+			return nil, err
+		}
+	}
+	return sw, nil
+}
+
+func (sw *Switch) install(spec AgentSpec, hosted bool, origin string, originKpps func() float64) error {
+	if spec.Name == "" || spec.Table == "" {
+		return fmt.Errorf("switchos: agent needs a name and table, got %+v", spec)
+	}
+	key := spec.Name
+	if hosted {
+		key = origin + "/" + spec.Name
+	}
+	if _, dup := sw.agents[key]; dup {
+		return fmt.Errorf("switchos: duplicate agent %q", key)
+	}
+	rt := &agentRuntime{
+		spec: spec, hosted: hosted, origin: origin, originKpps: originKpps,
+		nextScan: sw.now + spec.ScanIntervalSec,
+	}
+	sw.agents[key] = rt
+	sw.order = append(sw.order, key)
+	// Local agents ride the DB subscription machinery; hosted agents are
+	// fed by the remote export stream, modeled directly in Step.
+	if !hosted {
+		sw.db.Table(spec.Table).Subscribe(func(_ string, _ Row, count int) {
+			cost := rt.spec.CPUPerEventUs
+			if rt.mode == ModeOffloaded {
+				cost = rt.spec.ExportCPUPerEventUs
+			}
+			rt.pendingEventUs += float64(count) * cost
+		})
+	}
+	return nil
+}
+
+// Config returns the hardware profile.
+func (sw *Switch) Config() Config { return sw.cfg }
+
+// DB exposes the state database (for cluster integration and tests).
+func (sw *Switch) DB() *DB { return sw.db }
+
+// Store exposes the node-local TSDB the agents write into.
+func (sw *Switch) Store() *tsdb.DB { return sw.store }
+
+// SetTrafficKpps sets the transit packet rate in thousands of packets/sec.
+func (sw *Switch) SetTrafficKpps(k float64) {
+	if k < 0 {
+		k = 0
+	}
+	sw.kpps = k
+}
+
+// TrafficKpps returns the current transit rate.
+func (sw *Switch) TrafficKpps() float64 { return sw.kpps }
+
+// AgentMode reports a locally-installed agent's current mode.
+func (sw *Switch) AgentMode(name string) (Mode, error) {
+	rt, ok := sw.agents[name]
+	if !ok || rt.hosted {
+		return ModeLocal, fmt.Errorf("switchos: no local agent %q", name)
+	}
+	return rt.mode, nil
+}
+
+// SetAgentMode switches a locally-installed agent between local analysis
+// and offloaded (export-only) operation.
+func (sw *Switch) SetAgentMode(name string, mode Mode) error {
+	rt, ok := sw.agents[name]
+	if !ok || rt.hosted {
+		return fmt.Errorf("switchos: no local agent %q", name)
+	}
+	rt.mode = mode
+	return nil
+}
+
+// OffloadAll sets every local agent to the given mode.
+func (sw *Switch) OffloadAll(mode Mode) {
+	for _, rt := range sw.agents {
+		if !rt.hosted {
+			rt.mode = mode
+		}
+	}
+}
+
+// HostRemote installs an agent offloaded from another switch. originKpps
+// reports the origin's traffic so the hosted analysis sees the origin's
+// event rate (the paper's homogeneity assumption: the same workload costs
+// the same wherever it runs).
+func (sw *Switch) HostRemote(spec AgentSpec, origin string, originKpps func() float64) error {
+	if originKpps == nil {
+		return fmt.Errorf("switchos: hosted agent %q needs an origin traffic source", spec.Name)
+	}
+	return sw.install(spec, true, origin, originKpps)
+}
+
+// EvictRemote removes a hosted agent (destination failure handling).
+func (sw *Switch) EvictRemote(origin, name string) error {
+	key := origin + "/" + name
+	if _, ok := sw.agents[key]; !ok {
+		return fmt.Errorf("switchos: no hosted agent %q", key)
+	}
+	delete(sw.agents, key)
+	for i, k := range sw.order {
+		if k == key {
+			sw.order = append(sw.order[:i], sw.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// AgentNames lists installed agents (local first, then hosted), sorted.
+func (sw *Switch) AgentNames() []string {
+	var local, hosted []string
+	for key, rt := range sw.agents {
+		if rt.hosted {
+			hosted = append(hosted, key)
+		} else {
+			local = append(local, key)
+		}
+	}
+	sort.Strings(local)
+	sort.Strings(hosted)
+	return append(local, hosted...)
+}
+
+// eventRate is the agent's update stream rate at traffic level kpps.
+func (spec AgentSpec) eventRate(kpps float64) float64 {
+	return spec.BaseUpdatesPerSec + spec.UpdatesPerKpps*kpps
+}
+
+// Step advances the switch by dt seconds of virtual time: drives DB table
+// churn, runs periodic scans (with stochastic bursts), accounts CPU and
+// memory, and appends the tick's snapshot to the TSDB. It returns the
+// snapshot.
+func (sw *Switch) Step(dt float64) (Snapshot, error) {
+	if dt <= 0 {
+		return Snapshot{}, fmt.Errorf("switchos: step dt must be positive, got %g", dt)
+	}
+	sw.now += dt
+
+	// Drive table churn through the DB subscription path. Tables shared
+	// by several agents churn at the fastest subscriber's assumed rate.
+	tableRate := make(map[string]float64)
+	tableCarrier := make(map[string]*agentRuntime)
+	var tableOrder []string
+	for _, key := range sw.order {
+		rt := sw.agents[key]
+		if rt.hosted {
+			continue
+		}
+		r := rt.spec.eventRate(sw.kpps)
+		if _, seen := tableRate[rt.spec.Table]; !seen {
+			tableOrder = append(tableOrder, rt.spec.Table)
+		}
+		if r > tableRate[rt.spec.Table] {
+			tableRate[rt.spec.Table] = r
+			tableCarrier[rt.spec.Table] = rt
+		}
+	}
+	for _, table := range tableOrder {
+		carrier := tableCarrier[table]
+		exact := tableRate[table]*dt + carrier.carry
+		count := int(exact)
+		carrier.carry = exact - float64(count)
+		sw.db.Table(table).UpsertBatch(count)
+	}
+
+	busyUs := 0.0
+	for _, key := range sw.order {
+		rt := sw.agents[key]
+		if rt.hosted {
+			// Hosted analysis: full per-event cost at the origin's rate.
+			busyUs += rt.spec.eventRate(rt.originKpps()) * dt * rt.spec.CPUPerEventUs
+		} else {
+			busyUs += rt.pendingEventUs
+			rt.pendingEventUs = 0
+		}
+		// Periodic scans run wherever the analysis runs.
+		if rt.spec.ScanIntervalSec > 0 && (rt.hosted || rt.mode == ModeLocal) {
+			for rt.nextScan <= sw.now {
+				cost := rt.spec.CPUPerScanUs
+				if rt.spec.BurstProb > 0 && sw.rng.Float64() < rt.spec.BurstProb {
+					cost *= rt.spec.BurstMultiplier
+				}
+				busyUs += cost
+				rt.nextScan += rt.spec.ScanIntervalSec
+			}
+		} else if rt.spec.ScanIntervalSec > 0 {
+			// Offloaded local agent: keep the schedule aligned without
+			// paying the scan here.
+			for rt.nextScan <= sw.now {
+				rt.nextScan += rt.spec.ScanIntervalSec
+			}
+		}
+	}
+
+	monitorPct := busyUs / (dt * 1e6) * 100 // single-core percent
+	devicePct := sw.cfg.IdleCPUPct + sw.cfg.CPUPctPerKpps*sw.kpps + monitorPct/float64(sw.cfg.Cores)
+	// DeviceCPUPct is normalized to all cores, so it saturates at 100.
+	if devicePct > 100 {
+		devicePct = 100
+	}
+
+	memUsed := sw.cfg.BaseMemMB
+	for _, key := range sw.order {
+		rt := sw.agents[key]
+		_ = rt
+		switch {
+		case rt.hosted:
+			memUsed += rt.spec.MemoryMB
+		case rt.mode == ModeOffloaded:
+			memUsed += rt.spec.ExportMemoryMB
+		default:
+			memUsed += rt.spec.MemoryMB
+		}
+	}
+	if memUsed > sw.cfg.MemTotalMB {
+		memUsed = sw.cfg.MemTotalMB
+	}
+
+	snap := Snapshot{
+		Time:          sw.now,
+		MonitorCPUPct: monitorPct,
+		DeviceCPUPct:  devicePct,
+		MemUsedMB:     memUsed,
+		MemPct:        memUsed / sw.cfg.MemTotalMB * 100,
+	}
+	// Store keys are node-local (no node label): the Time-Series
+	// Federation layer supplies node identity when aggregating across
+	// stores (Figure 2's federation component).
+	for metric, v := range map[string]float64{
+		"monitor_cpu_pct": snap.MonitorCPUPct,
+		"device_cpu_pct":  snap.DeviceCPUPct,
+		"device_mem_pct":  snap.MemPct,
+	} {
+		if err := sw.store.Append(tsdb.Key(metric, nil), tsdb.Point{T: sw.now, V: v}); err != nil {
+			return snap, err
+		}
+	}
+	return snap, nil
+}
+
+// MonitoringMemoryMB returns the resident memory of locally-analyzed
+// agents — the "retained ~1.2 GiB" of Section V-A.
+func (sw *Switch) MonitoringMemoryMB() float64 {
+	total := 0.0
+	for _, rt := range sw.agents {
+		if !rt.hosted && rt.mode == ModeLocal {
+			total += rt.spec.MemoryMB
+		}
+	}
+	return total
+}

@@ -1,0 +1,437 @@
+package switchos
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/tsdb"
+)
+
+func TestDBTableBasics(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("routes")
+	if db.Table("routes") != tbl {
+		t.Fatal("Table should return the same instance")
+	}
+	var gotKey string
+	var gotCount int
+	tbl.Subscribe(func(key string, row Row, count int) {
+		gotKey = key
+		gotCount = count
+	})
+	tbl.Upsert("10.0.0.0/8", Row{"nexthop": "s2"})
+	if gotKey != "10.0.0.0/8" || gotCount != 1 {
+		t.Fatalf("notification = (%q, %d), want (10.0.0.0/8, 1)", gotKey, gotCount)
+	}
+	row, ok := tbl.Get("10.0.0.0/8")
+	if !ok || row["nexthop"] != "s2" {
+		t.Fatalf("Get = %v ok=%v", row, ok)
+	}
+	// Mutating the returned row must not affect the stored row.
+	row["nexthop"] = "tampered"
+	row2, _ := tbl.Get("10.0.0.0/8")
+	if row2["nexthop"] != "s2" {
+		t.Fatal("Get returned a live reference")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tbl.Len())
+	}
+	names := db.TableNames()
+	if len(names) != 1 || names[0] != "routes" {
+		t.Fatalf("TableNames = %v", names)
+	}
+}
+
+func TestDBUpsertBatch(t *testing.T) {
+	db := NewDB()
+	tbl := db.Table("counters")
+	total := 0
+	tbl.Subscribe(func(_ string, _ Row, count int) { total += count })
+	tbl.UpsertBatch(100)
+	tbl.UpsertBatch(0)  // no-op
+	tbl.UpsertBatch(-5) // no-op
+	if total != 100 {
+		t.Fatalf("batched notifications = %d, want 100", total)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Aruba8325().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Aruba8325()
+	bad.Cores = 0
+	if bad.Validate() == nil {
+		t.Fatal("zero cores accepted")
+	}
+	bad = Aruba8325()
+	bad.BaseMemMB = bad.MemTotalMB + 1
+	if bad.Validate() == nil {
+		t.Fatal("base memory above total accepted")
+	}
+}
+
+func TestNewRejectsBadAgents(t *testing.T) {
+	cfg := Aruba8325()
+	if _, err := New(cfg, []AgentSpec{{Name: "", Table: "x"}}, 1); err == nil {
+		t.Fatal("nameless agent accepted")
+	}
+	if _, err := New(cfg, []AgentSpec{
+		{Name: "a", Table: "x"}, {Name: "a", Table: "y"},
+	}, 1); err == nil {
+		t.Fatal("duplicate agent accepted")
+	}
+}
+
+func TestStandardAgentsShape(t *testing.T) {
+	specs := StandardAgents()
+	if len(specs) != 10 {
+		t.Fatalf("testbed deploys 10 agents, got %d", len(specs))
+	}
+	seen := make(map[string]bool)
+	totalMem := 0.0
+	for _, s := range specs {
+		if seen[s.Name] {
+			t.Fatalf("duplicate agent name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.CPUPerEventUs <= 0 || s.MemoryMB <= 0 {
+			t.Fatalf("agent %q has non-positive costs", s.Name)
+		}
+		if s.ExportCPUPerEventUs >= s.CPUPerEventUs {
+			t.Fatalf("agent %q export cost must be below analysis cost", s.Name)
+		}
+		totalMem += s.MemoryMB
+	}
+	// Section V-A: monitoring retains ≈1.2 GiB.
+	if totalMem < 1100 || totalMem > 1500 {
+		t.Fatalf("agent memory sum %g MB, want ≈1.2 GiB", totalMem)
+	}
+}
+
+func TestStepRejectsBadDt(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sw.Step(0); err == nil {
+		t.Fatal("dt=0 accepted")
+	}
+}
+
+func TestStepDeterministicForSeed(t *testing.T) {
+	run := func() []float64 {
+		sw, err := New(Aruba8325(), StandardAgents(), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.SetTrafficKpps(29.4)
+		var out []float64
+		for i := 0; i < 50; i++ {
+			snap, err := sw.Step(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, snap.MonitorCPUPct)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tick %d differs: %g vs %g", i, a[i], b[i])
+		}
+	}
+}
+
+// TestCalibrationFig1 checks the Figure 1 operating point: at 20%
+// line-rate VxLAN (≈29.4 kpps on the 1 Gbps access link), the monitoring
+// module averages around one core (paper: "around 100% average") and
+// spikes well above it (paper: up to 600% on the 8-core DUT).
+func TestCalibrationFig1(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SetTrafficKpps(29.4)
+	var sum metrics.Summary
+	for i := 0; i < 600; i++ {
+		snap, err := sw.Step(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum.Add(snap.MonitorCPUPct)
+	}
+	if avg := sum.Mean(); avg < 90 || avg > 180 {
+		t.Fatalf("monitoring CPU average %g%%, want ≈100–150%% (single-core)", avg)
+	}
+	if peak := sum.Max(); peak < 300 {
+		t.Fatalf("monitoring CPU peak %g%%, want bursty spikes >= 300%%", peak)
+	}
+	if sum.Max() > 800 {
+		t.Fatalf("monitoring CPU peak %g%% exceeds the DUT's plausible ceiling", sum.Max())
+	}
+}
+
+// TestCalibrationFig6 checks the local-vs-DUST comparison: device CPU
+// drops from ≈31% to ≈15% (a ~50% cut) and memory from ≈70% to ≈62%.
+func TestCalibrationFig6(t *testing.T) {
+	measure := func(offload bool) (cpu, mem float64) {
+		sw, err := New(Aruba8325(), StandardAgents(), 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.SetTrafficKpps(29.4)
+		if offload {
+			sw.OffloadAll(ModeOffloaded)
+		}
+		var cpuSum, memSum metrics.Summary
+		for i := 0; i < 300; i++ {
+			snap, err := sw.Step(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cpuSum.Add(snap.DeviceCPUPct)
+			memSum.Add(snap.MemPct)
+		}
+		return cpuSum.Mean(), memSum.Mean()
+	}
+	localCPU, localMem := measure(false)
+	dustCPU, dustMem := measure(true)
+
+	if localCPU < 27 || localCPU > 36 {
+		t.Fatalf("local device CPU %g%%, want ≈31%%", localCPU)
+	}
+	if dustCPU < 12 || dustCPU > 19 {
+		t.Fatalf("DUST device CPU %g%%, want ≈15%%", dustCPU)
+	}
+	cpuSaving := (localCPU - dustCPU) / localCPU * 100
+	if cpuSaving < 40 || cpuSaving > 62 {
+		t.Fatalf("CPU saving %g%%, want ≈52%%", cpuSaving)
+	}
+	if localMem < 66 || localMem > 74 {
+		t.Fatalf("local memory %g%%, want ≈70%%", localMem)
+	}
+	if dustMem < 58 || dustMem > 66 {
+		t.Fatalf("DUST memory %g%%, want ≈62%%", dustMem)
+	}
+	if localMem-dustMem < 5 || localMem-dustMem > 12 {
+		t.Fatalf("memory delta %g points, want ≈8", localMem-dustMem)
+	}
+}
+
+func TestOffloadShiftsLoadToHost(t *testing.T) {
+	origin, err := New(Aruba8325(), StandardAgents(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	host, err := New(Aruba8325(), nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin.SetTrafficKpps(29.4)
+	host.SetTrafficKpps(5)
+
+	// Baseline host load without hosted agents.
+	preHost, _ := host.Step(1)
+
+	origin.OffloadAll(ModeOffloaded)
+	for _, spec := range StandardAgents() {
+		if err := host.HostRemote(spec, origin.Config().Name, origin.TrafficKpps); err != nil {
+			t.Fatal(err)
+		}
+	}
+	postOrigin, err := origin.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	postHost, err := host.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Origin's monitoring CPU collapses to the export residual.
+	if postOrigin.MonitorCPUPct > 10 {
+		t.Fatalf("offloaded origin monitoring CPU %g%%, want < 10%%", postOrigin.MonitorCPUPct)
+	}
+	// Host picks up roughly the analysis load at the origin's rate.
+	if postHost.MonitorCPUPct < 80 {
+		t.Fatalf("host monitoring CPU %g%%, want >= 80%% (hosting 10 agents)", postHost.MonitorCPUPct)
+	}
+	if postHost.MemUsedMB <= preHost.MemUsedMB {
+		t.Fatal("host memory should grow with hosted agents")
+	}
+	if origin.MonitoringMemoryMB() != 0 {
+		t.Fatalf("offloaded origin retains %g MB of analysis memory", origin.MonitoringMemoryMB())
+	}
+
+	// Evicting releases the host's resources.
+	for _, spec := range StandardAgents() {
+		if err := host.EvictRemote(origin.Config().Name, spec.Name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	evicted, _ := host.Step(1)
+	if evicted.MonitorCPUPct > 10 {
+		t.Fatalf("evicted host monitoring CPU %g%%, want near zero", evicted.MonitorCPUPct)
+	}
+	if err := host.EvictRemote("nope", "missing"); err == nil {
+		t.Fatal("evicting unknown hosted agent should fail")
+	}
+}
+
+func TestSetAgentModeErrors(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetAgentMode("fault-finder", ModeOffloaded); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.SetAgentMode("no-such-agent", ModeLocal); err == nil {
+		t.Fatal("unknown agent accepted")
+	}
+	if err := sw.HostRemote(StandardAgents()[0], "o", nil); err == nil {
+		t.Fatal("hosted agent without traffic source accepted")
+	}
+}
+
+func TestAgentNamesOrdering(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents()[:2], 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.HostRemote(StandardAgents()[2], "s9", func() float64 { return 1 }); err != nil {
+		t.Fatal(err)
+	}
+	names := sw.AgentNames()
+	if len(names) != 3 {
+		t.Fatalf("names = %v", names)
+	}
+	if names[2] != "s9/network-health" {
+		t.Fatalf("hosted agent should list last with origin prefix, got %v", names)
+	}
+}
+
+func TestMonitoringSeriesWritten(t *testing.T) {
+	sw, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SetTrafficKpps(10)
+	for i := 0; i < 5; i++ {
+		if _, err := sw.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	keys := sw.Store().Keys()
+	if len(keys) != 3 {
+		t.Fatalf("series = %v, want 3 metrics", keys)
+	}
+	for _, k := range keys {
+		pts := sw.Store().Query(k, 0, 100)
+		if len(pts) != 5 {
+			t.Fatalf("series %v has %d points, want 5", k, len(pts))
+		}
+	}
+}
+
+func TestCPUScalesWithTraffic(t *testing.T) {
+	load := func(kpps float64) float64 {
+		sw, err := New(Aruba8325(), StandardAgents(), 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw.SetTrafficKpps(kpps)
+		var sum metrics.Summary
+		for i := 0; i < 100; i++ {
+			snap, err := sw.Step(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum.Add(snap.MonitorCPUPct)
+		}
+		return sum.Mean()
+	}
+	idle, half, full := load(0), load(15), load(30)
+	if !(idle < half && half < full) {
+		t.Fatalf("monitoring CPU not monotone in traffic: %g, %g, %g", idle, half, full)
+	}
+	// Rough linearity: doubling traffic from 15 to 30 kpps should land the
+	// event-driven load near doubling (scans are traffic-independent).
+	ratio := (full - idle) / math.Max(half-idle, 1e-9)
+	if ratio < 1.6 || ratio > 2.4 {
+		t.Fatalf("traffic scaling ratio %g, want ≈2", ratio)
+	}
+}
+
+func TestDeviceCPUCappedAtCores(t *testing.T) {
+	cfg := Aruba8325()
+	cfg.Cores = 1
+	sw, err := New(cfg, StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw.SetTrafficKpps(500) // absurd load
+	snap, err := sw.Step(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.DeviceCPUPct > 100 {
+		t.Fatalf("device CPU %g%% exceeds the normalized 100%% ceiling", snap.DeviceCPUPct)
+	}
+}
+
+func TestFederationAcrossSwitches(t *testing.T) {
+	// The Time-Series Federation component (Figure 2) aggregates the
+	// node-local stores: per-node series stay addressable by node name and
+	// merge time-ordered.
+	a, err := New(Aruba8325(), StandardAgents(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bcfg := Aruba8325()
+	bcfg.Name = "sw-b"
+	b, err := New(bcfg, StandardAgents(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetTrafficKpps(10)
+	b.SetTrafficKpps(20)
+	for i := 0; i < 5; i++ {
+		if _, err := a.Step(1); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Step(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fed := tsdb.NewFederation()
+	fed.Register(a.Config().Name, a.Store())
+	fed.Register(b.Config().Name, b.Store())
+
+	key := tsdb.Key("monitor_cpu_pct", nil)
+	per := fed.QueryAll(key, 0, 100)
+	if len(per) != 2 {
+		t.Fatalf("federation sees %d members with the metric, want 2", len(per))
+	}
+	if len(per["aruba-8325"]) != 5 || len(per["sw-b"]) != 5 {
+		t.Fatalf("per-node points = %d/%d, want 5/5", len(per["aruba-8325"]), len(per["sw-b"]))
+	}
+	merged := fed.Merge(key, 0, 100)
+	if len(merged) != 10 {
+		t.Fatalf("merged %d points, want 10", len(merged))
+	}
+	// The busier switch's monitoring series dominates the quieter one's.
+	if metrics.Mean(values(per["sw-b"])) <= metrics.Mean(values(per["aruba-8325"])) {
+		t.Fatal("heavier traffic should show higher monitoring CPU in the federation")
+	}
+}
+
+func values(pts []tsdb.Point) []float64 {
+	out := make([]float64, len(pts))
+	for i, p := range pts {
+		out[i] = p.V
+	}
+	return out
+}

@@ -1,0 +1,266 @@
+// Package testbed assembles the full Figure-5-style evaluation rig: a
+// fat-tree topology carrying generated VxLAN overlay traffic, one
+// simulated database-driven switch OS per node running the ten monitor
+// agents, NMDB snapshots derived from the switches' device CPU, and the
+// offload executor that maps placement assignments onto concrete agent
+// relocations. The datacenter example and cmd/dustsim are thin drivers
+// over this package.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/switchos"
+	"repro/internal/traffic"
+	"repro/internal/tsdb"
+)
+
+// Config describes a testbed instance.
+type Config struct {
+	// K is the fat-tree port count.
+	K int
+	// Traffic configures the VxLAN workload.
+	Traffic traffic.Config
+	// TransitScale converts raw per-node transit into the switch's kpps
+	// knob (tunes how hot the network runs); 0 defaults to 0.25.
+	TransitScale float64
+	// Hotspots maps node index → extra transit multiplier (elephant-flow
+	// concentration points).
+	Hotspots map[int]float64
+	// Seed drives traffic generation and per-switch simulation.
+	Seed int64
+}
+
+// DefaultConfig is the 4-k pod at the paper's 20% line-rate operating
+// point with one hot edge switch.
+func DefaultConfig() Config {
+	return Config{
+		K:            4,
+		Traffic:      traffic.DefaultConfig(),
+		TransitScale: 0.25,
+		Hotspots:     map[int]float64{0: 4},
+		Seed:         7,
+	}
+}
+
+// Testbed is a running rig.
+type Testbed struct {
+	cfg      Config
+	G        *graph.Graph
+	Switches []*switchos.Switch
+	// Flows is the generated workload; TransitMbps the per-node transit.
+	Flows       []traffic.Flow
+	TransitMbps []float64
+	fed         *tsdb.Federation
+	now         float64
+	last        []switchos.Snapshot
+}
+
+// New builds the rig: topology, traffic imposition, and one switch per
+// node with traffic-derived event rates.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.K < 2 || cfg.K%2 != 0 {
+		return nil, fmt.Errorf("testbed: fat-tree k must be even >= 2, got %d", cfg.K)
+	}
+	if cfg.TransitScale == 0 {
+		cfg.TransitScale = 0.25
+	}
+	if cfg.TransitScale < 0 {
+		return nil, fmt.Errorf("testbed: negative transit scale %g", cfg.TransitScale)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := graph.FatTree(cfg.K, 1000)
+	flows, err := traffic.Generate(g, graph.FatTreeEdgeSwitches(cfg.K), cfg.Traffic, rng)
+	if err != nil {
+		return nil, err
+	}
+	transit, err := traffic.Apply(g, flows)
+	if err != nil {
+		return nil, err
+	}
+	rates := traffic.NodeEventRate(transit, flows)
+
+	tb := &Testbed{
+		cfg: cfg, G: g,
+		Flows: flows, TransitMbps: transit,
+		Switches: make([]*switchos.Switch, g.NumNodes()),
+		fed:      tsdb.NewFederation(),
+		last:     make([]switchos.Snapshot, g.NumNodes()),
+	}
+	for i := range tb.Switches {
+		swCfg := switchos.Aruba8325()
+		swCfg.Name = fmt.Sprintf("sw%d", i)
+		sw, err := switchos.New(swCfg, switchos.StandardAgents(), cfg.Seed+int64(i)+1)
+		if err != nil {
+			return nil, err
+		}
+		kpps := rates[i] / 1000 * cfg.TransitScale
+		if mult, hot := cfg.Hotspots[i]; hot {
+			kpps *= mult
+		}
+		sw.SetTrafficKpps(kpps)
+		tb.Switches[i] = sw
+		tb.fed.Register(swCfg.Name, sw.Store())
+	}
+	return tb, nil
+}
+
+// Run advances every switch by the given number of 1-second ticks and
+// returns the final snapshots.
+func (tb *Testbed) Run(seconds int) ([]switchos.Snapshot, error) {
+	for s := 0; s < seconds; s++ {
+		for i, sw := range tb.Switches {
+			snap, err := sw.Step(1)
+			if err != nil {
+				return nil, err
+			}
+			tb.last[i] = snap
+		}
+		tb.now++
+	}
+	out := make([]switchos.Snapshot, len(tb.last))
+	copy(out, tb.last)
+	return out, nil
+}
+
+// Now returns the rig's virtual time in seconds.
+func (tb *Testbed) Now() float64 { return tb.now }
+
+// Federation exposes the network-wide time-series view.
+func (tb *Testbed) Federation() *tsdb.Federation { return tb.fed }
+
+// BuildState snapshots the switches' device CPU into the optimizer's
+// input (data volume fixed at dataMb per node).
+func (tb *Testbed) BuildState(dataMb float64) *core.State {
+	s := core.NewState(tb.G)
+	for i, snap := range tb.last {
+		s.Util[i] = snap.DeviceCPUPct
+		s.DataMb[i] = dataMb
+	}
+	return s
+}
+
+// Relocation records one concrete agent move performed by Execute.
+type Relocation struct {
+	Agent     string
+	From, To  int
+	PointsEst float64 // estimated device points the move sheds at From
+}
+
+// Execute maps placement assignments onto agent relocations: each busy
+// switch moves just enough of its ten agents to shed its assigned total,
+// distributing them across its destinations proportionally to the
+// assignment amounts (the paper's flexible one-to-many offloading).
+// Moved agents flip to export mode at the origin and are hosted at the
+// destination at the origin's traffic rate.
+func (tb *Testbed) Execute(assignments []core.Assignment) ([]Relocation, error) {
+	byBusy := make(map[int][]core.Assignment)
+	var order []int
+	for _, a := range assignments {
+		if _, seen := byBusy[a.Busy]; !seen {
+			order = append(order, a.Busy)
+		}
+		byBusy[a.Busy] = append(byBusy[a.Busy], a)
+	}
+	sort.Ints(order)
+
+	specs := switchos.StandardAgents()
+	var moves []Relocation
+	for _, busy := range order {
+		origin := tb.Switches[busy]
+		as := byBusy[busy]
+		total := 0.0
+		for _, a := range as {
+			total += a.Amount
+		}
+		perAgent := tb.last[busy].MonitorCPUPct / float64(origin.Config().Cores) / float64(len(specs))
+		if perAgent <= 0 {
+			return nil, fmt.Errorf("testbed: switch %d has no monitoring load to shed", busy)
+		}
+		toMove := int(math.Ceil(total / perAgent))
+		if toMove > len(specs) {
+			toMove = len(specs)
+		}
+		idx := 0
+		for ai, a := range as {
+			n := int(a.Amount/total*float64(toMove) + 0.5)
+			if ai == len(as)-1 {
+				n = toMove - idx
+			}
+			for j := idx; j < idx+n && j < len(specs); j++ {
+				if err := origin.SetAgentMode(specs[j].Name, switchos.ModeOffloaded); err != nil {
+					return nil, err
+				}
+				if err := tb.Switches[a.Candidate].HostRemote(specs[j], origin.Config().Name, origin.TrafficKpps); err != nil {
+					return nil, err
+				}
+				moves = append(moves, Relocation{
+					Agent: specs[j].Name, From: busy, To: a.Candidate, PointsEst: perAgent,
+				})
+			}
+			idx += n
+		}
+	}
+	return moves, nil
+}
+
+// FullyOffload moves every still-local agent of node from to node to —
+// the Figure-6 single-DUT experiment shape. Agents already offloaded
+// (hosted anywhere) are left where they are.
+func (tb *Testbed) FullyOffload(from, to int) (int, error) {
+	origin := tb.Switches[from]
+	moved := 0
+	for _, spec := range switchos.StandardAgents() {
+		mode, err := origin.AgentMode(spec.Name)
+		if err != nil {
+			return moved, err
+		}
+		if mode == switchos.ModeOffloaded {
+			continue // already relocated by an earlier placement
+		}
+		if err := origin.SetAgentMode(spec.Name, switchos.ModeOffloaded); err != nil {
+			return moved, err
+		}
+		if err := tb.Switches[to].HostRemote(spec, origin.Config().Name, origin.TrafficKpps); err != nil {
+			return moved, err
+		}
+		moved++
+	}
+	return moved, nil
+}
+
+// TopMonitoringLoad ranks nodes by mean monitoring CPU over the run via
+// the federation (network-wide visibility).
+func (tb *Testbed) TopMonitoringLoad(n int) []NodeLoad {
+	key := tsdb.Key("monitor_cpu_pct", nil)
+	per := tb.fed.QueryAll(key, 0, tb.now+1)
+	out := make([]NodeLoad, 0, len(per))
+	for node, pts := range per {
+		sum := 0.0
+		for _, p := range pts {
+			sum += p.V
+		}
+		out = append(out, NodeLoad{Node: node, MeanPct: sum / float64(len(pts))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MeanPct != out[j].MeanPct {
+			return out[i].MeanPct > out[j].MeanPct
+		}
+		return out[i].Node < out[j].Node
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// NodeLoad is one federation ranking entry.
+type NodeLoad struct {
+	Node    string
+	MeanPct float64
+}

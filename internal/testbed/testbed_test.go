@@ -1,0 +1,164 @@
+package testbed
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestNewValidatesConfig(t *testing.T) {
+	bad := DefaultConfig()
+	bad.K = 3
+	if _, err := New(bad); err == nil {
+		t.Fatal("odd k accepted")
+	}
+	bad = DefaultConfig()
+	bad.TransitScale = -1
+	if _, err := New(bad); err == nil {
+		t.Fatal("negative transit scale accepted")
+	}
+}
+
+func TestTestbedShape(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.G.NumNodes() != 20 || len(tb.Switches) != 20 {
+		t.Fatalf("rig has %d nodes / %d switches, want 20/20", tb.G.NumNodes(), len(tb.Switches))
+	}
+	if len(tb.Flows) == 0 {
+		t.Fatal("no traffic generated")
+	}
+	// The hotspot multiplier must show in the kpps knob.
+	if tb.Switches[0].TrafficKpps() <= tb.Switches[1].TrafficKpps() {
+		t.Fatal("hotspot should carry more traffic than a sibling edge switch")
+	}
+}
+
+func TestRunAndBuildState(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := tb.Run(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Now() != 60 {
+		t.Fatalf("now = %g, want 60", tb.Now())
+	}
+	if snaps[0].DeviceCPUPct <= snaps[1].DeviceCPUPct {
+		t.Fatal("hotspot should run hotter")
+	}
+	state := tb.BuildState(50)
+	if err := state.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if state.Util[0] != snaps[0].DeviceCPUPct || state.DataMb[0] != 50 {
+		t.Fatal("state does not reflect the rig")
+	}
+}
+
+func TestExecuteShedsLoad(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := tb.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state := tb.BuildState(50)
+	params := core.DefaultParams()
+	params.Thresholds = core.Thresholds{CMax: 60, COMax: 30, XMin: 5}
+	res, err := core.Solve(state, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("placement %v, want optimal", res.Status)
+	}
+	moves, err := tb.Execute(res.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no agents relocated")
+	}
+	for _, m := range moves {
+		if m.From == m.To || m.PointsEst <= 0 {
+			t.Fatalf("bad relocation %+v", m)
+		}
+	}
+	after, err := tb.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every busy origin must cool down.
+	for _, bi := range res.Classification.Busy {
+		if after[bi].DeviceCPUPct >= warm[bi].DeviceCPUPct {
+			t.Fatalf("busy node %d did not cool: %.1f → %.1f",
+				bi, warm[bi].DeviceCPUPct, after[bi].DeviceCPUPct)
+		}
+	}
+}
+
+func TestFullyOffloadMatchesFig6(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := tb.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := tb.FullyOffload(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 10 {
+		t.Fatalf("moved %d agents, want all 10", moved)
+	}
+	// Idempotence: nothing left to move.
+	moved, err = tb.FullyOffload(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 0 {
+		t.Fatalf("second full offload moved %d agents, want 0", moved)
+	}
+	after, err := tb.Run(120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	saving := (warm[0].DeviceCPUPct - after[0].DeviceCPUPct) / warm[0].DeviceCPUPct * 100
+	if saving < 35 {
+		t.Fatalf("full offload saved %.0f%%, want the Fig.-6-scale cut", saving)
+	}
+	if after[0].MemPct >= warm[0].MemPct {
+		t.Fatal("memory should drop after full offload")
+	}
+}
+
+func TestTopMonitoringLoad(t *testing.T) {
+	tb, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30); err != nil {
+		t.Fatal(err)
+	}
+	top := tb.TopMonitoringLoad(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %d entries, want 3", len(top))
+	}
+	if top[0].Node != "sw0" {
+		t.Fatalf("hotspot should rank first, got %v", top)
+	}
+	for i := 1; i < len(top); i++ {
+		if top[i].MeanPct > top[i-1].MeanPct {
+			t.Fatal("ranking not descending")
+		}
+	}
+}

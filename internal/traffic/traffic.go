@@ -1,0 +1,206 @@
+// Package traffic generates the synthetic VxLAN overlay workload that
+// stands in for the paper's data-center testbed traffic (Section V-A,
+// "20% line-rate VxLAN overlay traffic"). Flows are drawn between edge
+// switches, routed over minimum-hop paths, and imposed on the topology as
+// per-link utilization — the Lu input of the placement model — and as a
+// packet-event rate that drives the simulated switch OS's monitoring
+// pipeline.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+)
+
+// Flow is one VxLAN overlay flow between two edge switches.
+type Flow struct {
+	// Src and Dst are node indices in the topology.
+	Src, Dst int
+	// VNI is the VxLAN network identifier of the overlay segment.
+	VNI uint32
+	// RateMbps is the flow's offered load.
+	RateMbps float64
+	// PacketBytes is the average packet size (VxLAN adds 50 bytes of
+	// encapsulation to the inner frame).
+	PacketBytes int
+}
+
+// PacketsPerSec converts the flow rate to a packet rate.
+func (f Flow) PacketsPerSec() float64 {
+	if f.PacketBytes <= 0 {
+		return 0
+	}
+	return f.RateMbps * 1e6 / 8 / float64(f.PacketBytes)
+}
+
+// Config controls workload generation.
+type Config struct {
+	// LineRateFraction is the average fraction of access-link capacity the
+	// aggregate workload offers at each source (0.2 = the paper's 20%).
+	LineRateFraction float64
+	// FlowsPerSource is how many concurrent flows each source originates.
+	FlowsPerSource int
+	// VNIs is the number of distinct overlay segments.
+	VNIs int
+	// PacketBytes is the mean encapsulated packet size; 0 defaults to 850
+	// (a typical data-center IMIX mean plus VxLAN overhead).
+	PacketBytes int
+}
+
+// DefaultConfig is the paper's testbed operating point.
+func DefaultConfig() Config {
+	return Config{LineRateFraction: 0.2, FlowsPerSource: 4, VNIs: 16, PacketBytes: 850}
+}
+
+// Validate rejects nonsensical configurations.
+func (c Config) Validate() error {
+	if c.LineRateFraction < 0 || c.LineRateFraction > 1 {
+		return fmt.Errorf("traffic: line-rate fraction %g outside [0,1]", c.LineRateFraction)
+	}
+	if c.FlowsPerSource < 1 {
+		return fmt.Errorf("traffic: flows per source must be >= 1, got %d", c.FlowsPerSource)
+	}
+	if c.VNIs < 1 {
+		return fmt.Errorf("traffic: VNIs must be >= 1, got %d", c.VNIs)
+	}
+	return nil
+}
+
+// Generate draws a VxLAN workload between the given source/destination
+// node set (typically the fat-tree edge switches). Each source originates
+// FlowsPerSource flows to uniformly random other endpoints; per-source
+// aggregate rate is LineRateFraction of the source's least-capacity
+// incident link, split unevenly across its flows (exponential weights) to
+// mimic the skew of real overlay traffic.
+func Generate(g *graph.Graph, endpoints []int, cfg Config, rng *rand.Rand) ([]Flow, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(endpoints) < 2 {
+		return nil, fmt.Errorf("traffic: need >= 2 endpoints, got %d", len(endpoints))
+	}
+	pktBytes := cfg.PacketBytes
+	if pktBytes <= 0 {
+		pktBytes = 850
+	}
+	var flows []Flow
+	for _, src := range endpoints {
+		// Per-source budget: fraction of the least-capacity incident link.
+		linkCap := 0.0
+		for _, id := range g.Incident(src) {
+			c := g.Edge(id).CapMbps
+			if linkCap == 0 || c < linkCap {
+				linkCap = c
+			}
+		}
+		budget := cfg.LineRateFraction * linkCap
+		weights := make([]float64, cfg.FlowsPerSource)
+		total := 0.0
+		for i := range weights {
+			weights[i] = rng.ExpFloat64() + 1e-6
+			total += weights[i]
+		}
+		for i := 0; i < cfg.FlowsPerSource; i++ {
+			dst := endpoints[rng.Intn(len(endpoints))]
+			for dst == src {
+				dst = endpoints[rng.Intn(len(endpoints))]
+			}
+			flows = append(flows, Flow{
+				Src:         src,
+				Dst:         dst,
+				VNI:         uint32(rng.Intn(cfg.VNIs)),
+				RateMbps:    budget * weights[i] / total,
+				PacketBytes: pktBytes,
+			})
+		}
+	}
+	return flows, nil
+}
+
+// Apply routes every flow along a minimum-hop path (ECMP tie-break by the
+// currently least-utilized next edge) and adds its rate to each traversed
+// link's utilization. It returns the per-node transit rate in Mbps — the
+// data-plane load each switch carries, which drives both its base CPU and
+// the packet-event rate feeding its monitoring agents.
+func Apply(g *graph.Graph, flows []Flow) ([]float64, error) {
+	transit := make([]float64, g.NumNodes())
+	for fi, f := range flows {
+		if f.Src == f.Dst {
+			return nil, fmt.Errorf("traffic: flow %d has identical endpoints %d", fi, f.Src)
+		}
+		path, ok := shortestLoadAware(g, f.Src, f.Dst)
+		if !ok {
+			return nil, fmt.Errorf("traffic: flow %d endpoints %d→%d disconnected", fi, f.Src, f.Dst)
+		}
+		cur := f.Src
+		transit[cur] += f.RateMbps
+		for _, id := range path {
+			g.AddUtilizedMbps(id, f.RateMbps)
+			cur = g.Edge(id).Other(cur)
+			transit[cur] += f.RateMbps
+		}
+	}
+	return transit, nil
+}
+
+// shortestLoadAware finds a minimum-hop path, breaking ties toward lower
+// current utilization — a cheap stand-in for ECMP flow spreading.
+func shortestLoadAware(g *graph.Graph, src, dst int) ([]graph.EdgeID, bool) {
+	dist := g.HopDistances(dst)
+	if dist[src] < 0 {
+		return nil, false
+	}
+	var path []graph.EdgeID
+	cur := src
+	for cur != dst {
+		bestEdge := graph.EdgeID(-1)
+		bestUtil := 0.0
+		for _, id := range g.Incident(cur) {
+			e := g.Edge(id)
+			next := e.Other(cur)
+			if dist[next] != dist[cur]-1 {
+				continue
+			}
+			if bestEdge < 0 || e.Utilization < bestUtil {
+				bestEdge = id
+				bestUtil = e.Utilization
+			}
+		}
+		if bestEdge < 0 {
+			return nil, false
+		}
+		path = append(path, bestEdge)
+		cur = g.Edge(bestEdge).Other(cur)
+	}
+	return path, true
+}
+
+// AggregateRate sums the offered load of a flow set.
+func AggregateRate(flows []Flow) float64 {
+	sum := 0.0
+	for _, f := range flows {
+		sum += f.RateMbps
+	}
+	return sum
+}
+
+// NodeEventRate returns the telemetry-relevant event rate at each node:
+// packets per second transiting the node, derived from per-node transit
+// Mbps and the mean packet size of the flow set.
+func NodeEventRate(transitMbps []float64, flows []Flow) []float64 {
+	meanPkt := 850.0
+	if len(flows) > 0 {
+		total := 0.0
+		for _, f := range flows {
+			total += float64(f.PacketBytes)
+		}
+		meanPkt = total / float64(len(flows))
+	}
+	out := make([]float64, len(transitMbps))
+	for i, mbps := range transitMbps {
+		out[i] = mbps * 1e6 / 8 / meanPkt
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{LineRateFraction: -0.1, FlowsPerSource: 1, VNIs: 1},
+		{LineRateFraction: 1.5, FlowsPerSource: 1, VNIs: 1},
+		{LineRateFraction: 0.2, FlowsPerSource: 0, VNIs: 1},
+		{LineRateFraction: 0.2, FlowsPerSource: 1, VNIs: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestGenerateBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g := graph.FatTree(4, 1000)
+	eps := graph.FatTreeEdgeSwitches(4)
+	cfg := DefaultConfig()
+	flows, err := Generate(g, eps, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flows) != len(eps)*cfg.FlowsPerSource {
+		t.Fatalf("flows = %d, want %d", len(flows), len(eps)*cfg.FlowsPerSource)
+	}
+	// Per-source aggregate ≈ 20% of the 1000 Mbps access links.
+	perSrc := make(map[int]float64)
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Fatal("self-flow generated")
+		}
+		if f.RateMbps < 0 {
+			t.Fatal("negative rate")
+		}
+		if int(f.VNI) >= cfg.VNIs {
+			t.Fatalf("VNI %d out of range", f.VNI)
+		}
+		perSrc[f.Src] += f.RateMbps
+	}
+	for src, sum := range perSrc {
+		if math.Abs(sum-200) > 1e-6 {
+			t.Fatalf("source %d offers %g Mbps, want 200", src, sum)
+		}
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := graph.Ring(4, 100)
+	if _, err := Generate(g, []int{0}, DefaultConfig(), rng); err == nil {
+		t.Fatal("single endpoint accepted")
+	}
+	bad := DefaultConfig()
+	bad.VNIs = 0
+	if _, err := Generate(g, []int{0, 1}, bad, rng); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestApplyConservation(t *testing.T) {
+	g := graph.Line(3, 1000)
+	flows := []Flow{{Src: 0, Dst: 2, RateMbps: 100, PacketBytes: 850}}
+	transit, err := Apply(g, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both edges of the line carry the flow.
+	for i := 0; i < 2; i++ {
+		if got := g.Edge(graph.EdgeID(i)).UtilizedMbps(); math.Abs(got-100) > 1e-9 {
+			t.Fatalf("edge %d carries %g, want 100", i, got)
+		}
+	}
+	// Every node on the path sees the transit rate.
+	for i, want := range []float64{100, 100, 100} {
+		if math.Abs(transit[i]-want) > 1e-9 {
+			t.Fatalf("node %d transit %g, want %g", i, transit[i], want)
+		}
+	}
+}
+
+func TestApplySpreadsOverECMP(t *testing.T) {
+	// Two equal-hop paths: the tie-break should split consecutive flows.
+	g := graph.New(4)
+	g.AddEdge(0, 1, 1000)
+	g.AddEdge(0, 2, 1000)
+	g.AddEdge(1, 3, 1000)
+	g.AddEdge(2, 3, 1000)
+	flows := []Flow{
+		{Src: 0, Dst: 3, RateMbps: 100, PacketBytes: 850},
+		{Src: 0, Dst: 3, RateMbps: 100, PacketBytes: 850},
+	}
+	if _, err := Apply(g, flows); err != nil {
+		t.Fatal(err)
+	}
+	// After flow 1 takes one branch, flow 2 must take the other.
+	u1 := g.Edge(0).UtilizedMbps()
+	u2 := g.Edge(1).UtilizedMbps()
+	if math.Abs(u1-100) > 1e-9 || math.Abs(u2-100) > 1e-9 {
+		t.Fatalf("branches carry %g/%g, want 100/100", u1, u2)
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	g := graph.Ring(4, 100)
+	if _, err := Apply(g, []Flow{{Src: 1, Dst: 1, RateMbps: 5}}); err == nil {
+		t.Fatal("self-flow accepted")
+	}
+	g2 := graph.New(3)
+	g2.AddEdge(0, 1, 100)
+	if _, err := Apply(g2, []Flow{{Src: 0, Dst: 2, RateMbps: 5}}); err == nil {
+		t.Fatal("disconnected endpoints accepted")
+	}
+}
+
+func TestPacketRates(t *testing.T) {
+	f := Flow{RateMbps: 8, PacketBytes: 1000} // 8 Mbps = 1e6 B/s = 1000 pkt/s
+	if got := f.PacketsPerSec(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("pps = %g, want 1000", got)
+	}
+	if got := (Flow{RateMbps: 8}).PacketsPerSec(); got != 0 {
+		t.Fatalf("pps without packet size = %g, want 0", got)
+	}
+}
+
+func TestAggregateRate(t *testing.T) {
+	flows := []Flow{{RateMbps: 10}, {RateMbps: 5.5}}
+	if got := AggregateRate(flows); math.Abs(got-15.5) > 1e-12 {
+		t.Fatalf("aggregate = %g, want 15.5", got)
+	}
+}
+
+func TestNodeEventRate(t *testing.T) {
+	flows := []Flow{{PacketBytes: 1000}}
+	rates := NodeEventRate([]float64{8, 0}, flows)
+	if math.Abs(rates[0]-1000) > 1e-9 || rates[1] != 0 {
+		t.Fatalf("rates = %v, want [1000 0]", rates)
+	}
+}
+
+func TestGenerateApplyOnFatTreeProperty(t *testing.T) {
+	// Property: applying a generated workload keeps utilization within
+	// [0,1], leaves the graph valid, and total transit at sources is at
+	// least the offered load.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := graph.FatTree(4, 1000)
+		eps := graph.FatTreeEdgeSwitches(4)
+		cfg := DefaultConfig()
+		cfg.LineRateFraction = 0.1 + 0.3*rng.Float64()
+		flows, err := Generate(g, eps, cfg, rng)
+		if err != nil {
+			return false
+		}
+		transit, err := Apply(g, flows)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		for _, f := range flows {
+			if transit[f.Src] < f.RateMbps-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

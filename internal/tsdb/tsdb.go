@@ -1,0 +1,273 @@
+// Package tsdb is the in-memory time-series store DUST's monitor agents
+// write into (the paper's "Time Series Database" on each node) and the
+// federation layer the architecture's "Time-Series Federation" component
+// uses to aggregate series across nodes (Figure 2). It supports append,
+// range queries, downsampling, and retention trimming; all operations are
+// safe for concurrent use.
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Point is one observation.
+type Point struct {
+	// T is the logical timestamp in seconds.
+	T float64
+	// V is the value.
+	V float64
+}
+
+// SeriesKey identifies a series by metric name and a label set.
+type SeriesKey struct {
+	Metric string
+	// Labels is the canonical "k=v,k=v" encoding, sorted by key.
+	Labels string
+}
+
+// Key builds a SeriesKey from a metric name and label map.
+func Key(metric string, labels map[string]string) SeriesKey {
+	if len(labels) == 0 {
+		return SeriesKey{Metric: metric}
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+	}
+	return SeriesKey{Metric: metric, Labels: b.String()}
+}
+
+func (k SeriesKey) String() string {
+	if k.Labels == "" {
+		return k.Metric
+	}
+	return k.Metric + "{" + k.Labels + "}"
+}
+
+// DB is one node's time-series store.
+type DB struct {
+	mu     sync.RWMutex
+	series map[SeriesKey][]Point
+}
+
+// New creates an empty store.
+func New() *DB {
+	return &DB{series: make(map[SeriesKey][]Point)}
+}
+
+// Append records a point. Timestamps within one series must be
+// nondecreasing; out-of-order appends are rejected.
+func (db *DB) Append(key SeriesKey, p Point) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	pts := db.series[key]
+	if n := len(pts); n > 0 && p.T < pts[n-1].T {
+		return fmt.Errorf("tsdb: out-of-order append to %s: %g < %g", key, p.T, pts[n-1].T)
+	}
+	db.series[key] = append(pts, p)
+	return nil
+}
+
+// Query returns the points of key with T in [from, to], in order.
+func (db *DB) Query(key SeriesKey, from, to float64) []Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[key]
+	lo := sort.Search(len(pts), func(i int) bool { return pts[i].T >= from })
+	hi := sort.Search(len(pts), func(i int) bool { return pts[i].T > to })
+	out := make([]Point, hi-lo)
+	copy(out, pts[lo:hi])
+	return out
+}
+
+// Last returns the most recent point of key, if any.
+func (db *DB) Last(key SeriesKey) (Point, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	pts := db.series[key]
+	if len(pts) == 0 {
+		return Point{}, false
+	}
+	return pts[len(pts)-1], true
+}
+
+// Keys lists all series keys, sorted by string form.
+func (db *DB) Keys() []SeriesKey {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]SeriesKey, 0, len(db.series))
+	for k := range db.series {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// NumPoints returns the total stored points across all series.
+func (db *DB) NumPoints() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := 0
+	for _, pts := range db.series {
+		n += len(pts)
+	}
+	return n
+}
+
+// Retain drops every point older than cutoff across all series; empty
+// series are removed. It returns the number of dropped points.
+func (db *DB) Retain(cutoff float64) int {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	dropped := 0
+	for k, pts := range db.series {
+		i := sort.Search(len(pts), func(j int) bool { return pts[j].T >= cutoff })
+		if i == 0 {
+			continue
+		}
+		dropped += i
+		if i == len(pts) {
+			delete(db.series, k)
+			continue
+		}
+		db.series[k] = append([]Point(nil), pts[i:]...)
+	}
+	return dropped
+}
+
+// Agg selects the aggregation applied to each downsampling bucket.
+type Agg int
+
+// Downsampling aggregations.
+const (
+	AggMean Agg = iota
+	AggMax
+	AggMin
+	AggSum
+	AggLast
+)
+
+// Downsample buckets the points of key in [from, to] into fixed step-width
+// windows aggregated per agg. Bucket timestamps are the window starts;
+// empty windows are omitted.
+func (db *DB) Downsample(key SeriesKey, from, to, step float64, agg Agg) ([]Point, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("tsdb: downsample step must be positive, got %g", step)
+	}
+	pts := db.Query(key, from, to)
+	var out []Point
+	i := 0
+	for i < len(pts) {
+		bucket := from + float64(int((pts[i].T-from)/step))*step
+		end := bucket + step
+		val := pts[i].V
+		count := 1
+		j := i + 1
+		for j < len(pts) && pts[j].T < end {
+			switch agg {
+			case AggMean, AggSum:
+				val += pts[j].V
+			case AggMax:
+				if pts[j].V > val {
+					val = pts[j].V
+				}
+			case AggMin:
+				if pts[j].V < val {
+					val = pts[j].V
+				}
+			case AggLast:
+				val = pts[j].V
+			}
+			count++
+			j++
+		}
+		if agg == AggMean {
+			val /= float64(count)
+		}
+		out = append(out, Point{T: bucket, V: val})
+		i = j
+	}
+	return out, nil
+}
+
+// Federation aggregates queries across many node-local stores, the role of
+// the architecture's Time-Series Federation component.
+type Federation struct {
+	mu      sync.RWMutex
+	members map[string]*DB
+}
+
+// NewFederation creates an empty federation.
+func NewFederation() *Federation {
+	return &Federation{members: make(map[string]*DB)}
+}
+
+// Register adds (or replaces) a member store under the given node name.
+func (f *Federation) Register(node string, db *DB) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.members[node] = db
+}
+
+// Deregister removes a member store.
+func (f *Federation) Deregister(node string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.members, node)
+}
+
+// Members lists registered node names, sorted.
+func (f *Federation) Members() []string {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make([]string, 0, len(f.members))
+	for n := range f.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// QueryAll returns, per node name, the points of key in [from, to].
+// Nodes without the series are omitted.
+func (f *Federation) QueryAll(key SeriesKey, from, to float64) map[string][]Point {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	out := make(map[string][]Point)
+	for node, db := range f.members {
+		if pts := db.Query(key, from, to); len(pts) > 0 {
+			out[node] = pts
+		}
+	}
+	return out
+}
+
+// Merge returns the union of all members' points for key in [from, to],
+// sorted by time (ties keep member-name order stable).
+func (f *Federation) Merge(key SeriesKey, from, to float64) []Point {
+	per := f.QueryAll(key, from, to)
+	names := make([]string, 0, len(per))
+	for n := range per {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var out []Point
+	for _, n := range names {
+		out = append(out, per[n]...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].T < out[j].T })
+	return out
+}

@@ -1,0 +1,222 @@
+package tsdb
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestKeyCanonical(t *testing.T) {
+	a := Key("cpu", map[string]string{"node": "s1", "core": "0"})
+	b := Key("cpu", map[string]string{"core": "0", "node": "s1"})
+	if a != b {
+		t.Fatalf("label order should not matter: %v vs %v", a, b)
+	}
+	if a.Labels != "core=0,node=s1" {
+		t.Fatalf("labels = %q, want sorted encoding", a.Labels)
+	}
+	if got := a.String(); got != "cpu{core=0,node=s1}" {
+		t.Fatalf("String = %q", got)
+	}
+	bare := Key("mem", nil)
+	if bare.String() != "mem" {
+		t.Fatalf("bare String = %q, want mem", bare.String())
+	}
+}
+
+func TestAppendAndQuery(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	for i := 0; i < 10; i++ {
+		if err := db.Append(k, Point{T: float64(i), V: float64(i * i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pts := db.Query(k, 2, 5)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points, want 4 (t=2..5 inclusive)", len(pts))
+	}
+	if pts[0].T != 2 || pts[3].T != 5 {
+		t.Fatalf("range = [%g, %g], want [2, 5]", pts[0].T, pts[3].T)
+	}
+	if got := db.Query(k, 100, 200); len(got) != 0 {
+		t.Fatalf("out-of-range query returned %d points", len(got))
+	}
+	if got := db.Query(Key("missing", nil), 0, 10); len(got) != 0 {
+		t.Fatal("missing series should return no points")
+	}
+}
+
+func TestAppendRejectsOutOfOrder(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	if err := db.Append(k, Point{T: 5, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(k, Point{T: 4, V: 1}); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed.
+	if err := db.Append(k, Point{T: 5, V: 2}); err != nil {
+		t.Fatalf("equal timestamp rejected: %v", err)
+	}
+}
+
+func TestLast(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	if _, ok := db.Last(k); ok {
+		t.Fatal("empty series should have no last point")
+	}
+	db.Append(k, Point{T: 1, V: 10})
+	db.Append(k, Point{T: 2, V: 20})
+	p, ok := db.Last(k)
+	if !ok || p.V != 20 {
+		t.Fatalf("last = %+v ok=%v, want V=20", p, ok)
+	}
+}
+
+func TestKeysSortedAndNumPoints(t *testing.T) {
+	db := New()
+	db.Append(Key("b", nil), Point{})
+	db.Append(Key("a", nil), Point{})
+	db.Append(Key("a", nil), Point{T: 1})
+	keys := db.Keys()
+	if len(keys) != 2 || keys[0].Metric != "a" || keys[1].Metric != "b" {
+		t.Fatalf("keys = %v, want [a b]", keys)
+	}
+	if db.NumPoints() != 3 {
+		t.Fatalf("points = %d, want 3", db.NumPoints())
+	}
+}
+
+func TestRetain(t *testing.T) {
+	db := New()
+	k1, k2 := Key("old", nil), Key("mixed", nil)
+	db.Append(k1, Point{T: 1})
+	db.Append(k2, Point{T: 1})
+	db.Append(k2, Point{T: 10})
+	dropped := db.Retain(5)
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if len(db.Query(k2, 0, 100)) != 1 {
+		t.Fatal("recent point lost")
+	}
+	if len(db.Keys()) != 1 {
+		t.Fatal("fully-trimmed series should be removed")
+	}
+}
+
+func TestDownsample(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	for i := 0; i < 10; i++ {
+		db.Append(k, Point{T: float64(i), V: float64(i)})
+	}
+	mean, err := db.Downsample(k, 0, 9, 5, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buckets [0,5): mean 2; [5,10): mean 7.
+	if len(mean) != 2 || math.Abs(mean[0].V-2) > 1e-12 || math.Abs(mean[1].V-7) > 1e-12 {
+		t.Fatalf("mean buckets = %v, want [2 7]", mean)
+	}
+	maxes, _ := db.Downsample(k, 0, 9, 5, AggMax)
+	if maxes[0].V != 4 || maxes[1].V != 9 {
+		t.Fatalf("max buckets = %v, want [4 9]", maxes)
+	}
+	mins, _ := db.Downsample(k, 0, 9, 5, AggMin)
+	if mins[0].V != 0 || mins[1].V != 5 {
+		t.Fatalf("min buckets = %v", mins)
+	}
+	sums, _ := db.Downsample(k, 0, 9, 5, AggSum)
+	if sums[0].V != 10 || sums[1].V != 35 {
+		t.Fatalf("sum buckets = %v", sums)
+	}
+	lasts, _ := db.Downsample(k, 0, 9, 5, AggLast)
+	if lasts[0].V != 4 || lasts[1].V != 9 {
+		t.Fatalf("last buckets = %v", lasts)
+	}
+	if _, err := db.Downsample(k, 0, 9, 0, AggMean); err == nil {
+		t.Fatal("zero step accepted")
+	}
+}
+
+func TestDownsampleSkipsEmptyWindows(t *testing.T) {
+	db := New()
+	k := Key("sparse", nil)
+	db.Append(k, Point{T: 0, V: 1})
+	db.Append(k, Point{T: 20, V: 2})
+	out, err := db.Downsample(k, 0, 30, 5, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].T != 0 || out[1].T != 20 {
+		t.Fatalf("buckets = %v, want two non-empty windows at 0 and 20", out)
+	}
+}
+
+func TestConcurrentAppendQuery(t *testing.T) {
+	db := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := Key("cpu", map[string]string{"w": string(rune('a' + w))})
+			for i := 0; i < 500; i++ {
+				if err := db.Append(k, Point{T: float64(i), V: 1}); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%50 == 0 {
+					db.Query(k, 0, float64(i))
+					db.NumPoints()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if db.NumPoints() != 8*500 {
+		t.Fatalf("points = %d, want %d", db.NumPoints(), 8*500)
+	}
+}
+
+func TestFederation(t *testing.T) {
+	fed := NewFederation()
+	k := Key("cpu", nil)
+	db1, db2 := New(), New()
+	db1.Append(k, Point{T: 1, V: 10})
+	db1.Append(k, Point{T: 3, V: 30})
+	db2.Append(k, Point{T: 2, V: 20})
+	fed.Register("s1", db1)
+	fed.Register("s2", db2)
+
+	if got := fed.Members(); len(got) != 2 || got[0] != "s1" || got[1] != "s2" {
+		t.Fatalf("members = %v", got)
+	}
+	per := fed.QueryAll(k, 0, 10)
+	if len(per) != 2 || len(per["s1"]) != 2 || len(per["s2"]) != 1 {
+		t.Fatalf("per-node = %v", per)
+	}
+	merged := fed.Merge(k, 0, 10)
+	if len(merged) != 3 {
+		t.Fatalf("merged %d points, want 3", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].T < merged[i-1].T {
+			t.Fatal("merged points not time-sorted")
+		}
+	}
+
+	fed.Deregister("s2")
+	if got := fed.Members(); len(got) != 1 {
+		t.Fatalf("members after deregister = %v", got)
+	}
+	// Nodes without the series are omitted.
+	empty := fed.QueryAll(Key("missing", nil), 0, 10)
+	if len(empty) != 0 {
+		t.Fatalf("missing metric returned %v", empty)
+	}
+}
