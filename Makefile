@@ -1,0 +1,23 @@
+# Verification tiers. Tier 1 (check) is the baseline gate; tier 2
+# (check-race) adds vet and the race detector, which also runs the
+# control-plane chaos tests under -race.
+
+.PHONY: all build check check-race bench chaos
+
+all: check
+
+build:
+	go build ./...
+
+check: build
+	go test ./...
+
+check-race:
+	go vet ./...
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem
+
+chaos:
+	go run ./cmd/dustsim -chaos

@@ -33,6 +33,11 @@ func main() {
 		cmax        = flag.Float64("cmax", 0, "self-declared busy threshold (0 = manager default)")
 		comax       = flag.Float64("comax", 0, "self-declared candidate threshold (0 = manager default)")
 		seed        = flag.Int64("seed", 0, "switch simulation seed (0 = node index)")
+		rcMin       = flag.Duration("reconnect-min", 500*time.Millisecond, "initial reconnect backoff bound")
+		rcMax       = flag.Duration("reconnect-max", 30*time.Second, "reconnect backoff cap")
+		rcAttempts  = flag.Int("max-reconnects", 0, "consecutive failed redials before giving up (0 = retry forever)")
+		hsTimeout   = flag.Duration("handshake-timeout", 5*time.Second, "registration ACK wait before a redial retries")
+		writeDL     = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on the manager connection (0 = none)")
 	)
 	flag.Parse()
 
@@ -66,7 +71,13 @@ func main() {
 		}
 	}()
 
-	conn, err := proto.Dial(*managerAddr)
+	// No read deadline: the manager only speaks during placement rounds, so
+	// an idle-but-healthy connection must not be cut. Liveness comes from
+	// the supervised reconnect loop instead.
+	dial := func() (proto.Conn, error) {
+		return proto.DialDeadlines(*managerAddr, proto.ConnDeadlines{Write: *writeDL})
+	}
+	conn, err := dial()
 	if err != nil {
 		log.Fatalf("dustclient: %v", err)
 	}
@@ -109,6 +120,12 @@ func main() {
 		OnReplica: func(busy, failed int, amount float64) {
 			log.Printf("substituting failed destination %d for busy %d (%.1f%%)", failed, busy, amount)
 		},
+		Dial:                 dial,
+		ReconnectMin:         *rcMin,
+		ReconnectMax:         *rcMax,
+		MaxReconnectAttempts: *rcAttempts,
+		HandshakeTimeout:     *hsTimeout,
+		Logf:                 log.Printf,
 	}, conn)
 	if err != nil {
 		log.Fatalf("dustclient: %v", err)

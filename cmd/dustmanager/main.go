@@ -34,6 +34,10 @@ func main() {
 		xmin      = flag.Float64("xmin", 10, "minimum node usage (percent)")
 		maxHops   = flag.Int("maxhops", 0, "controllable-route hop bound (0 = unbounded)")
 		heuristic = flag.Bool("fastpaths", true, "use the polynomial route DP instead of exhaustive enumeration")
+		retries   = flag.Int("retries", 2, "placement retry rounds against next-best candidates (0 = single-shot)")
+		ackWait   = flag.Duration("acktimeout", 0, "Offload-ACK wait before an offer counts as timed out (0 = manager default)")
+		readDL    = flag.Duration("read-deadline", 0, "per-Recv deadline on client connections; must exceed the STAT interval (0 = none)")
+		writeDL   = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on client connections (0 = none)")
 	)
 	flag.Parse()
 
@@ -56,6 +60,8 @@ func main() {
 		Params:            params,
 		UpdateIntervalSec: interval.Seconds(),
 		KeepaliveTimeout:  3 * *interval,
+		AckTimeout:        *ackWait,
+		PlacementRetries:  *retries,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)
@@ -64,6 +70,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)
 	}
+	l.SetDeadlines(proto.ConnDeadlines{Read: *readDL, Write: *writeDL})
 	nodes, edges := graph.FatTreeSizes(*k)
 	log.Printf("dustmanager: managing %d-k fat-tree (%d nodes, %d edges) on %s", *k, nodes, edges, l.Addr())
 
@@ -113,9 +120,10 @@ func main() {
 				log.Printf("placement: no busy nodes")
 				continue
 			}
-			log.Printf("placement: status=%v β=%.3f accepted=%d declined=%d timed-out=%d",
+			log.Printf("placement: status=%v β=%.3f accepted=%d declined=%d timed-out=%d retried=%d unplaced=%d abandoned=%d",
 				report.Result.Status, report.Result.Objective,
-				len(report.Accepted), len(report.Declined), len(report.TimedOut))
+				len(report.Accepted), len(report.Declined), len(report.TimedOut),
+				len(report.Retried), len(report.Unplaced), report.Abandoned())
 			for _, a := range report.Accepted {
 				log.Printf("  offload %.1f%% of node %d → node %d (Trmin %.3fs)",
 					a.Amount, a.Busy, a.Candidate, a.ResponseTimeSec)

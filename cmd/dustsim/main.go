@@ -34,8 +34,19 @@ func main() {
 		cmax     = flag.Float64("cmax", 60, "busy threshold on device CPU percent")
 		comax    = flag.Float64("comax", 30, "offload-candidate threshold")
 		csvPath  = flag.String("csv", "", "write per-node monitoring CPU series as CSV")
+		chaos    = flag.Bool("chaos", false, "run the control-plane chaos demo instead of the testbed simulation")
+		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos (line topology)")
+		drop     = flag.Float64("drop", 0.2, "message drop probability for -chaos")
+		dup      = flag.Float64("dup", 0.05, "message duplication probability for -chaos")
 	)
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(*chaosN, *drop, *dup, *seed); err != nil {
+			log.Fatalf("dustsim: %v", err)
+		}
+		return
+	}
 
 	cfg := testbed.Config{
 		K:            *k,

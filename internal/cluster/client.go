@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -41,7 +42,33 @@ type ClientConfig struct {
 	// OnReplica is invoked when this node substitutes a failed destination
 	// (REP message).
 	OnReplica func(busy, failed int, amountPct float64)
+
+	// Dial reopens the manager connection after a loss. When set, Run
+	// supervises the connection: it reconnects with capped exponential
+	// backoff, re-handshakes, and re-declares hosted workloads so the
+	// NMDB ledger resyncs. Nil keeps the single-connection behavior (Run
+	// returns on the first connection error).
+	Dial func() (proto.Conn, error)
+	// ReconnectMin and ReconnectMax bound the reconnect backoff
+	// (defaults 100ms and 10s). Each failed attempt doubles the bound;
+	// the actual sleep is a uniform random fraction of it (full jitter),
+	// so a cluster of clients does not redial in lockstep.
+	ReconnectMin, ReconnectMax time.Duration
+	// MaxReconnectAttempts caps consecutive failed redials before Run
+	// gives up (0 = keep trying until ctx cancels).
+	MaxReconnectAttempts int
+	// HandshakeTimeout bounds how long a reconnect waits for the
+	// registration ACK before closing the connection and retrying
+	// (default 5s; in-memory pipes have no transport deadline to cut a
+	// hung handshake).
+	HandshakeTimeout time.Duration
+	// Logf, when set, receives reconnect and resync diagnostics.
+	Logf func(format string, args ...any)
 }
+
+// seenWindow bounds the duplicate-suppression memory: faulty links can
+// replay a manager message, and hosting arithmetic (+=) is not idempotent.
+const seenWindow = 4096
 
 // Client is the per-device DUST agent.
 type Client struct {
@@ -52,6 +79,8 @@ type Client struct {
 	seq            uint64
 	updateInterval float64
 	hosting        map[int]float64 // busy node -> hosted percentage
+	seen           map[uint64]struct{}
+	seenRing       []uint64
 }
 
 // NewClient wraps a connection; call Handshake before anything else.
@@ -59,13 +88,39 @@ func NewClient(cfg ClientConfig, conn proto.Conn) (*Client, error) {
 	if cfg.Resources == nil {
 		return nil, errors.New("cluster: client needs a Resources source")
 	}
-	return &Client{cfg: cfg, conn: conn, hosting: make(map[int]float64)}, nil
+	return &Client{
+		cfg: cfg, conn: conn,
+		hosting: make(map[int]float64),
+		seen:    make(map[uint64]struct{}),
+	}, nil
+}
+
+// current returns the live connection; it changes only between supervised
+// sessions, after the previous session's reader exits.
+func (c *Client) current() proto.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.conn
+}
+
+func (c *Client) setConn(conn proto.Conn) {
+	c.mu.Lock()
+	c.conn = conn
+	c.mu.Unlock()
+}
+
+func (c *Client) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
 }
 
 // Handshake registers with the manager (Offload-capable → ACK) and adopts
-// the assigned Update-Interval.
+// the assigned Update-Interval. An ACK carrying an Error is the manager's
+// NACK: registration was rejected and the reason is surfaced verbatim.
 func (c *Client) Handshake() error {
-	err := c.conn.Send(&proto.Message{
+	conn := c.current()
+	err := conn.Send(&proto.Message{
 		Type: proto.MsgOffloadCapable, From: int32(c.cfg.Node), To: ManagerNode,
 		Seq: c.nextSeq(), Capable: c.cfg.Capable,
 		CMax: c.cfg.CMax, COMax: c.cfg.COMax,
@@ -73,12 +128,15 @@ func (c *Client) Handshake() error {
 	if err != nil {
 		return fmt.Errorf("cluster: send offload-capable: %w", err)
 	}
-	ack, err := c.conn.Recv()
+	ack, err := conn.Recv()
 	if err != nil {
 		return fmt.Errorf("cluster: await ack: %w", err)
 	}
 	if ack.Type != proto.MsgAck {
 		return fmt.Errorf("cluster: handshake got %v, want ack", ack.Type)
+	}
+	if ack.Error != "" {
+		return fmt.Errorf("cluster: registration rejected: %s", ack.Error)
 	}
 	c.mu.Lock()
 	c.updateInterval = ack.UpdateIntervalSec
@@ -122,7 +180,7 @@ func (c *Client) nextSeq() uint64 {
 // SendStat reports current resources (the periodic STAT of Section III-B).
 func (c *Client) SendStat() error {
 	r := c.cfg.Resources()
-	return c.conn.Send(&proto.Message{
+	return c.current().Send(&proto.Message{
 		Type: proto.MsgStat, From: int32(c.cfg.Node), To: ManagerNode,
 		Seq: c.nextSeq(), UtilPct: r.UtilPct, DataMb: r.DataMb,
 		NumAgents: int32(r.NumAgents),
@@ -131,16 +189,35 @@ func (c *Client) SendStat() error {
 
 // SendKeepalive emits the offload-destination liveness beacon.
 func (c *Client) SendKeepalive() error {
-	return c.conn.Send(&proto.Message{
+	return c.current().Send(&proto.Message{
 		Type: proto.MsgKeepalive, From: int32(c.cfg.Node), To: ManagerNode,
 		Seq: c.nextSeq(),
 	})
 }
 
+// SyncHosting declares every hosted workload to the manager (Host-Sync),
+// the anti-entropy side of reconnection: a lost Offload-ACK leaves this
+// node hosting workload the NMDB ledger never recorded, and a substitution
+// during an outage leaves it hosting workload the ledger dropped. The
+// manager reconciles the ledger to the declaration or answers with a
+// release.
+func (c *Client) SyncHosting() error {
+	for busy, amount := range c.Hosting() {
+		err := c.current().Send(&proto.Message{
+			Type: proto.MsgHostSync, From: int32(c.cfg.Node), To: ManagerNode,
+			Seq: c.nextSeq(), BusyNode: int32(busy), AmountPct: amount,
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Step receives and processes exactly one manager message. It returns the
 // processed message (for tests/instrumentation) or the connection error.
 func (c *Client) Step() (*proto.Message, error) {
-	msg, err := c.conn.Recv()
+	msg, err := c.current().Recv()
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +225,28 @@ func (c *Client) Step() (*proto.Message, error) {
 	return msg, nil
 }
 
+// isDuplicate records msg's Seq in a bounded window and reports whether it
+// was already seen. Manager sequence numbers are globally monotonic, so a
+// repeat means the link replayed the message.
+func (c *Client) isDuplicate(seq uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, dup := c.seen[seq]; dup {
+		return true
+	}
+	c.seen[seq] = struct{}{}
+	c.seenRing = append(c.seenRing, seq)
+	if len(c.seenRing) > seenWindow {
+		delete(c.seen, c.seenRing[0])
+		c.seenRing = c.seenRing[1:]
+	}
+	return false
+}
+
 func (c *Client) dispatch(msg *proto.Message) {
+	if c.isDuplicate(msg.Seq) {
+		return
+	}
 	switch msg.Type {
 	case proto.MsgOffloadRequest:
 		busy := int(msg.BusyNode)
@@ -178,7 +276,7 @@ func (c *Client) dispatch(msg *proto.Message) {
 				c.hosting[busy] += msg.AmountPct
 				c.mu.Unlock()
 			}
-			_ = c.conn.Send(&proto.Message{
+			_ = c.current().Send(&proto.Message{
 				Type: proto.MsgOffloadAck, From: int32(c.cfg.Node), To: ManagerNode,
 				Seq: c.nextSeq(), BusyNode: msg.BusyNode, Accept: accept,
 			})
@@ -194,14 +292,40 @@ func (c *Client) dispatch(msg *proto.Message) {
 }
 
 // Run drives the client autonomously: a reader loop dispatching manager
-// messages, plus STAT at the assigned Update-Interval and Keepalives at a
-// third of the interval while acting as a destination. It returns when
-// ctx is canceled or the connection closes. Handshake must have run.
+// messages, plus STAT at the assigned Update-Interval and Keepalives (with
+// a Host-Sync declaration per hosted workload) at a third of the interval
+// while acting as a destination. Without cfg.Dial it returns when ctx is
+// canceled or the connection closes. With cfg.Dial it supervises the
+// connection: a loss triggers redial with capped exponential backoff and
+// full jitter, a fresh handshake, and a hosting resync, until ctx cancels
+// or MaxReconnectAttempts consecutive redials fail. Handshake must have
+// run.
 func (c *Client) Run(ctx context.Context) error {
-	interval := c.UpdateInterval()
-	if interval <= 0 {
+	if c.UpdateInterval() <= 0 {
 		return errors.New("cluster: Run before Handshake")
 	}
+	for {
+		err := c.runSession(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if c.cfg.Dial == nil {
+			if errors.Is(err, proto.ErrClosed) {
+				return nil
+			}
+			return err
+		}
+		c.logf("client %d: connection lost (%v), reconnecting", c.cfg.Node, err)
+		if err := c.reconnect(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+// runSession drives one connection until it fails or ctx cancels.
+func (c *Client) runSession(ctx context.Context) error {
+	interval := c.UpdateInterval()
+	conn := c.current()
 	errCh := make(chan error, 1)
 	go func() {
 		for {
@@ -223,12 +347,9 @@ func (c *Client) Run(ctx context.Context) error {
 	for {
 		select {
 		case <-ctx.Done():
-			c.conn.Close()
+			conn.Close()
 			return ctx.Err()
 		case err := <-errCh:
-			if errors.Is(err, proto.ErrClosed) {
-				return nil
-			}
 			return err
 		case <-statTick.C:
 			if err := c.SendStat(); err != nil {
@@ -239,7 +360,70 @@ func (c *Client) Run(ctx context.Context) error {
 				if err := c.SendKeepalive(); err != nil {
 					return err
 				}
+				// Periodic anti-entropy: re-declare hosted workloads so a
+				// ledger divergence heals within one keepalive period even
+				// without a reconnect.
+				if err := c.SyncHosting(); err != nil {
+					return err
+				}
 			}
 		}
 	}
+}
+
+// reconnect redials and re-handshakes with capped exponential backoff,
+// then re-declares hosted workloads so the NMDB ledger resyncs.
+func (c *Client) reconnect(ctx context.Context) error {
+	minDelay, maxDelay := c.cfg.ReconnectMin, c.cfg.ReconnectMax
+	if minDelay <= 0 {
+		minDelay = 100 * time.Millisecond
+	}
+	if maxDelay < minDelay {
+		maxDelay = 10 * time.Second
+		if maxDelay < minDelay {
+			maxDelay = minDelay
+		}
+	}
+	delay := minDelay
+	for attempt := 1; ; attempt++ {
+		if c.cfg.MaxReconnectAttempts > 0 && attempt > c.cfg.MaxReconnectAttempts {
+			return fmt.Errorf("cluster: client %d gave up reconnecting after %d attempts",
+				c.cfg.Node, c.cfg.MaxReconnectAttempts)
+		}
+		// Full jitter: sleep a uniform fraction of the current bound.
+		sleep := time.Duration(rand.Int63n(int64(delay) + 1))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(sleep):
+		}
+		conn, err := c.cfg.Dial()
+		if err == nil {
+			c.setConn(conn)
+			if err = c.handshakeWithTimeout(conn); err == nil {
+				if err = c.SyncHosting(); err == nil {
+					c.logf("client %d: reconnected on attempt %d", c.cfg.Node, attempt)
+					return nil
+				}
+			}
+			conn.Close()
+		}
+		c.logf("client %d: reconnect attempt %d failed: %v", c.cfg.Node, attempt, err)
+		delay *= 2
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+// handshakeWithTimeout runs Handshake, force-closing conn if the ACK does
+// not arrive in time (the close makes the pending Recv fail).
+func (c *Client) handshakeWithTimeout(conn proto.Conn) error {
+	timeout := c.cfg.HandshakeTimeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	timer := time.AfterFunc(timeout, func() { conn.Close() })
+	defer timer.Stop()
+	return c.Handshake()
 }

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +34,12 @@ type ManagerConfig struct {
 	KeepaliveTimeout time.Duration
 	// AckTimeout bounds how long a placement waits for Offload-ACKs.
 	AckTimeout time.Duration
+	// PlacementRetries is how many times RunPlacement re-offers a busy
+	// node's excess after a declined or timed-out Offload-ACK, re-solving
+	// the restricted min-cost problem with the failed destinations
+	// excluded (mirroring Algorithm 1's candidate restriction). 0 keeps
+	// the single-shot behavior.
+	PlacementRetries int
 	// Now injects a clock; nil means time.Now (tests inject virtual time).
 	Now func() time.Time
 }
@@ -43,12 +50,21 @@ type Manager struct {
 	nmdb    *NMDB
 	planner *core.Planner
 
-	mu      sync.Mutex
-	conns   map[int]proto.Conn
-	pending map[pendingKey]*pendingOffload
-	seq     uint64
-	wg      sync.WaitGroup
-	closed  bool
+	mu    sync.Mutex
+	conns map[int]proto.Conn
+	// handshakes tracks connections still mid-Attach so Close can unblock
+	// and wait for in-flight handshakes instead of racing them.
+	handshakes map[proto.Conn]struct{}
+	pending    map[pendingKey]*pendingOffload
+	// pairSync timestamps each ledger pair's last client confirmation
+	// (its Offload-ACK, REP send, or Host-Sync declaration); destSync
+	// timestamps each destination's last Host-Sync of any pair. Together
+	// they drive the resync sweep in CheckKeepalives.
+	pairSync map[pendingKey]time.Time
+	destSync map[int]time.Time
+	seq      uint64
+	wg       sync.WaitGroup
+	closed   bool
 }
 
 type pendingKey struct{ busy, dest int }
@@ -80,30 +96,66 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	}
 	cfg.Params.Thresholds = cfg.Defaults
 	return &Manager{
-		cfg:     cfg,
-		nmdb:    NewNMDB(cfg.Topology),
-		planner: core.NewPlanner(cfg.Params),
-		conns:   make(map[int]proto.Conn),
-		pending: make(map[pendingKey]*pendingOffload),
+		cfg:        cfg,
+		nmdb:       NewNMDB(cfg.Topology),
+		planner:    core.NewPlanner(cfg.Params),
+		conns:      make(map[int]proto.Conn),
+		handshakes: make(map[proto.Conn]struct{}),
+		pending:    make(map[pendingKey]*pendingOffload),
+		pairSync:   make(map[pendingKey]time.Time),
+		destSync:   make(map[int]time.Time),
 	}, nil
+}
+
+// touchPair timestamps a ledger pair as confirmed by (or sent to) its
+// destination.
+func (m *Manager) touchPair(busy, dest int, at time.Time) {
+	m.mu.Lock()
+	m.pairSync[pendingKey{busy: busy, dest: dest}] = at
+	m.mu.Unlock()
 }
 
 // NMDB exposes the manager's database (read-mostly; used by tooling).
 func (m *Manager) NMDB() *NMDB { return m.nmdb }
 
+var errManagerClosed = errors.New("cluster: manager closed")
+
 // Attach adopts a client connection: it performs the registration
 // handshake (Offload-capable → ACK) and then services the connection in a
 // background goroutine until it closes. It returns the registered node ID.
+// Rejected registrations are answered with a NACK (an ACK carrying an
+// Error) before the connection is dropped, so the client fails fast with a
+// diagnosable cause. A node re-attaching supersedes its previous
+// connection.
 func (m *Manager) Attach(conn proto.Conn) (int, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return 0, errManagerClosed
+	}
+	m.handshakes[conn] = struct{}{}
+	m.wg.Add(1)
+	m.mu.Unlock()
+	defer func() {
+		m.mu.Lock()
+		delete(m.handshakes, conn)
+		m.mu.Unlock()
+		m.wg.Done()
+	}()
+
 	first, err := conn.Recv()
 	if err != nil {
 		return 0, fmt.Errorf("cluster: handshake recv: %w", err)
 	}
 	if first.Type != proto.MsgOffloadCapable {
-		return 0, fmt.Errorf("cluster: handshake got %v, want offload-capable", first.Type)
+		reason := fmt.Sprintf("handshake requires offload-capable, got %v", first.Type)
+		m.nack(conn, first.From, reason)
+		return 0, errors.New("cluster: " + reason)
 	}
 	node := int(first.From)
 	if err := m.nmdb.Register(node, first.Capable, first.CMax, first.COMax); err != nil {
+		m.nack(conn, first.From, err.Error())
 		return 0, err
 	}
 	ack := &proto.Message{
@@ -118,17 +170,33 @@ func (m *Manager) Attach(conn proto.Conn) (int, error) {
 	if m.closed {
 		m.mu.Unlock()
 		conn.Close()
-		return 0, errors.New("cluster: manager closed")
+		return 0, errManagerClosed
 	}
+	old := m.conns[node]
 	m.conns[node] = conn
 	m.wg.Add(1)
 	m.mu.Unlock()
+	if old != nil && old != conn {
+		// A reconnecting client supersedes its stale connection. Closing it
+		// releases the old serveConn, which sees the node still attached
+		// and therefore does not trigger substitution.
+		old.Close()
+	}
 
 	go func() {
 		defer m.wg.Done()
 		m.serveConn(node, conn)
 	}()
 	return node, nil
+}
+
+// nack answers a rejected registration with a typed refusal so the client
+// fails fast with a diagnosable error instead of a bare ErrClosed.
+func (m *Manager) nack(conn proto.Conn, to int32, reason string) {
+	_ = conn.Send(&proto.Message{
+		Type: proto.MsgAck, From: ManagerNode, To: to,
+		Seq: m.nextSeq(), Error: reason,
+	})
 }
 
 // Serve accepts and attaches connections until the listener closes.
@@ -146,12 +214,16 @@ func (m *Manager) Serve(l *proto.Listener) error {
 	}
 }
 
-// Close detaches all clients and stops connection handlers.
+// Close detaches all clients and stops connection handlers, waiting for
+// in-flight handshakes as well as established connections.
 func (m *Manager) Close() {
 	m.mu.Lock()
 	m.closed = true
-	conns := make([]proto.Conn, 0, len(m.conns))
+	conns := make([]proto.Conn, 0, len(m.conns)+len(m.handshakes))
 	for _, c := range m.conns {
+		conns = append(conns, c)
+	}
+	for c := range m.handshakes {
 		conns = append(conns, c)
 	}
 	m.conns = make(map[int]proto.Conn)
@@ -177,18 +249,50 @@ func (m *Manager) connFor(node int) (proto.Conn, bool) {
 }
 
 // serveConn dispatches a client's messages until its connection closes.
+// An abrupt disconnect of a node that is still attached (not superseded by
+// a reconnect, not part of manager shutdown) is treated as an immediate
+// keepalive failure: in-flight offers to the node are declined and its
+// hosted workloads re-placed on replicas without waiting for the
+// keepalive timeout.
 func (m *Manager) serveConn(node int, conn proto.Conn) {
 	for {
 		msg, err := conn.Recv()
 		if err != nil {
 			m.mu.Lock()
-			if m.conns[node] == conn {
+			active := m.conns[node] == conn
+			if active {
 				delete(m.conns, node)
 			}
+			closing := m.closed
 			m.mu.Unlock()
+			if active && !closing {
+				m.failPending(node)
+				m.substituteDest(node)
+			}
 			return
 		}
 		m.handle(node, msg)
+	}
+}
+
+// failPending resolves every in-flight offer destined for node as declined:
+// the node is gone, so its Offload-ACK will never arrive and the placement
+// should move to the next candidate immediately.
+func (m *Manager) failPending(node int) {
+	m.mu.Lock()
+	var failed []*pendingOffload
+	for k, p := range m.pending {
+		if k.dest == node {
+			failed = append(failed, p)
+			delete(m.pending, k)
+		}
+	}
+	m.mu.Unlock()
+	for _, p := range failed {
+		select {
+		case p.done <- false:
+		default:
+		}
 	}
 }
 
@@ -215,9 +319,36 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 		}
 		if msg.Accept {
 			m.nmdb.RecordOffload([]core.Assignment{p.assignment})
+			m.touchPair(p.assignment.Busy, p.assignment.Candidate, now)
 			m.sendRedirect(p.assignment)
 		}
 		p.done <- msg.Accept
+	case proto.MsgHostSync:
+		busy := int(msg.BusyNode)
+		m.mu.Lock()
+		m.destSync[node] = now
+		m.mu.Unlock()
+		if m.nmdb.SyncHosting(busy, node, msg.AmountPct) {
+			m.touchPair(busy, node, now)
+			return
+		}
+		// The ledger no longer maps busy→node: the pair was substituted or
+		// reclaimed while the client was away. Unless an offer for it is
+		// still in flight (whose ACK will re-create the mapping), tell the
+		// client to drop the stale hosting.
+		m.mu.Lock()
+		_, inFlight := m.pending[pendingKey{busy: busy, dest: node}]
+		m.mu.Unlock()
+		if inFlight {
+			return
+		}
+		if conn, ok := m.connFor(node); ok {
+			_ = conn.Send(&proto.Message{
+				Type: proto.MsgOffloadRequest, From: ManagerNode,
+				To: int32(node), Seq: m.nextSeq(),
+				BusyNode: int32(busy), AmountPct: 0,
+			})
+		}
 	}
 }
 
@@ -251,9 +382,24 @@ func (m *Manager) wireRoute(a core.Assignment) []int32 {
 type PlacementReport struct {
 	// Result is the optimization output (nil when no busy nodes existed).
 	Result *core.Result
-	// Accepted and Declined partition the assignments by Offload-ACK
-	// verdict; TimedOut lists destinations that never answered.
+	// Accepted and Declined partition the offered assignments by
+	// Offload-ACK verdict; TimedOut lists destinations that never
+	// answered. With PlacementRetries > 0, Declined and TimedOut hold
+	// only the final attempt's failures.
 	Accepted, Declined, TimedOut []core.Assignment
+	// Retried lists assignments that failed an attempt and whose busy
+	// node's excess was re-offered to the remaining candidates (their
+	// replacements, when accepted, appear in Accepted).
+	Retried []core.Assignment
+	// Unplaced lists failed assignments whose excess no remaining
+	// candidate could host, so the retry loop gave up on them.
+	Unplaced []core.Assignment
+}
+
+// Abandoned counts assignments that ended the placement without a hosting
+// destination.
+func (r *PlacementReport) Abandoned() int {
+	return len(r.Declined) + len(r.TimedOut) + len(r.Unplaced)
 }
 
 // RunPlacement executes one round of the DUST Monitoring Placement
@@ -261,7 +407,9 @@ type PlacementReport struct {
 // thresholds), run the optimization engine, send Offload-Requests to the
 // chosen destinations, and wait for their Offload-ACKs. Accepted
 // assignments are recorded in the ledger and the busy nodes told to
-// redirect.
+// redirect. Failed offers (declined, timed out, or cut by a disconnect)
+// are re-offered to next-best candidates up to PlacementRetries times,
+// re-solving the restricted problem with the failed destinations excluded.
 func (m *Manager) RunPlacement() (*PlacementReport, error) {
 	state := m.nmdb.BuildState(m.cfg.Defaults)
 	cls, err := m.classify(state)
@@ -286,15 +434,52 @@ func (m *Manager) RunPlacement() (*PlacementReport, error) {
 		return report, nil
 	}
 
+	offers := res.Assignments
+	excluded := make(map[int]bool)
+	acceptedAt := make(map[int]float64)
+	for attempt := 0; ; attempt++ {
+		accepted, declined, timedOut := m.offerAssignments(offers)
+		report.Accepted = append(report.Accepted, accepted...)
+		for _, a := range accepted {
+			acceptedAt[a.Candidate] += a.Amount
+		}
+		failed := append(append([]core.Assignment(nil), declined...), timedOut...)
+		if len(failed) == 0 {
+			return report, nil
+		}
+		if attempt >= m.cfg.PlacementRetries {
+			report.Declined = append(report.Declined, declined...)
+			report.TimedOut = append(report.TimedOut, timedOut...)
+			return report, nil
+		}
+		for _, f := range failed {
+			excluded[f.Candidate] = true
+		}
+		next, unplaced, err := m.resolveRetry(state, cls, failed, excluded, acceptedAt)
+		if err != nil {
+			return report, err
+		}
+		report.Retried = append(report.Retried, failed...)
+		report.Unplaced = append(report.Unplaced, unplaced...)
+		if len(next) == 0 {
+			return report, nil
+		}
+		offers = next
+	}
+}
+
+// offerAssignments sends Offload-Requests for the assignments and collects
+// the Offload-ACK verdicts under one shared absolute deadline.
+func (m *Manager) offerAssignments(assignments []core.Assignment) (accepted, declined, timedOut []core.Assignment) {
 	type wait struct {
 		a    core.Assignment
 		done chan bool
 	}
 	var waits []wait
-	for _, a := range res.Assignments {
+	for _, a := range assignments {
 		conn, ok := m.connFor(a.Candidate)
 		if !ok {
-			report.TimedOut = append(report.TimedOut, a)
+			timedOut = append(timedOut, a)
 			continue
 		}
 		done := make(chan bool, 1)
@@ -306,36 +491,141 @@ func (m *Manager) RunPlacement() (*PlacementReport, error) {
 			To: int32(a.Candidate), Seq: m.nextSeq(),
 			BusyNode:   int32(a.Busy),
 			AmountPct:  a.Amount,
-			RouteNodes: nodesToWire(a.Route.Nodes(state.G)),
+			RouteNodes: m.wireRoute(a),
 		}
 		if err := conn.Send(msg); err != nil {
 			m.mu.Lock()
 			delete(m.pending, pendingKey{busy: a.Busy, dest: a.Candidate})
 			m.mu.Unlock()
-			report.TimedOut = append(report.TimedOut, a)
+			timedOut = append(timedOut, a)
 			continue
 		}
 		waits = append(waits, wait{a: a, done: done})
 	}
 
-	timer := time.NewTimer(m.cfg.AckTimeout)
-	defer timer.Stop()
+	// One absolute deadline covers the batch; each wait arms a fresh timer
+	// against it. A single shared timer would fire (and drain) once, after
+	// which every later wait would block on a dead channel forever.
+	deadline := time.Now().Add(m.cfg.AckTimeout)
 	for _, w := range waits {
+		timer := time.NewTimer(time.Until(deadline))
 		select {
 		case ok := <-w.done:
+			timer.Stop()
 			if ok {
-				report.Accepted = append(report.Accepted, w.a)
+				accepted = append(accepted, w.a)
 			} else {
-				report.Declined = append(report.Declined, w.a)
+				declined = append(declined, w.a)
 			}
 		case <-timer.C:
+			key := pendingKey{busy: w.a.Busy, dest: w.a.Candidate}
 			m.mu.Lock()
-			delete(m.pending, pendingKey{busy: w.a.Busy, dest: w.a.Candidate})
+			_, still := m.pending[key]
+			if still {
+				delete(m.pending, key)
+			}
 			m.mu.Unlock()
-			report.TimedOut = append(report.TimedOut, w.a)
+			if !still {
+				// The ACK raced the deadline: handle() already removed the
+				// pending entry and is committing its verdict. Honor it —
+				// treating an accepted (ledger-recorded) assignment as
+				// timed out would double-place its excess on retry.
+				if ok := <-w.done; ok {
+					accepted = append(accepted, w.a)
+				} else {
+					declined = append(declined, w.a)
+				}
+				continue
+			}
+			timedOut = append(timedOut, w.a)
 		}
 	}
-	return report, nil
+	return accepted, declined, timedOut
+}
+
+// resolveRetry re-solves the placement for the excess its failed busy
+// nodes still need to shed, restricting candidates to those not excluded
+// and shrinking their spare capacity by what this placement already
+// parked on them — Algorithm 1's candidate restriction applied to the
+// retry. Failed assignments whose busy node no remaining candidate can
+// cover come back as unplaced.
+func (m *Manager) resolveRetry(state *core.State, cls *core.Classification, failed []core.Assignment, excluded map[int]bool, acceptedAt map[int]float64) (next, unplaced []core.Assignment, err error) {
+	need := make(map[int]float64)
+	byBusy := make(map[int][]core.Assignment)
+	var busyOrder []int
+	for _, f := range failed {
+		if _, seen := need[f.Busy]; !seen {
+			busyOrder = append(busyOrder, f.Busy)
+		}
+		need[f.Busy] += f.Amount
+		byBusy[f.Busy] = append(byBusy[f.Busy], f)
+	}
+	sort.Ints(busyOrder)
+
+	var cands []int
+	var cd []float64
+	for j, cand := range cls.Candidates {
+		if excluded[cand] {
+			continue
+		}
+		if spare := cls.Cd[j] - acceptedAt[cand]; spare > 1e-9 {
+			cands = append(cands, cand)
+			cd = append(cd, spare)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, failed, nil
+	}
+
+	sub := &core.Classification{
+		Roles: cls.Roles, Candidates: cands, Cd: cd,
+	}
+	for _, b := range busyOrder {
+		sub.Busy = append(sub.Busy, b)
+		sub.Cs = append(sub.Cs, need[b])
+	}
+	res, err := core.SolveClassified(state, sub, m.cfg.Params)
+	if err != nil {
+		return nil, nil, err
+	}
+	if res.Status == core.StatusOptimal {
+		return res.Assignments, nil, nil
+	}
+
+	// The combined retry is infeasible: place busy nodes greedily one at a
+	// time so partial coverage still happens, and report the rest unplaced.
+	for _, b := range busyOrder {
+		var oneCands []int
+		var oneCd []float64
+		for j, cand := range cands {
+			if cd[j] > 1e-9 {
+				oneCands = append(oneCands, cand)
+				oneCd = append(oneCd, cd[j])
+			}
+		}
+		if len(oneCands) == 0 {
+			unplaced = append(unplaced, byBusy[b]...)
+			continue
+		}
+		one := &core.Classification{
+			Roles: cls.Roles, Busy: []int{b}, Cs: []float64{need[b]},
+			Candidates: oneCands, Cd: oneCd,
+		}
+		r1, err := core.SolveClassified(state, one, m.cfg.Params)
+		if err != nil || r1.Status != core.StatusOptimal {
+			unplaced = append(unplaced, byBusy[b]...)
+			continue
+		}
+		next = append(next, r1.Assignments...)
+		for _, a := range r1.Assignments {
+			for j, cand := range cands {
+				if cand == a.Candidate {
+					cd[j] -= a.Amount
+				}
+			}
+		}
+	}
+	return next, unplaced, nil
 }
 
 func nodesToWire(nodes []int) []int32 {
@@ -403,37 +693,95 @@ func (m *Manager) CheckKeepalives() ([]Substitution, error) {
 		if now.Sub(rec.LastKeepalive) <= m.cfg.KeepaliveTimeout {
 			continue
 		}
-		displaced := m.nmdb.ReleaseDestination(dest)
-		state := m.nmdb.BuildState(m.cfg.Defaults)
-		for _, a := range displaced {
-			replica, rt, found := m.pickReplica(state, a, dest)
-			sub := Substitution{Failed: dest, Busy: a.Busy, Amount: a.Amount, Replica: replica}
-			if found {
-				na := core.Assignment{
-					Busy: a.Busy, Candidate: replica,
-					Amount: a.Amount, ResponseTimeSec: rt,
-				}
-				m.nmdb.RecordOffload([]core.Assignment{na})
-				if conn, ok := m.connFor(replica); ok {
-					err := conn.Send(&proto.Message{
-						Type: proto.MsgRep, From: ManagerNode,
-						To: int32(replica), Seq: m.nextSeq(),
-						BusyNode:   int32(a.Busy),
-						AmountPct:  a.Amount,
-						FailedNode: int32(dest),
-					})
-					sub.Notified = err == nil
-				}
-				m.sendRedirect(core.Assignment{
-					Busy: a.Busy, Candidate: replica, Amount: a.Amount,
-				})
-			} else {
-				sub.Replica = -1
-			}
-			subs = append(subs, sub)
-		}
+		subs = append(subs, m.substituteDest(dest)...)
 	}
+	m.resyncPairs(now)
 	return subs, nil
+}
+
+// resyncPairs is the manager→client direction of anti-entropy: a ledger
+// pair whose destination actively declares its hosting (recent Host-Syncs
+// of other pairs) but has not declared this pair within the keepalive
+// timeout never learned of it — its REP or request was lost while the
+// client stayed alive on its other workloads. Re-send the REP (FailedNode
+// -1: no destination actually failed) so the client starts hosting and
+// declaring the pair. Clients that never Host-Sync are left alone: if they
+// lose a REP they also never beacon, and the substitution sweep covers
+// them.
+func (m *Manager) resyncPairs(now time.Time) {
+	totals := make(map[pendingKey]float64)
+	for _, a := range m.nmdb.ActiveAssignments() {
+		totals[pendingKey{busy: a.Busy, dest: a.Candidate}] += a.Amount
+	}
+	for pair, amount := range totals {
+		m.mu.Lock()
+		lastPair := m.pairSync[pair]
+		lastDecl := m.destSync[pair.dest]
+		m.mu.Unlock()
+		if now.Sub(lastDecl) > m.cfg.KeepaliveTimeout ||
+			now.Sub(lastPair) <= m.cfg.KeepaliveTimeout {
+			continue
+		}
+		conn, ok := m.connFor(pair.dest)
+		if !ok {
+			continue
+		}
+		_ = conn.Send(&proto.Message{
+			Type: proto.MsgRep, From: ManagerNode,
+			To: int32(pair.dest), Seq: m.nextSeq(),
+			BusyNode: int32(pair.busy), AmountPct: amount,
+			FailedNode: -1,
+		})
+		m.touchPair(pair.busy, pair.dest, now)
+	}
+}
+
+// substituteDest declares dest failed, releases its hosted workloads from
+// the ledger, and re-places each on a replica node (notified with a REP
+// message; the busy node is told to redirect). Reached from the keepalive
+// sweep and directly from serveConn on an abrupt disconnect.
+func (m *Manager) substituteDest(dest int) []Substitution {
+	displaced := m.nmdb.ReleaseDestination(dest)
+	if len(displaced) == 0 {
+		return nil
+	}
+	now := m.cfg.Now()
+	m.mu.Lock()
+	for _, a := range displaced {
+		delete(m.pairSync, pendingKey{busy: a.Busy, dest: a.Candidate})
+	}
+	m.mu.Unlock()
+	state := m.nmdb.BuildState(m.cfg.Defaults)
+	var subs []Substitution
+	for _, a := range displaced {
+		replica, rt, found := m.pickReplica(state, a, dest)
+		sub := Substitution{Failed: dest, Busy: a.Busy, Amount: a.Amount, Replica: replica}
+		if found {
+			na := core.Assignment{
+				Busy: a.Busy, Candidate: replica,
+				Amount: a.Amount, ResponseTimeSec: rt,
+			}
+			m.nmdb.RecordOffload([]core.Assignment{na})
+			m.touchPair(a.Busy, replica, now)
+			if conn, ok := m.connFor(replica); ok {
+				err := conn.Send(&proto.Message{
+					Type: proto.MsgRep, From: ManagerNode,
+					To: int32(replica), Seq: m.nextSeq(),
+					BusyNode:   int32(a.Busy),
+					AmountPct:  a.Amount,
+					FailedNode: int32(dest),
+				})
+				sub.Notified = err == nil
+			}
+			m.sendRedirect(core.Assignment{
+				Busy: a.Busy, Candidate: replica, Amount: a.Amount,
+			})
+		} else {
+			sub.Replica = -1
+		}
+		subs = append(subs, sub)
+	}
+	return subs
 }
 
 // pickReplica finds the cheapest reachable candidate (excluding the failed
@@ -519,6 +867,11 @@ func (m *Manager) pickReplicaDirect(state *core.State, a core.Assignment, failed
 // Offload-Request with AmountPct 0 is the release instruction).
 func (m *Manager) ReclaimBusy(busy int) []core.Assignment {
 	released := m.nmdb.ReleaseBusy(busy)
+	m.mu.Lock()
+	for _, a := range released {
+		delete(m.pairSync, pendingKey{busy: a.Busy, dest: a.Candidate})
+	}
+	m.mu.Unlock()
 	for _, a := range released {
 		if conn, ok := m.connFor(a.Candidate); ok {
 			_ = conn.Send(&proto.Message{

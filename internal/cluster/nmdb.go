@@ -195,6 +195,42 @@ func (db *NMDB) RecordOffload(assignments []core.Assignment) {
 	}
 }
 
+// SyncHosting reconciles a destination's declared hosting of busy's
+// workload (a MsgHostSync) with the ledger. When the ledger still maps
+// busy→dest, the client's declared total wins — it reflects the
+// Offload-Requests that actually arrived, which can exceed what the
+// ledger recorded when an Offload-ACK was lost in transit. The pair's
+// entries collapse into one with the declared amount. Returns false when
+// the ledger no longer maps busy→dest (substituted or reclaimed while the
+// client was away); the caller should withdraw the stale hosting.
+func (db *NMDB) SyncHosting(busy, dest int, amount float64) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	as := db.active[busy]
+	var kept []core.Assignment
+	var first *core.Assignment
+	for i := range as {
+		if as[i].Candidate == dest {
+			if first == nil {
+				cp := as[i]
+				first = &cp
+			}
+			continue
+		}
+		kept = append(kept, as[i])
+	}
+	if first == nil {
+		return false
+	}
+	first.Amount = amount
+	kept = append(kept, *first)
+	db.active[busy] = kept
+	if rec, ok := db.clients[dest]; ok {
+		rec.HostingFor = appendUnique(rec.HostingFor, busy)
+	}
+	return true
+}
+
 // ActiveAssignments returns a copy of the full active ledger.
 func (db *NMDB) ActiveAssignments() []core.Assignment {
 	db.mu.Lock()

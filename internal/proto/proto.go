@@ -34,6 +34,11 @@ const (
 	// MsgRep notifies a replica node that it substitutes a failed
 	// destination.
 	MsgRep
+	// MsgHostSync is a destination's declaration that it hosts AmountPct
+	// of BusyNode's workload. Clients emit it after a reconnect (and
+	// periodically alongside keepalives) so the manager's ledger and the
+	// client's hosting state re-converge after message loss.
+	MsgHostSync
 )
 
 func (t MsgType) String() string {
@@ -52,6 +57,8 @@ func (t MsgType) String() string {
 		return "keepalive"
 	case MsgRep:
 		return "rep"
+	case MsgHostSync:
+		return "host-sync"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -94,6 +101,10 @@ type Message struct {
 	RouteNodes []int32
 	// FailedNode is the malfunctioning destination MsgRep replaces.
 	FailedNode int32
+	// Error carries a refusal reason on MsgAck: a non-empty value turns
+	// the ACK into a NACK, letting a rejected client fail fast with a
+	// diagnosable cause instead of a bare connection close.
+	Error string
 }
 
 // maxMessageSize bounds a decoded frame; a frame claiming more is corrupt.
@@ -129,6 +140,8 @@ func Encode(m *Message) []byte {
 		b = appendInt32(b, n)
 	}
 	b = appendInt32(b, m.FailedNode)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Error)))
+	b = append(b, m.Error...)
 	return b
 }
 
@@ -166,13 +179,18 @@ func Decode(data []byte) (*Message, error) {
 		m.RouteNodes = append(m.RouteNodes, d.int32())
 	}
 	m.FailedNode = d.int32()
+	nErr := d.uint32()
+	if d.err == nil && nErr > maxMessageSize {
+		return nil, fmt.Errorf("proto: error length %d implausible", nErr)
+	}
+	m.Error = string(d.bytes(int(nErr)))
 	if d.err != nil {
 		return nil, d.err
 	}
 	if len(d.buf) != d.off {
 		return nil, fmt.Errorf("proto: %d trailing bytes", len(d.buf)-d.off)
 	}
-	if m.Type < MsgOffloadCapable || m.Type > MsgRep {
+	if m.Type < MsgOffloadCapable || m.Type > MsgHostSync {
 		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
 	}
 	return m, nil

@@ -36,7 +36,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestEncodeDecodeAllTypes(t *testing.T) {
-	for ty := MsgOffloadCapable; ty <= MsgRep; ty++ {
+	for ty := MsgOffloadCapable; ty <= MsgHostSync; ty++ {
 		m := &Message{Type: ty, From: 1, To: 2, Seq: uint64(ty)}
 		got, err := Decode(Encode(m))
 		if err != nil {
@@ -48,6 +48,17 @@ func TestEncodeDecodeAllTypes(t *testing.T) {
 		if ty.String() == "" || ty.String()[0] == 'u' {
 			t.Fatalf("type %v has no name", ty)
 		}
+	}
+}
+
+func TestNackRoundTrip(t *testing.T) {
+	m := &Message{Type: MsgAck, From: -1, To: 3, Seq: 9, Error: "node 99 outside topology"}
+	got, err := Decode(Encode(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Error != m.Error {
+		t.Fatalf("Error = %q, want %q", got.Error, m.Error)
 	}
 }
 
@@ -73,7 +84,7 @@ func TestDecodeRoundTripProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		m := &Message{
-			Type:      MsgType(1 + rng.Intn(7)),
+			Type:      MsgType(1 + rng.Intn(8)),
 			From:      int32(rng.Intn(1000) - 1),
 			To:        int32(rng.Intn(1000) - 1),
 			Seq:       rng.Uint64(),
@@ -92,6 +103,9 @@ func TestDecodeRoundTripProperty(t *testing.T) {
 		}
 		for i := 0; i < rng.Intn(6); i++ {
 			m.RouteNodes = append(m.RouteNodes, int32(rng.Intn(500)))
+		}
+		if rng.Intn(3) == 0 {
+			m.Error = "registration rejected"
 		}
 		got, err := Decode(Encode(m))
 		return err == nil && reflect.DeepEqual(m, got)

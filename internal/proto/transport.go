@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // Conn is a bidirectional, message-oriented connection between one
@@ -77,9 +78,19 @@ func (c *chanConn) Close() error {
 	return nil
 }
 
+// ConnDeadlines bounds single blocking operations on a net-backed Conn so
+// a stuck or silent peer can never wedge a goroutine indefinitely. A zero
+// value disables the corresponding deadline. The read deadline must exceed
+// the expected message cadence (STAT/keepalive interval), or healthy idle
+// connections will be cut.
+type ConnDeadlines struct {
+	Read, Write time.Duration
+}
+
 // tcpConn frames messages over a net.Conn.
 type tcpConn struct {
 	nc     net.Conn
+	dl     ConnDeadlines
 	sendMu sync.Mutex
 	recvMu sync.Mutex
 }
@@ -87,18 +98,34 @@ type tcpConn struct {
 // NewNetConn wraps a stream connection (TCP, Unix socket) in the framed
 // message protocol. Safe for one concurrent sender and one receiver.
 func NewNetConn(nc net.Conn) Conn {
-	return &tcpConn{nc: nc}
+	return NewNetConnDeadlines(nc, ConnDeadlines{})
+}
+
+// NewNetConnDeadlines is NewNetConn with per-operation read/write
+// deadlines applied to every Recv/Send.
+func NewNetConnDeadlines(nc net.Conn, dl ConnDeadlines) Conn {
+	return &tcpConn{nc: nc, dl: dl}
 }
 
 func (c *tcpConn) Send(m *Message) error {
 	c.sendMu.Lock()
 	defer c.sendMu.Unlock()
+	if c.dl.Write > 0 {
+		if err := c.nc.SetWriteDeadline(time.Now().Add(c.dl.Write)); err != nil {
+			return err
+		}
+	}
 	return WriteFrame(c.nc, m)
 }
 
 func (c *tcpConn) Recv() (*Message, error) {
 	c.recvMu.Lock()
 	defer c.recvMu.Unlock()
+	if c.dl.Read > 0 {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.dl.Read)); err != nil {
+			return nil, err
+		}
+	}
 	return ReadFrame(c.nc)
 }
 
@@ -106,16 +133,33 @@ func (c *tcpConn) Close() error { return c.nc.Close() }
 
 // Dial connects to a DUST-Manager's TCP listener.
 func Dial(addr string) (Conn, error) {
+	return DialDeadlines(addr, ConnDeadlines{})
+}
+
+// DialDeadlines is Dial with per-operation read/write deadlines on the
+// resulting connection.
+func DialDeadlines(addr string, dl ConnDeadlines) (Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("proto: dial %s: %w", addr, err)
 	}
-	return NewNetConn(nc), nil
+	return NewNetConnDeadlines(nc, dl), nil
 }
 
 // Listener accepts framed-message connections.
 type Listener struct {
 	nl net.Listener
+
+	mu sync.Mutex
+	dl ConnDeadlines
+}
+
+// SetDeadlines configures the read/write deadlines applied to every
+// subsequently accepted connection.
+func (l *Listener) SetDeadlines(dl ConnDeadlines) {
+	l.mu.Lock()
+	l.dl = dl
+	l.mu.Unlock()
 }
 
 // Listen starts a TCP listener for the manager side. addr like
@@ -137,7 +181,10 @@ func (l *Listener) Accept() (Conn, error) {
 	if err != nil {
 		return nil, err
 	}
-	return NewNetConn(nc), nil
+	l.mu.Lock()
+	dl := l.dl
+	l.mu.Unlock()
+	return NewNetConnDeadlines(nc, dl), nil
 }
 
 // Close stops the listener.
