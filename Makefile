@@ -1,8 +1,8 @@
-# Verification tiers. Tier 1 (check) is the baseline gate; tier 2
-# (check-race) adds vet and the race detector, which also runs the
+# Verification tiers. Tier 1 (check) is the baseline gate: build, vet,
+# tests. Tier 2 (check-race) adds the race detector, which also runs the
 # control-plane chaos tests under -race.
 
-.PHONY: all build check check-race bench chaos
+.PHONY: all build check check-race bench bench-smoke chaos
 
 all: check
 
@@ -10,6 +10,7 @@ build:
 	go build ./...
 
 check: build
+	go vet ./...
 	go test ./...
 
 check-race:
@@ -18,6 +19,11 @@ check-race:
 
 bench:
 	go test -bench=. -benchmem
+
+# One iteration of every benchmark: verifies the bench harness itself
+# without paying for statistically meaningful timings.
+bench-smoke:
+	go test -run '^$$' -bench . -benchtime 1x -benchmem
 
 chaos:
 	go run ./cmd/dustsim -chaos

@@ -362,6 +362,128 @@ func BenchmarkYenKShortest(b *testing.B) {
 	}
 }
 
+// classifyScenario classifies a fixed scenario, failing the benchmark if
+// the draw yields no busy/candidate split to route over.
+func classifyScenario(b *testing.B, s *core.State, p core.Params) *core.Classification {
+	b.Helper()
+	c, err := core.Classify(s, p.Thresholds)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(c.Busy) == 0 || len(c.Candidates) == 0 {
+		b.Fatal("scenario draw has no busy/candidate split")
+	}
+	return c
+}
+
+// BenchmarkRoutePipelineDP measures the route-table fan-out on the paper's
+// large configuration (16-k fat-tree, maxhop 4, polynomial DP) across
+// worker-pool sizes. Speedup over workers=1 is the tentpole's headline
+// number; the table is identical at every setting.
+func BenchmarkRoutePipelineDP(b *testing.B) {
+	s := fixedScenario(b, 16, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.MaxHops = 4
+	c := classifyScenario(b, s, p)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			pp := p
+			pp.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeRoutes(s, c, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRoutePipelineEnumerate is the same fan-out under paper-literal
+// exhaustive enumeration (Figure 10's 16-k / maxhop-3 regime).
+func BenchmarkRoutePipelineEnumerate(b *testing.B) {
+	s := fixedScenario(b, 16, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathEnumerate
+	p.MaxHops = 3
+	c := classifyScenario(b, s, p)
+	for _, workers := range []int{1, 4} {
+		b.Run("workers="+itoa(workers), func(b *testing.B) {
+			pp := p
+			pp.Parallelism = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.ComputeRoutes(s, c, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// perturbSomeEdges drifts every tenth edge's utilization by ±0.1%,
+// alternating direction per iteration so the accumulated drift stays far
+// inside a 2% cache epsilon.
+func perturbSomeEdges(g *graph.Graph, iter int) {
+	f := 1.001
+	if iter%2 == 1 {
+		f = 1 / 1.001
+	}
+	for i := 0; i < g.NumEdges(); i += 10 {
+		id := graph.EdgeID(i)
+		g.SetUtilization(id, g.Edge(id).Utilization*f)
+	}
+}
+
+// BenchmarkRoutePipelineWarmCache is the Manager's steady-state tick: 10%
+// of links drift sub-epsilon between solves, so revalidation keeps every
+// row and the solve is a cheap O(E) diff plus table assembly. Compare with
+// BenchmarkRoutePipelineColdCache for the warm/cold ratio.
+func BenchmarkRoutePipelineWarmCache(b *testing.B) {
+	s := fixedScenario(b, 16, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.MaxHops = 4
+	p.CacheEpsilon = 0.02
+	c := classifyScenario(b, s, p)
+	rc := core.NewRouteCache(p)
+	if _, err := rc.ComputeRoutes(s, c); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		perturbSomeEdges(s.G, i)
+		b.StartTimer()
+		if _, err := rc.ComputeRoutes(s, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRoutePipelineColdCache is the same tick with the cache flushed
+// every round: the full per-source DP runs each time.
+func BenchmarkRoutePipelineColdCache(b *testing.B) {
+	s := fixedScenario(b, 16, 1)
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.MaxHops = 4
+	p.CacheEpsilon = 0.02
+	c := classifyScenario(b, s, p)
+	rc := core.NewRouteCache(p)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		perturbSomeEdges(s.G, i)
+		rc.Flush()
+		b.StartTimer()
+		if _, err := rc.ComputeRoutes(s, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkSolveHeterogeneous measures the persona-coefficient solve
 // (routed through the general simplex) against the homogeneous baseline.
 func BenchmarkSolveHeterogeneous(b *testing.B) {

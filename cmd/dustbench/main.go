@@ -5,7 +5,7 @@
 // Usage:
 //
 //	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|hardware|ablations]
-//	          [-quick] [-seed N] [-iters N]
+//	          [-quick] [-seed N] [-iters N] [-parallelism N]
 //
 // -quick runs the trimmed configuration (seconds); the default runs the
 // paper-faithful iteration counts (minutes).
@@ -26,6 +26,7 @@ func main() {
 		quick = flag.Bool("quick", false, "use the trimmed quick configuration")
 		seed  = flag.Int64("seed", 0, "override the scenario seed (0 = config default)")
 		iters = flag.Int("iters", 0, "override the per-point iteration count (0 = config default)")
+		par   = flag.Int("parallelism", 0, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -39,6 +40,7 @@ func main() {
 	if *iters != 0 {
 		cfg.Iterations = *iters
 	}
+	cfg.Parallelism = *par
 
 	type runner struct {
 		name string

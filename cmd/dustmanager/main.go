@@ -38,6 +38,8 @@ func main() {
 		ackWait   = flag.Duration("acktimeout", 0, "Offload-ACK wait before an offer counts as timed out (0 = manager default)")
 		readDL    = flag.Duration("read-deadline", 0, "per-Recv deadline on client connections; must exceed the STAT interval (0 = none)")
 		writeDL   = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on client connections (0 = none)")
+		par       = flag.Int("parallelism", -1, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
+		routeEps  = flag.Float64("route-eps", 0.01, "route-cache link-rate drift tolerance (relative; 0 = exact revalidation)")
 	)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 	if *heuristic {
 		params.PathStrategy = core.PathDP
 	}
+	params.Parallelism = *par
+	params.CacheEpsilon = *routeEps
 
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,

@@ -804,7 +804,11 @@ func (m *Manager) pickReplica(state *core.State, a core.Assignment, failed int) 
 			spare[act.Candidate] -= act.Amount
 		}
 	}
-	rt, err := core.ComputeRoutes(state, cls, m.cfg.Params.RateModel, core.PathDP, m.cfg.Params.MaxHops)
+	// Replica selection always uses the polynomial DP (one-off scan, no
+	// table reuse); the Parallelism knob still applies.
+	rp := m.cfg.Params
+	rp.PathStrategy = core.PathDP
+	rt, err := core.ComputeRoutes(state, cls, rp)
 	if err != nil {
 		return -1, 0, false
 	}

@@ -1,62 +1,47 @@
 package core
 
 import (
-	"math"
-	"sync"
-
-	"repro/internal/graph"
+	"fmt"
+	"time"
 )
 
-// Planner is a Solve front-end that caches per-source route computations
-// across placement rounds. Between the Manager's periodic rounds the
-// topology's link utilizations usually do not change even though node
-// roles do (STAT updates move C_j, not Lu); the hop-bounded DP from one
-// busy node is then reusable verbatim. The cache keys on the graph's
-// mutation version and invalidates itself automatically.
+// Planner is a Solve front-end over a RouteCache: it caches per-source
+// route computations across placement rounds and revalidates them against
+// link-rate drift instead of recomputing. Between the Manager's periodic
+// rounds the topology's link utilizations usually do not change even
+// though node roles do (STAT updates move C_j, not Lu); the hop-bounded DP
+// from one busy node is then reusable verbatim, and when rates do drift
+// the cache's targeted invalidation keeps every row the drift cannot
+// affect (see RouteCache for the rule).
 //
 // Only the PathDP strategy is cacheable (exhaustive enumeration is
 // per-pair and dominated by path explosion by design); Solve calls with
-// PathEnumerate pass through uncached.
+// PathEnumerate pass through uncached but still parallel.
 type Planner struct {
-	params Params
-
-	mu sync.Mutex
-	// The cache is valid for one (graph instance, version) pair: version
-	// counters are per-instance, so two clones can coincidentally share a
-	// version while carrying different link rates.
-	g       *graph.Graph
-	version uint64
-	// perUnit[src] holds the per-unit (per-Mb) minimum costs and paths
-	// from src under the cached version.
-	perUnit map[int]plannerEntry
-	hits    int
-	misses  int
-}
-
-type plannerEntry struct {
-	dist  []float64
-	paths []graph.Path
+	cache *RouteCache
 }
 
 // NewPlanner creates a planner with fixed parameters.
 func NewPlanner(params Params) *Planner {
-	return &Planner{params: params, perUnit: make(map[int]plannerEntry)}
+	return &Planner{cache: NewRouteCache(params)}
 }
 
 // Params returns the planner's solve configuration.
-func (pl *Planner) Params() Params { return pl.params }
+func (pl *Planner) Params() Params { return pl.cache.Params() }
+
+// Cache exposes the planner's route cache (stats, forced flushes).
+func (pl *Planner) Cache() *RouteCache { return pl.cache }
 
 // Stats reports cache hits and misses (for tests and telemetry).
 func (pl *Planner) Stats() (hits, misses int) {
-	pl.mu.Lock()
-	defer pl.mu.Unlock()
-	return pl.hits, pl.misses
+	st := pl.cache.Stats()
+	return st.Hits, st.Misses
 }
 
-// Solve runs the placement pipeline, reusing cached route computations
-// when the graph version matches.
+// Solve runs the placement pipeline, reusing every cached route
+// computation the revalidation rule lets it keep.
 func (pl *Planner) Solve(s *State) (*Result, error) {
-	c, err := Classify(s, pl.params.Thresholds)
+	c, err := Classify(s, pl.Params().Thresholds)
 	if err != nil {
 		return nil, err
 	}
@@ -66,63 +51,24 @@ func (pl *Planner) Solve(s *State) (*Result, error) {
 // SolveClassified is Solve with a caller-supplied classification (the
 // Manager classifies with per-client threshold overrides).
 func (pl *Planner) SolveClassified(s *State, c *Classification) (*Result, error) {
-	if pl.params.PathStrategy != PathDP {
-		return SolveClassified(s, c, pl.params)
+	if len(c.Busy) == 0 {
+		return &Result{Status: StatusOptimal, Classification: c}, nil
 	}
+	t0 := time.Now()
+	rt, err := pl.cache.ComputeRoutes(s, c)
+	if err != nil {
+		return nil, err
+	}
+	routeDur := time.Since(t0)
 
-	// Build the route table from cached per-unit DP results.
-	rt := &RouteTable{
-		Busy:       c.Busy,
-		Candidates: c.Candidates,
-		Seconds:    make([][]float64, len(c.Busy)),
-		Routes:     make([][]graph.Path, len(c.Busy)),
+	t1 := time.Now()
+	res, err := solveWithRoutes(s, c, rt, pl.Params())
+	if err != nil {
+		return nil, err
 	}
-	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return pl.params.RateModel.rate(e) })
-	for bi, b := range c.Busy {
-		entry := pl.lookup(s.G, b, cost)
-		data := s.effectiveDataMb(b)
-		rt.Seconds[bi] = make([]float64, len(c.Candidates))
-		rt.Routes[bi] = make([]graph.Path, len(c.Candidates))
-		for cj, cand := range c.Candidates {
-			if math.IsInf(entry.dist[cand], 1) {
-				rt.Seconds[bi][cj] = math.Inf(1)
-				continue
-			}
-			rt.Seconds[bi][cj] = data * entry.dist[cand]
-			rt.Routes[bi][cj] = entry.paths[cand]
-		}
-	}
-	return solveWithRoutes(s, c, rt, pl.params)
-}
-
-// lookup returns the per-unit DP result for src, computing and caching it
-// on miss. The cache resets whenever the graph version moves.
-func (pl *Planner) lookup(g *graph.Graph, src int, cost graph.EdgeCost) plannerEntry {
-	pl.mu.Lock()
-	if g != pl.g || g.Version() != pl.version {
-		pl.g = g
-		pl.version = g.Version()
-		pl.perUnit = make(map[int]plannerEntry)
-	}
-	if e, ok := pl.perUnit[src]; ok {
-		pl.hits++
-		pl.mu.Unlock()
-		return e
-	}
-	pl.misses++
-	pl.mu.Unlock()
-
-	dist, paths := graph.HopBoundedShortest(g, src, pl.params.MaxHops, cost)
-	e := plannerEntry{dist: dist, paths: paths}
-
-	pl.mu.Lock()
-	// Only store if the cache generation is still current (a concurrent
-	// mutation or graph swap may have invalidated the computation).
-	if g == pl.g && g.Version() == pl.version {
-		pl.perUnit[src] = e
-	}
-	pl.mu.Unlock()
-	return e
+	res.RouteDuration = routeDur
+	res.SolveDuration = time.Since(t1)
+	return res, nil
 }
 
 // solveWithRoutes is SolveClassified with a precomputed route table.
@@ -138,6 +84,9 @@ func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Re
 	}
 	solver := p.Solver
 	if hetero && solver == SolverTransport {
+		// Capability coefficients put per-cell weights on the capacity
+		// constraints, which the pure transportation method cannot carry;
+		// the general simplex solves the generalized problem exactly.
 		solver = SolverSimplex
 	}
 	var err error
@@ -148,6 +97,8 @@ func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Re
 		err = solveLP(s, c, rt, res, false)
 	case SolverILP:
 		err = solveLP(s, c, rt, res, true)
+	default:
+		err = fmt.Errorf("core: unknown solver kind %d", solver)
 	}
 	if err != nil {
 		return nil, err

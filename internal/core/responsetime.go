@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"repro/internal/graph"
 )
@@ -79,65 +81,135 @@ type RouteTable struct {
 // ComputeRoutes builds the route table for the classified state.
 // The per-edge transfer time for busy node i's data is D_i/Lu_e (Eq. 1);
 // summing over a route and minimizing over the route set gives Eq. 2.
-// maxHops <= 0 means unbounded.
-func ComputeRoutes(s *State, c *Classification, model RateModel, strat PathStrategy, maxHops int) (*RouteTable, error) {
+// p.MaxHops <= 0 means unbounded.
+//
+// Both strategies are embarrassingly parallel per busy source, so the rows
+// are fanned out across a bounded worker pool sized by p.Parallelism; each
+// worker reuses one DP scratch across its rows. Every row is computed by
+// exactly one worker from the same immutable snapshot, so the resulting
+// table is identical — bit for bit — to a serial computation.
+func ComputeRoutes(s *State, c *Classification, p Params) (*RouteTable, error) {
+	switch p.PathStrategy {
+	case PathEnumerate, PathDP:
+	default:
+		return nil, fmt.Errorf("core: unknown path strategy %d", p.PathStrategy)
+	}
 	rt := &RouteTable{
 		Busy:       c.Busy,
 		Candidates: c.Candidates,
 		Seconds:    make([][]float64, len(c.Busy)),
 		Routes:     make([][]graph.Path, len(c.Busy)),
 	}
-	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return model.rate(e) })
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return p.RateModel.rate(e) })
+	explored := make([]int, len(c.Busy))
+	errs := make([]error, len(c.Busy))
 
-	for bi, b := range c.Busy {
-		rt.Seconds[bi] = make([]float64, len(c.Candidates))
-		rt.Routes[bi] = make([]graph.Path, len(c.Candidates))
-		for j := range rt.Seconds[bi] {
-			rt.Seconds[bi][j] = math.Inf(1)
+	if workers := p.routeWorkers(len(c.Busy)); workers <= 1 {
+		sc := &graph.DPScratch{}
+		for bi := range c.Busy {
+			explored[bi], errs[bi] = computeRouteRow(s, c, rt, bi, p, cost, sc)
 		}
-		// In-situ compression (SmartNIC/DPU personas) shrinks what actually
-		// crosses the network.
-		data := s.effectiveDataMb(b)
-		if data < 0 {
-			return nil, fmt.Errorf("core: busy node %d has negative data volume", b)
+	} else {
+		work := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := &graph.DPScratch{}
+				for bi := range work {
+					explored[bi], errs[bi] = computeRouteRow(s, c, rt, bi, p, cost, sc)
+				}
+			}()
 		}
-
-		switch strat {
-		case PathEnumerate:
-			for cj, cand := range c.Candidates {
-				paths := graph.AllSimplePaths(s.G, b, cand, maxHops, 0)
-				rt.PathsExplored += len(paths)
-				best := math.Inf(1)
-				var bestPath graph.Path
-				for _, p := range paths {
-					// Per-unit cost Σ 1/Lu_e; response time scales by D_i.
-					unit := p.Cost(s.G, cost)
-					if math.IsInf(unit, 1) {
-						continue
-					}
-					t := data * unit
-					if t < best || (t == best && p.Hops() < bestPath.Hops()) {
-						best = t
-						bestPath = p
-					}
-				}
-				rt.Seconds[bi][cj] = best
-				rt.Routes[bi][cj] = bestPath
-			}
-		case PathDP:
-			dist, paths := graph.HopBoundedShortest(s.G, b, maxHops, cost)
-			for cj, cand := range c.Candidates {
-				if math.IsInf(dist[cand], 1) {
-					continue
-				}
-				rt.Seconds[bi][cj] = data * dist[cand]
-				rt.Routes[bi][cj] = paths[cand]
-			}
-		default:
-			return nil, fmt.Errorf("core: unknown path strategy %d", strat)
+		for bi := range c.Busy {
+			work <- bi
+		}
+		close(work)
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+	for _, n := range explored {
+		rt.PathsExplored += n
+	}
 	return rt, nil
+}
+
+// computeRouteRow fills one busy row of the route table, returning the
+// number of simple paths it enumerated. Rows touch disjoint table slots,
+// so rows can run concurrently as long as each has its own scratch.
+func computeRouteRow(s *State, c *Classification, rt *RouteTable, bi int, p Params, cost graph.EdgeCost, sc *graph.DPScratch) (explored int, err error) {
+	b := c.Busy[bi]
+	secs := make([]float64, len(c.Candidates))
+	routes := make([]graph.Path, len(c.Candidates))
+	for j := range secs {
+		secs[j] = math.Inf(1)
+	}
+	// In-situ compression (SmartNIC/DPU personas) shrinks what actually
+	// crosses the network.
+	data := s.effectiveDataMb(b)
+	if data < 0 {
+		return 0, fmt.Errorf("core: busy node %d has negative data volume", b)
+	}
+
+	switch p.PathStrategy {
+	case PathEnumerate:
+		for cj, cand := range c.Candidates {
+			paths := graph.AllSimplePaths(s.G, b, cand, p.MaxHops, 0)
+			explored += len(paths)
+			best := math.Inf(1)
+			var bestPath graph.Path
+			for _, path := range paths {
+				// Per-unit cost Σ 1/Lu_e; response time scales by D_i.
+				unit := path.Cost(s.G, cost)
+				if math.IsInf(unit, 1) {
+					continue
+				}
+				t := data * unit
+				switch {
+				case graph.ApproxEqual(t, best):
+					// Tie on response time: minimal hops distance priority.
+					if path.Hops() < bestPath.Hops() {
+						best, bestPath = t, path
+					}
+				case t < best:
+					best, bestPath = t, path
+				}
+			}
+			secs[cj], routes[cj] = best, bestPath
+		}
+	case PathDP:
+		dist, paths := sc.HopBoundedShortest(s.G, b, p.MaxHops, cost)
+		for cj, cand := range c.Candidates {
+			if math.IsInf(dist[cand], 1) {
+				continue
+			}
+			secs[cj] = data * dist[cand]
+			routes[cj] = paths[cand]
+		}
+	}
+	rt.Seconds[bi] = secs
+	rt.Routes[bi] = routes
+	return explored, nil
+}
+
+// routeWorkers resolves the Parallelism knob against the number of rows.
+func (p Params) routeWorkers(rows int) int {
+	w := p.Parallelism
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > rows {
+		w = rows
+	}
+	return w
 }
 
 // ReachableCandidates returns, for busy row bi, the candidate columns with

@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// RouteCache caches per-source route computations across Manager ticks and
+// revalidates them against link-rate drift instead of recomputing. A cache
+// is bound to one Params set, so its entries are keyed by the remaining
+// coordinates of the route problem: the topology generation (graph
+// instance + mutation version + per-edge Lu snapshot), the busy role set
+// (one cached row per busy source; the candidate set is applied at
+// assembly time, so role churn alone never invalidates), the rate model,
+// and the hop bound.
+//
+// Revalidation rule, per edge whose model rate Lu drifted since the row's
+// snapshot:
+//
+//   - drift within CacheEpsilon (relative): the change is absorbed — every
+//     row is reused as is, with response-time error bounded by ~MaxHops·ε.
+//   - Lu increased beyond ε (per-hop cost 1/Lu dropped): evict the rows
+//     whose hop-bounded candidate frontier contains the edge — a cheaper
+//     edge inside the frontier can create a better route, one outside it
+//     cannot be on any route.
+//   - Lu decreased beyond ε (cost rose, or the edge became impassable):
+//     evict only the rows whose cached routes use the edge — routes that
+//     avoid an edge stay optimal when that edge gets worse.
+//
+// With CacheEpsilon = 0 both rules are exact: a warm solve returns the
+// same table a cold solve would. Sub-ε drift accumulates against the
+// snapshot, so a slow ramp still evicts once it crosses ε in total.
+//
+// Only the PathDP strategy is cached (exhaustive enumeration is dominated
+// by per-pair path explosion by design); other strategies pass through to
+// ComputeRoutes, which still fans out across the worker pool.
+type RouteCache struct {
+	params Params
+
+	mu sync.Mutex
+	// The cache is valid for one (graph instance, version) pair: version
+	// counters are per-instance, so two clones can coincidentally share a
+	// version while carrying different link rates.
+	g       *graph.Graph
+	version uint64
+	// lu[i] is the model-resolved rate of edge i the surviving rows were
+	// validated against (updated only when an edge's drift crosses ε).
+	lu   []float64
+	rows map[int]*cacheRow
+	st   CacheStats
+}
+
+// cacheRow is one source's per-unit (per-Mb) route computation.
+type cacheRow struct {
+	dist  []float64
+	paths []graph.Path
+	// frontier marks edges within the hop bound of the source; used marks
+	// the subset on some cached optimal path. They drive the two
+	// invalidation rules above.
+	frontier []bool
+	used     []bool
+}
+
+// CacheStats counts cache traffic (for tests, telemetry, and tuning).
+type CacheStats struct {
+	// Hits and Misses count per-source row lookups.
+	Hits, Misses int
+	// Evicted counts rows dropped by targeted invalidation; Flushes counts
+	// whole-cache resets (new graph instance or structural change).
+	Evicted, Flushes int
+}
+
+// NewRouteCache creates an empty cache with fixed parameters.
+func NewRouteCache(params Params) *RouteCache {
+	return &RouteCache{params: params, rows: make(map[int]*cacheRow)}
+}
+
+// Params returns the cache's solve configuration.
+func (rc *RouteCache) Params() Params { return rc.params }
+
+// Stats returns a snapshot of the cache counters.
+func (rc *RouteCache) Stats() CacheStats {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.st
+}
+
+// Flush drops every cached row (tests and benchmarks force cold solves
+// with it).
+func (rc *RouteCache) Flush() {
+	rc.mu.Lock()
+	rc.g = nil
+	rc.lu = nil
+	rc.rows = make(map[int]*cacheRow)
+	rc.mu.Unlock()
+}
+
+// ComputeRoutes builds the route table for the classified state, reusing
+// every cached row the revalidation rule lets it keep and computing the
+// missing rows in parallel across the Params worker pool.
+func (rc *RouteCache) ComputeRoutes(s *State, c *Classification) (*RouteTable, error) {
+	if rc.params.PathStrategy != PathDP {
+		return ComputeRoutes(s, c, rc.params)
+	}
+	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return rc.params.RateModel.rate(e) })
+
+	rc.mu.Lock()
+	rc.revalidate(s.G)
+	version := rc.version
+	entries := make([]*cacheRow, len(c.Busy))
+	var missing []int // indices into c.Busy
+	for bi, b := range c.Busy {
+		if row, ok := rc.rows[b]; ok {
+			entries[bi] = row
+			rc.st.Hits++
+		} else {
+			missing = append(missing, bi)
+			rc.st.Misses++
+		}
+	}
+	rc.mu.Unlock()
+
+	if len(missing) > 0 {
+		fresh := make([]*cacheRow, len(missing))
+		workers := rc.params.routeWorkers(len(missing))
+		if workers <= 1 {
+			sc := &graph.DPScratch{}
+			for mi, bi := range missing {
+				fresh[mi] = rc.computeRow(s.G, c.Busy[bi], cost, sc)
+			}
+		} else {
+			work := make(chan int)
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					sc := &graph.DPScratch{}
+					for mi := range work {
+						fresh[mi] = rc.computeRow(s.G, c.Busy[missing[mi]], cost, sc)
+					}
+				}()
+			}
+			for mi := range missing {
+				work <- mi
+			}
+			close(work)
+			wg.Wait()
+		}
+		rc.mu.Lock()
+		// Only store if the cache generation is still current (a concurrent
+		// mutation or graph swap may have invalidated the computation).
+		store := rc.g == s.G && rc.version == version
+		for mi, bi := range missing {
+			entries[bi] = fresh[mi]
+			if store {
+				rc.rows[c.Busy[bi]] = fresh[mi]
+			}
+		}
+		rc.mu.Unlock()
+	}
+
+	return assembleRouteTable(s, c, entries)
+}
+
+// computeRow runs the hop-bounded DP for one source and derives its
+// invalidation sets.
+func (rc *RouteCache) computeRow(g *graph.Graph, src int, cost graph.EdgeCost, sc *graph.DPScratch) *cacheRow {
+	dist, paths := sc.HopBoundedShortest(g, src, rc.params.MaxHops, cost)
+	used := make([]bool, g.NumEdges())
+	for _, p := range paths {
+		for _, id := range p.Edges {
+			used[id] = true
+		}
+	}
+	return &cacheRow{
+		dist:     dist,
+		paths:    paths,
+		frontier: graph.EdgeFrontier(g, src, rc.params.MaxHops),
+		used:     used,
+	}
+}
+
+// revalidate brings the cache up to the graph's current generation,
+// evicting exactly the rows the rate drift can affect. Called with rc.mu
+// held.
+func (rc *RouteCache) revalidate(g *graph.Graph) {
+	ne := g.NumEdges()
+	if g != rc.g || len(rc.lu) != ne {
+		// New graph instance or structural change: full reset.
+		rc.g = g
+		rc.version = g.Version()
+		rc.lu = make([]float64, ne)
+		for i := range rc.lu {
+			rc.lu[i] = rc.params.RateModel.rate(g.Edge(graph.EdgeID(i)))
+		}
+		rc.rows = make(map[int]*cacheRow)
+		rc.st.Flushes++
+		return
+	}
+	if g.Version() == rc.version {
+		return
+	}
+	eps := rc.params.CacheEpsilon
+	var cheaper, dearer []int // edge IDs whose per-hop cost dropped / rose beyond ε
+	for i := 0; i < ne; i++ {
+		nl := rc.params.RateModel.rate(g.Edge(graph.EdgeID(i)))
+		ol := rc.lu[i]
+		if nl == ol {
+			continue
+		}
+		if math.Abs(nl-ol) <= eps*math.Max(math.Abs(ol), math.Abs(nl)) {
+			continue // sub-ε drift: absorbed, snapshot kept so drift accumulates
+		}
+		if nl > ol {
+			cheaper = append(cheaper, i) // higher Lu ⇒ lower 1/Lu cost
+		} else {
+			dearer = append(dearer, i)
+		}
+		rc.lu[i] = nl
+	}
+	rc.version = g.Version()
+	if len(cheaper) == 0 && len(dearer) == 0 {
+		return
+	}
+	for src, row := range rc.rows {
+		evict := false
+		for _, i := range cheaper {
+			if row.frontier[i] {
+				evict = true
+				break
+			}
+		}
+		if !evict {
+			for _, i := range dearer {
+				if row.used[i] {
+					evict = true
+					break
+				}
+			}
+		}
+		if evict {
+			delete(rc.rows, src)
+			rc.st.Evicted++
+		}
+	}
+}
+
+// assembleRouteTable scales the per-unit rows by each busy node's
+// effective data volume and restricts them to the candidate columns.
+func assembleRouteTable(s *State, c *Classification, entries []*cacheRow) (*RouteTable, error) {
+	rt := &RouteTable{
+		Busy:       c.Busy,
+		Candidates: c.Candidates,
+		Seconds:    make([][]float64, len(c.Busy)),
+		Routes:     make([][]graph.Path, len(c.Busy)),
+	}
+	for bi, b := range c.Busy {
+		data := s.effectiveDataMb(b)
+		if data < 0 {
+			return nil, fmt.Errorf("core: busy node %d has negative data volume", b)
+		}
+		row := entries[bi]
+		secs := make([]float64, len(c.Candidates))
+		routes := make([]graph.Path, len(c.Candidates))
+		for cj, cand := range c.Candidates {
+			if math.IsInf(row.dist[cand], 1) {
+				secs[cj] = math.Inf(1)
+				continue
+			}
+			secs[cj] = data * row.dist[cand]
+			routes[cj] = row.paths[cand]
+		}
+		rt.Seconds[bi] = secs
+		rt.Routes[bi] = routes
+	}
+	return rt, nil
+}

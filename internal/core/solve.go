@@ -49,6 +49,18 @@ type Params struct {
 	PathStrategy PathStrategy
 	// Solver selects the optimization engine.
 	Solver SolverKind
+	// Parallelism bounds the worker pool that fans the route computation
+	// out across busy nodes: 0 or 1 = serial, N > 1 = up to N workers,
+	// < 0 = one worker per available CPU. The route table is identical
+	// regardless of the setting.
+	Parallelism int
+	// CacheEpsilon is the RouteCache's relative link-rate drift tolerance:
+	// a cached row is revalidated (reused) while every edge's Lu has
+	// drifted by at most this fraction since the row was computed, bounding
+	// the cached response times' relative error by roughly MaxHops·ε.
+	// 0 keeps revalidation exact: any rate change evicts exactly the rows
+	// it can affect.
+	CacheEpsilon float64
 }
 
 // DefaultParams returns the configuration used by the paper's evaluation:
@@ -164,47 +176,24 @@ func Solve(s *State, p Params) (*Result, error) {
 // SolveClassified is Solve with a precomputed classification, for callers
 // (the Manager, the experiment harness) that already track roles.
 func SolveClassified(s *State, c *Classification, p Params) (*Result, error) {
-	res := &Result{Status: StatusOptimal, Classification: c}
 	if len(c.Busy) == 0 {
-		return res, nil
+		return &Result{Status: StatusOptimal, Classification: c}, nil
 	}
 
 	t0 := time.Now()
-	rt, err := ComputeRoutes(s, c, p.RateModel, p.PathStrategy, p.MaxHops)
+	rt, err := ComputeRoutes(s, c, p)
 	if err != nil {
 		return nil, err
 	}
-	res.Routes = rt
-	res.RouteDuration = time.Since(t0)
-
-	hetero := s.Heterogeneous()
-	if len(c.Candidates) == 0 || (!hetero && c.TotalCs() > c.TotalCd()+1e-9) {
-		res.Status = StatusInfeasible
-		return res, nil
-	}
+	routeDur := time.Since(t0)
 
 	t1 := time.Now()
-	defer func() { res.SolveDuration = time.Since(t1) }()
-	solver := p.Solver
-	if hetero && solver == SolverTransport {
-		// Capability coefficients put per-cell weights on the capacity
-		// constraints, which the pure transportation method cannot carry;
-		// the general simplex solves the generalized problem exactly.
-		solver = SolverSimplex
-	}
-	switch solver {
-	case SolverTransport:
-		err = solveTransport(c, rt, res)
-	case SolverSimplex:
-		err = solveLP(s, c, rt, res, false)
-	case SolverILP:
-		err = solveLP(s, c, rt, res, true)
-	default:
-		err = fmt.Errorf("core: unknown solver kind %d", p.Solver)
-	}
+	res, err := solveWithRoutes(s, c, rt, p)
 	if err != nil {
 		return nil, err
 	}
+	res.RouteDuration = routeDur
+	res.SolveDuration = time.Since(t1)
 	return res, nil
 }
 

@@ -26,7 +26,7 @@ func TestComputeRoutesKnownTimes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rt, err := ComputeRoutes(s, c, RateUtilized, PathEnumerate, 0)
+	rt, err := ComputeRoutes(s, c, Params{RateModel: RateUtilized, PathStrategy: PathEnumerate})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestComputeRoutesKnownTimes(t *testing.T) {
 func TestComputeRoutesMaxHops(t *testing.T) {
 	s, th := lineState()
 	c, _ := Classify(s, th)
-	rt, err := ComputeRoutes(s, c, RateUtilized, PathEnumerate, 1)
+	rt, err := ComputeRoutes(s, c, Params{RateModel: RateUtilized, PathStrategy: PathEnumerate, MaxHops: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +78,11 @@ func TestComputeRoutesStrategiesAgree(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, maxHops := range []int{1, 2, 3, 10} {
-			enum, err := ComputeRoutes(s, c, RateUtilized, PathEnumerate, maxHops)
+			enum, err := ComputeRoutes(s, c, Params{RateModel: RateUtilized, PathStrategy: PathEnumerate, MaxHops: maxHops})
 			if err != nil {
 				t.Fatal(err)
 			}
-			dp, err := ComputeRoutes(s, c, RateUtilized, PathDP, maxHops)
+			dp, err := ComputeRoutes(s, c, Params{RateModel: RateUtilized, PathStrategy: PathDP, MaxHops: maxHops})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -39,6 +39,7 @@ func RunAblations(cfg Config) (*AblationResult, error) {
 	base := core.DefaultParams()
 	base.Thresholds = sc.Thresholds
 	base.MaxHops = recommendedMaxHop(k)
+	base.Parallelism = cfg.Parallelism
 
 	res := &AblationResult{K: k, Iterations: iters, ObjectiveAgreement: true}
 	var tTrans, tSimp, tEnum, tDP, tGreedy, tHeurLP, tZoned, tGlobal, tPodZoned metrics.Summary

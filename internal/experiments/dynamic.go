@@ -82,6 +82,7 @@ func RunDynamic(cfg Config) (*DynamicResult, error) {
 	params := core.DefaultParams()
 	params.Thresholds = th
 	params.PathStrategy = core.PathDP
+	params.Parallelism = cfg.Parallelism
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,
 		Defaults:          th,

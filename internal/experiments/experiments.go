@@ -37,6 +37,10 @@ type Config struct {
 	// Fast trims the most expensive sweep points (the deepest max-hop
 	// settings at 16-k) for smoke runs and unit tests.
 	Fast bool
+	// Parallelism is forwarded to core.Params: the route-table worker
+	// pool size (0/1 serial, <0 one worker per CPU). Results are identical
+	// at every setting; only wall time changes.
+	Parallelism int
 }
 
 // Default returns the paper-faithful configuration.

@@ -70,6 +70,7 @@ func Fig11Scalability(cfg Config) (*Fig11Result, error) {
 		params.Thresholds = sc.Thresholds
 		params.PathStrategy = core.PathEnumerate
 		params.MaxHops = recommendedMaxHop(k)
+		params.Parallelism = cfg.Parallelism
 		for i := 0; i < iters; i++ {
 			s, err := scenario(k, sc, rng)
 			if err != nil {

@@ -32,6 +32,7 @@ func Fig12HeuristicScale(cfg Config) (*Fig12Result, error) {
 	sc := core.DefaultScenario()
 	params := core.DefaultParams()
 	params.Thresholds = sc.Thresholds
+	params.Parallelism = cfg.Parallelism
 	res := &Fig12Result{}
 	for _, k := range []int{4, 8, 16, 32, 64} {
 		iters := cfg.Iterations

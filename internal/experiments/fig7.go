@@ -44,6 +44,7 @@ func Fig7InfeasibleRate(cfg Config) (*Fig7Result, error) {
 		params := core.DefaultParams()
 		params.Thresholds = th
 		params.PathStrategy = core.PathDP
+		params.Parallelism = cfg.Parallelism
 
 		infeasible, evaluated := 0, 0
 		for i := 0; i < iters; i++ {

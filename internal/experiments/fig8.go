@@ -66,6 +66,7 @@ func hopSweep(cfg Config, k int, hops []int, iters int) (*HopSweepResult, error)
 	params := core.DefaultParams()
 	params.Thresholds = sc.Thresholds
 	params.PathStrategy = core.PathEnumerate
+	params.Parallelism = cfg.Parallelism
 
 	nodes, _ := graphSizes(k)
 	res := &HopSweepResult{K: k, Nodes: nodes, Iterations: iters}

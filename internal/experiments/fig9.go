@@ -33,6 +33,7 @@ func Fig9SuccessRate(cfg Config) (*Fig9Result, error) {
 	params := core.DefaultParams()
 	params.Thresholds = sc.Thresholds
 	params.PathStrategy = core.PathDP
+	params.Parallelism = cfg.Parallelism
 
 	full, partial, none, evaluated := 0, 0, 0, 0
 	hfrSum := 0.0

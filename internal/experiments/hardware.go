@@ -39,6 +39,7 @@ func RunHardwareMix(cfg Config) (*HardwareMixResult, error) {
 	params := core.DefaultParams()
 	params.Thresholds = sc.Thresholds
 	params.PathStrategy = core.PathDP
+	params.Parallelism = cfg.Parallelism
 
 	res := &HardwareMixResult{}
 	iters := cfg.Iterations

@@ -1,8 +1,31 @@
 package graph
 
 import (
+	"fmt"
 	"math"
 )
+
+// tieEps is the relative tolerance under which two path costs count as
+// equal for tie-breaking. Route costs are sums of reciprocals of link
+// rates, so independently computed sums for equally good routes land
+// within a few ulps of each other but almost never compare exactly equal.
+const tieEps = 1e-9
+
+// ApproxEqual reports whether a and b are equal within a relative
+// tolerance of 1e-9. It is the shared comparison behind the paper's
+// "minimal hops distance priority" rule: a tie on minimum response time is
+// a tie within this tolerance, not an exact float64 equality (which almost
+// never fires for sums computed along different routes). Infinities are
+// equal only to themselves.
+func ApproxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	return math.Abs(a-b) <= tieEps*math.Max(math.Abs(a), math.Abs(b))
+}
 
 // Path is a sequence of edges from a source to a destination. The node
 // sequence is implied by the edge sequence.
@@ -161,9 +184,16 @@ func pickBest(g *Graph, paths []Path, costFn EdgeCost) (Path, float64, bool) {
 		if math.IsInf(c, 1) {
 			continue
 		}
-		if bestIdx < 0 || c < bestCost || (c == bestCost && p.Hops() < paths[bestIdx].Hops()) {
-			bestCost = c
-			bestIdx = i
+		switch {
+		case bestIdx < 0:
+			bestCost, bestIdx = c, i
+		case ApproxEqual(c, bestCost):
+			// Tie on cost: minimal hops distance priority.
+			if p.Hops() < paths[bestIdx].Hops() {
+				bestCost, bestIdx = c, i
+			}
+		case c < bestCost:
+			bestCost, bestIdx = c, i
 		}
 	}
 	if bestIdx < 0 {
@@ -172,39 +202,71 @@ func pickBest(g *Graph, paths []Path, costFn EdgeCost) (Path, float64, bool) {
 	return paths[bestIdx], bestCost, true
 }
 
+// DPScratch holds the reusable layer buffers of the hop-bounded DP so
+// that repeated calls — a route-pipeline worker sweeping many sources —
+// stop reallocating O(maxHops·N) memory per call. The zero value is ready
+// to use. A scratch must not be shared between concurrent calls; give each
+// worker its own.
+type DPScratch struct {
+	cur, next []float64
+	pred      [][]EdgeID
+}
+
+// buffers returns the two cost layers sized for n nodes.
+func (sc *DPScratch) buffers(n int) (cur, next []float64) {
+	if cap(sc.cur) < n {
+		sc.cur = make([]float64, n)
+		sc.next = make([]float64, n)
+	}
+	return sc.cur[:n], sc.next[:n]
+}
+
+// layer returns the predecessor layer for hop h sized for n nodes,
+// growing the layer list lazily so early convergence never pays for the
+// full hop bound.
+func (sc *DPScratch) layer(h, n int) []EdgeID {
+	for len(sc.pred) <= h {
+		sc.pred = append(sc.pred, nil)
+	}
+	if cap(sc.pred[h]) < n {
+		sc.pred[h] = make([]EdgeID, n)
+	}
+	sc.pred[h] = sc.pred[h][:n]
+	return sc.pred[h]
+}
+
 // HopBoundedShortest computes, with a Bellman–Ford-style dynamic program,
 // the minimum path cost from src to every node using at most maxHops
 // edges. Costs must be nonnegative (an optimal bounded walk is then a
 // simple path). It returns dist (cost, +Inf if unreachable within the
-// bound) and, for path reconstruction, the predecessor edge for each
-// (hops, node) layer flattened to the best layer per node.
+// bound) and the realizing path per node. The returned slices are freshly
+// allocated — callers may retain them (route caches do) across further
+// calls on the same scratch.
 //
-// This is the polynomial-time alternative to exhaustive enumeration; the
-// ablation bench BenchmarkAblationPathStrategies compares the two.
-func HopBoundedShortest(g *Graph, src, maxHops int, costFn EdgeCost) ([]float64, []Path) {
+// Reconstruction walks per-layer predecessor edges that are copied down
+// layer to layer: pred[h][v] is the edge of v's best ≤h-hop path, so the
+// walk (v,h) → (u,h−1) maintains dist[h][v] = dist[h−1][u] + cost(e)
+// exactly, and the rebuilt path's cost always telescopes to dist[v] — the
+// summation order matches, so Path.Cost reproduces dist bit for bit.
+func (sc *DPScratch) HopBoundedShortest(g *Graph, src, maxHops int, costFn EdgeCost) ([]float64, []Path) {
 	n := g.NumNodes()
-	if maxHops <= 0 {
+	if maxHops <= 0 || maxHops > n {
 		maxHops = n
 	}
 	const unset = EdgeID(-1)
-	// cur[v]: best cost to v with <= h hops; prev layer rolled in place.
-	cur := make([]float64, n)
-	prevEdge := make([][]EdgeID, maxHops+1) // prevEdge[h][v]: edge used to reach v at its first improvement at hop h
-	bestHop := make([]int, n)
+	cur, next := sc.buffers(n)
 	for v := range cur {
 		cur[v] = math.Inf(1)
-		bestHop[v] = -1
 	}
 	cur[src] = 0
-	bestHop[src] = 0
-	for h := 0; h <= maxHops; h++ {
-		prevEdge[h] = make([]EdgeID, n)
-		for v := range prevEdge[h] {
-			prevEdge[h][v] = unset
-		}
+	pred0 := sc.layer(0, n)
+	for v := range pred0 {
+		pred0[v] = unset
 	}
+	top := 0
 	for h := 1; h <= maxHops; h++ {
-		next := make([]float64, n)
+		predH := sc.layer(h, n)
+		copy(predH, sc.pred[h-1][:n])
 		copy(next, cur)
 		improved := false
 		for _, e := range g.edges {
@@ -212,54 +274,87 @@ func HopBoundedShortest(g *Graph, src, maxHops int, costFn EdgeCost) ([]float64,
 			if math.IsInf(c, 1) {
 				continue
 			}
-			if cur[e.U]+c < next[e.V] {
-				next[e.V] = cur[e.U] + c
-				prevEdge[h][e.V] = e.ID
-				bestHop[e.V] = h
+			if d := cur[e.U] + c; d < next[e.V] {
+				next[e.V] = d
+				predH[e.V] = e.ID
 				improved = true
 			}
-			if cur[e.V]+c < next[e.U] {
-				next[e.U] = cur[e.V] + c
-				prevEdge[h][e.U] = e.ID
-				bestHop[e.U] = h
+			if d := cur[e.V] + c; d < next[e.U] {
+				next[e.U] = d
+				predH[e.U] = e.ID
 				improved = true
 			}
 		}
-		cur = next
+		cur, next = next, cur
+		top = h
 		if !improved {
 			break
 		}
 	}
+	dist := make([]float64, n)
+	copy(dist, cur)
 	paths := make([]Path, n)
 	for v := 0; v < n; v++ {
-		if math.IsInf(cur[v], 1) || v == src {
+		if math.IsInf(dist[v], 1) || v == src {
 			paths[v] = Path{Src: src, Dst: v}
 			continue
 		}
-		var rev []EdgeID
-		node, hop := v, bestHop[v]
+		rev := make([]EdgeID, 0, top)
+		node, h := v, top
 		for node != src {
-			var id EdgeID = unset
-			// Find the layer at which node was last improved at or below hop.
-			for h := hop; h >= 1; h-- {
-				if prevEdge[h][node] != unset {
-					id = prevEdge[h][node]
-					hop = h - 1
-					break
-				}
-			}
+			id := sc.pred[h][node]
 			if id == unset {
-				break // defensive: reconstruction failed, return cost only
+				// A finite dist guarantees a predecessor chain reaching src
+				// within top hops; an unset edge here means the DP's own
+				// invariants are broken, never a representable route state.
+				panic(fmt.Sprintf("graph: hop-bounded reconstruction invariant broken at node %d (src %d, hop %d)", node, src, h))
 			}
 			rev = append(rev, id)
 			node = g.Edge(id).Other(node)
+			h--
 		}
 		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
 			rev[i], rev[j] = rev[j], rev[i]
 		}
 		paths[v] = Path{Src: src, Dst: v, Edges: rev}
 	}
-	return cur, paths
+	return dist, paths
+}
+
+// HopBoundedShortest is the scratch-free convenience wrapper; hot loops
+// should hold a DPScratch and call its method instead.
+//
+// This is the polynomial-time alternative to exhaustive enumeration; the
+// ablation bench BenchmarkAblationPathStrategies compares the two.
+func HopBoundedShortest(g *Graph, src, maxHops int, costFn EdgeCost) ([]float64, []Path) {
+	var sc DPScratch
+	return sc.HopBoundedShortest(g, src, maxHops, costFn)
+}
+
+// EdgeFrontier marks, per edge ID, whether the edge can appear on any path
+// from src using at most maxHops edges: its nearer endpoint must lie
+// within maxHops−1 hops of src. maxHops <= 0 means unbounded. Route caches
+// use this as the invalidation frontier — a rate change outside a source's
+// frontier cannot affect any of its hop-bounded routes.
+func EdgeFrontier(g *Graph, src, maxHops int) []bool {
+	if maxHops <= 0 {
+		maxHops = g.NumNodes()
+	}
+	dist := g.HopDistances(src)
+	out := make([]bool, g.NumEdges())
+	for i, e := range g.edges {
+		nearest := -1
+		if du := dist[e.U]; du >= 0 {
+			nearest = du
+		}
+		if dv := dist[e.V]; dv >= 0 && (nearest < 0 || dv < nearest) {
+			nearest = dv
+		}
+		if nearest >= 0 && nearest <= maxHops-1 {
+			out[i] = true
+		}
+	}
+	return out
 }
 
 // Dijkstra computes single-source minimum costs with no hop bound.

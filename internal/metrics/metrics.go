@@ -136,6 +136,8 @@ type RateTracker struct {
 	window   float64 // seconds
 	events   []float64
 	lastTrim float64
+	first    float64 // time of the first-ever observation
+	started  bool
 }
 
 // NewRateTracker creates a tracker with the given window in seconds.
@@ -148,16 +150,31 @@ func NewRateTracker(windowSec float64) *RateTracker {
 
 // Observe records an event at logical time t (seconds, nondecreasing).
 func (r *RateTracker) Observe(t float64) {
+	if !r.started {
+		r.first, r.started = t, true
+	}
 	r.events = append(r.events, t)
 	if t-r.lastTrim > r.window {
 		r.trim(t)
 	}
 }
 
-// Rate returns events per second within the window ending at t.
+// Rate returns events per second within the window ending at t. During
+// warm-up — before a full window has elapsed since the first observation —
+// the divisor is the elapsed time rather than the window, so early rates
+// are not diluted by the empty part of the window.
 func (r *RateTracker) Rate(t float64) float64 {
 	r.trim(t)
-	return float64(len(r.events)) / r.window
+	denom := r.window
+	if r.started && t-r.first < r.window {
+		denom = t - r.first
+		if denom <= 0 {
+			// All observations at the same instant as t: no elapsed time to
+			// average over, so fall back to the full window.
+			denom = r.window
+		}
+	}
+	return float64(len(r.events)) / denom
 }
 
 func (r *RateTracker) trim(t float64) {

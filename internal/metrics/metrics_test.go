@@ -163,6 +163,41 @@ func TestRateTracker(t *testing.T) {
 	}
 }
 
+func TestRateTrackerWarmup(t *testing.T) {
+	// A steady 10 ev/s stream measured over a 60 s window must read
+	// ~10 ev/s after one second, not 10/60: during warm-up the divisor
+	// is the elapsed time since the first event.
+	r := NewRateTracker(60)
+	for i := 0; i < 11; i++ {
+		r.Observe(float64(i) * 0.1) // 11 events in [0, 1.0]
+	}
+	if got := r.Rate(1.0); math.Abs(got-11) > 1e-9 {
+		t.Fatalf("warm-up rate = %g, want 11 (11 events / 1 s elapsed)", got)
+	}
+	// Once a full window has elapsed the divisor is the window again.
+	r2 := NewRateTracker(2)
+	for i := 0; i <= 40; i++ {
+		r2.Observe(float64(i) * 0.1) // events every 0.1 s through t=4
+	}
+	if got := r2.Rate(4.0); math.Abs(got-10) > 1e-9 {
+		// Window (2, 4] holds 20 events over the 2 s window.
+		t.Fatalf("steady rate = %g, want 10", got)
+	}
+	// All observations at the same instant as the query: no elapsed time,
+	// fall back to the full window rather than dividing by zero.
+	r3 := NewRateTracker(5)
+	r3.Observe(2.0)
+	r3.Observe(2.0)
+	if got := r3.Rate(2.0); math.Abs(got-2.0/5.0) > 1e-9 {
+		t.Fatalf("instantaneous rate = %g, want %g", got, 2.0/5.0)
+	}
+	// Empty tracker still reads zero.
+	r4 := NewRateTracker(1)
+	if got := r4.Rate(10); got != 0 {
+		t.Fatalf("empty rate = %g, want 0", got)
+	}
+}
+
 func TestRateTrackerPanicsOnBadWindow(t *testing.T) {
 	defer func() {
 		if recover() == nil {
