@@ -1,8 +1,12 @@
 # Verification tiers. Tier 1 (check) is the baseline gate: build, vet,
-# tests. Tier 2 (check-race) adds the race detector, which also runs the
-# control-plane chaos tests under -race.
+# tests, plus staticcheck when the binary is on PATH (the offline CI image
+# does not ship it; go vet is the floor either way). Tier 2 (check-race)
+# adds the race detector — including the observability and control-plane
+# suites, whose metrics are touched from every goroutine in the system.
 
 .PHONY: all build check check-race bench bench-smoke chaos
+
+STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
 all: check
 
@@ -11,11 +15,18 @@ build:
 
 check: build
 	go vet ./...
+ifdef STATICCHECK
+	$(STATICCHECK) ./...
+endif
 	go test ./...
 
+# The observability packages run first: their lock-free counters and the
+# instrumented manager/client paths are the likeliest place for a fresh
+# data race, so they fail fast before the full -race sweep.
 check-race:
 	go vet ./...
-	go test -race ./...
+	go test -race -count=1 ./internal/obs ./internal/proto ./internal/cluster
+	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/cluster)
 
 bench:
 	go test -bench=. -benchmem

@@ -20,6 +20,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		writeDL   = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on client connections (0 = none)")
 		par       = flag.Int("parallelism", -1, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
 		routeEps  = flag.Float64("route-eps", 0.01, "route-cache link-rate drift tolerance (relative; 0 = exact revalidation)")
+		metrics   = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -69,6 +71,14 @@ func main() {
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)
+	}
+	if *metrics != "" {
+		srv, err := obs.Serve(*metrics, mgr.Metrics())
+		if err != nil {
+			log.Fatalf("dustmanager: metrics: %v", err)
+		}
+		defer srv.Close()
+		log.Printf("dustmanager: metrics on http://%s/metrics (healthz, pprof alongside)", srv.Addr())
 	}
 	l, err := proto.Listen(*listen)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -23,7 +24,7 @@ import (
 // anti-entropy, placement retries, keepalive substitution) converged the
 // cluster: excess fully placed, NMDB ledger matching every client's local
 // hosting, and a final placement round abandoning nothing.
-func runChaos(n int, drop, dup float64, seed int64) error {
+func runChaos(n int, drop, dup float64, seed int64, metricsAddr string) error {
 	const (
 		busyNode = 0
 		baseUtil = 92.0
@@ -39,6 +40,18 @@ func runChaos(n int, drop, dup float64, seed int64) error {
 	for i := 0; i < topo.NumEdges(); i++ {
 		topo.SetUtilization(graph.EdgeID(i), 0.5)
 	}
+	// One registry across the manager and every client: the chaos demo is
+	// exactly the workload the observability layer is for, and a scrape
+	// during the run shows reconnects, retries, and Host-Sync traffic live.
+	reg := obs.NewRegistry()
+	if metricsAddr != "" {
+		srv, err := obs.Serve(metricsAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("chaos: metrics on http://%s/metrics\n", srv.Addr())
+	}
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,
 		Defaults:          core.Thresholds{CMax: cmax, COMax: 50, XMin: 5},
@@ -46,6 +59,7 @@ func runChaos(n int, drop, dup float64, seed int64) error {
 		KeepaliveTimeout:  400 * time.Millisecond,
 		AckTimeout:        200 * time.Millisecond,
 		PlacementRetries:  2,
+		Metrics:           reg,
 	})
 	if err != nil {
 		return err
@@ -124,6 +138,7 @@ func runChaos(n int, drop, dup float64, seed int64) error {
 			ReconnectMax:     100 * time.Millisecond,
 			HandshakeTimeout: 150 * time.Millisecond,
 			Logf:             log.Printf,
+			Metrics:          reg,
 		}, conn)
 		if err != nil {
 			return err

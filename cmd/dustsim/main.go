@@ -38,11 +38,12 @@ func main() {
 		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos (line topology)")
 		drop     = flag.Float64("drop", 0.2, "message drop probability for -chaos")
 		dup      = flag.Float64("dup", 0.05, "message duplication probability for -chaos")
+		metrics  = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof during -chaos (empty = disabled)")
 	)
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*chaosN, *drop, *dup, *seed); err != nil {
+		if err := runChaos(*chaosN, *drop, *dup, *seed, *metrics); err != nil {
 			log.Fatalf("dustsim: %v", err)
 		}
 		return

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -64,6 +65,11 @@ type ClientConfig struct {
 	HandshakeTimeout time.Duration
 	// Logf, when set, receives reconnect and resync diagnostics.
 	Logf func(format string, args ...any)
+	// Metrics is the observability registry the client instruments; nil
+	// means a private registry. Clients on one process typically share the
+	// manager's (or the simulation's) registry, aggregating into the same
+	// series.
+	Metrics *obs.Registry
 }
 
 // seenWindow bounds the duplicate-suppression memory: faulty links can
@@ -72,8 +78,9 @@ const seenWindow = 4096
 
 // Client is the per-device DUST agent.
 type Client struct {
-	cfg  ClientConfig
-	conn proto.Conn
+	cfg     ClientConfig
+	metrics *clientMetrics
+	conn    proto.Conn
 
 	mu             sync.Mutex
 	seq            uint64
@@ -88,8 +95,12 @@ func NewClient(cfg ClientConfig, conn proto.Conn) (*Client, error) {
 	if cfg.Resources == nil {
 		return nil, errors.New("cluster: client needs a Resources source")
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	metrics := newClientMetrics(cfg.Metrics)
 	return &Client{
-		cfg: cfg, conn: conn,
+		cfg: cfg, metrics: metrics, conn: metrics.conn.Wrap(conn),
 		hosting: make(map[int]float64),
 		seen:    make(map[uint64]struct{}),
 	}, nil
@@ -105,7 +116,7 @@ func (c *Client) current() proto.Conn {
 
 func (c *Client) setConn(conn proto.Conn) {
 	c.mu.Lock()
-	c.conn = conn
+	c.conn = c.metrics.conn.Wrap(conn)
 	c.mu.Unlock()
 }
 
@@ -210,6 +221,7 @@ func (c *Client) SyncHosting() error {
 		if err != nil {
 			return err
 		}
+		c.metrics.hostSyncs.Inc()
 	}
 	return nil
 }
@@ -324,6 +336,7 @@ func (c *Client) Run(ctx context.Context) error {
 
 // runSession drives one connection until it fails or ctx cancels.
 func (c *Client) runSession(ctx context.Context) error {
+	c.metrics.sessions.Inc()
 	interval := c.UpdateInterval()
 	conn := c.current()
 	errCh := make(chan error, 1)
@@ -402,12 +415,14 @@ func (c *Client) reconnect(ctx context.Context) error {
 			c.setConn(conn)
 			if err = c.handshakeWithTimeout(conn); err == nil {
 				if err = c.SyncHosting(); err == nil {
+					c.metrics.reconnects["ok"].Inc()
 					c.logf("client %d: reconnected on attempt %d", c.cfg.Node, attempt)
 					return nil
 				}
 			}
 			conn.Close()
 		}
+		c.metrics.reconnects["fail"].Inc()
 		c.logf("client %d: reconnect attempt %d failed: %v", c.cfg.Node, attempt, err)
 		delay *= 2
 		if delay > maxDelay {

@@ -57,15 +57,26 @@ func lineTopology(n int) *graph.Graph {
 
 func newHarness(t *testing.T, topo *graph.Graph, clientCfgs []ClientConfig) *testHarness {
 	t.Helper()
+	return newHarnessWith(t, topo, nil, clientCfgs)
+}
+
+// newHarnessWith lets a test adjust the manager configuration (retries,
+// metrics registry, timeouts) before the manager is built.
+func newHarnessWith(t *testing.T, topo *graph.Graph, tweak func(*ManagerConfig), clientCfgs []ClientConfig) *testHarness {
+	t.Helper()
 	clock := newTestClock()
-	mgr, err := NewManager(ManagerConfig{
+	cfg := ManagerConfig{
 		Topology:          topo,
 		Defaults:          core.Thresholds{CMax: 80, COMax: 50, XMin: 10},
 		UpdateIntervalSec: 60,
 		KeepaliveTimeout:  90 * time.Second,
 		AckTimeout:        2 * time.Second,
 		Now:               clock.Now,
-	})
+	}
+	if tweak != nil {
+		tweak(&cfg)
+	}
+	mgr, err := NewManager(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

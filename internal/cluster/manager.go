@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/proto"
 )
 
@@ -42,6 +43,11 @@ type ManagerConfig struct {
 	PlacementRetries int
 	// Now injects a clock; nil means time.Now (tests inject virtual time).
 	Now func() time.Time
+	// Metrics is the observability registry the manager instruments; nil
+	// means a private registry (instrumentation is always on — it is
+	// atomic-counter cheap — and Metrics() exposes whichever registry is
+	// in use, so a scrape endpoint can be attached later).
+	Metrics *obs.Registry
 }
 
 // Manager is the DUST decision node.
@@ -49,6 +55,7 @@ type Manager struct {
 	cfg     ManagerConfig
 	nmdb    *NMDB
 	planner *core.Planner
+	metrics *managerMetrics
 
 	mu    sync.Mutex
 	conns map[int]proto.Conn
@@ -94,17 +101,23 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
 	cfg.Params.Thresholds = cfg.Defaults
-	return &Manager{
+	m := &Manager{
 		cfg:        cfg,
 		nmdb:       NewNMDB(cfg.Topology),
 		planner:    core.NewPlanner(cfg.Params),
+		metrics:    newManagerMetrics(cfg.Metrics),
 		conns:      make(map[int]proto.Conn),
 		handshakes: make(map[proto.Conn]struct{}),
 		pending:    make(map[pendingKey]*pendingOffload),
 		pairSync:   make(map[pendingKey]time.Time),
 		destSync:   make(map[int]time.Time),
-	}, nil
+	}
+	m.metrics.bindGauges(cfg.Metrics, m.nmdb, m.planner)
+	return m, nil
 }
 
 // touchPair timestamps a ledger pair as confirmed by (or sent to) its
@@ -118,6 +131,11 @@ func (m *Manager) touchPair(busy, dest int, at time.Time) {
 // NMDB exposes the manager's database (read-mostly; used by tooling).
 func (m *Manager) NMDB() *NMDB { return m.nmdb }
 
+// Metrics exposes the registry the manager instruments — the configured
+// one, or the private registry created when none was configured. Serve it
+// with obs.Serve to get /metrics, /healthz, and pprof.
+func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
+
 var errManagerClosed = errors.New("cluster: manager closed")
 
 // Attach adopts a client connection: it performs the registration
@@ -128,6 +146,7 @@ var errManagerClosed = errors.New("cluster: manager closed")
 // diagnosable cause. A node re-attaching supersedes its previous
 // connection.
 func (m *Manager) Attach(conn proto.Conn) (int, error) {
+	conn = m.metrics.conn.Wrap(conn)
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
@@ -151,13 +170,16 @@ func (m *Manager) Attach(conn proto.Conn) (int, error) {
 	if first.Type != proto.MsgOffloadCapable {
 		reason := fmt.Sprintf("handshake requires offload-capable, got %v", first.Type)
 		m.nack(conn, first.From, reason)
+		m.metrics.handshakes["rejected"].Inc()
 		return 0, errors.New("cluster: " + reason)
 	}
 	node := int(first.From)
 	if err := m.nmdb.Register(node, first.Capable, first.CMax, first.COMax); err != nil {
 		m.nack(conn, first.From, err.Error())
+		m.metrics.handshakes["rejected"].Inc()
 		return 0, err
 	}
+	m.metrics.handshakes["ok"].Inc()
 	ack := &proto.Message{
 		Type: proto.MsgAck, From: ManagerNode, To: first.From,
 		Seq: m.nextSeq(), UpdateIntervalSec: m.cfg.UpdateIntervalSec,
@@ -266,6 +288,7 @@ func (m *Manager) serveConn(node int, conn proto.Conn) {
 			closing := m.closed
 			m.mu.Unlock()
 			if active && !closing {
+				m.metrics.disconnects.Inc()
 				m.failPending(node)
 				m.substituteDest(node)
 			}
@@ -329,9 +352,11 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 		m.destSync[node] = now
 		m.mu.Unlock()
 		if m.nmdb.SyncHosting(busy, node, msg.AmountPct) {
+			m.metrics.hostSync["synced"].Inc()
 			m.touchPair(busy, node, now)
 			return
 		}
+		m.metrics.hostSync["stale"].Inc()
 		// The ledger no longer maps busy→node: the pair was substituted or
 		// reclaimed while the client was away. Unless an offer for it is
 		// still in flight (whose ACK will re-create the mapping), tell the
@@ -410,16 +435,27 @@ func (r *PlacementReport) Abandoned() int {
 // redirect. Failed offers (declined, timed out, or cut by a disconnect)
 // are re-offered to next-best candidates up to PlacementRetries times,
 // re-solving the restricted problem with the failed destinations excluded.
-func (m *Manager) RunPlacement() (*PlacementReport, error) {
+func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
+	m.metrics.ticks.Inc()
+	tickStart := time.Now()
+	defer func() {
+		m.metrics.tickSeconds.Observe(time.Since(tickStart).Seconds())
+		if report != nil {
+			m.metrics.recordReport(report)
+		}
+	}()
+
 	state := m.nmdb.BuildState(m.cfg.Defaults)
+	phaseStart := time.Now()
 	cls, err := m.classify(state)
+	m.metrics.observePhase("classify", time.Since(phaseStart))
 	if err != nil {
 		return nil, err
 	}
 	for i, role := range cls.Roles {
 		m.nmdb.SetRole(i, role)
 	}
-	report := &PlacementReport{}
+	report = &PlacementReport{}
 	if len(cls.Busy) == 0 {
 		return report, nil
 	}
@@ -429,11 +465,17 @@ func (m *Manager) RunPlacement() (*PlacementReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	m.metrics.observePhase("route", res.RouteDuration)
+	m.metrics.observePhase("solve", res.SolveDuration)
 	report.Result = res
 	if res.Status != core.StatusOptimal {
 		return report, nil
 	}
 
+	dispatchStart := time.Now()
+	defer func() {
+		m.metrics.observePhase("dispatch", time.Since(dispatchStart))
+	}()
 	offers := res.Assignments
 	excluded := make(map[int]bool)
 	acceptedAt := make(map[int]float64)
@@ -505,10 +547,13 @@ func (m *Manager) offerAssignments(assignments []core.Assignment) (accepted, dec
 
 	// One absolute deadline covers the batch; each wait arms a fresh timer
 	// against it. A single shared timer would fire (and drain) once, after
-	// which every later wait would block on a dead channel forever.
-	deadline := time.Now().Add(m.cfg.AckTimeout)
+	// which every later wait would block on a dead channel forever. The
+	// deadline lives on the injected clock so virtual-time tests control
+	// offer expiry; each timer arms with the remaining budget re-read from
+	// that clock.
+	deadline := m.cfg.Now().Add(m.cfg.AckTimeout)
 	for _, w := range waits {
-		timer := time.NewTimer(time.Until(deadline))
+		timer := time.NewTimer(deadline.Sub(m.cfg.Now()))
 		select {
 		case ok := <-w.done:
 			timer.Stop()
@@ -732,6 +777,7 @@ func (m *Manager) resyncPairs(now time.Time) {
 			BusyNode: int32(pair.busy), AmountPct: amount,
 			FailedNode: -1,
 		})
+		m.metrics.resyncReps.Inc()
 		m.touchPair(pair.busy, pair.dest, now)
 	}
 }
@@ -779,6 +825,7 @@ func (m *Manager) substituteDest(dest int) []Substitution {
 		} else {
 			sub.Replica = -1
 		}
+		m.metrics.substitutions.Inc()
 		subs = append(subs, sub)
 	}
 	return subs
@@ -871,6 +918,7 @@ func (m *Manager) pickReplicaDirect(state *core.State, a core.Assignment, failed
 // Offload-Request with AmountPct 0 is the release instruction).
 func (m *Manager) ReclaimBusy(busy int) []core.Assignment {
 	released := m.nmdb.ReleaseBusy(busy)
+	m.metrics.reclaims.Add(uint64(len(released)))
 	m.mu.Lock()
 	for _, a := range released {
 		delete(m.pairSync, pendingKey{busy: a.Busy, dest: a.Candidate})

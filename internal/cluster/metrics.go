@@ -1,0 +1,158 @@
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// managerMetrics is the Manager's instrumentation: tick phase timings,
+// offer verdicts, retry/substitution churn, Host-Sync reconciliation,
+// and pull-style gauges over the NMDB and the planner's route cache.
+// Counters and histograms are resolved once at manager construction so
+// the tick path pays only atomic adds and one short mutex per histogram
+// observation; the gauges cost nothing until a scrape evaluates them.
+//
+// Phase durations are measured on the monotonic wall clock (time.Since),
+// not the injected cfg.Now: the virtual clock drives protocol deadlines,
+// while these histograms measure how long the code actually ran.
+type managerMetrics struct {
+	ticks        *obs.Counter
+	tickSeconds  *obs.Histogram
+	phaseSeconds map[string]*obs.Histogram // classify, route, solve, dispatch
+
+	offers        map[string]*obs.Counter // verdict: accepted, declined, timed_out
+	retried       *obs.Counter
+	unplaced      *obs.Counter
+	abandoned     *obs.Counter
+	substitutions *obs.Counter
+	resyncReps    *obs.Counter
+	reclaims      *obs.Counter
+	hostSync      map[string]*obs.Counter // result: synced, stale
+	handshakes    map[string]*obs.Counter // result: ok, rejected
+	disconnects   *obs.Counter
+
+	conn *proto.ConnMetrics
+}
+
+func newManagerMetrics(reg *obs.Registry) *managerMetrics {
+	mm := &managerMetrics{
+		ticks: reg.Counter("dust_manager_ticks_total",
+			"placement rounds started (RunPlacement calls)"),
+		tickSeconds: reg.Histogram("dust_manager_tick_seconds",
+			"end-to-end placement round duration", nil),
+		phaseSeconds: make(map[string]*obs.Histogram),
+		offers:       make(map[string]*obs.Counter),
+		retried: reg.Counter("dust_manager_placement_retries_total",
+			"failed offers re-offered to next-best candidates"),
+		unplaced: reg.Counter("dust_manager_placement_unplaced_total",
+			"failed offers no remaining candidate could host"),
+		abandoned: reg.Counter("dust_manager_placement_abandoned_total",
+			"assignments that ended a round without a hosting destination"),
+		substitutions: reg.Counter("dust_manager_substitutions_total",
+			"failed-destination workloads re-placed on replicas"),
+		resyncReps: reg.Counter("dust_manager_resync_reps_total",
+			"REP messages re-sent by the anti-entropy pair sweep"),
+		reclaims: reg.Counter("dust_manager_reclaims_total",
+			"assignments released because their busy origin recovered"),
+		hostSync:   make(map[string]*obs.Counter),
+		handshakes: make(map[string]*obs.Counter),
+		disconnects: reg.Counter("dust_manager_client_disconnects_total",
+			"abrupt client disconnects treated as keepalive failures"),
+		conn: proto.NewConnMetrics(reg, "manager"),
+	}
+	for _, phase := range []string{"classify", "route", "solve", "dispatch"} {
+		mm.phaseSeconds[phase] = reg.Histogram("dust_manager_tick_phase_seconds",
+			"placement round phase duration", nil, "phase", phase)
+	}
+	for _, verdict := range []string{"accepted", "declined", "timed_out"} {
+		mm.offers[verdict] = reg.Counter("dust_manager_offers_total",
+			"offered assignments by final Offload-ACK verdict", "verdict", verdict)
+	}
+	for _, result := range []string{"synced", "stale"} {
+		mm.hostSync[result] = reg.Counter("dust_manager_hostsync_total",
+			"Host-Sync declarations by reconciliation outcome", "result", result)
+	}
+	for _, result := range []string{"ok", "rejected"} {
+		mm.handshakes[result] = reg.Counter("dust_manager_handshakes_total",
+			"registration handshakes by outcome", "result", result)
+	}
+	return mm
+}
+
+// bindGauges registers the pull-style gauges over live manager state.
+// Called once the NMDB and planner exist; re-binding (a second manager
+// sharing a registry) replaces the previous functions, last wins.
+func (mm *managerMetrics) bindGauges(reg *obs.Registry, db *NMDB, planner *core.Planner) {
+	reg.GaugeFunc("dust_route_cache_hits",
+		"route-cache row lookups served from cache", func() float64 {
+			return float64(planner.Cache().Stats().Hits)
+		})
+	reg.GaugeFunc("dust_route_cache_misses",
+		"route-cache row lookups that recomputed", func() float64 {
+			return float64(planner.Cache().Stats().Misses)
+		})
+	reg.GaugeFunc("dust_route_cache_evictions",
+		"route-cache rows dropped by targeted invalidation", func() float64 {
+			return float64(planner.Cache().Stats().Evicted)
+		})
+	reg.GaugeFunc("dust_route_cache_flushes",
+		"route-cache whole-cache resets", func() float64 {
+			return float64(planner.Cache().Stats().Flushes)
+		})
+	reg.GaugeFunc("dust_nmdb_clients",
+		"registered clients in the NMDB", func() float64 {
+			return float64(len(db.Nodes()))
+		})
+	reg.GaugeFunc("dust_nmdb_active_assignments",
+		"assignments in the active offload ledger", func() float64 {
+			return float64(len(db.ActiveAssignments()))
+		})
+	reg.GaugeFunc("dust_nmdb_destinations",
+		"nodes currently hosting offloaded workloads", func() float64 {
+			return float64(len(db.Destinations()))
+		})
+}
+
+// observePhase records one phase duration.
+func (mm *managerMetrics) observePhase(phase string, d time.Duration) {
+	mm.phaseSeconds[phase].Observe(d.Seconds())
+}
+
+// recordReport folds a finished placement round into the offer counters.
+func (mm *managerMetrics) recordReport(r *PlacementReport) {
+	mm.offers["accepted"].Add(uint64(len(r.Accepted)))
+	mm.offers["declined"].Add(uint64(len(r.Declined)))
+	mm.offers["timed_out"].Add(uint64(len(r.TimedOut)))
+	mm.retried.Add(uint64(len(r.Retried)))
+	mm.unplaced.Add(uint64(len(r.Unplaced)))
+	mm.abandoned.Add(uint64(r.Abandoned()))
+}
+
+// clientMetrics is the DUST-Client's instrumentation: reconnect attempts
+// and outcomes, supervised sessions, and Host-Sync declarations. Many
+// clients sharing one registry aggregate into the same series.
+type clientMetrics struct {
+	sessions   *obs.Counter
+	reconnects map[string]*obs.Counter // result: ok, fail
+	hostSyncs  *obs.Counter
+	conn       *proto.ConnMetrics
+}
+
+func newClientMetrics(reg *obs.Registry) *clientMetrics {
+	cm := &clientMetrics{
+		sessions: reg.Counter("dust_client_sessions_total",
+			"supervised connection sessions started"),
+		reconnects: make(map[string]*obs.Counter),
+		hostSyncs: reg.Counter("dust_client_hostsync_sent_total",
+			"Host-Sync declarations sent"),
+		conn: proto.NewConnMetrics(reg, "client"),
+	}
+	for _, result := range []string{"ok", "fail"} {
+		cm.reconnects[result] = reg.Counter("dust_client_reconnect_attempts_total",
+			"reconnect attempts by outcome", "result", result)
+	}
+	return cm
+}

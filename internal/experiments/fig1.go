@@ -57,11 +57,15 @@ func Fig1MonitoringCPU(cfg Config) (*Fig1Result, error) {
 				res.Series = append(res.Series, tsdb.Point{T: snap.Time, V: snap.MonitorCPUPct})
 			}
 		}
+		// TryPercentile (and the NaN Min/Max of an empty Summary) keep a
+		// degenerate run — SimSeconds 0 — from panicking or printing a
+		// fake 0; the table shows NaN for statistics that never existed.
+		p95, _ := metrics.TryPercentile(samples, 95)
 		res.Points = append(res.Points, Fig1Point{
 			LineRateFraction: frac,
 			Kpps:             kpps,
 			AvgPct:           sum.Mean(),
-			P95Pct:           metrics.Percentile(samples, 95),
+			P95Pct:           p95,
 			MaxPct:           sum.Max(),
 		})
 	}

@@ -37,7 +37,12 @@ func Fig12HeuristicScale(cfg Config) (*Fig12Result, error) {
 	for _, k := range []int{4, 8, 16, 32, 64} {
 		iters := cfg.Iterations
 		if k >= 32 {
-			iters = max(cfg.LargeIterations, 1)
+			iters = cfg.LargeIterations
+		}
+		// At least one iteration: times.Max() on an empty summary is NaN,
+		// which would render a nonsense MaxTime below.
+		if iters < 1 {
+			iters = 1
 		}
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		var times metrics.Summary

@@ -53,40 +53,69 @@ func (s *Summary) Var() float64 {
 // Stddev returns the sample standard deviation.
 func (s *Summary) Stddev() float64 { return math.Sqrt(s.Var()) }
 
-// Min returns the smallest observation, or 0 with none.
-func (s *Summary) Min() float64 { return s.min }
+// Min returns the smallest observation, or NaN with none. NaN keeps an
+// empty summary distinguishable from a genuine 0 observation (an
+// all-zero tick and a tick that never ran must not print alike).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
 
-// Max returns the largest observation, or 0 with none.
-func (s *Summary) Max() float64 { return s.max }
+// Max returns the largest observation, or NaN with none (see Min).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
 
-// String formats the summary for experiment tables.
+// String formats the summary for experiment tables. An empty summary
+// renders as such instead of faking zero-valued statistics.
 func (s *Summary) String() string {
+	if s.n == 0 {
+		return "n=0 (no observations)"
+	}
 	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g", s.n, s.Mean(), s.Stddev(), s.min, s.max)
 }
 
 // Percentile returns the p-th percentile (0..100) of xs via linear
 // interpolation on a sorted copy. It panics on empty input or p outside
-// [0, 100].
+// [0, 100]; runtime paths that may see degenerate input should use
+// TryPercentile.
 func Percentile(xs []float64, p float64) float64 {
+	v, err := TryPercentile(xs, p)
+	if err != nil {
+		panic(err.Error())
+	}
+	return v
+}
+
+// TryPercentile is the non-panicking Percentile: it returns NaN and an
+// error for empty input or p outside [0, 100], so a degenerate tick in a
+// long-running process degrades to a missing statistic instead of a
+// crash.
+func TryPercentile(xs []float64, p float64) (float64, error) {
 	if len(xs) == 0 {
-		panic("metrics: percentile of empty slice")
+		return math.NaN(), fmt.Errorf("metrics: percentile of empty slice")
 	}
 	if p < 0 || p > 100 {
-		panic(fmt.Sprintf("metrics: percentile %g outside [0,100]", p))
+		return math.NaN(), fmt.Errorf("metrics: percentile %g outside [0,100]", p)
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
-		return sorted[0]
+		return sorted[0], nil
 	}
 	rank := p / 100 * float64(len(sorted)-1)
 	lo := int(math.Floor(rank))
 	hi := int(math.Ceil(rank))
 	if lo == hi {
-		return sorted[lo]
+		return sorted[lo], nil
 	}
 	frac := rank - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
 }
 
 // Mean returns the arithmetic mean of xs, or 0 for empty input.

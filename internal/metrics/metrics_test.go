@@ -36,9 +36,27 @@ func TestSummaryEmptyAndSingle(t *testing.T) {
 	if s.Mean() != 0 || s.Var() != 0 || s.N() != 0 {
 		t.Fatal("zero-value summary should report zeros")
 	}
+	// Min/Max of an empty summary are NaN, not 0: a summary that never
+	// saw an observation must be distinguishable from one that saw 0.
+	if !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatalf("empty min/max = %g/%g, want NaN/NaN", s.Min(), s.Max())
+	}
+	if s.String() != "n=0 (no observations)" {
+		t.Fatalf("empty String = %q", s.String())
+	}
 	s.Add(3)
 	if s.Mean() != 3 || s.Var() != 0 || s.Min() != 3 || s.Max() != 3 {
 		t.Fatal("single observation summary wrong")
+	}
+}
+
+func TestSummaryZeroObservationDistinguishable(t *testing.T) {
+	// The regression the NaN change guards: one genuine 0 observation
+	// reports min = max = 0 while the empty summary does not.
+	var s Summary
+	s.Add(0)
+	if s.Min() != 0 || s.Max() != 0 {
+		t.Fatalf("min/max = %g/%g, want 0/0", s.Min(), s.Max())
 	}
 }
 
@@ -91,6 +109,18 @@ func TestPercentile(t *testing.T) {
 	Percentile(orig, 50)
 	if orig[0] != 3 || orig[1] != 1 || orig[2] != 2 {
 		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestTryPercentile(t *testing.T) {
+	if v, err := TryPercentile([]float64{15, 20, 35, 40, 50}, 50); err != nil || v != 35 {
+		t.Fatalf("TryPercentile = %g, %v; want 35, nil", v, err)
+	}
+	if v, err := TryPercentile(nil, 50); err == nil || !math.IsNaN(v) {
+		t.Fatalf("empty input = %g, %v; want NaN and an error", v, err)
+	}
+	if v, err := TryPercentile([]float64{1}, 101); err == nil || !math.IsNaN(v) {
+		t.Fatalf("out-of-range p = %g, %v; want NaN and an error", v, err)
 	}
 }
 

@@ -1,0 +1,65 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// NewMux builds the observability endpoint set: /metrics (Prometheus
+// text), /healthz (200 "ok" while the process serves), and the standard
+// /debug/pprof profiling handlers — wired explicitly rather than through
+// http.DefaultServeMux so importing obs never leaks handlers onto a mux
+// the caller did not ask for.
+func NewMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running observability endpoint.
+type Server struct {
+	l   net.Listener
+	srv *http.Server
+}
+
+// Serve starts the observability endpoints on addr (":0" picks an
+// ephemeral port; Addr reports the bound address) and serves them in a
+// background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{
+		Handler:           NewMux(r),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	go srv.Serve(l)
+	return &Server{l: l, srv: srv}, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.l.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

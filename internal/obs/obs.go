@@ -1,0 +1,368 @@
+// Package obs is a small dependency-free metrics registry for the DUST
+// control plane: atomic counters and gauges, pull-style gauge functions,
+// and streaming histograms (reusing metrics.Summary for the count/sum/
+// min/max accounting), exposed in the Prometheus text format. DUST's
+// premise is that telemetry is itself a workload to be measured and
+// budgeted; obs holds the Manager to the same standard by making its own
+// overhead — tick latency, cache effectiveness, retry churn — scrapable
+// without a debugger.
+//
+// The registry is get-or-create: asking for a metric that already exists
+// (same name and label set) returns the existing instance, so many
+// clients can share one registry and aggregate into the same series.
+// Asking for an existing series with a different metric kind panics —
+// that is a programming error, not a runtime condition.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// Registry holds named metric families and renders them in the
+// Prometheus text exposition format. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// family is one metric name: a help string, a type, and its label series.
+type family struct {
+	name, help, typ string
+	series          map[string]any // rendered label set -> Counter/Gauge/…
+}
+
+// Counter is a monotonically increasing counter. Safe for concurrent use;
+// increments are single atomic adds, cheap enough for per-message paths.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable float64 value. Safe for concurrent use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(x float64) { g.bits.Store(math.Float64bits(x)) }
+
+// Add increments the gauge by x (may be negative).
+func (g *Gauge) Add(x float64) {
+	for {
+		old := g.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + x)
+		if g.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// gaugeFunc is a pull-style gauge evaluated at scrape time.
+type gaugeFunc struct {
+	mu sync.Mutex
+	fn func() float64
+}
+
+func (gf *gaugeFunc) value() float64 {
+	gf.mu.Lock()
+	fn := gf.fn
+	gf.mu.Unlock()
+	return fn()
+}
+
+// Histogram is a streaming histogram with fixed upper bounds. It keeps
+// cumulative bucket counts for the Prometheus exposition plus a
+// metrics.Summary for the count/sum (and min/max, visible via Summary).
+type Histogram struct {
+	mu    sync.Mutex
+	upper []float64 // ascending bucket upper bounds, +Inf implicit
+	count []uint64  // per-bucket (non-cumulative) observation counts
+	sum   float64
+	s     metrics.Summary
+}
+
+// DefBuckets are default duration buckets in seconds, spanning the
+// microsecond ticks of a warm route cache to multi-second cold solves.
+var DefBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1, 5, 10,
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(x float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.upper, x) // first bound >= x
+	if i < len(h.count) {
+		h.count[i]++
+	}
+	h.sum += x
+	h.s.Add(x)
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s.N()
+}
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Summary returns a copy of the streaming summary (mean, min, max; the
+// empty-summary Min/Max are NaN per metrics.Summary).
+func (h *Histogram) Summary() metrics.Summary {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.s
+}
+
+// Counter returns the counter registered under name and the given label
+// pairs (k1, v1, k2, v2, …), creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	m := r.metric(name, help, "counter", labels, func() any { return &Counter{} })
+	c, ok := m.(*Counter)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name and labels, creating it
+// on first use.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	m := r.metric(name, help, "gauge", labels, func() any { return &Gauge{} })
+	g, ok := m.(*Gauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+	return g
+}
+
+// GaugeFunc registers a pull-style gauge evaluated at scrape time.
+// Re-registering the same series replaces the function (last wins), so a
+// rebuilt component can re-bind its gauges without tearing the registry
+// down.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	m := r.metric(name, help, "gauge", labels, func() any { return &gaugeFunc{fn: fn} })
+	gf, ok := m.(*gaugeFunc)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+	gf.mu.Lock()
+	gf.fn = fn
+	gf.mu.Unlock()
+}
+
+// Histogram returns the histogram registered under name and labels with
+// the given ascending upper bounds (nil = DefBuckets), creating it on
+// first use. Bounds are fixed at creation; a later call with different
+// bounds returns the existing histogram unchanged.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	m := r.metric(name, help, "histogram", labels, func() any {
+		if buckets == nil {
+			buckets = DefBuckets
+		}
+		upper := append([]float64(nil), buckets...)
+		if !sort.Float64sAreSorted(upper) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+		return &Histogram{upper: upper, count: make([]uint64, len(upper))}
+	})
+	h, ok := m.(*Histogram)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a different kind", name))
+	}
+	return h
+}
+
+// metric is the shared get-or-create path.
+func (r *Registry) metric(name, help, typ string, labels []string, create func() any) any {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	key := labelKey(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.fams[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]any)}
+		r.fams[name] = fam
+	} else if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.typ, typ))
+	}
+	m, ok := fam.series[key]
+	if !ok {
+		m = create()
+		fam.series[key] = m
+	}
+	return m
+}
+
+// labelKey renders label pairs as a sorted, escaped Prometheus label set
+// ({} form, empty string for no labels). It doubles as the series key.
+func labelKey(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	if len(labels)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label list %q", labels))
+	}
+	type kv struct{ k, v string }
+	kvs := make([]kv, 0, len(labels)/2)
+	for i := 0; i < len(labels); i += 2 {
+		if !validName(labels[i]) {
+			panic(fmt.Sprintf("obs: invalid label name %q", labels[i]))
+		}
+		kvs = append(kvs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(kvs, func(i, j int) bool { return kvs[i].k < kvs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range kvs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		alpha := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !alpha && (i == 0 || c < '0' || c > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), families and series in sorted order
+// so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.fams))
+	for n := range r.fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.fams[n]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, fam := range fams {
+		if fam.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", fam.name, strings.ReplaceAll(fam.help, "\n", " "))
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		r.mu.Lock()
+		keys := make([]string, 0, len(fam.series))
+		for k := range fam.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		for i, k := range keys {
+			series[i] = fam.series[k]
+		}
+		r.mu.Unlock()
+		for i, k := range keys {
+			writeSeries(&b, fam.name, k, series[i])
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name, labels string, m any) {
+	switch v := m.(type) {
+	case *Counter:
+		fmt.Fprintf(b, "%s%s %d\n", name, labels, v.Value())
+	case *Gauge:
+		fmt.Fprintf(b, "%s%s %s\n", name, labels, fmtFloat(v.Value()))
+	case *gaugeFunc:
+		fmt.Fprintf(b, "%s%s %s\n", name, labels, fmtFloat(v.value()))
+	case *Histogram:
+		v.mu.Lock()
+		upper := v.upper
+		counts := append([]uint64(nil), v.count...)
+		n := v.s.N()
+		sum := v.sum
+		v.mu.Unlock()
+		cum := uint64(0)
+		for i, ub := range upper {
+			cum += counts[i]
+			fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, fmtFloat(ub)), cum)
+		}
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, bucketLabels(labels, "+Inf"), n)
+		fmt.Fprintf(b, "%s_sum%s %s\n", name, labels, fmtFloat(sum))
+		fmt.Fprintf(b, "%s_count%s %d\n", name, labels, n)
+	}
+}
+
+// bucketLabels merges a series' label set with the le="…" bucket label.
+func bucketLabels(labels, le string) string {
+	if labels == "" {
+		return `{le="` + le + `"}`
+	}
+	return labels[:len(labels)-1] + `,le="` + le + `"}`
+}
+
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

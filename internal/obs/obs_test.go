@@ -1,0 +1,252 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("dust_test_total", "a test counter", "kind", "x")
+	c.Inc()
+	c.Add(2)
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP dust_test_total a test counter",
+		"# TYPE dust_test_total counter",
+		`dust_test_total{kind="x"} 3`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCounterGetOrCreateShares(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("shared_total", "", "k", "v")
+	b := r.Counter("shared_total", "", "k", "v")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	other := r.Counter("shared_total", "", "k", "w")
+	if a == other {
+		t.Fatal("different labels must return a different series")
+	}
+	a.Inc()
+	other.Add(5)
+	out := render(t, r)
+	if !strings.Contains(out, `shared_total{k="v"} 1`) || !strings.Contains(out, `shared_total{k="w"} 5`) {
+		t.Fatalf("per-series counts wrong:\n%s", out)
+	}
+}
+
+func TestGaugeSetAdd(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("dust_gauge", "")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+	if out := render(t, r); !strings.Contains(out, "dust_gauge 1.5") {
+		t.Fatalf("gauge exposition wrong:\n%s", out)
+	}
+}
+
+func TestGaugeFuncEvaluatedAtScrape(t *testing.T) {
+	r := NewRegistry()
+	v := 1.0
+	var mu sync.Mutex
+	r.GaugeFunc("pull_gauge", "", func() float64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return v
+	})
+	if out := render(t, r); !strings.Contains(out, "pull_gauge 1") {
+		t.Fatalf("first scrape wrong:\n%s", out)
+	}
+	mu.Lock()
+	v = 7
+	mu.Unlock()
+	if out := render(t, r); !strings.Contains(out, "pull_gauge 7") {
+		t.Fatalf("second scrape not re-evaluated:\n%s", out)
+	}
+	// Re-registration rebinds (last wins).
+	r.GaugeFunc("pull_gauge", "", func() float64 { return 42 })
+	if out := render(t, r); !strings.Contains(out, "pull_gauge 42") {
+		t.Fatalf("rebind ignored:\n%s", out)
+	}
+}
+
+func TestHistogramBucketsAndSummary(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.1, 1, 10})
+	for _, x := range []float64{0.05, 0.5, 0.5, 5, 50} {
+		h.Observe(x)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-56.05) > 1e-9 {
+		t.Fatalf("sum = %g, want 56.05", h.Sum())
+	}
+	s := h.Summary()
+	if s.Min() != 0.05 || s.Max() != 50 {
+		t.Fatalf("min/max = %g/%g", s.Min(), s.Max())
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 3`,
+		`lat_seconds_bucket{le="10"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		"lat_seconds_sum 56.05",
+		"lat_seconds_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramLabelsMergeWithLe(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("phase_seconds", "", []float64{1}, "phase", "solve")
+	h.Observe(0.5)
+	out := render(t, r)
+	if !strings.Contains(out, `phase_seconds_bucket{phase="solve",le="1"} 1`) {
+		t.Fatalf("labelled bucket wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `phase_seconds_count{phase="solve"} 1`) {
+		t.Fatalf("labelled count wrong:\n%s", out)
+	}
+}
+
+func TestEmptyHistogramScrapes(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("idle_seconds", "", []float64{1})
+	out := render(t, r)
+	if !strings.Contains(out, `idle_seconds_bucket{le="+Inf"} 0`) ||
+		!strings.Contains(out, "idle_seconds_count 0") {
+		t.Fatalf("empty histogram exposition wrong:\n%s", out)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mixed", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge under a counter name must panic")
+		}
+	}()
+	r.Gauge("mixed", "")
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1starts_with_digit", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("name %q accepted", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", "msg", `a"b\c`+"\n")
+	out := render(t, r)
+	if !strings.Contains(out, `esc_total{msg="a\"b\\c\n"} 0`) {
+		t.Fatalf("label escaping wrong:\n%s", out)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("conc_total", "").Inc()
+				r.Gauge("conc_gauge", "").Add(1)
+				r.Histogram("conc_seconds", "", nil).Observe(float64(j) / 1000)
+			}
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			render(t, r)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := r.Counter("conc_total", "").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("conc_seconds", "", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestServeEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("served_total", "").Add(9)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "served_total 9") {
+		t.Fatalf("/metrics = %d:\n%s", code, body)
+	}
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q", code, body)
+	}
+	// pprof index answers (profiles themselves are exercised elsewhere).
+	code, _ = get("/debug/pprof/")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ = %d", code)
+	}
+}
