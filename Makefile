@@ -3,8 +3,11 @@
 # does not ship it; go vet is the floor either way). Tier 2 (check-race)
 # adds the race detector — including the observability and control-plane
 # suites, whose metrics are touched from every goroutine in the system.
+# The differential tier (verify) runs the full 1000-instance cross-solver
+# oracle; fuzz-smoke gives every native fuzz target a short randomized
+# budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race bench bench-smoke chaos
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke chaos
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -19,6 +22,26 @@ ifdef STATICCHECK
 	$(STATICCHECK) ./...
 endif
 	go test ./...
+	$(MAKE) verify
+
+# Differential tier: 1000 seeded random instances solved by every
+# applicable solver (simplex, transport, ILP) and cross-checked against
+# the independent min-cost-flow and brute-force references, plus the
+# result-invariant checker. -count=1 defeats the test cache so the tier
+# always re-runs.
+verify:
+	go test -count=1 -run 'TestDifferentialOracle' ./internal/verify
+
+# Short randomized budget for every native fuzz target on top of the
+# checked-in seed corpora. FUZZTIME=2m make fuzz-smoke for a longer soak;
+# go's fuzzer accepts one -fuzz pattern per package invocation, hence the
+# per-target lines.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzSolveTransport$$' -fuzztime $(FUZZTIME) ./internal/lp
+	go test -run '^$$' -fuzz '^FuzzSimplexModel$$' -fuzztime $(FUZZTIME) ./internal/lp
+	go test -run '^$$' -fuzz '^FuzzProtoRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/proto
+	go test -run '^$$' -fuzz '^FuzzRouteCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # The observability packages run first: their lock-free counters and the
 # instrumented manager/client paths are the likeliest place for a fresh

@@ -42,6 +42,7 @@ func main() {
 		par       = flag.Int("parallelism", -1, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
 		routeEps  = flag.Float64("route-eps", 0.01, "route-cache link-rate drift tolerance (relative; 0 = exact revalidation)")
 		metrics   = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
+		verifyPl  = flag.Bool("verify-placements", false, "self-audit every solver result against the Eq. 3 invariants before offering it (debug)")
 	)
 	flag.Parse()
 
@@ -68,6 +69,7 @@ func main() {
 		KeepaliveTimeout:  3 * *interval,
 		AckTimeout:        *ackWait,
 		PlacementRetries:  *retries,
+		VerifyPlacements:  *verifyPl,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)

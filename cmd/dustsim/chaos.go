@@ -24,7 +24,7 @@ import (
 // anti-entropy, placement retries, keepalive substitution) converged the
 // cluster: excess fully placed, NMDB ledger matching every client's local
 // hosting, and a final placement round abandoning nothing.
-func runChaos(n int, drop, dup float64, seed int64, metricsAddr string) error {
+func runChaos(n int, drop, dup float64, seed int64, metricsAddr string, verifyPlacements bool) error {
 	const (
 		busyNode = 0
 		baseUtil = 92.0
@@ -60,6 +60,7 @@ func runChaos(n int, drop, dup float64, seed int64, metricsAddr string) error {
 		AckTimeout:        200 * time.Millisecond,
 		PlacementRetries:  2,
 		Metrics:           reg,
+		VerifyPlacements:  verifyPlacements,
 	})
 	if err != nil {
 		return err

@@ -39,11 +39,12 @@ func main() {
 		drop     = flag.Float64("drop", 0.2, "message drop probability for -chaos")
 		dup      = flag.Float64("dup", 0.05, "message duplication probability for -chaos")
 		metrics  = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof during -chaos (empty = disabled)")
+		verifyPl = flag.Bool("verify-placements", false, "self-audit every -chaos solver result against the Eq. 3 invariants before offering it (debug)")
 	)
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*chaosN, *drop, *dup, *seed, *metrics); err != nil {
+		if err := runChaos(*chaosN, *drop, *dup, *seed, *metrics, *verifyPl); err != nil {
 			log.Fatalf("dustsim: %v", err)
 		}
 		return

@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/verify"
 )
 
 // ManagerNode is the conventional node ID of the DUST-Manager in message
@@ -41,6 +42,13 @@ type ManagerConfig struct {
 	// excluded (mirroring Algorithm 1's candidate restriction). 0 keeps
 	// the single-shot behavior.
 	PlacementRetries int
+	// VerifyPlacements runs verify.CheckResult over every solver result
+	// before any Offload-Request leaves the manager: constraints 3a/3b,
+	// route-cost consistency, and the reported objective are re-derived
+	// from the snapshot, and a violation fails the round loudly instead
+	// of shipping a corrupt placement. Debug/belt-and-braces flag; the
+	// audit is O(assignments) and cheap next to the solve itself.
+	VerifyPlacements bool
 	// Now injects a clock; nil means time.Now (tests inject virtual time).
 	Now func() time.Time
 	// Metrics is the observability registry the manager instruments; nil
@@ -467,6 +475,13 @@ func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
 	}
 	m.metrics.observePhase("route", res.RouteDuration)
 	m.metrics.observePhase("solve", res.SolveDuration)
+	if m.cfg.VerifyPlacements {
+		if verr := verify.CheckResult(state, res, m.cfg.Params.Solver); verr != nil {
+			m.metrics.verifications["failed"].Inc()
+			return nil, fmt.Errorf("cluster: placement self-audit: %w", verr)
+		}
+		m.metrics.verifications["ok"].Inc()
+	}
 	report.Result = res
 	if res.Status != core.StatusOptimal {
 		return report, nil

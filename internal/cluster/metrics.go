@@ -24,6 +24,7 @@ type managerMetrics struct {
 	phaseSeconds map[string]*obs.Histogram // classify, route, solve, dispatch
 
 	offers        map[string]*obs.Counter // verdict: accepted, declined, timed_out
+	verifications map[string]*obs.Counter // result: ok, failed (VerifyPlacements audits)
 	retried       *obs.Counter
 	unplaced      *obs.Counter
 	abandoned     *obs.Counter
@@ -43,8 +44,9 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"placement rounds started (RunPlacement calls)"),
 		tickSeconds: reg.Histogram("dust_manager_tick_seconds",
 			"end-to-end placement round duration", nil),
-		phaseSeconds: make(map[string]*obs.Histogram),
-		offers:       make(map[string]*obs.Counter),
+		phaseSeconds:  make(map[string]*obs.Histogram),
+		offers:        make(map[string]*obs.Counter),
+		verifications: make(map[string]*obs.Counter),
 		retried: reg.Counter("dust_manager_placement_retries_total",
 			"failed offers re-offered to next-best candidates"),
 		unplaced: reg.Counter("dust_manager_placement_unplaced_total",
@@ -70,6 +72,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 	for _, verdict := range []string{"accepted", "declined", "timed_out"} {
 		mm.offers[verdict] = reg.Counter("dust_manager_offers_total",
 			"offered assignments by final Offload-ACK verdict", "verdict", verdict)
+	}
+	for _, result := range []string{"ok", "failed"} {
+		mm.verifications[result] = reg.Counter("dust_manager_placement_verifications_total",
+			"VerifyPlacements self-audits of solver results by outcome", "result", result)
 	}
 	for _, result := range []string{"synced", "stale"} {
 		mm.hostSync[result] = reg.Counter("dust_manager_hostsync_total",

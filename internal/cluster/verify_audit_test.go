@@ -1,0 +1,57 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestVerifyPlacementsAudit drives a placement round with the
+// VerifyPlacements self-audit enabled and asserts the round still
+// succeeds, the audit ran (ok counter), and nothing was flagged. A
+// second harness with the flag off checks the audit is pay-for-play.
+func TestVerifyPlacementsAudit(t *testing.T) {
+	h := newHarnessWith(t, lineTopology(3), func(cfg *ManagerConfig) {
+		cfg.VerifyPlacements = true
+	}, []ClientConfig{
+		{Node: 0, Capable: true},
+		{Node: 1, Capable: true},
+		{Node: 2, Capable: true},
+	})
+	h.setUtil(0, 92, 50) // busy, Cs = 12
+	h.setUtil(1, 30, 0)  // candidate
+	h.setUtil(2, 65, 0)  // neutral
+
+	report, err := h.manager.RunPlacement()
+	if err != nil {
+		t.Fatalf("audited placement failed: %v", err)
+	}
+	if report.Result == nil || report.Result.Status != core.StatusOptimal {
+		t.Fatalf("report = %+v", report)
+	}
+	if len(report.Accepted) != 1 {
+		t.Fatalf("accepted = %+v", report.Accepted)
+	}
+	mm := h.manager.metrics
+	if got := mm.verifications["ok"].Value(); got != 1 {
+		t.Fatalf("verifications ok = %d, want 1", got)
+	}
+	if got := mm.verifications["failed"].Value(); got != 0 {
+		t.Fatalf("verifications failed = %d, want 0", got)
+	}
+
+	// Audit disabled (the default): the counters never move.
+	h2 := newHarness(t, lineTopology(3), []ClientConfig{
+		{Node: 0, Capable: true},
+		{Node: 1, Capable: true},
+	})
+	h2.setUtil(0, 92, 50)
+	h2.setUtil(1, 30, 0)
+	if _, err := h2.manager.RunPlacement(); err != nil {
+		t.Fatal(err)
+	}
+	mm2 := h2.manager.metrics
+	if ok, failed := mm2.verifications["ok"].Value(), mm2.verifications["failed"].Value(); ok != 0 || failed != 0 {
+		t.Fatalf("unaudited round moved verification counters: ok=%d failed=%d", ok, failed)
+	}
+}

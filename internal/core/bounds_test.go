@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestPlacementModelVariableBounds pins the Eq. 3 variable box: the
+// continuous path used to declare x_ij ∈ [0, +Inf) (only the ILP bounded
+// its variables), leaving unbounded columns in the simplex tableau. Every
+// variable must now carry a finite upper bound: Cs_i for the continuous
+// model, min(Cs_i, effective Cd_j) rounded down for the ILP.
+func TestPlacementModelVariableBounds(t *testing.T) {
+	g := graph.Line(3, 100)
+	g.SetUtilization(0, 0.5)
+	g.SetUtilization(1, 0.5)
+	s := NewState(g)
+	s.Util = []float64{95, 45, 20}
+	s.DataMb = []float64{100, 0, 0}
+	th := Thresholds{CMax: 80, COMax: 50, XMin: 10}
+
+	c, err := Classify(s, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultParams()
+	p.Thresholds = th
+	rt, err := ComputeRoutes(s, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, integral := range []bool{false, true} {
+		model, vars, _, ok := buildPlacementModel(s, c, rt, integral)
+		if !ok {
+			t.Fatalf("integral=%v: model unexpectedly infeasible", integral)
+		}
+		if len(vars) == 0 {
+			t.Fatalf("integral=%v: no variables built", integral)
+		}
+		for key, v := range vars {
+			lo, hi := model.VarBounds(v)
+			if lo != 0 {
+				t.Fatalf("integral=%v x[%d,%d]: lo = %g, want 0", integral, key.bi, key.cj, lo)
+			}
+			if math.IsInf(hi, 1) {
+				t.Fatalf("integral=%v x[%d,%d]: hi = +Inf, want a finite bound", integral, key.bi, key.cj)
+			}
+			coeff := s.HostCost(c.Busy[key.bi], c.Candidates[key.cj], 1)
+			if integral {
+				supply := math.Ceil(c.Cs[key.bi] - 1e-9)
+				byCap := math.Floor(c.Cd[key.cj]+1e-9) / coeff
+				want := math.Floor(math.Min(supply, byCap) + 1e-9)
+				if hi != want {
+					t.Fatalf("ILP x[%d,%d]: hi = %g, want %g", key.bi, key.cj, hi, want)
+				}
+			} else if hi != c.Cs[key.bi] {
+				t.Fatalf("LP x[%d,%d]: hi = %g, want Cs = %g", key.bi, key.cj, hi, c.Cs[key.bi])
+			}
+		}
+	}
+
+	// The node-1 candidate is capacity-tight (Cd = 5 < Cs = 15): the ILP
+	// bound must come from the capacity side of the box.
+	model, vars, _, _ := buildPlacementModel(s, c, rt, true)
+	found := false
+	for key, v := range vars {
+		if c.Candidates[key.cj] == 1 {
+			if _, hi := model.VarBounds(v); hi != 5 {
+				t.Fatalf("ILP bound at tight candidate 1 = %g, want 5", hi)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no variable targeting candidate 1")
+	}
+}

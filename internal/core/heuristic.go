@@ -89,6 +89,18 @@ func (r *HeuristicResult) NoSuccess() bool {
 // capacity is shared across busy nodes and consumed in node order.
 // The rate model of params selects Lu; PathStrategy and MaxHops are
 // ignored (the heuristic is one-hop by definition).
+//
+// Ordering is pinned, not incidental: busy nodes are processed in
+// ascending node-id order (the classification's Busy order), each
+// consuming shared candidate capacity before the next, and within one
+// busy node the one-hop options fill cheapest-first with exact cost ties
+// broken toward the lower candidate node id. On tie-free instances the
+// outcome (HFR, total placed, objective) is therefore invariant under
+// relabeling the non-busy nodes — TestHeuristicInvariantUnderRelabeling
+// pins that property. The busy processing order itself is load-bearing
+// whenever capacity is scarce (an earlier busy node can drain a shared
+// neighbour); that dependence is inherent to Algorithm 1's sequential
+// structure, so the order is fixed to ascending ids rather than hidden.
 func SolveHeuristic(s *State, p Params, mode HeuristicMode) (*HeuristicResult, error) {
 	c, err := Classify(s, p.Thresholds)
 	if err != nil {

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// relabelState builds an isomorphic copy of s under the node permutation
+// perm (perm[old] = new): same edges, capacities, and utilizations, with
+// every per-node attribute carried along.
+func relabelState(t *testing.T, s *State, perm []int) *State {
+	t.Helper()
+	n := s.G.NumNodes()
+	g2 := graph.New(n)
+	for _, e := range s.G.Edges() {
+		id := g2.AddEdge(perm[e.U], perm[e.V], e.CapMbps)
+		g2.SetUtilization(id, e.Utilization)
+	}
+	s2 := NewState(g2)
+	for i := 0; i < n; i++ {
+		s2.Util[perm[i]] = s.Util[i]
+		s2.DataMb[perm[i]] = s.DataMb[i]
+		s2.Offloadable[perm[i]] = s.Offloadable[i]
+	}
+	if s.Personas != nil {
+		p2 := make([]Persona, n)
+		for i := 0; i < n; i++ {
+			p2[perm[i]] = s.Personas[i]
+		}
+		if err := s2.SetPersonas(p2); err != nil {
+			t.Fatalf("relabel personas: %v", err)
+		}
+	}
+	return s2
+}
+
+// TestHeuristicInvariantUnderRelabeling pins the ordering contract
+// documented on SolveHeuristic: on tie-free instances (continuous random
+// edge utilizations make exact cost ties measure-zero), HFR, total
+// placed, and the objective are invariant under any relabeling of the
+// NON-busy nodes. Busy labels are kept fixed because the busy processing
+// order is load-bearing by design — an earlier busy node may drain a
+// shared candidate — so only candidate/normal identities are permuted.
+func TestHeuristicInvariantUnderRelabeling(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tested := 0
+	for iter := 0; iter < 60; iter++ {
+		n := 6 + rng.Intn(10)
+		g := graph.RandomConnected(n, 0.35, 100+400*rng.Float64(), rng)
+		graph.RandomizeUtilization(g, 0.05, 0.9, rng)
+		sc := DefaultScenario()
+		s, err := RandomState(g, sc, rng)
+		if err != nil {
+			t.Fatalf("iter %d: random state: %v", iter, err)
+		}
+		if iter%2 == 0 {
+			personas := make([]Persona, n)
+			for i := range personas {
+				personas[i] = DefaultPersona(DeviceClass(rng.Intn(4)))
+			}
+			if err := s.SetPersonas(personas); err != nil {
+				t.Fatalf("iter %d: personas: %v", iter, err)
+			}
+		}
+		c, err := Classify(s, sc.Thresholds)
+		if err != nil {
+			t.Fatalf("iter %d: classify: %v", iter, err)
+		}
+		if len(c.Busy) == 0 || len(c.Candidates) == 0 {
+			continue
+		}
+
+		// Permutation fixing busy labels and shuffling everyone else.
+		busy := make(map[int]bool, len(c.Busy))
+		for _, b := range c.Busy {
+			busy[b] = true
+		}
+		perm := make([]int, n)
+		var free []int
+		for i := 0; i < n; i++ {
+			perm[i] = i
+			if !busy[i] {
+				free = append(free, i)
+			}
+		}
+		shuffled := append([]int(nil), free...)
+		rng.Shuffle(len(shuffled), func(a, b int) {
+			shuffled[a], shuffled[b] = shuffled[b], shuffled[a]
+		})
+		for k, old := range free {
+			perm[old] = shuffled[k]
+		}
+		s2 := relabelState(t, s, perm)
+
+		p := DefaultParams()
+		p.Thresholds = sc.Thresholds
+		for _, mode := range []HeuristicMode{HeuristicGreedy, HeuristicLP} {
+			r1, err := SolveHeuristic(s, p, mode)
+			if err != nil {
+				t.Fatalf("iter %d mode %v: original: %v", iter, mode, err)
+			}
+			r2, err := SolveHeuristic(s2, p, mode)
+			if err != nil {
+				t.Fatalf("iter %d mode %v: relabeled: %v", iter, mode, err)
+			}
+			if !scalarClose(r1.TotalPlaced(), r2.TotalPlaced()) {
+				t.Fatalf("iter %d mode %v: total placed %g vs %g under relabeling",
+					iter, mode, r1.TotalPlaced(), r2.TotalPlaced())
+			}
+			if !scalarClose(r1.HFRPercent, r2.HFRPercent) {
+				t.Fatalf("iter %d mode %v: HFR %g%% vs %g%% under relabeling",
+					iter, mode, r1.HFRPercent, r2.HFRPercent)
+			}
+			if !scalarClose(r1.Objective, r2.Objective) {
+				t.Fatalf("iter %d mode %v: objective %g vs %g under relabeling",
+					iter, mode, r1.Objective, r2.Objective)
+			}
+			// The busy order is fixed, so the per-busy breakdown must
+			// match node for node, not just in aggregate.
+			if len(r1.PerBusy) != len(r2.PerBusy) {
+				t.Fatalf("iter %d mode %v: per-busy length %d vs %d",
+					iter, mode, len(r1.PerBusy), len(r2.PerBusy))
+			}
+			for k := range r1.PerBusy {
+				a, b := r1.PerBusy[k], r2.PerBusy[k]
+				if a.Node != b.Node || !scalarClose(a.Placed, b.Placed) || !scalarClose(a.Failed, b.Failed) {
+					t.Fatalf("iter %d mode %v: per-busy[%d] %+v vs %+v",
+						iter, mode, k, a, b)
+				}
+			}
+		}
+		tested++
+	}
+	if tested < 20 {
+		t.Fatalf("only %d/60 iterations produced busy+candidate instances; generator drifted", tested)
+	}
+}
+
+func scalarClose(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

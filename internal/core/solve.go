@@ -237,21 +237,65 @@ func solveTransport(c *Classification, rt *RouteTable, res *Result) error {
 	return nil
 }
 
-func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral bool) error {
-	model := lp.NewModel(lp.Minimize)
-	type pair struct{ bi, cj int }
-	vars := make(map[pair]lp.VarID)
+// varKey addresses the decision variable x_ij by busy row and candidate
+// column of the classification.
+type varKey struct{ bi, cj int }
+
+// buildPlacementModel assembles the Eq. 3 model over the route table: one
+// variable per reachable (busy, candidate) lane, supply equalities (3b)
+// and capacity inequalities (3a). capCon maps each candidate column to its
+// capacity constraint's index for dual extraction. ok=false means some
+// busy node has positive excess and no reachable candidate — trivially
+// infeasible, no model needed. The ILP variant (integral=true) rounds
+// supplies up and capacities down, conservatively.
+func buildPlacementModel(s *State, c *Classification, rt *RouteTable, integral bool) (model *lp.Model, vars map[varKey]lp.VarID, capCon map[int]int, ok bool) {
+	// The solver-facing supplies and capacities are computed once so the
+	// variable bounds and the constraint rows use identical figures.
+	supplies := make([]float64, len(c.Busy))
+	for bi := range c.Busy {
+		supplies[bi] = c.Cs[bi]
+		if integral {
+			supplies[bi] = math.Ceil(supplies[bi] - 1e-9)
+		}
+	}
+	capacities := make([]float64, len(c.Candidates))
+	for cj := range c.Candidates {
+		capacities[cj] = c.Cd[cj]
+		if integral {
+			capacities[cj] = math.Floor(capacities[cj] + 1e-9)
+		}
+	}
+
+	model = lp.NewModel(lp.Minimize)
+	vars = make(map[varKey]lp.VarID)
 	for bi := range c.Busy {
 		for cj := range c.Candidates {
 			sec := rt.Seconds[bi][cj]
 			if math.IsInf(sec, 1) {
 				continue // no route within the hop bound: x_ij fixed at 0
 			}
+			// Eq. 3 boxes every x_ij into min(Cs_i, effective Cd_j): it can
+			// neither exceed its source's excess (3b) nor, scaled by the
+			// persona host cost, its destination's spare capacity (3a).
+			// The declared bound keeps the simplex tableau well-scaled —
+			// +Inf columns would otherwise survive until the constraint
+			// rows prune them. The continuous path declares only the Cs_i
+			// half: the Cd_j half IS the capacity row (restricted to one
+			// variable), and duplicating a row splits its dual, corrupting
+			// the exported shadow prices whenever a single busy node
+			// saturates a candidate. The ILP path has no duals and takes
+			// the full min, which tightens branch-and-bound boxes
+			// (DESIGN.md §11 maps all this onto constraints 3c–3e).
 			name := fmt.Sprintf("x_%d_%d", c.Busy[bi], c.Candidates[cj])
 			if integral {
-				vars[pair{bi, cj}] = model.AddIntVar(name, 0, math.Ceil(c.Cs[bi]), sec)
+				coeff := s.HostCost(c.Busy[bi], c.Candidates[cj], 1)
+				ub := supplies[bi]
+				if byCap := capacities[cj] / coeff; byCap < ub {
+					ub = byCap
+				}
+				vars[varKey{bi, cj}] = model.AddIntVar(name, 0, math.Floor(ub+1e-9), sec)
 			} else {
-				vars[pair{bi, cj}] = model.AddVar(name, 0, math.Inf(1), sec)
+				vars[varKey{bi, cj}] = model.AddVar(name, 0, supplies[bi], sec)
 			}
 		}
 	}
@@ -259,30 +303,25 @@ func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral 
 	for bi := range c.Busy {
 		var terms []lp.Term
 		for cj := range c.Candidates {
-			if v, ok := vars[pair{bi, cj}]; ok {
+			if v, found := vars[varKey{bi, cj}]; found {
 				terms = append(terms, lp.Term{Var: v, Coeff: 1})
 			}
 		}
-		supply := c.Cs[bi]
-		if integral {
-			supply = math.Ceil(supply - 1e-9)
-		}
 		if terms == nil {
-			if supply > 1e-9 {
-				res.Status = StatusInfeasible
-				return nil
+			if supplies[bi] > 1e-9 {
+				return nil, nil, nil, false
 			}
 			continue
 		}
-		model.AddConstraint(fmt.Sprintf("supply_%d", c.Busy[bi]), terms, lp.EQ, supply)
+		model.AddConstraint(fmt.Sprintf("supply_%d", c.Busy[bi]), terms, lp.EQ, supplies[bi])
 	}
 	// Eq. 3a: candidate spare capacity. With heterogeneous personas, one
 	// origin point consumes cap_i/cap_j destination points.
-	capCon := make(map[int]int) // candidate column -> constraint index
+	capCon = make(map[int]int) // candidate column -> constraint index
 	for cj := range c.Candidates {
 		var terms []lp.Term
 		for bi := range c.Busy {
-			if v, ok := vars[pair{bi, cj}]; ok {
+			if v, found := vars[varKey{bi, cj}]; found {
 				coeff := s.HostCost(c.Busy[bi], c.Candidates[cj], 1)
 				terms = append(terms, lp.Term{Var: v, Coeff: coeff})
 			}
@@ -290,12 +329,17 @@ func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral 
 		if terms == nil {
 			continue
 		}
-		capacity := c.Cd[cj]
-		if integral {
-			capacity = math.Floor(capacity + 1e-9)
-		}
 		capCon[cj] = model.NumConstraints()
-		model.AddConstraint(fmt.Sprintf("cap_%d", c.Candidates[cj]), terms, lp.LE, capacity)
+		model.AddConstraint(fmt.Sprintf("cap_%d", c.Candidates[cj]), terms, lp.LE, capacities[cj])
+	}
+	return model, vars, capCon, true
+}
+
+func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral bool) error {
+	model, vars, capCon, ok := buildPlacementModel(s, c, rt, integral)
+	if !ok {
+		res.Status = StatusInfeasible
+		return nil
 	}
 
 	sol, err := model.Solve()
@@ -323,8 +367,8 @@ func solveLP(s *State, c *Classification, rt *RouteTable, res *Result, integral 
 	}
 	for bi := range c.Busy {
 		for cj := range c.Candidates {
-			v, ok := vars[pair{bi, cj}]
-			if !ok {
+			v, found := vars[varKey{bi, cj}]
+			if !found {
 				continue
 			}
 			if f := sol.Value(v); f > 1e-9 {

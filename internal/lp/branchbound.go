@@ -1,8 +1,8 @@
 package lp
 
 import (
+	"container/heap"
 	"math"
-	"sort"
 )
 
 // intTol is the tolerance within which a relaxation value counts as
@@ -31,12 +31,14 @@ func (m *Model) solveBB() (*Solution, error) {
 	root.relax = relax
 
 	var incumbent *Solution
-	queue := []bbNode{root}
-	for len(queue) > 0 {
-		// Pop the node with the best (smallest directed) bound.
-		sort.Slice(queue, func(i, j int) bool { return queue[i].bound < queue[j].bound })
-		node := queue[0]
-		queue = queue[1:]
+	// Best-first over a min-heap keyed on the relaxation bound: the old
+	// re-sort-per-pop made each pop O(Q log Q) and large searches quadratic
+	// in the node count. Ties break on insertion order (older first) so the
+	// exploration order is deterministic.
+	queue := &bbQueue{}
+	queue.push(root)
+	for queue.Len() > 0 {
+		node := queue.pop()
 
 		if incumbent != nil && node.bound >= m.directedObj(incumbent.Objective)-1e-12 {
 			continue // bound cannot beat the incumbent
@@ -74,10 +76,10 @@ func (m *Model) solveBB() (*Solution, error) {
 		up := bbNode{lo: cloneSlice(node.lo), hi: cloneSlice(node.hi), bound: m.directedObj(sol.Objective)}
 		up.lo[frac] = maxBound(up.lo[frac], m.vars[frac].lo, ceilV)
 		if down.hi[frac] >= boundOr(down.lo[frac], m.vars[frac].lo) {
-			queue = append(queue, down)
+			queue.push(down)
 		}
 		if boundOr(up.hi[frac], m.vars[frac].hi) >= up.lo[frac] {
-			queue = append(queue, up)
+			queue.push(up)
 		}
 	}
 
@@ -106,7 +108,38 @@ type bbNode struct {
 	lo, hi []float64 // NaN = inherit model bound
 	bound  float64   // directed objective of the parent relaxation
 	relax  *Solution // root node carries its pre-solved relaxation
+	seq    int       // insertion order, the heap's tie-break
 }
+
+// bbQueue is a min-heap of open nodes keyed on (bound, seq).
+type bbQueue struct {
+	nodes []bbNode
+	next  int
+}
+
+func (q *bbQueue) Len() int { return len(q.nodes) }
+func (q *bbQueue) Less(i, j int) bool {
+	if q.nodes[i].bound != q.nodes[j].bound {
+		return q.nodes[i].bound < q.nodes[j].bound
+	}
+	return q.nodes[i].seq < q.nodes[j].seq
+}
+func (q *bbQueue) Swap(i, j int)      { q.nodes[i], q.nodes[j] = q.nodes[j], q.nodes[i] }
+func (q *bbQueue) Push(x interface{}) { q.nodes = append(q.nodes, x.(bbNode)) }
+func (q *bbQueue) Pop() interface{} {
+	n := len(q.nodes)
+	node := q.nodes[n-1]
+	q.nodes = q.nodes[:n-1]
+	return node
+}
+
+func (q *bbQueue) push(n bbNode) {
+	n.seq = q.next
+	q.next++
+	heap.Push(q, n)
+}
+
+func (q *bbQueue) pop() bbNode { return heap.Pop(q).(bbNode) }
 
 // directedObj maps an objective value to "smaller is better" space.
 func (m *Model) directedObj(obj float64) float64 {

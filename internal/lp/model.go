@@ -114,6 +114,12 @@ func (m *Model) addVar(name string, lo, hi, obj float64, integer bool) VarID {
 	return id
 }
 
+// VarBounds returns the declared bounds of v (hi may be +Inf).
+func (m *Model) VarBounds(v VarID) (lo, hi float64) {
+	va := m.vars[v]
+	return va.lo, va.hi
+}
+
 // AddConstraint adds the linear constraint Σ terms rel rhs. Duplicate
 // variables in terms are summed.
 func (m *Model) AddConstraint(name string, terms []Term, rel Rel, rhs float64) {
@@ -149,6 +155,10 @@ const (
 	StatusOptimal Status = iota
 	StatusInfeasible
 	StatusUnbounded
+	// StatusIterationLimit accompanies ErrIterationLimit when the simplex
+	// exhausts its pivot budget: the incumbent basis is not known to be
+	// optimal, and a caller that drops the error must not read it as such.
+	StatusIterationLimit
 )
 
 func (s Status) String() string {
@@ -159,6 +169,8 @@ func (s Status) String() string {
 		return "infeasible"
 	case StatusUnbounded:
 		return "unbounded"
+	case StatusIterationLimit:
+		return "iteration-limit"
 	default:
 		return "unknown"
 	}

@@ -124,12 +124,12 @@ func (s *standard) solve() (result, error) {
 		}
 		status, err := tab.optimize(phase1, total)
 		if err != nil {
-			return result{}, err
+			return result{status: status, pivots: tab.pivots}, err
 		}
 		if status == StatusUnbounded {
 			// Phase-1 objective is bounded below by 0; unboundedness here
 			// would be a solver bug, treat as numerical failure.
-			return result{}, ErrIterationLimit
+			return result{status: StatusIterationLimit, pivots: tab.pivots}, ErrIterationLimit
 		}
 		if tab.objective(phase1) > 1e-7 {
 			return result{status: StatusInfeasible, pivots: tab.pivots}, nil
@@ -142,7 +142,7 @@ func (s *standard) solve() (result, error) {
 	copy(phase2, s.c)
 	status, err := tab.optimize(phase2, artStart)
 	if err != nil {
-		return result{}, err
+		return result{status: status, pivots: tab.pivots}, err
 	}
 	if status == StatusUnbounded {
 		return result{status: StatusUnbounded, pivots: tab.pivots}, nil
@@ -276,7 +276,7 @@ func (t *tableau) optimize(c []float64, colLimit int) (Status, error) {
 		}
 		lastObj = obj
 		if t.pivots > t.maxPivots {
-			return StatusOptimal, ErrIterationLimit
+			return StatusIterationLimit, ErrIterationLimit
 		}
 	}
 }

@@ -82,7 +82,21 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 	// turning the <= sink constraints into equalities. Forbidden lanes get
 	// a Big-M cost; positive flow on one after optimization means the real
 	// problem is infeasible.
+	//
+	// The Big-M must dominate every finite cost without itself losing
+	// float64 headroom: with extreme cost spreads the classical
+	// (maxCost+1)·(m+n)·1e3 construction overflows toward +Inf and poisons
+	// the MODI potentials (and with them the exported duals). Past 1e100
+	// every finite cost is divided by maxCost — a positive rescaling that
+	// preserves the optimal basis exactly — so the scaled range is [0, 1]
+	// and the Big-M stays modest. The duals are scaled back on exit; the
+	// objective is recomputed from the original costs either way.
+	scale := 1.0
 	bigM := (maxCost + 1) * float64(m+n) * 1e3
+	if maxCost > 1e100 {
+		scale = maxCost
+		bigM = 2 * float64(m+n) * 1e3
+	}
 	M := m + 1 // rows including dummy
 	cost := make([][]float64, M)
 	supply := make([]float64, M)
@@ -97,7 +111,7 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 			case math.IsInf(p.Cost[i][j], 1):
 				cost[i][j] = bigM
 			default:
-				cost[i][j] = p.Cost[i][j]
+				cost[i][j] = p.Cost[i][j] / scale
 			}
 		}
 	}
@@ -108,6 +122,25 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 	if err := t.optimize(); err != nil {
 		return nil, err
 	}
+
+	forbidden := func(i, j int) bool { return i < m && math.IsInf(p.Cost[i][j], 1) }
+	for i := 0; i < m; i++ {
+		// Flow beyond roundoff on a forbidden lane means the real problem
+		// is infeasible. The tolerance shrinks with the source's supply —
+		// a tiny supply forced through a Big-M lane would otherwise fall
+		// under the absolute output cutoff, be zeroed, and report a
+		// silently truncated placement as optimal.
+		tol := eps * math.Min(1, p.Supply[i])
+		for j := 0; j < n; j++ {
+			if forbidden(i, j) && t.flowAt(i, j) > tol {
+				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+			}
+		}
+	}
+	// Degenerate (zero-flow) basic cells on forbidden lanes would inject
+	// the Big-M into the potentials and thus the exported duals; swap them
+	// out of the basis tree before reading the duals off it.
+	t.evictForbidden(forbidden)
 
 	u, v := t.potentials()
 	// Normalize the dual gauge so the dummy source's potential is zero:
@@ -122,21 +155,18 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 		DualDemand: make([]float64, n),
 	}
 	for i := 0; i < m; i++ {
-		sol.DualSupply[i] = u[i] - shift
+		sol.DualSupply[i] = (u[i] - shift) * scale
 	}
 	for j := 0; j < n; j++ {
-		sol.DualDemand[j] = v[j] + shift
+		sol.DualDemand[j] = (v[j] + shift) * scale
 	}
 	obj := 0.0
 	for i := 0; i < m; i++ {
 		sol.Flow[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
 			f := t.flowAt(i, j)
-			if f < eps {
-				f = 0
-			}
-			if f > 0 && math.IsInf(p.Cost[i][j], 1) {
-				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+			if f < eps || forbidden(i, j) {
+				f = 0 // forbidden residues are ≤ tol by the check above
 			}
 			sol.Flow[i][j] = f
 			if f > 0 {
@@ -228,7 +258,10 @@ func (t *transportTableau) initialBasis() {
 	remD := append([]float64(nil), t.demand...)
 	for _, cc := range all {
 		i, j := cc.cell.i, cc.cell.j
-		if remS[i] <= eps || remD[j] <= eps {
+		// Exact cutoffs, not eps: a sub-eps supply must still ship so the
+		// forbidden-lane check can see where it went (the output zeroes
+		// sub-eps flows either way).
+		if remS[i] <= 0 || remD[j] <= 0 {
 			continue
 		}
 		f := math.Min(remS[i], remD[j])
@@ -266,6 +299,82 @@ func (t *transportTableau) initialBasis() {
 		if len(t.basic) >= t.m+t.n-1 {
 			break
 		}
+		if t.basic[cc.cell] {
+			continue
+		}
+		if union(cc.cell.i, t.m+cc.cell.j) {
+			t.addBasic(cc.cell, 0)
+		}
+	}
+}
+
+// evictForbidden removes basic cells on forbidden lanes (necessarily at
+// roundoff-level flow once the caller has ruled the problem feasible) and
+// reconnects the basis tree with the cheapest allowed cells, so the Big-M
+// placeholder cost never reaches the potentials. Components only reachable
+// over forbidden lanes stay disconnected; potentials handles forests, and
+// no dual-feasibility constraint crosses such a cut (every crossing lane
+// is forbidden, and +Inf reduced costs hold vacuously).
+func (t *transportTableau) evictForbidden(forbidden func(i, j int) bool) {
+	var evict []cell
+	for c := range t.basic {
+		if forbidden(c.i, c.j) {
+			evict = append(evict, c)
+		}
+	}
+	if len(evict) == 0 {
+		return
+	}
+	for _, c := range evict {
+		t.removeBasic(c)
+	}
+
+	parent := make([]int, t.m+t.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) bool {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return false
+		}
+		parent[ra] = rb
+		return true
+	}
+	for c := range t.basic {
+		union(c.i, t.m+c.j)
+	}
+	type costCell struct {
+		c    float64
+		cell cell
+	}
+	all := make([]costCell, 0, t.m*t.n)
+	for i := 0; i < t.m; i++ {
+		for j := 0; j < t.n; j++ {
+			if forbidden(i, j) {
+				continue
+			}
+			all = append(all, costCell{t.cost[i][j], cell{i, j}})
+		}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].c != all[b].c {
+			return all[a].c < all[b].c
+		}
+		if all[a].cell.i != all[b].cell.i {
+			return all[a].cell.i < all[b].cell.i
+		}
+		return all[a].cell.j < all[b].cell.j
+	})
+	for _, cc := range all {
 		if t.basic[cc.cell] {
 			continue
 		}

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"bytes"
+	"math"
 	"testing"
 )
 
@@ -29,6 +30,65 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(re, Encode(m2)) {
 			t.Fatalf("re-encode not canonical:\n  %+v\n  %+v", m, m2)
+		}
+	})
+}
+
+// FuzzProtoRoundTrip drives the codec from the struct side: any Message
+// with a valid type must survive Encode→Decode→Encode byte-identically,
+// and the framed path must deliver the same bytes. (FuzzDecode starts from
+// hostile wire bytes; this starts from hostile field values — huge
+// strings, NaN floats, negative IDs.)
+func FuzzProtoRoundTrip(f *testing.F) {
+	f.Add(byte(0), int32(-1), int32(2), uint64(7), true, 80.0, 50.0, 33.5, 12.5, 4.25, int32(1), false, "cpu", "mem", int32(0), int32(3), int32(-1), "boom")
+	f.Add(byte(7), int32(9), int32(-9), uint64(0), false, math.Inf(1), -1.0, 0.0, 1e300, -0.0, int32(-2), true, "", "", int32(-1), int32(-1), int32(5), "")
+
+	f.Fuzz(func(t *testing.T, typ byte, from, to int32, seq uint64, capable bool,
+		cmax, comax, util, dataMb, amount float64, busy int32, accept bool,
+		agent1, agent2 string, r1, r2, failed int32, errStr string) {
+		m := &Message{
+			Type:       MsgOffloadCapable + MsgType(typ%8),
+			From:       from,
+			To:         to,
+			Seq:        seq,
+			Capable:    capable,
+			CMax:       cmax,
+			COMax:      comax,
+			UtilPct:    util,
+			DataMb:     dataMb,
+			AmountPct:  amount,
+			BusyNode:   busy,
+			Accept:     accept,
+			NumAgents:  r1,
+			Agents:     []string{agent1, agent2},
+			RouteNodes: []int32{r1, r2},
+			FailedNode: failed,
+			Error:      errStr,
+		}
+		wire := Encode(m)
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of a freshly encoded message failed: %v", err)
+		}
+		if !bytes.Equal(Encode(got), wire) {
+			t.Fatalf("round trip not byte-identical:\n  %+v\n  %+v", m, got)
+		}
+		if got.Type != m.Type || got.Seq != m.Seq || got.From != m.From ||
+			len(got.Agents) != 2 || got.Agents[0] != agent1 || got.Agents[1] != agent2 ||
+			got.Error != errStr {
+			t.Fatalf("fields mangled in round trip:\n  %+v\n  %+v", m, got)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			return // over the frame size cap: legal refusal
+		}
+		framed, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read of a freshly written frame failed: %v", err)
+		}
+		if !bytes.Equal(Encode(framed), wire) {
+			t.Fatal("framed round trip altered the message")
 		}
 	})
 }

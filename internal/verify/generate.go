@@ -1,0 +1,107 @@
+// Package verify is the correctness backstop of the optimization stack: a
+// seeded random-instance generator, independent reference solvers
+// (successive-shortest-path min-cost flow, brute-force integral
+// enumeration), an invariant checker for placement results, and a
+// differential oracle that cross-checks SolverTransport, SolverSimplex and
+// SolverILP against each other and against the references on the same
+// state. The Manager can run the invariant checker on every placement
+// round behind the -verify-placements debug flag.
+package verify
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// Instance is one generated test case: a state snapshot plus the solve
+// parameters to use with it.
+type Instance struct {
+	Seed   int64
+	State  *core.State
+	Params core.Params
+}
+
+// RandomInstance draws a reproducible random instance of roughly `size`
+// nodes: a topology (ring, line, star, grid, or random connected graph),
+// node usages and data volumes from a randomized scenario, optional
+// non-offloadable nodes, optional hardware personas, and a hop bound that
+// sometimes forbids lanes. Everything derives from seed.
+func RandomInstance(seed int64, size int) (*Instance, error) {
+	if size < 4 {
+		size = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	capMbps := 100 + 900*rng.Float64()
+	var g *graph.Graph
+	switch rng.Intn(5) {
+	case 0:
+		g = graph.Ring(size, capMbps)
+	case 1:
+		g = graph.Line(size, capMbps)
+	case 2:
+		g = graph.Star(size, capMbps)
+	case 3:
+		cols := 2 + rng.Intn(3)
+		rows := (size + cols - 1) / cols
+		if rows < 2 {
+			rows = 2
+		}
+		g = graph.Grid(rows, cols, capMbps)
+	default:
+		g = graph.RandomConnected(size, 0.2+0.4*rng.Float64(), capMbps, rng)
+	}
+
+	sc := core.DefaultScenario()
+	if rng.Intn(4) == 0 {
+		// Tighter headroom: Δ_io drops below the recommended K_io, which
+		// makes genuinely infeasible instances likelier — the oracle must
+		// agree on those verdicts too.
+		cmax := 60 + 25*rng.Float64()
+		comax := 20 + (cmax-25)*rng.Float64()*0.5
+		sc.Thresholds = core.Thresholds{CMax: cmax, COMax: comax, XMin: 5}
+	}
+	sc.PBusy = 0.1 + 0.3*rng.Float64()
+	sc.PCandidate = 0.3 + 0.4*rng.Float64()
+	if sc.PBusy+sc.PCandidate > 1 {
+		sc.PCandidate = 1 - sc.PBusy
+	}
+
+	s, err := core.RandomState(g, sc, rng)
+	if err != nil {
+		return nil, fmt.Errorf("verify: seed %d: %w", seed, err)
+	}
+	for i := range s.Offloadable {
+		if rng.Float64() < 0.1 {
+			s.Offloadable[i] = false
+		}
+	}
+	if rng.Intn(3) == 0 {
+		personas := make([]core.Persona, g.NumNodes())
+		for i := range personas {
+			personas[i] = core.DefaultPersona(core.DeviceClass(rng.Intn(4)))
+		}
+		if err := s.SetPersonas(personas); err != nil {
+			return nil, fmt.Errorf("verify: seed %d: %w", seed, err)
+		}
+	}
+
+	p := core.DefaultParams()
+	p.Thresholds = sc.Thresholds
+	p.PathStrategy = core.PathDP
+	switch rng.Intn(3) {
+	case 0:
+		p.MaxHops = 0 // unbounded
+	case 1:
+		p.MaxHops = 2 + rng.Intn(2) // tight: some lanes become unreachable
+	default:
+		p.MaxHops = 4 + rng.Intn(4)
+	}
+	if rng.Intn(4) == 0 {
+		p.RateModel = core.RateAvailable
+	}
+	return &Instance{Seed: seed, State: s, Params: p}, nil
+}

@@ -1,0 +1,180 @@
+package verify
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// oracleTol is the relative objective-agreement tolerance between exact
+// solvers (all of them terminate on vertex solutions of the same
+// polytope; disagreement beyond float summation noise is a bug).
+const oracleTol = 1e-6
+
+// bruteforce gates: the exhaustive reference is exponential, so it only
+// runs when the integral instance is this small.
+const (
+	bruteMaxUnits      = 6
+	bruteMaxCandidates = 4
+)
+
+// CheckInstance runs the full differential oracle on one instance:
+//
+//   - SolverTransport (homogeneous states only — heterogeneous states
+//     silently reroute it to the simplex), SolverSimplex and SolverILP all
+//     solve the same classified state, and each result must pass
+//     CheckResult's invariants;
+//   - transport and simplex must agree on the feasibility verdict and, when
+//     optimal, on the objective;
+//   - on homogeneous states an independent successive-shortest-path
+//     min-cost-flow must reproduce the LP verdict and objective, and —
+//     because the transportation polytope with integral supplies/demands
+//     has integral vertices — the same flow on the ILP's rounded
+//     supplies/capacities must reproduce the ILP verdict and objective;
+//   - on instances small enough, a brute-force enumeration must reproduce
+//     the ILP exactly (this is the only reference that also covers
+//     heterogeneous host costs).
+//
+// A nil error means every cross-check agreed.
+func CheckInstance(inst *Instance) error {
+	s, p := inst.State, inst.Params
+	c, err := core.Classify(s, p.Thresholds)
+	if err != nil {
+		return fmt.Errorf("verify: seed %d: classify: %w", inst.Seed, err)
+	}
+	if len(c.Busy) == 0 {
+		return nil
+	}
+	hetero := s.Heterogeneous()
+
+	kinds := []core.SolverKind{core.SolverSimplex}
+	// The ILP always joins on homogeneous states: their constraint matrix
+	// is totally unimodular, so the branch-and-bound terminates at the root
+	// relaxation. Heterogeneous host costs break unimodularity and make the
+	// integral problem genuinely NP-hard — branch-and-bound can explode on
+	// large instances, so those only join when modest.
+	runILP := !hetero || len(c.Busy)*len(c.Candidates) <= 24
+	if runILP {
+		kinds = append(kinds, core.SolverILP)
+	}
+	if !hetero {
+		kinds = append(kinds, core.SolverTransport)
+	}
+	results := make(map[core.SolverKind]*core.Result, len(kinds))
+	for _, k := range kinds {
+		pk := p
+		pk.Solver = k
+		res, err := core.SolveClassified(s, c, pk)
+		if err != nil {
+			return fmt.Errorf("verify: seed %d: %v solve: %w", inst.Seed, k, err)
+		}
+		if err := CheckResult(s, res, k); err != nil {
+			return fmt.Errorf("verify: seed %d: %v: %w", inst.Seed, k, err)
+		}
+		results[k] = res
+	}
+
+	lpRes := results[core.SolverSimplex]
+	rt := lpRes.Routes
+
+	if !hetero {
+		tr := results[core.SolverTransport]
+		if tr.Status != lpRes.Status {
+			return fmt.Errorf("verify: seed %d: transport says %v, simplex says %v",
+				inst.Seed, tr.Status, lpRes.Status)
+		}
+		if tr.Status == core.StatusOptimal && !objClose(tr.Objective, lpRes.Objective) {
+			return fmt.Errorf("verify: seed %d: transport objective %g != simplex %g",
+				inst.Seed, tr.Objective, lpRes.Objective)
+		}
+
+		// Independent reference #1: min-cost flow on the fractional problem.
+		feasible, obj := MinCostFlow(c.Cs, c.Cd, rt.Seconds)
+		if feasible != (lpRes.Status == core.StatusOptimal) {
+			return fmt.Errorf("verify: seed %d: min-cost flow feasible=%v, LP status %v",
+				inst.Seed, feasible, lpRes.Status)
+		}
+		if feasible && !objClose(obj, lpRes.Objective) {
+			return fmt.Errorf("verify: seed %d: min-cost flow objective %g != LP %g",
+				inst.Seed, obj, lpRes.Objective)
+		}
+
+		// Independent reference #2: the ILP's rounded instance is still a
+		// transportation problem, whose LP relaxation has integral optima
+		// (total unimodularity) — so the fractional flow solver must hit the
+		// branch-and-bound result exactly.
+		ilp := results[core.SolverILP]
+		feasible, obj = MinCostFlow(intSupplies(c), floorCaps(c), rt.Seconds)
+		if feasible != (ilp.Status == core.StatusOptimal) {
+			return fmt.Errorf("verify: seed %d: integral flow feasible=%v, ILP status %v",
+				inst.Seed, feasible, ilp.Status)
+		}
+		if feasible && !objClose(obj, ilp.Objective) {
+			return fmt.Errorf("verify: seed %d: integral flow objective %g != ILP %g",
+				inst.Seed, obj, ilp.Objective)
+		}
+	}
+
+	if ilp, ok := results[core.SolverILP]; ok {
+		return checkBruteForce(inst, s, c, ilp)
+	}
+	return nil
+}
+
+// checkBruteForce compares the ILP result against exhaustive enumeration
+// when the rounded instance is small enough; it is the only reference that
+// also covers heterogeneous host-cost coefficients.
+func checkBruteForce(inst *Instance, s *core.State, c *core.Classification, ilp *core.Result) error {
+	supplies := make([]int, len(c.Busy))
+	units := 0
+	for bi := range c.Busy {
+		supplies[bi] = int(math.Ceil(c.Cs[bi] - 1e-9))
+		units += supplies[bi]
+	}
+	if units > bruteMaxUnits || len(c.Candidates) > bruteMaxCandidates {
+		return nil
+	}
+	rt := ilp.Routes
+	if rt == nil {
+		return nil
+	}
+	coeff := make([][]float64, len(c.Busy))
+	for bi := range c.Busy {
+		coeff[bi] = make([]float64, len(c.Candidates))
+		for cj := range c.Candidates {
+			coeff[bi][cj] = s.HostCost(c.Busy[bi], c.Candidates[cj], 1)
+		}
+	}
+	feasible, obj := bruteForceILP(supplies, floorCaps(c), coeff, rt.Seconds)
+	if feasible != (ilp.Status == core.StatusOptimal) {
+		return fmt.Errorf("verify: seed %d: brute force feasible=%v, ILP status %v",
+			inst.Seed, feasible, ilp.Status)
+	}
+	if feasible && !objClose(obj, ilp.Objective) {
+		return fmt.Errorf("verify: seed %d: brute force objective %g != ILP %g",
+			inst.Seed, obj, ilp.Objective)
+	}
+	return nil
+}
+
+func intSupplies(c *core.Classification) []float64 {
+	out := make([]float64, len(c.Cs))
+	for i, v := range c.Cs {
+		out[i] = math.Ceil(v - 1e-9)
+	}
+	return out
+}
+
+func floorCaps(c *core.Classification) []float64 {
+	out := make([]float64, len(c.Cd))
+	for j, v := range c.Cd {
+		out[j] = math.Floor(v + 1e-9)
+	}
+	return out
+}
+
+// objClose reports relative agreement within oracleTol.
+func objClose(a, b float64) bool {
+	return math.Abs(a-b) <= oracleTol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}

@@ -1,0 +1,149 @@
+package verify
+
+import "math"
+
+// refEps is the feasibility slack of the reference solvers.
+const refEps = 1e-9
+
+// MinCostFlow solves the homogeneous transportation problem
+//
+//	min Σ cost[i][j]·x_ij  s.t.  Σ_j x_ij = supply[i],  Σ_i x_ij <= demand[j]
+//
+// by successive shortest augmenting paths on the flow network
+// S → source_i → sink_j → T, entirely independently of the lp package.
+// Lanes with cost +Inf are omitted from the network. It returns whether all
+// supply could be shipped and, if so, the minimum shipping cost.
+//
+// Bellman–Ford is used for the shortest-path step because residual arcs
+// carry negative costs; the network is tiny (m+n+2 nodes), so the O(V·E)
+// bound is irrelevant. The bottleneck of every augmenting path is a
+// source or sink arc, so at most m+n augmentations run.
+func MinCostFlow(supply, demand []float64, cost [][]float64) (feasible bool, objective float64) {
+	m, n := len(supply), len(demand)
+	total := 0.0
+	for _, s := range supply {
+		total += s
+	}
+	if total <= refEps {
+		return true, 0
+	}
+
+	// Node numbering: 0 = S, 1..m = sources, m+1..m+n = sinks, m+n+1 = T.
+	nodes := m + n + 2
+	src, dst := 0, nodes-1
+	type arc struct {
+		to, rev int
+		cap     float64
+		cost    float64
+	}
+	adj := make([][]arc, nodes)
+	addArc := func(u, v int, capacity, c float64) {
+		adj[u] = append(adj[u], arc{to: v, rev: len(adj[v]), cap: capacity, cost: c})
+		adj[v] = append(adj[v], arc{to: u, rev: len(adj[u]) - 1, cap: 0, cost: -c})
+	}
+	for i := 0; i < m; i++ {
+		addArc(src, 1+i, supply[i], 0)
+		for j := 0; j < n; j++ {
+			if !math.IsInf(cost[i][j], 1) {
+				addArc(1+i, m+1+j, math.Inf(1), cost[i][j])
+			}
+		}
+	}
+	for j := 0; j < n; j++ {
+		addArc(m+1+j, dst, demand[j], 0)
+	}
+
+	shipped, objective := 0.0, 0.0
+	for shipped < total-refEps {
+		// Bellman–Ford from S over residual arcs.
+		dist := make([]float64, nodes)
+		prevNode := make([]int, nodes)
+		prevArc := make([]int, nodes)
+		for v := range dist {
+			dist[v] = math.Inf(1)
+			prevNode[v] = -1
+		}
+		dist[src] = 0
+		for iter := 0; iter < nodes; iter++ {
+			improved := false
+			for u := 0; u < nodes; u++ {
+				if math.IsInf(dist[u], 1) {
+					continue
+				}
+				for k, a := range adj[u] {
+					if a.cap > refEps && dist[u]+a.cost < dist[a.to]-1e-12 {
+						dist[a.to] = dist[u] + a.cost
+						prevNode[a.to] = u
+						prevArc[a.to] = k
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		if math.IsInf(dist[dst], 1) {
+			return false, 0 // residual network disconnected: supply stranded
+		}
+		bottleneck := total - shipped
+		for v := dst; v != src; v = prevNode[v] {
+			if c := adj[prevNode[v]][prevArc[v]].cap; c < bottleneck {
+				bottleneck = c
+			}
+		}
+		for v := dst; v != src; v = prevNode[v] {
+			a := &adj[prevNode[v]][prevArc[v]]
+			a.cap -= bottleneck
+			adj[a.to][a.rev].cap += bottleneck
+			objective += bottleneck * a.cost
+		}
+		shipped += bottleneck
+	}
+	return true, objective
+}
+
+// bruteForceILP exhaustively assigns each busy node's integral supply,
+// unit by unit, to candidate columns, respecting per-column capacity
+//
+//	Σ_i coeff[i][j]·x_ij <= caps[j]
+//
+// and returns the minimum of Σ cost[i][j]·x_ij over all complete
+// assignments (feasible=false when none exists). Lanes with cost +Inf are
+// excluded. Exponential — callers must keep Σ supplies and the column
+// count tiny; the oracle only invokes it on instances it has sized down.
+func bruteForceILP(supplies []int, caps []float64, coeff, cost [][]float64) (feasible bool, objective float64) {
+	m, n := len(supplies), len(caps)
+	remaining := append([]float64(nil), caps...)
+	best := math.Inf(1)
+
+	var place func(i, unit int, acc float64)
+	place = func(i, unit int, acc float64) {
+		if acc >= best {
+			return
+		}
+		for i < m && unit >= supplies[i] {
+			i, unit = i+1, 0
+		}
+		if i == m {
+			best = acc
+			return
+		}
+		// Units of one supply are interchangeable, so this enumerates some
+		// permutations of the same multiset more than once; the cost-bound
+		// prune and the tiny instance sizes keep that affordable.
+		for j := 0; j < n; j++ {
+			if math.IsInf(cost[i][j], 1) || coeff[i][j] > remaining[j]+refEps {
+				continue
+			}
+			remaining[j] -= coeff[i][j]
+			place(i, unit+1, acc+cost[i][j])
+			remaining[j] += coeff[i][j]
+		}
+	}
+	place(0, 0, 0)
+	if math.IsInf(best, 1) {
+		return false, 0
+	}
+	return true, best
+}

@@ -1,0 +1,314 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/lp"
+)
+
+// oracleSeeds is the size of the differential sweep: the full tier (make
+// verify) runs 1000 seeded instances; -short runs a 150-instance slice so
+// the default test tier stays fast.
+func oracleSeeds(t *testing.T) int64 {
+	if testing.Short() {
+		return 150
+	}
+	return 1000
+}
+
+// TestDifferentialOracle is the tentpole check: across seeded random
+// instances of varied topology, thresholds, personas and hop bounds, every
+// solver must satisfy the Eq. 3 invariants and agree with the others and
+// with the independent references. Zero mismatches allowed.
+func TestDifferentialOracle(t *testing.T) {
+	n := oracleSeeds(t)
+	for seed := int64(0); seed < n; seed++ {
+		size := 4 + int(seed%21)
+		inst, err := RandomInstance(seed, size)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckInstance(inst); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRandomInstanceDeterministic pins the generator's reproducibility:
+// the same seed must rebuild the identical instance.
+func TestRandomInstanceDeterministic(t *testing.T) {
+	a, err := RandomInstance(42, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RandomInstance(42, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Params != b.Params {
+		t.Fatalf("params differ: %+v vs %+v", a.Params, b.Params)
+	}
+	if a.State.G.NumNodes() != b.State.G.NumNodes() || a.State.G.NumEdges() != b.State.G.NumEdges() {
+		t.Fatal("topology differs between identical seeds")
+	}
+	for i := range a.State.Util {
+		if a.State.Util[i] != b.State.Util[i] || a.State.DataMb[i] != b.State.DataMb[i] ||
+			a.State.Offloadable[i] != b.State.Offloadable[i] {
+			t.Fatalf("node %d state differs between identical seeds", i)
+		}
+	}
+}
+
+// solvedFixture builds a small feasible instance, solves it with the given
+// solver, and returns the pieces the tamper tests corrupt.
+func solvedFixture(t *testing.T, solver core.SolverKind) (*core.State, *core.Result) {
+	t.Helper()
+	g := graph.Ring(6, 100)
+	for e := 0; e < g.NumEdges(); e++ {
+		g.SetUtilization(graph.EdgeID(e), 0.5)
+	}
+	s := core.NewState(g)
+	s.Util = []float64{95, 30, 92, 20, 40, 60}
+	s.DataMb = []float64{50, 0, 80, 0, 0, 0}
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	p.Solver = solver
+	res, err := core.Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusOptimal {
+		t.Fatalf("fixture unexpectedly %v", res.Status)
+	}
+	if len(res.Assignments) == 0 {
+		t.Fatal("fixture produced no assignments")
+	}
+	if err := CheckResult(s, res, solver); err != nil {
+		t.Fatalf("pristine fixture fails its own audit: %v", err)
+	}
+	return s, res
+}
+
+// TestCheckResultCatchesTampering corrupts one field of a valid result at
+// a time and asserts CheckResult names the violated invariant — this is
+// what makes the oracle's "no error" meaningful.
+func TestCheckResultCatchesTampering(t *testing.T) {
+	cases := []struct {
+		name    string
+		solver  core.SolverKind
+		corrupt func(res *core.Result)
+		wantSub string
+	}{
+		{
+			name:    "negative amount",
+			corrupt: func(res *core.Result) { res.Assignments[0].Amount = -1 },
+			wantSub: "non-positive amount",
+		},
+		{
+			name:    "conservation broken",
+			corrupt: func(res *core.Result) { res.Assignments[0].Amount += 1 },
+			wantSub: "3b violated",
+		},
+		{
+			name: "capacity overrun",
+			corrupt: func(res *core.Result) {
+				for cj, node := range res.Classification.Candidates {
+					if node == res.Assignments[0].Candidate {
+						res.Classification.Cd[cj] = 1e-9
+					}
+				}
+			},
+			wantSub: "3a violated",
+		},
+		{
+			name:    "objective forged",
+			corrupt: func(res *core.Result) { res.Objective *= 2; res.Objective += 1 },
+			wantSub: "objective",
+		},
+		{
+			name: "response time forged",
+			corrupt: func(res *core.Result) {
+				res.Assignments[0].ResponseTimeSec = res.Assignments[0].ResponseTimeSec*3 + 1
+			},
+			wantSub: "response time",
+		},
+		{
+			name:    "assignment to non-candidate",
+			corrupt: func(res *core.Result) { res.Assignments[0].Candidate = res.Assignments[0].Busy },
+			wantSub: "non-candidate",
+		},
+		{
+			name: "route endpoints swapped",
+			corrupt: func(res *core.Result) {
+				r := &res.Assignments[0].Route
+				r.Src, r.Dst = r.Dst, r.Src
+			},
+			wantSub: "route runs",
+		},
+		{
+			name:   "fractional ILP amount",
+			solver: core.SolverILP,
+			corrupt: func(res *core.Result) {
+				res.Assignments[0].Amount -= 0.5
+				res.Assignments[1].Amount += 0.5
+			},
+			wantSub: "fractional",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, res := solvedFixture(t, tc.solver)
+			tc.corrupt(res)
+			err := CheckResult(s, res, tc.solver)
+			if err == nil {
+				t.Fatal("tampered result passed the audit")
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestMinCostFlowAgreesWithTransport cross-validates the two independent
+// min-cost implementations (lp.SolveTransport's MODI method vs the
+// successive-shortest-path reference) on random dense instances with
+// occasional forbidden lanes.
+func TestMinCostFlowAgreesWithTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for it := 0; it < 300; it++ {
+		m, n := 1+rng.Intn(5), 1+rng.Intn(5)
+		supply := make([]float64, m)
+		demand := make([]float64, n)
+		cost := make([][]float64, m)
+		for i := range supply {
+			supply[i] = rng.Float64() * 20
+		}
+		for j := range demand {
+			demand[j] = rng.Float64() * 20
+		}
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				if rng.Intn(6) == 0 {
+					cost[i][j] = math.Inf(1)
+				} else {
+					cost[i][j] = rng.Float64() * 10
+				}
+			}
+		}
+		sol, err := lp.SolveTransport(lp.TransportProblem{Supply: supply, Demand: demand, Cost: cost})
+		if err != nil {
+			t.Fatalf("iter %d: %v", it, err)
+		}
+		feasible, obj := MinCostFlow(supply, demand, cost)
+		if feasible != (sol.Status == lp.StatusOptimal) {
+			t.Fatalf("iter %d: flow feasible=%v, transport status %v", it, feasible, sol.Status)
+		}
+		if feasible && !objClose(obj, sol.Objective) {
+			t.Fatalf("iter %d: flow objective %g, transport %g", it, obj, sol.Objective)
+		}
+	}
+}
+
+// TestBruteForceAgreesOnTinyHeterogeneousInstance pins the one reference
+// that covers persona host costs: a hand-built two-busy/two-candidate
+// state with a strong server candidate must brute-force to the ILP's
+// exact objective (exercised through CheckInstance's gate).
+func TestBruteForceAgreesOnTinyHeterogeneousInstance(t *testing.T) {
+	g := graph.Line(4, 100)
+	for e := 0; e < g.NumEdges(); e++ {
+		g.SetUtilization(graph.EdgeID(e), 0.4)
+	}
+	s := core.NewState(g)
+	s.Util = []float64{82, 30, 81, 35}
+	s.DataMb = []float64{40, 0, 30, 0}
+	personas := []core.Persona{
+		core.DefaultPersona(core.ClassSwitch),
+		core.DefaultPersona(core.ClassServer),
+		core.DefaultPersona(core.ClassSwitch),
+		core.DefaultPersona(core.ClassDPU),
+	}
+	if err := s.SetPersonas(personas); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Heterogeneous() {
+		t.Fatal("fixture should be heterogeneous")
+	}
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+
+	c, err := core.Classify(s, p.Thresholds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := 0
+	for _, cs := range c.Cs {
+		units += int(math.Ceil(cs - 1e-9))
+	}
+	if units > bruteMaxUnits || len(c.Candidates) > bruteMaxCandidates {
+		t.Fatalf("fixture misses the brute-force gate: %d units, %d candidates", units, len(c.Candidates))
+	}
+
+	inst := &Instance{Seed: -1, State: s, Params: p}
+	if err := CheckInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+
+	// And directly: enumeration equals the ILP result.
+	p.Solver = core.SolverILP
+	ilp, err := core.SolveClassified(s, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ilp.Status != core.StatusOptimal {
+		t.Fatalf("ILP on fixture: %v", ilp.Status)
+	}
+	coeff := make([][]float64, len(c.Busy))
+	supplies := make([]int, len(c.Busy))
+	for bi := range c.Busy {
+		supplies[bi] = int(math.Ceil(c.Cs[bi] - 1e-9))
+		coeff[bi] = make([]float64, len(c.Candidates))
+		for cj := range c.Candidates {
+			coeff[bi][cj] = s.HostCost(c.Busy[bi], c.Candidates[cj], 1)
+		}
+	}
+	feasible, obj := bruteForceILP(supplies, floorCaps(c), coeff, ilp.Routes.Seconds)
+	if !feasible {
+		t.Fatal("brute force found the fixture infeasible")
+	}
+	if !objClose(obj, ilp.Objective) {
+		t.Fatalf("brute force objective %g != ILP %g", obj, ilp.Objective)
+	}
+}
+
+// TestCheckInstanceFlagsInfeasibleAgreement: an overloaded state with no
+// spare capacity must be judged infeasible by every solver and both
+// references, and the oracle must accept that unanimous verdict.
+func TestCheckInstanceInfeasibleUnanimity(t *testing.T) {
+	g := graph.Ring(4, 100)
+	for e := 0; e < g.NumEdges(); e++ {
+		g.SetUtilization(graph.EdgeID(e), 0.5)
+	}
+	s := core.NewState(g)
+	s.Util = []float64{95, 96, 70, 75} // two busy, zero candidates' worth of slack
+	s.DataMb = []float64{50, 50, 0, 0}
+	p := core.DefaultParams()
+	p.PathStrategy = core.PathDP
+	inst := &Instance{Seed: -2, State: s, Params: p}
+	if err := CheckInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Solve(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != core.StatusInfeasible {
+		t.Fatalf("fixture should be infeasible, got %v", res.Status)
+	}
+}
