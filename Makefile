@@ -7,7 +7,7 @@
 # oracle; fuzz-smoke gives every native fuzz target a short randomized
 # budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke chaos
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare chaos
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -23,6 +23,7 @@ ifdef STATICCHECK
 endif
 	go test ./...
 	$(MAKE) verify
+	-$(MAKE) bench-compare
 
 # Differential tier: 1000 seeded random instances solved by every
 # applicable solver (simplex, transport, ILP) and cross-checked against
@@ -53,6 +54,30 @@ check-race:
 
 bench:
 	go test -bench=. -benchmem
+
+# Hot-path regression report: reruns the ingest/tick/frame benchmarks and
+# diffs them against the checked-in baseline (bench_baseline.txt,
+# regenerated with make bench-baseline when the hot path changes on a
+# quiet machine). Informational only — check treats it as non-fatal,
+# since timings shift with host load; benchstat renders the diff when on
+# PATH, otherwise the raw run is printed for eyeballing.
+BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame
+BENCH_COUNT ?= 3
+
+bench-baseline:
+	go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
+		./internal/cluster ./internal/proto | tee bench_baseline.txt
+
+bench-compare:
+	@go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
+		./internal/cluster ./internal/proto > bench_current.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat bench_baseline.txt bench_current.txt; \
+	else \
+		echo "benchstat not on PATH; raw hot-path results (baseline in bench_baseline.txt):"; \
+		cat bench_current.txt; \
+	fi
+	@rm -f bench_current.txt
 
 # One iteration of every benchmark: verifies the bench harness itself
 # without paying for statistically meaningful timings.

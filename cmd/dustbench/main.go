@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|hardware|ablations]
-//	          [-quick] [-seed N] [-iters N] [-parallelism N]
+//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|hardware|ablations|ingest]
+//	          [-quick] [-seed N] [-iters N] [-parallelism N] [-nmdb-shards N] [-warm-solve]
 //
 // -quick runs the trimmed configuration (seconds); the default runs the
 // paper-faithful iteration counts (minutes).
@@ -22,11 +22,13 @@ import (
 
 func main() {
 	var (
-		which = flag.String("experiment", "all", "which experiment to run")
-		quick = flag.Bool("quick", false, "use the trimmed quick configuration")
-		seed  = flag.Int64("seed", 0, "override the scenario seed (0 = config default)")
-		iters = flag.Int("iters", 0, "override the per-point iteration count (0 = config default)")
-		par   = flag.Int("parallelism", 0, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
+		which  = flag.String("experiment", "all", "which experiment to run")
+		quick  = flag.Bool("quick", false, "use the trimmed quick configuration")
+		seed   = flag.Int64("seed", 0, "override the scenario seed (0 = config default)")
+		iters  = flag.Int("iters", 0, "override the per-point iteration count (0 = config default)")
+		par    = flag.Int("parallelism", 0, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
+		shards = flag.Int("nmdb-shards", 0, "NMDB registry stripe count for manager-backed experiments (0 = cluster default; rounded up to a power of two)")
+		warm   = flag.Bool("warm-solve", true, "seed consecutive placement solves from the previous round's basis in manager-backed experiments")
 	)
 	flag.Parse()
 
@@ -41,6 +43,8 @@ func main() {
 		cfg.Iterations = *iters
 	}
 	cfg.Parallelism = *par
+	cfg.NMDBShards = *shards
+	cfg.WarmSolve = *warm
 
 	type runner struct {
 		name string
@@ -66,6 +70,7 @@ func main() {
 		{"dynamic", func() (interface{ Table() string }, error) { return experiments.RunDynamic(cfg) }},
 		{"hardware", func() (interface{ Table() string }, error) { return experiments.RunHardwareMix(cfg) }},
 		{"ablations", func() (interface{ Table() string }, error) { return experiments.RunAblations(cfg) }},
+		{"ingest", func() (interface{ Table() string }, error) { return experiments.RunIngestScaling(cfg) }},
 	}
 
 	ran := 0

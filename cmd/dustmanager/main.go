@@ -43,6 +43,8 @@ func main() {
 		routeEps  = flag.Float64("route-eps", 0.01, "route-cache link-rate drift tolerance (relative; 0 = exact revalidation)")
 		metrics   = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof (empty = disabled)")
 		verifyPl  = flag.Bool("verify-placements", false, "self-audit every solver result against the Eq. 3 invariants before offering it (debug)")
+		shards    = flag.Int("nmdb-shards", cluster.DefaultNMDBShards, "NMDB registry stripe count (rounded up to a power of two; <1 = default)")
+		warmSolve = flag.Bool("warm-solve", true, "seed each placement solve from the previous tick's basis when the busy/candidate sets are unchanged")
 	)
 	flag.Parse()
 
@@ -60,6 +62,7 @@ func main() {
 	}
 	params.Parallelism = *par
 	params.CacheEpsilon = *routeEps
+	params.WarmSolve = *warmSolve
 
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,
@@ -70,6 +73,7 @@ func main() {
 		AckTimeout:        *ackWait,
 		PlacementRetries:  *retries,
 		VerifyPlacements:  *verifyPl,
+		NMDBShards:        *shards,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)

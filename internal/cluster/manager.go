@@ -26,8 +26,14 @@ type ManagerConfig struct {
 	// Defaults are the thresholds for clients that do not declare their
 	// own CMax/COMax.
 	Defaults core.Thresholds
-	// Params configures the optimization engine.
+	// Params configures the optimization engine (Params.WarmSolve lets the
+	// planner seed each tick's transportation solve from the previous
+	// tick's optimal basis when the busy/candidate split is unchanged).
 	Params core.Params
+	// NMDBShards stripes the NMDB client registry across this many locks
+	// so concurrent STAT/keepalive ingest does not serialize; 0 selects
+	// cluster.DefaultNMDBShards.
+	NMDBShards int
 	// UpdateIntervalSec is the STAT cadence assigned in ACK messages
 	// (the paper's Update-Interval Time, "typically in minutes").
 	UpdateIntervalSec float64
@@ -64,6 +70,11 @@ type Manager struct {
 	nmdb    *NMDB
 	planner *core.Planner
 	metrics *managerMetrics
+
+	// tickMu serializes placement rounds: RunPlacement reads the NMDB
+	// through SnapshotState, whose reused buffers are only valid while
+	// ticks do not overlap (see that method's aliasing contract).
+	tickMu sync.Mutex
 
 	mu    sync.Mutex
 	conns map[int]proto.Conn
@@ -115,7 +126,7 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	cfg.Params.Thresholds = cfg.Defaults
 	m := &Manager{
 		cfg:        cfg,
-		nmdb:       NewNMDB(cfg.Topology),
+		nmdb:       NewNMDBSharded(cfg.Topology, cfg.NMDBShards),
 		planner:    core.NewPlanner(cfg.Params),
 		metrics:    newManagerMetrics(cfg.Metrics),
 		conns:      make(map[int]proto.Conn),
@@ -143,6 +154,11 @@ func (m *Manager) NMDB() *NMDB { return m.nmdb }
 // one, or the private registry created when none was configured. Serve it
 // with obs.Serve to get /metrics, /healthz, and pprof.
 func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
+
+// WarmStats reports how the manager's placement solves started: warm
+// (basis reused from the previous tick), cold, or fallback (a warm
+// attempt that re-solved cold after the seed was rejected).
+func (m *Manager) WarmStats() core.WarmSolveStats { return m.planner.WarmStats() }
 
 var errManagerClosed = errors.New("cluster: manager closed")
 
@@ -278,31 +294,94 @@ func (m *Manager) connFor(node int) (proto.Conn, bool) {
 	return c, ok
 }
 
+// statBatchMax bounds how many queued STAT reports a single RecordStats
+// call applies (also the recv pump's channel depth).
+const statBatchMax = 64
+
 // serveConn dispatches a client's messages until its connection closes.
+// A pump goroutine decouples the wire reads from dispatch so runs of
+// queued STAT reports can be coalesced into one batched NMDB ingest
+// (RecordStats takes each touched shard lock once per batch instead of
+// once per report). Ordering within the connection is preserved: a batch
+// is flushed before any non-STAT message is handled.
+//
 // An abrupt disconnect of a node that is still attached (not superseded by
 // a reconnect, not part of manager shutdown) is treated as an immediate
 // keepalive failure: in-flight offers to the node are declined and its
 // hosted workloads re-placed on replicas without waiting for the
 // keepalive timeout.
 func (m *Manager) serveConn(node int, conn proto.Conn) {
+	msgs := make(chan *proto.Message, statBatchMax)
+	go func() {
+		for {
+			msg, err := conn.Recv()
+			if err != nil {
+				close(msgs)
+				return
+			}
+			msgs <- msg
+		}
+	}()
+	var batch []Stat
 	for {
-		msg, err := conn.Recv()
-		if err != nil {
-			m.mu.Lock()
-			active := m.conns[node] == conn
-			if active {
-				delete(m.conns, node)
-			}
-			closing := m.closed
-			m.mu.Unlock()
-			if active && !closing {
-				m.metrics.disconnects.Inc()
-				m.failPending(node)
-				m.substituteDest(node)
-			}
+		msg, ok := <-msgs
+		if !ok {
+			m.connLost(node, conn)
 			return
 		}
-		m.handle(node, msg)
+		for msg != nil && msg.Type == proto.MsgStat {
+			batch = append(batch, Stat{
+				Node: node, UtilPct: msg.UtilPct, DataMb: msg.DataMb,
+				NumAgents: int(msg.NumAgents), At: m.cfg.Now(),
+			})
+			if len(batch) >= statBatchMax {
+				msg = nil
+				break
+			}
+			select {
+			case nxt, more := <-msgs:
+				if !more {
+					m.flushStats(&batch)
+					m.connLost(node, conn)
+					return
+				}
+				msg = nxt
+			default:
+				msg = nil
+			}
+		}
+		m.flushStats(&batch)
+		if msg != nil {
+			m.handle(node, msg)
+		}
+	}
+}
+
+// flushStats applies a pending STAT batch and resets it.
+func (m *Manager) flushStats(batch *[]Stat) {
+	if len(*batch) == 0 {
+		return
+	}
+	_ = m.nmdb.RecordStats(*batch)
+	m.metrics.statBatches.Inc()
+	m.metrics.statsIngested.Add(uint64(len(*batch)))
+	*batch = (*batch)[:0]
+}
+
+// connLost runs the disconnect path for a connection whose recv loop
+// ended.
+func (m *Manager) connLost(node int, conn proto.Conn) {
+	m.mu.Lock()
+	active := m.conns[node] == conn
+	if active {
+		delete(m.conns, node)
+	}
+	closing := m.closed
+	m.mu.Unlock()
+	if active && !closing {
+		m.metrics.disconnects.Inc()
+		m.failPending(node)
+		m.substituteDest(node)
 	}
 }
 
@@ -444,6 +523,8 @@ func (r *PlacementReport) Abandoned() int {
 // are re-offered to next-best candidates up to PlacementRetries times,
 // re-solving the restricted problem with the failed destinations excluded.
 func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
+	m.tickMu.Lock()
+	defer m.tickMu.Unlock()
 	m.metrics.ticks.Inc()
 	tickStart := time.Now()
 	defer func() {
@@ -453,7 +534,7 @@ func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
 		}
 	}()
 
-	state := m.nmdb.BuildState(m.cfg.Defaults)
+	state := m.nmdb.SnapshotState(m.cfg.Defaults)
 	phaseStart := time.Now()
 	cls, err := m.classify(state)
 	m.metrics.observePhase("classify", time.Since(phaseStart))

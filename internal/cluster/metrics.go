@@ -34,6 +34,8 @@ type managerMetrics struct {
 	hostSync      map[string]*obs.Counter // result: synced, stale
 	handshakes    map[string]*obs.Counter // result: ok, rejected
 	disconnects   *obs.Counter
+	statBatches   *obs.Counter
+	statsIngested *obs.Counter
 
 	conn *proto.ConnMetrics
 }
@@ -63,6 +65,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		handshakes: make(map[string]*obs.Counter),
 		disconnects: reg.Counter("dust_manager_client_disconnects_total",
 			"abrupt client disconnects treated as keepalive failures"),
+		statBatches: reg.Counter("dust_manager_stat_batches_total",
+			"batched RecordStats calls (coalesced STAT runs)"),
+		statsIngested: reg.Counter("dust_manager_stats_ingested_total",
+			"STAT reports applied to the NMDB"),
 		conn: proto.NewConnMetrics(reg, "manager"),
 	}
 	for _, phase := range []string{"classify", "route", "solve", "dispatch"} {
@@ -119,6 +125,30 @@ func (mm *managerMetrics) bindGauges(reg *obs.Registry, db *NMDB, planner *core.
 	reg.GaugeFunc("dust_nmdb_destinations",
 		"nodes currently hosting offloaded workloads", func() float64 {
 			return float64(len(db.Destinations()))
+		})
+	reg.GaugeFunc("dust_nmdb_shards",
+		"client-registry lock stripes", func() float64 {
+			return float64(db.Stats().Shards)
+		})
+	reg.GaugeFunc("dust_nmdb_snapshot_shards_reused",
+		"tick-snapshot shards copied from the previous tick", func() float64 {
+			return float64(db.Stats().SnapshotShardsReused)
+		})
+	reg.GaugeFunc("dust_nmdb_snapshot_shards_rebuilt",
+		"tick-snapshot shards re-read from client records", func() float64 {
+			return float64(db.Stats().SnapshotShardsRebuilt)
+		})
+	reg.GaugeFunc("dust_planner_solves_warm",
+		"placement solves seeded from the previous tick's basis", func() float64 {
+			return float64(planner.WarmStats().Warm)
+		})
+	reg.GaugeFunc("dust_planner_solves_cold",
+		"placement solves built from scratch", func() float64 {
+			return float64(planner.WarmStats().Cold)
+		})
+	reg.GaugeFunc("dust_planner_solves_warm_fallback",
+		"solves that wanted a warm start but fell back cold", func() float64 {
+			return float64(planner.WarmStats().Fallback)
 		})
 }
 

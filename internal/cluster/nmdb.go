@@ -7,6 +7,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -15,6 +16,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 )
+
+// DefaultNMDBShards is the client-registry stripe count used by NewNMDB.
+// Eight stripes keep lock hold times short without measurable overhead on
+// single-goroutine workloads (see BenchmarkNMDBIngestParallel).
+const DefaultNMDBShards = 8
 
 // ClientRecord is the NMDB's view of one registered client.
 type ClientRecord struct {
@@ -34,75 +40,327 @@ type ClientRecord struct {
 	LastKeepalive time.Time
 	// Role is the manager-assigned role after the last classification.
 	Role core.Role
-	// HostingFor lists busy nodes whose workload this client hosts.
+	// HostingFor lists busy nodes whose workload this client hosts,
+	// ascending. It is populated on the copies Client returns; the live
+	// record tracks the set in hosting.
 	HostingFor []int
+
+	// hosting is the live membership set behind HostingFor.
+	hosting map[int]struct{}
+	// registered distinguishes a live record from an empty slot in the
+	// shard's dense record array.
+	registered bool
+}
+
+// hostList returns the hosting set as a sorted slice (nil when empty).
+func (rec *ClientRecord) hostList() []int {
+	if len(rec.hosting) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(rec.hosting))
+	for b := range rec.hosting {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (rec *ClientRecord) hostAdd(busy int) {
+	if rec.hosting == nil {
+		rec.hosting = make(map[int]struct{})
+	}
+	rec.hosting[busy] = struct{}{}
+}
+
+// nmdbShard is one stripe of the client registry. Node ids are dense
+// topology indices, so records live in a fixed-size value slice — local
+// slot node>>shift — rather than a map: a STAT apply is an array index
+// plus field stores, with no hashing or pointer chase. recs never grows
+// or shrinks after construction, so &recs[i] stays valid for the NMDB's
+// lifetime (LoadSnapshot swaps the whole slice under the lock).
+//
+// seq counts mutations that can change BuildState output (registration
+// and STAT fields); keepalives, roles, and hosting edits leave it alone
+// so they never force a snapshot rebuild. The pad keeps hot shards on
+// separate cache lines.
+type nmdbShard struct {
+	mu   sync.Mutex
+	recs []ClientRecord
+	seq  uint64
+	_    [24]byte
 }
 
 // NMDB is the manager's network-monitoring database: topology, per-client
 // records, and the active offload ledger (Section III-B: "network
 // typologies, link utilization, nodes' monitoring and offloading
-// capabilities").
+// capabilities"). The client registry is striped across shards keyed by
+// node id so concurrent STAT/keepalive ingest from serveConn goroutines
+// does not serialize on one mutex; the offload ledger keeps its own lock.
+// Lock ordering: ledger before shard (never the reverse).
 type NMDB struct {
-	mu      sync.Mutex
-	topo    *graph.Graph
-	clients map[int]*ClientRecord
+	topo   *graph.Graph
+	shards []*nmdbShard
+	// numNodes caches topo.NumNodes(); mask and shift implement the
+	// power-of-two shard addressing: shard = node&mask, slot = node>>shift.
+	numNodes int
+	mask     int
+	shift    uint
+
+	// lmu guards the active offload ledger.
+	lmu sync.Mutex
 	// active maps busy node -> its current assignments.
 	active map[int][]core.Assignment
+
+	// snap is the epoch-snapshot state behind SnapshotState.
+	snap struct {
+		mu       sync.Mutex
+		seqs     []uint64
+		bufs     [2]*core.State
+		cur      int
+		valid    bool
+		defaults core.Thresholds
+		reused   uint64
+		rebuilt  uint64
+	}
 }
 
-// NewNMDB creates an NMDB over the given topology.
+// NMDBStats reports registry shape and snapshot reuse counters.
+type NMDBStats struct {
+	// Shards is the registry stripe count.
+	Shards int
+	// SnapshotShardsReused counts shards whose rows were copied from the
+	// previous tick's state; SnapshotShardsRebuilt counts shards re-read
+	// from client records.
+	SnapshotShardsReused  uint64
+	SnapshotShardsRebuilt uint64
+}
+
+// NewNMDB creates an NMDB over the given topology with the default shard
+// count.
 func NewNMDB(topo *graph.Graph) *NMDB {
-	return &NMDB{
-		topo:    topo,
-		clients: make(map[int]*ClientRecord),
-		active:  make(map[int][]core.Assignment),
+	return NewNMDBSharded(topo, 0)
+}
+
+// NewNMDBSharded creates an NMDB with an explicit registry stripe count;
+// nShards < 1 selects DefaultNMDBShards. The count is rounded up to the
+// next power of two so shard addressing is a mask and a shift instead of
+// a division on the ingest hot path.
+func NewNMDBSharded(topo *graph.Graph, nShards int) *NMDB {
+	if nShards < 1 {
+		nShards = DefaultNMDBShards
 	}
+	shift := uint(0)
+	for 1<<shift < nShards {
+		shift++
+	}
+	nShards = 1 << shift
+	n := topo.NumNodes()
+	db := &NMDB{
+		topo:     topo,
+		shards:   make([]*nmdbShard, nShards),
+		numNodes: n,
+		mask:     nShards - 1,
+		shift:    shift,
+		active:   make(map[int][]core.Assignment),
+	}
+	for i := range db.shards {
+		// Shard i owns nodes i, i+nShards, i+2·nShards, …
+		owned := 0
+		if i < n {
+			owned = (n - i + nShards - 1) / nShards
+		}
+		db.shards[i] = &nmdbShard{recs: make([]ClientRecord, owned)}
+	}
+	db.snap.seqs = make([]uint64, nShards)
+	return db
 }
 
 // Topology returns the stored topology (shared, not copied: link
 // utilization updates flow through it).
 func (db *NMDB) Topology() *graph.Graph { return db.topo }
 
+// Stats reports shard count and snapshot reuse counters.
+func (db *NMDB) Stats() NMDBStats {
+	db.snap.mu.Lock()
+	defer db.snap.mu.Unlock()
+	return NMDBStats{
+		Shards:                len(db.shards),
+		SnapshotShardsReused:  db.snap.reused,
+		SnapshotShardsRebuilt: db.snap.rebuilt,
+	}
+}
+
+// slot maps a node id to its registry stripe and local record index;
+// sh is nil when node lies outside the topology.
+func (db *NMDB) slot(node int) (sh *nmdbShard, li int) {
+	if node < 0 || node >= db.numNodes {
+		return nil, 0
+	}
+	return db.shards[node&db.mask], node >> db.shift
+}
+
+// rec returns the live record for a local slot, or nil when the slot is
+// empty. Callers must hold sh.mu.
+func (sh *nmdbShard) rec(li int) *ClientRecord {
+	if r := &sh.recs[li]; r.registered {
+		return r
+	}
+	return nil
+}
+
 // Register records an Offload-capable handshake. Unknown node indices are
 // rejected.
 func (db *NMDB) Register(node int, capable bool, cmax, comax float64) error {
-	if node < 0 || node >= db.topo.NumNodes() {
-		return fmt.Errorf("cluster: node %d outside topology (%d nodes)", node, db.topo.NumNodes())
+	sh, li := db.slot(node)
+	if sh == nil {
+		return fmt.Errorf("cluster: node %d outside topology (%d nodes)", node, db.numNodes)
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.clients[node]
-	if !ok {
-		rec = &ClientRecord{Node: node}
-		db.clients[node] = rec
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := &sh.recs[li]
+	if !rec.registered {
+		*rec = ClientRecord{Node: node, registered: true}
 	}
 	rec.Capable = capable
 	rec.CMax = cmax
 	rec.COMax = comax
+	sh.seq++
 	return nil
 }
 
 // RecordStat stores a STAT report.
 func (db *NMDB) RecordStat(node int, utilPct, dataMb float64, numAgents int, at time.Time) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.clients[node]
-	if !ok {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return fmt.Errorf("cluster: STAT from unregistered node %d", node)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
 		return fmt.Errorf("cluster: STAT from unregistered node %d", node)
 	}
 	rec.UtilPct = utilPct
 	rec.DataMb = dataMb
 	rec.NumAgents = numAgents
 	rec.LastStat = at
+	sh.seq++
 	return nil
+}
+
+// Stat is one STAT report for batched ingest.
+type Stat struct {
+	Node      int
+	UtilPct   float64
+	DataMb    float64
+	NumAgents int
+	At        time.Time
+}
+
+// statScratch pools the index scratch RecordStats uses to group a batch
+// by shard, keeping the steady-state batch path allocation-free.
+var statScratch = sync.Pool{New: func() any {
+	s := make([]int32, 0, 256)
+	return &s
+}}
+
+// RecordStats applies a batch of STAT reports, taking each touched
+// shard's lock once instead of once per report. A single-node batch (the
+// shape serveConn produces) collapses to one write of the newest report.
+// Mixed batches are grouped by shard with a two-pass counting sort over
+// pooled scratch, so the hot path allocates nothing and each shard's
+// reports apply as one contiguous run. Reports from unregistered nodes
+// are skipped and reported as a joined error; the rest still apply.
+func (db *NMDB) RecordStats(stats []Stat) error {
+	if len(stats) == 0 {
+		return nil
+	}
+	// serveConn coalesces runs of queued reports from one connection, so
+	// the common batch holds a single node. Each STAT fully overwrites the
+	// previous one's fields, so only the newest report needs to touch the
+	// record at all.
+	sameNode := true
+	for k := 1; k < len(stats); k++ {
+		if stats[k].Node != stats[0].Node {
+			sameNode = false
+			break
+		}
+	}
+	if sameNode {
+		st := &stats[len(stats)-1]
+		return db.RecordStat(st.Node, st.UtilPct, st.DataMb, st.NumAgents, st.At)
+	}
+	nsh := len(db.shards)
+	sp := statScratch.Get().(*[]int32)
+	need := len(stats) + 2*(nsh+1)
+	if cap(*sp) < need {
+		*sp = make([]int32, need)
+	}
+	scratch := (*sp)[:need]
+	offs := scratch[:nsh+1]     // run start of each shard after prefix sum
+	cursor := scratch[nsh+1 : 2*(nsh+1)]
+	order := scratch[2*(nsh+1):] // stat indices grouped by shard
+	for i := range offs {
+		offs[i] = 0
+	}
+	// Negative ids still land in a shard under the mask; the slot bounds
+	// check at apply time rejects them alongside any node >= numNodes.
+	mask, shift := db.mask, db.shift
+	for k := range stats {
+		offs[(stats[k].Node&mask)+1]++
+	}
+	for s := 0; s < nsh; s++ {
+		offs[s+1] += offs[s]
+		cursor[s] = offs[s]
+	}
+	for k := range stats {
+		s := stats[k].Node & mask
+		order[cursor[s]] = int32(k)
+		cursor[s]++
+	}
+
+	var errs []error
+	for si, sh := range db.shards {
+		lo, hi := offs[si], offs[si+1]
+		if lo == hi {
+			continue
+		}
+		sh.mu.Lock()
+		recs := sh.recs
+		applied := false
+		for _, k := range order[lo:hi] {
+			st := &stats[k]
+			li := st.Node >> shift
+			if li < 0 || li >= len(recs) || !recs[li].registered {
+				errs = append(errs, fmt.Errorf("cluster: STAT from unregistered node %d", st.Node))
+				continue
+			}
+			rec := &recs[li]
+			rec.UtilPct = st.UtilPct
+			rec.DataMb = st.DataMb
+			rec.NumAgents = st.NumAgents
+			rec.LastStat = st.At
+			applied = true
+		}
+		if applied {
+			sh.seq++
+		}
+		sh.mu.Unlock()
+	}
+	statScratch.Put(sp)
+	return errors.Join(errs...)
 }
 
 // RecordKeepalive stores a destination's liveness beacon.
 func (db *NMDB) RecordKeepalive(node int, at time.Time) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.clients[node]
-	if !ok {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return fmt.Errorf("cluster: keepalive from unregistered node %d", node)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
 		return fmt.Errorf("cluster: keepalive from unregistered node %d", node)
 	}
 	rec.LastKeepalive = at
@@ -111,58 +369,138 @@ func (db *NMDB) RecordKeepalive(node int, at time.Time) error {
 
 // Client returns a copy of the record for node.
 func (db *NMDB) Client(node int) (ClientRecord, bool) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	rec, ok := db.clients[node]
-	if !ok {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return ClientRecord{}, false
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
 		return ClientRecord{}, false
 	}
 	cp := *rec
-	cp.HostingFor = append([]int(nil), rec.HostingFor...)
+	cp.hosting = nil
+	cp.HostingFor = rec.hostList()
 	return cp, true
 }
 
 // Nodes lists registered node indices, ascending.
 func (db *NMDB) Nodes() []int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	out := make([]int, 0, len(db.clients))
-	for n := range db.clients {
-		out = append(out, n)
+	var out []int
+	for si, sh := range db.shards {
+		sh.mu.Lock()
+		for li := range sh.recs {
+			if sh.recs[li].registered {
+				out = append(out, li<<db.shift|si)
+			}
+		}
+		sh.mu.Unlock()
 	}
 	sort.Ints(out)
 	return out
 }
 
-// BuildState snapshots the NMDB into the optimizer's input. Nodes that
-// never registered or declined offloading are marked non-offloadable;
-// their utilization defaults to a neutral mid-range value so they are
-// never classified busy or candidate.
+// BuildState snapshots the NMDB into a freshly allocated optimizer input.
+// Nodes that never registered or declined offloading are marked
+// non-offloadable; their utilization defaults to a neutral mid-range value
+// so they are never classified busy or candidate.
+//
+// BuildState is safe to call from any goroutine at any time (the
+// substitute-destination path uses it mid-tick); the placement loop uses
+// SnapshotState, which reuses buffers across ticks.
 func (db *NMDB) BuildState(defaults core.Thresholds) *core.State {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	s := core.NewState(db.topo)
+	db.fillState(s, defaults, nil, nil)
+	return s
+}
+
+// SnapshotState is BuildState with cross-tick reuse: per-shard sequence
+// counters let rows owned by unchanged shards be copied from the previous
+// call's state instead of re-read under the shard lock, and the backing
+// core.State buffers are recycled double-buffered.
+//
+// Aliasing contract: the returned state remains valid until the
+// second-next SnapshotState call on this NMDB (the next call writes the
+// other buffer). Callers that hold a state longer — or mutate it — must
+// use BuildState. The manager serializes placement ticks, which makes
+// this the natural fit for RunPlacement.
+func (db *NMDB) SnapshotState(defaults core.Thresholds) *core.State {
+	db.snap.mu.Lock()
+	defer db.snap.mu.Unlock()
+	prev := db.snap.bufs[db.snap.cur]
+	next := 1 - db.snap.cur
+	s := db.snap.bufs[next]
+	if s == nil {
+		s = core.NewState(db.topo)
+		db.snap.bufs[next] = s
+	}
+	// A defaults change moves the neutral value baked into every
+	// non-capable row, so the previous state is unusable as a copy source.
+	if db.snap.defaults != defaults {
+		db.snap.valid = false
+	}
+	if !db.snap.valid {
+		prev = nil
+	}
+	db.fillState(s, defaults, prev, db.snap.seqs)
+	db.snap.cur = next
+	db.snap.valid = true
+	db.snap.defaults = defaults
+	return s
+}
+
+// fillState populates s from the client registry. When prev is non-nil,
+// rows owned by a shard whose seq still matches seqs are copied from prev
+// instead of re-derived; seqs is updated to the observed counters.
+func (db *NMDB) fillState(s *core.State, defaults core.Thresholds, prev *core.State, seqs []uint64) {
 	neutral := (defaults.CMax + defaults.COMax) / 2
-	for i := 0; i < db.topo.NumNodes(); i++ {
-		rec, ok := db.clients[i]
-		if !ok || !rec.Capable {
-			s.Offloadable[i] = false
-			s.Util[i] = neutral
+	numNodes := db.topo.NumNodes()
+	nShards := len(db.shards)
+	for si, sh := range db.shards {
+		sh.mu.Lock()
+		if prev != nil && sh.seq == seqs[si] {
+			sh.mu.Unlock()
+			for i := si; i < numNodes; i += nShards {
+				s.Util[i] = prev.Util[i]
+				s.DataMb[i] = prev.DataMb[i]
+				s.Offloadable[i] = prev.Offloadable[i]
+			}
+			db.snap.reused++
 			continue
 		}
-		s.Util[i] = rec.UtilPct
-		s.DataMb[i] = rec.DataMb
+		for li := range sh.recs {
+			i := li<<db.shift | si
+			rec := &sh.recs[li]
+			if !rec.registered || !rec.Capable {
+				s.Offloadable[i] = false
+				s.Util[i] = neutral
+				s.DataMb[i] = 0
+				continue
+			}
+			s.Offloadable[i] = true
+			s.Util[i] = rec.UtilPct
+			s.DataMb[i] = rec.DataMb
+		}
+		if seqs != nil {
+			seqs[si] = sh.seq
+			db.snap.rebuilt++
+		}
+		sh.mu.Unlock()
 	}
-	return s
 }
 
 // thresholdsFor resolves a node's effective thresholds (its self-declared
 // values, falling back to the manager defaults).
 func (db *NMDB) thresholdsFor(node int, defaults core.Thresholds) core.Thresholds {
-	db.mu.Lock()
-	defer db.mu.Unlock()
 	t := defaults
-	if rec, ok := db.clients[node]; ok {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return t
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec := sh.rec(li); rec != nil {
 		if rec.CMax > 0 {
 			t.CMax = rec.CMax
 		}
@@ -175,23 +513,63 @@ func (db *NMDB) thresholdsFor(node int, defaults core.Thresholds) core.Threshold
 
 // SetRole stores a manager-assigned role.
 func (db *NMDB) SetRole(node int, role core.Role) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if rec, ok := db.clients[node]; ok {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if rec := sh.rec(li); rec != nil {
 		rec.Role = role
 	}
 }
 
-// RecordOffload appends assignments to the active ledger and marks the
-// destinations as hosting.
+// markHosting adds (or removes, when add is false) busy from dest's
+// hosting set, taking dest's shard lock. Callers may hold the ledger
+// lock; they must not hold any shard lock.
+func (db *NMDB) markHosting(dest, busy int, add bool) {
+	sh, li := db.slot(dest)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
+		return
+	}
+	if add {
+		rec.hostAdd(busy)
+	} else {
+		delete(rec.hosting, busy)
+	}
+}
+
+// RecordOffload folds assignments into the active ledger and marks the
+// destinations as hosting. An assignment for a pair the ledger already
+// maps merges into the existing entry (amounts add, the newer route and
+// response time win) — the ledger holds at most one entry per busy→dest
+// pair, mirroring the collapsed form SyncHosting reconciles to, so
+// repeated top-up offers cannot grow it without bound.
 func (db *NMDB) RecordOffload(assignments []core.Assignment) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	for _, a := range assignments {
-		db.active[a.Busy] = append(db.active[a.Busy], a)
-		if rec, ok := db.clients[a.Candidate]; ok {
-			rec.HostingFor = appendUnique(rec.HostingFor, a.Busy)
+		as := db.active[a.Busy]
+		merged := false
+		for i := range as {
+			if as[i].Candidate == a.Candidate {
+				as[i].Amount += a.Amount
+				as[i].ResponseTimeSec = a.ResponseTimeSec
+				as[i].Route = a.Route
+				merged = true
+				break
+			}
 		}
+		if !merged {
+			db.active[a.Busy] = append(as, a)
+		}
+		db.markHosting(a.Candidate, a.Busy, true)
 	}
 }
 
@@ -204,8 +582,8 @@ func (db *NMDB) RecordOffload(assignments []core.Assignment) {
 // the ledger no longer maps busy→dest (substituted or reclaimed while the
 // client was away); the caller should withdraw the stale hosting.
 func (db *NMDB) SyncHosting(busy, dest int, amount float64) bool {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	as := db.active[busy]
 	var kept []core.Assignment
 	var first *core.Assignment
@@ -225,16 +603,14 @@ func (db *NMDB) SyncHosting(busy, dest int, amount float64) bool {
 	first.Amount = amount
 	kept = append(kept, *first)
 	db.active[busy] = kept
-	if rec, ok := db.clients[dest]; ok {
-		rec.HostingFor = appendUnique(rec.HostingFor, busy)
-	}
+	db.markHosting(dest, busy, true)
 	return true
 }
 
 // ActiveAssignments returns a copy of the full active ledger.
 func (db *NMDB) ActiveAssignments() []core.Assignment {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	var out []core.Assignment
 	keys := make([]int, 0, len(db.active))
 	for b := range db.active {
@@ -250,14 +626,12 @@ func (db *NMDB) ActiveAssignments() []core.Assignment {
 // ReleaseBusy removes every assignment originating at busy and returns
 // them (the reclaim path).
 func (db *NMDB) ReleaseBusy(busy int) []core.Assignment {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	as := db.active[busy]
 	delete(db.active, busy)
 	for _, a := range as {
-		if rec, ok := db.clients[a.Candidate]; ok {
-			rec.HostingFor = removeValue(rec.HostingFor, busy)
-		}
+		db.markHosting(a.Candidate, busy, false)
 	}
 	return as
 }
@@ -265,8 +639,8 @@ func (db *NMDB) ReleaseBusy(busy int) []core.Assignment {
 // ReleaseDestination removes every assignment hosted at dest and returns
 // them (the failed-destination path feeding replica selection).
 func (db *NMDB) ReleaseDestination(dest int) []core.Assignment {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	var displaced []core.Assignment
 	for busy, as := range db.active {
 		var keep []core.Assignment
@@ -283,8 +657,12 @@ func (db *NMDB) ReleaseDestination(dest int) []core.Assignment {
 			db.active[busy] = keep
 		}
 	}
-	if rec, ok := db.clients[dest]; ok {
-		rec.HostingFor = nil
+	if sh, li := db.slot(dest); sh != nil {
+		sh.mu.Lock()
+		if rec := sh.rec(li); rec != nil {
+			rec.hosting = nil
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(displaced, func(i, j int) bool {
 		if displaced[i].Busy != displaced[j].Busy {
@@ -297,8 +675,8 @@ func (db *NMDB) ReleaseDestination(dest int) []core.Assignment {
 
 // Destinations lists nodes currently hosting offloaded workloads.
 func (db *NMDB) Destinations() []int {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
 	set := make(map[int]bool)
 	for _, as := range db.active {
 		for _, a := range as {
@@ -310,24 +688,5 @@ func (db *NMDB) Destinations() []int {
 		out = append(out, n)
 	}
 	sort.Ints(out)
-	return out
-}
-
-func appendUnique(s []int, v int) []int {
-	for _, x := range s {
-		if x == v {
-			return s
-		}
-	}
-	return append(s, v)
-}
-
-func removeValue(s []int, v int) []int {
-	out := s[:0]
-	for _, x := range s {
-		if x != v {
-			out = append(out, x)
-		}
-	}
 	return out
 }

@@ -321,15 +321,18 @@ func TestNMDBSnapshotRoundTripActiveOffloads(t *testing.T) {
 	if subs[0].Busy != 0 || subs[0].Replica < 0 {
 		t.Fatalf("substitution = %+v, want 0's workload re-placed", subs[0])
 	}
-	// Node 1's hosting is untouched; node 2's moved to the replica.
+	// Node 1's hosting is untouched; node 2's moved to a replica (same-pair
+	// entries merge in the ledger, so compare totals, not entry counts).
 	after := mgr.NMDB().ActiveAssignments()
-	if len(after) != 2 {
-		t.Fatalf("post-sweep ledger = %+v", after)
-	}
+	var total float64
 	for _, a := range after {
 		if a.Candidate == 2 {
 			t.Fatalf("stale destination still in ledger: %+v", after)
 		}
+		total += a.Amount
+	}
+	if total != 12 {
+		t.Fatalf("post-sweep ledger = %+v, want 12 total hosted", after)
 	}
 }
 

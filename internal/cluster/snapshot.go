@@ -46,19 +46,29 @@ const snapshotVersion = 1
 // restarted Manager resume with its client registry and offload ledger
 // intact (clients re-register and STAT refreshes the dynamic fields).
 func (db *NMDB) SaveSnapshot(w io.Writer) error {
-	db.mu.Lock()
 	snap := nmdbSnapshot{Version: snapshotVersion}
-	for _, node := range sortedClientNodes(db.clients) {
-		rec := db.clients[node]
-		snap.Clients = append(snap.Clients, clientSnapshot{
-			Node: rec.Node, Capable: rec.Capable,
-			CMax: rec.CMax, COMax: rec.COMax,
-			UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
-			LastStat: rec.LastStat, LastKeepalive: rec.LastKeepalive,
-			Role:       uint8(rec.Role),
-			HostingFor: append([]int(nil), rec.HostingFor...),
-		})
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for li := range sh.recs {
+			rec := &sh.recs[li]
+			if !rec.registered {
+				continue
+			}
+			snap.Clients = append(snap.Clients, clientSnapshot{
+				Node: rec.Node, Capable: rec.Capable,
+				CMax: rec.CMax, COMax: rec.COMax,
+				UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
+				LastStat: rec.LastStat, LastKeepalive: rec.LastKeepalive,
+				Role:       uint8(rec.Role),
+				HostingFor: rec.hostList(),
+			})
+		}
+		sh.mu.Unlock()
 	}
+	sort.Slice(snap.Clients, func(i, j int) bool {
+		return snap.Clients[i].Node < snap.Clients[j].Node
+	})
+	db.lmu.Lock()
 	for _, busy := range sortedActiveKeys(db.active) {
 		for _, a := range db.active[busy] {
 			snap.Active = append(snap.Active, assignmentSnapshot{
@@ -67,7 +77,7 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 			})
 		}
 	}
-	db.mu.Unlock()
+	db.lmu.Unlock()
 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -85,19 +95,28 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("cluster: snapshot version %d, want %d", snap.Version, snapshotVersion)
 	}
-	n := db.topo.NumNodes()
-	clients := make(map[int]*ClientRecord, len(snap.Clients))
+	n := db.numNodes
+	// Fresh per-shard record arrays, filled from the snapshot and swapped
+	// in whole under each shard's lock.
+	fresh := make([][]ClientRecord, len(db.shards))
+	for si, sh := range db.shards {
+		fresh[si] = make([]ClientRecord, len(sh.recs))
+	}
 	for _, c := range snap.Clients {
 		if c.Node < 0 || c.Node >= n {
 			return fmt.Errorf("cluster: snapshot client %d outside topology (%d nodes)", c.Node, n)
 		}
-		clients[c.Node] = &ClientRecord{
+		rec := &fresh[c.Node&db.mask][c.Node>>db.shift]
+		*rec = ClientRecord{
 			Node: c.Node, Capable: c.Capable,
 			CMax: c.CMax, COMax: c.COMax,
 			UtilPct: c.UtilPct, DataMb: c.DataMb, NumAgents: c.NumAgents,
 			LastStat: c.LastStat, LastKeepalive: c.LastKeepalive,
 			Role:       core.Role(c.Role),
-			HostingFor: append([]int(nil), c.HostingFor...),
+			registered: true,
+		}
+		for _, b := range c.HostingFor {
+			rec.hostAdd(b)
 		}
 	}
 	active := make(map[int][]core.Assignment, len(snap.Active))
@@ -114,20 +133,18 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 		})
 	}
 
-	db.mu.Lock()
-	db.clients = clients
-	db.active = active
-	db.mu.Unlock()
-	return nil
-}
-
-func sortedClientNodes(m map[int]*ClientRecord) []int {
-	out := make([]int, 0, len(m))
-	for n := range m {
-		out = append(out, n)
+	// Replace each shard's registry, bumping its seq so the next
+	// SnapshotState rebuilds every row from the restored records.
+	for si, sh := range db.shards {
+		sh.mu.Lock()
+		sh.recs = fresh[si]
+		sh.seq++
+		sh.mu.Unlock()
 	}
-	sort.Ints(out)
-	return out
+	db.lmu.Lock()
+	db.active = active
+	db.lmu.Unlock()
+	return nil
 }
 
 func sortedActiveKeys(m map[int][]core.Assignment) []int {

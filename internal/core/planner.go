@@ -2,7 +2,10 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
+
+	"repro/internal/lp"
 )
 
 // Planner is a Solve front-end over a RouteCache: it caches per-source
@@ -19,11 +22,45 @@ import (
 // PathEnumerate pass through uncached but still parallel.
 type Planner struct {
 	cache *RouteCache
+	warm  warmSolveState
+}
+
+// warmSolveState carries the transportation solver's optimal basis (and
+// the busy/candidate split it belongs to) from one placement round to the
+// next, plus the warm/cold bookkeeping telemetry reads. Guarded by its
+// mutex so a metrics scrape can read the counters while a tick solves.
+type warmSolveState struct {
+	mu    sync.Mutex
+	basis *lp.TransportBasis
+	busy  []int
+	cands []int
+	stats WarmSolveStats
+}
+
+// WarmSolveStats counts how the Planner's transportation solves started.
+type WarmSolveStats struct {
+	// Warm counts solves seeded from the previous round's basis.
+	Warm uint64
+	// Cold counts solves built from scratch: warm starting disabled, the
+	// first round, or a non-transport engine (simplex/ILP never seed).
+	Cold uint64
+	// Fallback counts solves that wanted a warm start but could not use
+	// one — the busy/candidate split changed since the last round, or the
+	// carried basis was rejected as infeasible for the new supplies.
+	Fallback uint64
 }
 
 // NewPlanner creates a planner with fixed parameters.
 func NewPlanner(params Params) *Planner {
 	return &Planner{cache: NewRouteCache(params)}
+}
+
+// WarmStats reports how the planner's placement solves started (for tests
+// and telemetry).
+func (pl *Planner) WarmStats() WarmSolveStats {
+	pl.warm.mu.Lock()
+	defer pl.warm.mu.Unlock()
+	return pl.warm.stats
 }
 
 // Params returns the planner's solve configuration.
@@ -62,7 +99,7 @@ func (pl *Planner) SolveClassified(s *State, c *Classification) (*Result, error)
 	routeDur := time.Since(t0)
 
 	t1 := time.Now()
-	res, err := solveWithRoutes(s, c, rt, pl.Params())
+	res, err := solveWithRoutesWarm(s, c, rt, pl.Params(), &pl.warm)
 	if err != nil {
 		return nil, err
 	}
@@ -73,6 +110,12 @@ func (pl *Planner) SolveClassified(s *State, c *Classification) (*Result, error)
 
 // solveWithRoutes is SolveClassified with a precomputed route table.
 func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Result, error) {
+	return solveWithRoutesWarm(s, c, rt, p, nil)
+}
+
+// solveWithRoutesWarm is solveWithRoutes with an optional cross-round
+// warm-start carrier (nil for the stateless path).
+func solveWithRoutesWarm(s *State, c *Classification, rt *RouteTable, p Params, ws *warmSolveState) (*Result, error) {
 	res := &Result{Status: StatusOptimal, Classification: c, Routes: rt}
 	if len(c.Busy) == 0 {
 		return res, nil
@@ -92,7 +135,11 @@ func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Re
 	var err error
 	switch solver {
 	case SolverTransport:
-		err = solveTransport(c, rt, res)
+		if ws != nil {
+			err = ws.solveTransport(c, rt, res, p.WarmSolve)
+		} else {
+			err = solveTransport(c, rt, res)
+		}
 	case SolverSimplex:
 		err = solveLP(s, c, rt, res, false)
 	case SolverILP:
@@ -104,4 +151,60 @@ func solveWithRoutes(s *State, c *Classification, rt *RouteTable, p Params) (*Re
 		return nil, err
 	}
 	return res, nil
+}
+
+// solveTransport runs the transportation solve through the warm-start
+// carrier: when enabled and the busy/candidate split matches the previous
+// round's, the stored basis seeds the solve; either way this round's
+// optimal basis (and its split) replaces the stored one. A split change or
+// a rejected seed counts as a fallback and solves cold — the result is
+// identical in every case, only the pivot work differs.
+func (ws *warmSolveState) solveTransport(c *Classification, rt *RouteTable, res *Result, enabled bool) error {
+	var seed *lp.TransportBasis
+	wanted := false
+	if enabled {
+		ws.mu.Lock()
+		if ws.basis != nil {
+			wanted = true
+			if equalInts(ws.busy, c.Busy) && equalInts(ws.cands, c.Candidates) {
+				seed = ws.basis
+			}
+		}
+		ws.mu.Unlock()
+	}
+	basis, err := solveTransportWarm(c, rt, res, seed)
+	if err != nil {
+		return err
+	}
+	ws.mu.Lock()
+	switch {
+	case res.WarmStarted:
+		ws.stats.Warm++
+	case wanted:
+		ws.stats.Fallback++
+	default:
+		ws.stats.Cold++
+	}
+	if basis != nil {
+		ws.basis = basis
+		ws.busy = append(ws.busy[:0], c.Busy...)
+		ws.cands = append(ws.cands[:0], c.Candidates...)
+	} else {
+		// Infeasible rounds leave no optimal basis to carry forward.
+		ws.basis = nil
+	}
+	ws.mu.Unlock()
+	return nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -61,6 +61,14 @@ type Params struct {
 	// 0 keeps revalidation exact: any rate change evicts exactly the rows
 	// it can affect.
 	CacheEpsilon float64
+	// WarmSolve lets a Planner seed each transportation solve from the
+	// previous round's optimal basis when the busy/candidate split is
+	// unchanged, re-pricing instead of rebuilding the Big-M start from
+	// scratch. The answer is identical either way (MODI runs to optimality
+	// from any feasible basis; incompatible seeds fall back cold) — only
+	// the pivot work changes. Ignored outside a Planner: the stateless
+	// Solve path has no previous round to seed from.
+	WarmSolve bool
 }
 
 // DefaultParams returns the configuration used by the paper's evaluation:
@@ -126,6 +134,9 @@ type Result struct {
 	// (MODI potentials) and the simplex (constraint duals); nil for the
 	// ILP mode, whose value function has no gradients.
 	ShadowPrices map[int]float64
+	// WarmStarted reports that the transportation solve was seeded from
+	// the previous round's basis (Params.WarmSolve under a Planner).
+	WarmStarted bool
 }
 
 // Bottlenecks returns the candidates with positive shadow price, sorted
@@ -198,19 +209,28 @@ func SolveClassified(s *State, c *Classification, p Params) (*Result, error) {
 }
 
 func solveTransport(c *Classification, rt *RouteTable, res *Result) error {
+	_, err := solveTransportWarm(c, rt, res, nil)
+	return err
+}
+
+// solveTransportWarm is solveTransport with an optional warm-start basis;
+// it returns this solve's optimal basis (nil unless the solve reached
+// optimality) for the caller to seed the next round with.
+func solveTransportWarm(c *Classification, rt *RouteTable, res *Result, warm *lp.TransportBasis) (*lp.TransportBasis, error) {
 	prob := lp.TransportProblem{
 		Supply: c.Cs,
 		Demand: c.Cd,
 		Cost:   rt.Seconds,
 	}
-	sol, err := lp.SolveTransport(prob)
+	sol, basis, err := lp.SolveTransportWarm(prob, warm)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	res.Pivots = sol.Iterations
+	res.WarmStarted = sol.WarmStarted
 	if sol.Status != lp.StatusOptimal {
 		res.Status = StatusInfeasible
-		return nil
+		return nil, nil
 	}
 	res.Objective = sol.Objective
 	res.ShadowPrices = make(map[int]float64, len(c.Candidates))
@@ -234,7 +254,7 @@ func solveTransport(c *Classification, rt *RouteTable, res *Result) error {
 			}
 		}
 	}
-	return nil
+	return basis, nil
 }
 
 // varKey addresses the decision variable x_ij by busy row and candidate

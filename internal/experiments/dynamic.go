@@ -83,10 +83,12 @@ func RunDynamic(cfg Config) (*DynamicResult, error) {
 	params.Thresholds = th
 	params.PathStrategy = core.PathDP
 	params.Parallelism = cfg.Parallelism
+	params.WarmSolve = cfg.WarmSolve
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,
 		Defaults:          th,
 		Params:            params,
+		NMDBShards:        cfg.NMDBShards,
 		UpdateIntervalSec: 60,
 		KeepaliveTimeout:  150 * time.Second,
 		AckTimeout:        5 * time.Second,

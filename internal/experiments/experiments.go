@@ -41,17 +41,25 @@ type Config struct {
 	// pool size (0/1 serial, <0 one worker per CPU). Results are identical
 	// at every setting; only wall time changes.
 	Parallelism int
+	// NMDBShards is the registry stripe count for runners that build a
+	// cluster.Manager (0 = cluster default). Rounded up to a power of two.
+	NMDBShards int
+	// WarmSolve lets those runners seed each placement solve from the
+	// previous tick's basis. Objectives are identical either way (the
+	// ingest experiment and internal/verify enforce it); only solve wall
+	// time changes.
+	WarmSolve bool
 }
 
 // Default returns the paper-faithful configuration.
 func Default() Config {
-	return Config{Seed: 1, Iterations: 100, SimSeconds: 600, LargeIterations: 3}
+	return Config{Seed: 1, Iterations: 100, SimSeconds: 600, LargeIterations: 3, WarmSolve: true}
 }
 
 // Quick returns a configuration small enough for unit tests and smoke
 // runs while keeping every code path exercised.
 func Quick() Config {
-	return Config{Seed: 1, Iterations: 12, SimSeconds: 60, LargeIterations: 1, Fast: true}
+	return Config{Seed: 1, Iterations: 12, SimSeconds: 60, LargeIterations: 1, Fast: true, WarmSolve: true}
 }
 
 // scenario draws a random fat-tree NMDB snapshot.

@@ -407,3 +407,38 @@ func TestHardwareMix(t *testing.T) {
 		t.Fatal("table header missing")
 	}
 }
+
+func TestIngestScaling(t *testing.T) {
+	cfg := Quick()
+	cfg.Iterations = 4
+	res, err := RunIngestScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4 ingest configurations", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.NsPerStat <= 0 {
+			t.Fatalf("non-positive ns/stat in %+v", p)
+		}
+	}
+	// The manager's production shape — single-node batches against the
+	// sharded dense registry — must beat the single-shard per-stat
+	// baseline; the margin is the whole point of the redesign.
+	if batch := res.Points[2]; batch.Speedup < 2 {
+		t.Fatalf("batch ingest speedup %.2f×, want ≥ 2× over the single-shard baseline", batch.Speedup)
+	}
+	if res.WarmTick <= 0 || res.ColdTick <= 0 {
+		t.Fatalf("tick times not measured: %+v", res)
+	}
+	if res.WarmRatio <= 0 {
+		t.Fatalf("warm manager never reused a basis: %+v", res)
+	}
+	if res.ShardsReused == 0 {
+		t.Fatalf("epoch snapshot never reused a shard: %+v", res)
+	}
+	if !strings.Contains(res.Table(), "Ingest scaling") {
+		t.Fatal("table header missing")
+	}
+}

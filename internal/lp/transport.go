@@ -35,7 +35,24 @@ type TransportSolution struct {
 	// objective improvement per extra unit of capacity at j (exactly 0
 	// for sinks with slack capacity).
 	DualSupply, DualDemand []float64
+	// WarmStarted reports whether the solve was seeded from a prior basis
+	// (false when no basis was supplied or the seed was rejected).
+	WarmStarted bool
 }
+
+// TransportBasis is an opaque snapshot of the optimal basis spanning tree
+// of a solved transportation problem, reusable to warm-start a later solve
+// of a problem with the same shape (same source and sink counts). The
+// flows it implies are recomputed from the new supplies/demands, so a
+// stale basis can never corrupt a solution — at worst it is rejected and
+// the solve falls back to the cold least-cost start.
+type TransportBasis struct {
+	m, n  int
+	cells []cell
+}
+
+// Dims returns the (sources, sinks) shape the basis was captured from.
+func (b *TransportBasis) Dims() (m, n int) { return b.m, b.n }
 
 var errMalformed = errors.New("lp: malformed transportation problem")
 
@@ -45,21 +62,37 @@ var errMalformed = errors.New("lp: malformed transportation problem")
 // infeasibility (total supply exceeding total sink capacity, or forbidden
 // lanes making some supply unroutable).
 func SolveTransport(p TransportProblem) (*TransportSolution, error) {
+	sol, _, err := SolveTransportWarm(p, nil)
+	return sol, err
+}
+
+// SolveTransportWarm is SolveTransport with an optional warm start: when
+// warm carries the basis of a previously solved problem with the same
+// shape, the solve seeds the MODI iterations from that basis tree (its
+// flows recomputed for the current supplies/demands) instead of building
+// the least-cost start from scratch. Between consecutive DUST placement
+// rounds over an unchanged busy/candidate split the optimal basis rarely
+// moves, so re-pricing typically needs only a handful of pivots. The
+// returned basis snapshots this solve's optimal tree for the next round;
+// it is non-nil whenever the solve ran to optimality. Warm starts never
+// change the answer: MODI runs to optimality from any feasible basis, and
+// an incompatible or infeasible seed falls back to the cold start.
+func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSolution, *TransportBasis, error) {
 	m, n := len(p.Supply), len(p.Demand)
 	if m == 0 || n == 0 {
-		return nil, fmt.Errorf("%w: %d sources, %d sinks", errMalformed, m, n)
+		return nil, nil, fmt.Errorf("%w: %d sources, %d sinks", errMalformed, m, n)
 	}
 	if len(p.Cost) != m {
-		return nil, fmt.Errorf("%w: cost has %d rows, want %d", errMalformed, len(p.Cost), m)
+		return nil, nil, fmt.Errorf("%w: cost has %d rows, want %d", errMalformed, len(p.Cost), m)
 	}
 	totalSupply, totalDemand := 0.0, 0.0
 	maxCost := 0.0
 	for i := range p.Supply {
 		if p.Supply[i] < 0 {
-			return nil, fmt.Errorf("%w: negative supply %g at source %d", errMalformed, p.Supply[i], i)
+			return nil, nil, fmt.Errorf("%w: negative supply %g at source %d", errMalformed, p.Supply[i], i)
 		}
 		if len(p.Cost[i]) != n {
-			return nil, fmt.Errorf("%w: cost row %d has %d entries, want %d", errMalformed, i, len(p.Cost[i]), n)
+			return nil, nil, fmt.Errorf("%w: cost row %d has %d entries, want %d", errMalformed, i, len(p.Cost[i]), n)
 		}
 		totalSupply += p.Supply[i]
 		for j := range p.Cost[i] {
@@ -70,12 +103,12 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 	}
 	for j := range p.Demand {
 		if p.Demand[j] < 0 {
-			return nil, fmt.Errorf("%w: negative demand %g at sink %d", errMalformed, p.Demand[j], j)
+			return nil, nil, fmt.Errorf("%w: negative demand %g at sink %d", errMalformed, p.Demand[j], j)
 		}
 		totalDemand += p.Demand[j]
 	}
 	if totalSupply > totalDemand+eps {
-		return &TransportSolution{Status: StatusInfeasible}, nil
+		return &TransportSolution{Status: StatusInfeasible}, nil, nil
 	}
 
 	// Balance: a dummy source absorbs unused sink capacity at zero cost,
@@ -118,10 +151,25 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 	demand := append([]float64(nil), p.Demand...)
 
 	t := newTransportTableau(supply, demand, cost)
-	t.initialBasis()
-	if err := t.optimize(); err != nil {
-		return nil, err
+	warmStarted := false
+	if warm != nil && warm.m == m && warm.n == n {
+		warmStarted = t.warmStart(warm.cells)
 	}
+	if !warmStarted {
+		t.initialBasis()
+	}
+	if err := t.optimize(); err != nil {
+		return nil, nil, err
+	}
+	// Snapshot the optimal basis before evictForbidden rewires it: the
+	// warm-start seed must be the tree MODI actually finished on (evicted
+	// degenerate cells carry no flow, so re-seeding through them is
+	// harmless — the tree re-flow puts ~0 units there).
+	basis := &TransportBasis{m: m, n: n, cells: make([]cell, 0, len(t.basic))}
+	for c := range t.basic {
+		basis.cells = append(basis.cells, c)
+	}
+	sort.Slice(basis.cells, func(a, b int) bool { return lessCell(basis.cells[a], basis.cells[b]) })
 
 	forbidden := func(i, j int) bool { return i < m && math.IsInf(p.Cost[i][j], 1) }
 	for i := 0; i < m; i++ {
@@ -133,7 +181,7 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 		tol := eps * math.Min(1, p.Supply[i])
 		for j := 0; j < n; j++ {
 			if forbidden(i, j) && t.flowAt(i, j) > tol {
-				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations}, nil
+				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations, WarmStarted: warmStarted}, nil, nil
 			}
 		}
 	}
@@ -148,11 +196,12 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 	// -v_j is directly sink j's shadow price.
 	shift := u[m]
 	sol := &TransportSolution{
-		Status:     StatusOptimal,
-		Flow:       make([][]float64, m),
-		Iterations: t.iterations,
-		DualSupply: make([]float64, m),
-		DualDemand: make([]float64, n),
+		Status:      StatusOptimal,
+		Flow:        make([][]float64, m),
+		Iterations:  t.iterations,
+		DualSupply:  make([]float64, m),
+		DualDemand:  make([]float64, n),
+		WarmStarted: warmStarted,
 	}
 	for i := 0; i < m; i++ {
 		sol.DualSupply[i] = (u[i] - shift) * scale
@@ -175,7 +224,132 @@ func SolveTransport(p TransportProblem) (*TransportSolution, error) {
 		}
 	}
 	sol.Objective = obj
-	return sol, nil
+	return sol, basis, nil
+}
+
+// warmStart seeds the basis from a prior optimal tree: the cells must form
+// a spanning tree over the balanced problem's rows (including the dummy)
+// and columns, and the unique tree flows for the current supplies/demands
+// must be nonnegative. Returns false — leaving the tableau untouched —
+// when either check fails, so the caller falls back to the cold start.
+func (t *transportTableau) warmStart(cells []cell) bool {
+	if len(cells) != t.m+t.n-1 {
+		return false
+	}
+	// Acyclicity via union-find; |cells| = nodes-1 and acyclic together
+	// imply a spanning tree.
+	parent := make([]int, t.m+t.n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, c := range cells {
+		if c.i < 0 || c.i >= t.m || c.j < 0 || c.j >= t.n {
+			return false
+		}
+		ri, rj := find(c.i), find(t.m+c.j)
+		if ri == rj {
+			return false
+		}
+		parent[ri] = rj
+	}
+
+	// The flows on a spanning tree are uniquely determined by the node
+	// balances: peel leaves, each forcing its single incident cell's flow.
+	rowCells := make([][]int, t.m)
+	colCells := make([][]int, t.n)
+	for k, c := range cells {
+		rowCells[c.i] = append(rowCells[c.i], k)
+		colCells[c.j] = append(colCells[c.j], k)
+	}
+	remS := append([]float64(nil), t.supply...)
+	remD := append([]float64(nil), t.demand...)
+	degR := make([]int, t.m)
+	degC := make([]int, t.n)
+	type node struct {
+		isRow bool
+		idx   int
+	}
+	var leaves []node
+	for i := range rowCells {
+		degR[i] = len(rowCells[i])
+		if degR[i] == 1 {
+			leaves = append(leaves, node{true, i})
+		}
+	}
+	for j := range colCells {
+		degC[j] = len(colCells[j])
+		if degC[j] == 1 {
+			leaves = append(leaves, node{false, j})
+		}
+	}
+	flows := make([]float64, len(cells))
+	used := make([]bool, len(cells))
+	for len(leaves) > 0 {
+		nd := leaves[len(leaves)-1]
+		leaves = leaves[:len(leaves)-1]
+		var incident []int
+		if nd.isRow {
+			if degR[nd.idx] == 0 {
+				continue // became isolated when its last cell was peeled
+			}
+			incident = rowCells[nd.idx]
+		} else {
+			if degC[nd.idx] == 0 {
+				continue
+			}
+			incident = colCells[nd.idx]
+		}
+		k := -1
+		for _, ck := range incident {
+			if !used[ck] {
+				k = ck
+				break
+			}
+		}
+		if k < 0 {
+			continue
+		}
+		c := cells[k]
+		var f float64
+		if nd.isRow {
+			f = remS[c.i]
+		} else {
+			f = remD[c.j]
+		}
+		flows[k] = f
+		used[k] = true
+		remS[c.i] -= f
+		remD[c.j] -= f
+		degR[c.i]--
+		degC[c.j]--
+		if nd.isRow {
+			if degC[c.j] == 1 {
+				leaves = append(leaves, node{false, c.j})
+			}
+		} else if degR[c.i] == 1 {
+			leaves = append(leaves, node{true, c.i})
+		}
+	}
+	for k, f := range flows {
+		if !used[k] || f < -eps {
+			return false // non-tree remnant or infeasible seed flow
+		}
+		if f < 0 {
+			flows[k] = 0 // roundoff-level negative from the float balance
+		}
+	}
+	for k, c := range cells {
+		t.addBasic(c, flows[k])
+	}
+	return true
 }
 
 // transportTableau holds the balanced problem and its basis spanning tree.

@@ -1,0 +1,121 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomTransport draws a feasible random instance with occasional
+// forbidden lanes.
+func randomTransport(rng *rand.Rand, m, n int) TransportProblem {
+	p := TransportProblem{
+		Supply: make([]float64, m),
+		Demand: make([]float64, n),
+		Cost:   make([][]float64, m),
+	}
+	for i := range p.Supply {
+		p.Supply[i] = 1 + 20*rng.Float64()
+		p.Cost[i] = make([]float64, n)
+		for j := range p.Cost[i] {
+			if rng.Float64() < 0.05 {
+				p.Cost[i][j] = math.Inf(1)
+			} else {
+				p.Cost[i][j] = rng.Float64() * 100
+			}
+		}
+	}
+	for j := range p.Demand {
+		p.Demand[j] = 5 + 25*rng.Float64()
+	}
+	return p
+}
+
+// TestWarmStartMatchesColdSolve drifts supplies, demands, and costs and
+// checks the warm-started solve agrees with a from-scratch solve on
+// status and objective at every step.
+func TestWarmStartMatchesColdSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		m, n := 2+rng.Intn(8), 2+rng.Intn(10)
+		p := randomTransport(rng, m, n)
+		var basis *TransportBasis
+		for step := 0; step < 8; step++ {
+			cold, err := SolveTransport(p)
+			if err != nil {
+				t.Fatalf("trial %d step %d: cold: %v", trial, step, err)
+			}
+			warmSol, nextBasis, err := SolveTransportWarm(p, basis)
+			if err != nil {
+				t.Fatalf("trial %d step %d: warm: %v", trial, step, err)
+			}
+			if warmSol.Status != cold.Status {
+				t.Fatalf("trial %d step %d: warm status %v, cold %v", trial, step, warmSol.Status, cold.Status)
+			}
+			if cold.Status == StatusOptimal {
+				tol := 1e-6 * (1 + math.Abs(cold.Objective))
+				if math.Abs(warmSol.Objective-cold.Objective) > tol {
+					t.Fatalf("trial %d step %d: warm objective %g, cold %g", trial, step, warmSol.Objective, cold.Objective)
+				}
+			}
+			basis = nextBasis
+			// Drift: wiggle supplies/demands, occasionally reprice a lane.
+			for i := range p.Supply {
+				if rng.Float64() < 0.3 {
+					p.Supply[i] = math.Max(0, p.Supply[i]*(0.9+0.2*rng.Float64()))
+				}
+			}
+			for j := range p.Demand {
+				if rng.Float64() < 0.3 {
+					p.Demand[j] = math.Max(0, p.Demand[j]*(0.9+0.2*rng.Float64()))
+				}
+			}
+			if rng.Float64() < 0.3 {
+				i, j := rng.Intn(m), rng.Intn(n)
+				if !math.IsInf(p.Cost[i][j], 1) {
+					p.Cost[i][j] = rng.Float64() * 100
+				}
+			}
+		}
+	}
+}
+
+// TestWarmStartSeedsAndFallsBack checks the WarmStarted flag: set when an
+// unchanged-shape basis is accepted, clear when the shape mismatches.
+func TestWarmStartSeedsAndFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := randomTransport(rng, 5, 7)
+	sol, basis, err := SolveTransportWarm(p, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.WarmStarted {
+		t.Fatal("cold solve reported WarmStarted")
+	}
+	if basis == nil {
+		t.Fatal("optimal solve returned nil basis")
+	}
+	if m, n := basis.Dims(); m != 5 || n != 7 {
+		t.Fatalf("basis dims %d×%d, want 5×7", m, n)
+	}
+
+	resolve, _, err := SolveTransportWarm(p, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resolve.WarmStarted {
+		t.Fatal("same-shape re-solve did not warm start")
+	}
+	if resolve.Iterations > sol.Iterations {
+		t.Fatalf("warm re-solve used %d pivots, cold used %d", resolve.Iterations, sol.Iterations)
+	}
+
+	other := randomTransport(rng, 4, 7)
+	mismatch, _, err := SolveTransportWarm(other, basis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mismatch.WarmStarted {
+		t.Fatal("shape-mismatched basis was accepted")
+	}
+}

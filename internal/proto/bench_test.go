@@ -1,0 +1,53 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchMessage is a representative Offload-Request: the largest common
+// frame (route + agents) on the manager's hot send path.
+func benchMessage() *Message {
+	return &Message{
+		Type: MsgOffloadRequest, From: -1, To: 7, Seq: 42,
+		AmountPct: 12.5, BusyNode: 3,
+		Agents:     []string{"cpu-monitor", "net-monitor"},
+		RouteNodes: []int32{3, 5, 6, 7},
+	}
+}
+
+// BenchmarkFrameRoundTrip measures a WriteFrame/ReadFrame cycle through a
+// reused in-memory stream — the codec work a tcpConn pays per message.
+// allocs/op is the headline number: pooled scratch buffers keep the
+// write side allocation-free and the read side down to the decoded
+// message itself.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	msg := benchMessage()
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadFrame(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteFrame isolates the encode+frame side.
+func BenchmarkWriteFrame(b *testing.B) {
+	msg := benchMessage()
+	var buf bytes.Buffer
+	buf.Grow(1 << 12)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

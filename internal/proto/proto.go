@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 )
 
 // MsgType discriminates the protocol messages.
@@ -113,9 +114,43 @@ const maxMessageSize = 1 << 20
 // ErrFrameTooLarge reports a frame exceeding maxMessageSize.
 var ErrFrameTooLarge = errors.New("proto: frame exceeds size limit")
 
+// bufPool recycles frame scratch buffers across WriteFrame/ReadFrame
+// calls. Both directions fully consume the buffer before returning
+// (WriteFrame writes it out, Decode copies every variable-length field),
+// so no caller-visible data aliases a pooled buffer.
+var bufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 256)
+		return &b
+	},
+}
+
+// getBuf takes a pooled buffer resized (not reallocated, when capacity
+// allows) to n bytes.
+func getBuf(n int) *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, n)
+	}
+	*bp = (*bp)[:n]
+	return bp
+}
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxMessageSize {
+		return // don't keep one oversized frame's buffer alive forever
+	}
+	bufPool.Put(bp)
+}
+
 // Encode serializes m to its binary wire form (without framing).
 func Encode(m *Message) []byte {
-	var b []byte
+	return AppendEncode(nil, m)
+}
+
+// AppendEncode appends m's binary wire form to b and returns the extended
+// slice, letting callers reuse scratch buffers across messages.
+func AppendEncode(b []byte, m *Message) []byte {
 	b = append(b, byte(m.Type))
 	b = appendInt32(b, m.From)
 	b = appendInt32(b, m.To)
@@ -196,22 +231,26 @@ func Decode(data []byte) (*Message, error) {
 	return m, nil
 }
 
-// WriteFrame writes m with a 4-byte big-endian length prefix.
+// WriteFrame writes m with a 4-byte big-endian length prefix. The header
+// and payload are assembled in one pooled buffer and written with a
+// single Write call.
 func WriteFrame(w io.Writer, m *Message) error {
-	payload := Encode(m)
-	if len(payload) > maxMessageSize {
+	bp := getBuf(4)
+	defer putBuf(bp)
+	*bp = AppendEncode(*bp, m)
+	frame := *bp
+	payloadLen := len(frame) - 4
+	if payloadLen > maxMessageSize {
 		return ErrFrameTooLarge
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	binary.BigEndian.PutUint32(frame[:4], uint32(payloadLen))
+	_, err := w.Write(frame)
 	return err
 }
 
-// ReadFrame reads one length-prefixed message.
+// ReadFrame reads one length-prefixed message. The payload lands in a
+// pooled buffer; Decode copies every variable-length field, so the
+// returned message owns all its memory.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -221,11 +260,12 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if n > maxMessageSize {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(r, payload); err != nil {
+	bp := getBuf(int(n))
+	defer putBuf(bp)
+	if _, err := io.ReadFull(r, *bp); err != nil {
 		return nil, err
 	}
-	return Decode(payload)
+	return Decode(*bp)
 }
 
 func appendInt32(b []byte, v int32) []byte {

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestWarmSolveEquivalence drives 200 seeded random instances through
+// short drift sequences with two Planners over the same mutating state —
+// one warm-starting its transportation solves, one always cold — and
+// requires identical status and objective (within ε) at every step, with
+// every warm result additionally passing the invariant checker. Drift
+// occasionally shoves nodes across the busy/candidate thresholds so the
+// warm planner's stale-basis fallback path is exercised, not just the
+// happy path.
+func TestWarmSolveEquivalence(t *testing.T) {
+	const trials = 200
+	const steps = 6
+	sawWarm := false
+	for seed := int64(0); seed < trials; seed++ {
+		inst, err := RandomInstance(seed, 6+int(seed%18))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		params := inst.Params
+		params.Solver = core.SolverTransport
+
+		warmParams := params
+		warmParams.WarmSolve = true
+		warm := core.NewPlanner(warmParams)
+		cold := core.NewPlanner(params)
+
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		for step := 0; step < steps; step++ {
+			cls, err := core.Classify(inst.State, params.Thresholds)
+			if err != nil {
+				t.Fatalf("seed %d step %d: classify: %v", seed, step, err)
+			}
+			rw, err := warm.SolveClassified(inst.State, cls)
+			if err != nil {
+				t.Fatalf("seed %d step %d: warm solve: %v", seed, step, err)
+			}
+			rc, err := cold.SolveClassified(inst.State, cls)
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold solve: %v", seed, step, err)
+			}
+			if rw.Status != rc.Status {
+				t.Fatalf("seed %d step %d: warm status %v, cold %v", seed, step, rw.Status, rc.Status)
+			}
+			tol := 1e-6 * (1 + math.Abs(rc.Objective))
+			if math.Abs(rw.Objective-rc.Objective) > tol {
+				t.Fatalf("seed %d step %d: warm objective %g, cold %g (Δ=%g)",
+					seed, step, rw.Objective, rc.Objective, rw.Objective-rc.Objective)
+			}
+			if rw.Status == core.StatusOptimal {
+				if err := CheckResult(inst.State, rw, core.SolverTransport); err != nil {
+					t.Fatalf("seed %d step %d: warm result failed checker: %v", seed, step, err)
+				}
+			}
+			// Drift: wiggle a few nodes' utilization. Mostly small moves
+			// that keep the busy/candidate split stable (so the next solve
+			// can reuse the basis); sometimes a large jump across the
+			// thresholds, which must force a clean cold fallback.
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				i := rng.Intn(len(inst.State.Util))
+				if rng.Intn(4) == 0 {
+					inst.State.Util[i] = 100 * rng.Float64()
+				} else {
+					u := inst.State.Util[i] + 4*rng.Float64() - 2
+					inst.State.Util[i] = math.Max(0, math.Min(100, u))
+				}
+			}
+		}
+		if st := warm.WarmStats(); st.Warm > 0 {
+			sawWarm = true
+		}
+		if st := cold.WarmStats(); st.Warm != 0 || st.Fallback != 0 {
+			t.Fatalf("seed %d: cold planner recorded warm activity: %+v", seed, st)
+		}
+	}
+	if !sawWarm {
+		t.Fatal("no trial ever warm-started a solve")
+	}
+}
