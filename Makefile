@@ -7,7 +7,7 @@
 # oracle; fuzz-smoke gives every native fuzz target a short randomized
 # budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare chaos
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare chaos chaos-smoke failover
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -23,6 +23,7 @@ ifdef STATICCHECK
 endif
 	go test ./...
 	$(MAKE) verify
+	-$(MAKE) chaos-smoke
 	-$(MAKE) bench-compare
 
 # Differential tier: 1000 seeded random instances solved by every
@@ -86,3 +87,16 @@ bench-smoke:
 
 chaos:
 	go run ./cmd/dustsim -chaos
+
+failover:
+	go run ./cmd/dustsim -failover
+
+# Resilience smoke: the chaos-convergence, manager-failover, and
+# crash-recovery suites under the race detector. Wired into check
+# non-fatally (like bench-compare) — these tests drive real goroutine
+# herds on wall-clock timers, so a loaded host can push them past their
+# deadlines without indicating a regression.
+chaos-smoke:
+	go test -race -count=1 -timeout 180s \
+		-run 'TestChaosConvergence|TestFailoverConvergence|TestManagerRestartRecovery' \
+		./internal/cluster

@@ -7,6 +7,10 @@
 // Usage:
 //
 //	dustclient -manager 127.0.0.1:7700 -node 0 -kpps 29.4
+//
+// With -managers (comma-separated, e.g. primary,standby), the reconnect
+// loop rotates across the listed addresses, so the client fails over to a
+// promoted standby when the primary dies.
 package main
 
 import (
@@ -15,6 +19,7 @@ import (
 	"log"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -27,6 +32,7 @@ import (
 func main() {
 	var (
 		managerAddr = flag.String("manager", "127.0.0.1:7700", "manager address")
+		managers    = flag.String("managers", "", "comma-separated manager addresses in failover order (overrides -manager)")
 		node        = flag.Int("node", 0, "this client's node index in the manager's topology")
 		kpps        = flag.Float64("kpps", 29.4, "transit traffic in thousands of packets/second")
 		capable     = flag.Bool("capable", true, "participate in offloading")
@@ -74,12 +80,39 @@ func main() {
 	// No read deadline: the manager only speaks during placement rounds, so
 	// an idle-but-healthy connection must not be cut. Liveness comes from
 	// the supervised reconnect loop instead.
-	dial := func() (proto.Conn, error) {
-		return proto.DialDeadlines(*managerAddr, proto.ConnDeadlines{Write: *writeDL})
+	addrs := []string{*managerAddr}
+	if *managers != "" {
+		addrs = addrs[:0]
+		for _, a := range strings.Split(*managers, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			log.Fatalf("dustclient: -managers has no addresses")
+		}
 	}
-	conn, err := dial()
+	dialers := make([]func() (proto.Conn, error), len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		dialers[i] = func() (proto.Conn, error) {
+			return proto.DialDeadlines(addr, proto.ConnDeadlines{Write: *writeDL})
+		}
+	}
+	// First contact also walks the failover list: a client started while the
+	// primary is already down registers with the standby.
+	var conn proto.Conn
+	for i, d := range dialers {
+		if conn, err = d(); err == nil {
+			if i > 0 {
+				log.Printf("dustclient: primary unreachable, connected to %s", addrs[i])
+			}
+			break
+		}
+		log.Printf("dustclient: dial %s: %v", addrs[i], err)
+	}
 	if err != nil {
-		log.Fatalf("dustclient: %v", err)
+		log.Fatalf("dustclient: no manager reachable: %v", err)
 	}
 	defer conn.Close()
 
@@ -120,12 +153,16 @@ func main() {
 		OnReplica: func(busy, failed int, amount float64) {
 			log.Printf("substituting failed destination %d for busy %d (%.1f%%)", failed, busy, amount)
 		},
-		Dial:                 dial,
+		Dialers:              dialers,
 		ReconnectMin:         *rcMin,
 		ReconnectMax:         *rcMax,
 		MaxReconnectAttempts: *rcAttempts,
 		HandshakeTimeout:     *hsTimeout,
-		Logf:                 log.Printf,
+		OnAbandon: func(attempts int, lastErr error) {
+			log.Printf("dustclient: giving up after %d reconnect attempts across %d manager(s): %v",
+				attempts, len(addrs), lastErr)
+		},
+		Logf: log.Printf,
 	}, conn)
 	if err != nil {
 		log.Fatalf("dustclient: %v", err)

@@ -9,12 +9,21 @@
 //
 // The topology is the k-port fat-tree clients index into with their -node
 // flags.
+//
+// High availability: -checkpoint-path makes the manager durable (crash-safe
+// NMDB checkpoints, restored on restart); -standby-of starts it as a warm
+// standby of another manager, streaming that primary's snapshots and
+// promoting itself — manually never, automatically after -promote-after of
+// replication silence — into the active role. A freshly restored or
+// promoted manager defers evictions for a grace window until clients
+// resync (degraded mode, see DESIGN.md §13).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
-	"os"
 	"time"
 
 	"repro/internal/cluster"
@@ -27,7 +36,14 @@ import (
 func main() {
 	var (
 		listen    = flag.String("listen", "127.0.0.1:7700", "listen address")
-		snapshot  = flag.String("snapshot", "", "NMDB snapshot file (loaded at start, saved each interval)")
+		ckptPath  = flag.String("checkpoint-path", "", "durable NMDB checkpoint file (restored at start, written periodically and on shutdown)")
+		snapshot  = flag.String("snapshot", "", "deprecated alias for -checkpoint-path")
+		ckptEvery = flag.Duration("checkpoint-interval", 30*time.Second, "periodic checkpoint cadence (negative = shutdown-only)")
+		standbyOf = flag.String("standby-of", "", "run as a warm standby replicating from this primary manager address")
+		promote   = flag.Duration("promote-after", 10*time.Second, "replication silence before a standby promotes itself (negative = manual only)")
+		replEvery = flag.Duration("replication-interval", time.Second, "snapshot/heartbeat cadence toward attached standbys")
+		grace     = flag.Duration("grace-window", 0, "degraded-mode bound after restore/promotion (0 = 2x keepalive timeout, negative = disabled)")
+		quorum    = flag.Float64("resync-quorum", 0.5, "fraction of restored clients whose re-handshake ends degraded mode early")
 		k         = flag.Int("k", 4, "fat-tree port count of the managed topology")
 		interval  = flag.Duration("interval", 30*time.Second, "placement/update interval")
 		cmax      = flag.Float64("cmax", 80, "default busy threshold (percent)")
@@ -64,19 +80,36 @@ func main() {
 	params.CacheEpsilon = *routeEps
 	params.WarmSolve = *warmSolve
 
+	checkpoint := *ckptPath
+	if checkpoint == "" {
+		checkpoint = *snapshot
+	}
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
-		Topology:          topo,
-		Defaults:          th,
-		Params:            params,
-		UpdateIntervalSec: interval.Seconds(),
-		KeepaliveTimeout:  3 * *interval,
-		AckTimeout:        *ackWait,
-		PlacementRetries:  *retries,
-		VerifyPlacements:  *verifyPl,
-		NMDBShards:        *shards,
+		Topology:            topo,
+		Defaults:            th,
+		Params:              params,
+		UpdateIntervalSec:   interval.Seconds(),
+		KeepaliveTimeout:    3 * *interval,
+		AckTimeout:          *ackWait,
+		PlacementRetries:    *retries,
+		VerifyPlacements:    *verifyPl,
+		NMDBShards:          *shards,
+		CheckpointPath:      checkpoint,
+		CheckpointInterval:  *ckptEvery,
+		ReplicationInterval: *replEvery,
+		Follower:            *standbyOf != "",
+		GraceWindow:         *grace,
+		ResyncQuorum:        *quorum,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)
+	}
+	defer mgr.Close() // shutdown checkpoint
+	if err := mgr.RestoreError(); err != nil {
+		log.Printf("dustmanager: checkpoint restore failed, starting blind (file moved aside): %v", err)
+	} else if checkpoint != "" && len(mgr.NMDB().Nodes()) > 0 {
+		log.Printf("dustmanager: restored NMDB from %s (%d clients, %d active assignments)",
+			checkpoint, len(mgr.NMDB().Nodes()), len(mgr.NMDB().ActiveAssignments()))
 	}
 	if *metrics != "" {
 		srv, err := obs.Serve(*metrics, mgr.Metrics())
@@ -94,37 +127,28 @@ func main() {
 	nodes, edges := graph.FatTreeSizes(*k)
 	log.Printf("dustmanager: managing %d-k fat-tree (%d nodes, %d edges) on %s", *k, nodes, edges, l.Addr())
 
-	if *snapshot != "" {
-		if f, err := os.Open(*snapshot); err == nil {
-			err := mgr.NMDB().LoadSnapshot(f)
-			f.Close()
-			if err != nil {
-				log.Fatalf("dustmanager: load snapshot: %v", err)
+	if *standbyOf != "" {
+		// Warm standby: replicate the primary's snapshots while serving the
+		// listener, so clients can rotate here the moment promotion happens.
+		sb, err := cluster.NewStandby(cluster.StandbyConfig{
+			Manager: mgr,
+			Dial: func() (proto.Conn, error) {
+				return proto.DialDeadlines(*standbyOf, proto.ConnDeadlines{Write: *writeDL})
+			},
+			PromoteAfter: *promote,
+			Logf:         log.Printf,
+		})
+		if err != nil {
+			log.Fatalf("dustmanager: %v", err)
+		}
+		log.Printf("dustmanager: warm standby of %s (promote after %v of replication silence)", *standbyOf, *promote)
+		go func() {
+			if err := sb.Run(context.Background()); err != nil {
+				log.Printf("dustmanager: standby: %v", err)
+				return
 			}
-			log.Printf("dustmanager: restored NMDB from %s (%d clients, %d active assignments)",
-				*snapshot, len(mgr.NMDB().Nodes()), len(mgr.NMDB().ActiveAssignments()))
-		}
-	}
-	saveSnapshot := func() {
-		if *snapshot == "" {
-			return
-		}
-		tmp := *snapshot + ".tmp"
-		f, err := os.Create(tmp)
-		if err != nil {
-			log.Printf("snapshot: %v", err)
-			return
-		}
-		err = mgr.NMDB().SaveSnapshot(f)
-		if cerr := f.Close(); err == nil {
-			err = cerr
-		}
-		if err == nil {
-			err = os.Rename(tmp, *snapshot)
-		}
-		if err != nil {
-			log.Printf("snapshot: %v", err)
-		}
+			log.Printf("dustmanager: promoted to active manager")
+		}()
 	}
 
 	go func() {
@@ -132,6 +156,9 @@ func main() {
 		defer tick.Stop()
 		for range tick.C {
 			report, err := mgr.RunPlacement()
+			if errors.Is(err, cluster.ErrFollower) {
+				continue // unpromoted standby: replication only
+			}
 			if err != nil {
 				log.Printf("placement: %v", err)
 				continue
@@ -166,7 +193,6 @@ func main() {
 					}
 				}
 			}
-			saveSnapshot()
 		}
 	}()
 

@@ -15,6 +15,7 @@ import (
 	"log"
 	"os"
 	"strconv"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/testbed"
@@ -35,7 +36,9 @@ func main() {
 		comax    = flag.Float64("comax", 30, "offload-candidate threshold")
 		csvPath  = flag.String("csv", "", "write per-node monitoring CPU series as CSV")
 		chaos    = flag.Bool("chaos", false, "run the control-plane chaos demo instead of the testbed simulation")
-		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos (line topology)")
+		failover = flag.Bool("failover", false, "run the manager-failover demo (warm standby promotion) instead of the testbed simulation")
+		promote  = flag.Duration("promote-after", time.Second, "replication silence before the -failover standby promotes itself")
+		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos and -failover (line topology)")
 		drop     = flag.Float64("drop", 0.2, "message drop probability for -chaos")
 		dup      = flag.Float64("dup", 0.05, "message duplication probability for -chaos")
 		metrics  = flag.String("metrics-addr", "", "address serving /metrics, /healthz, and /debug/pprof during -chaos (empty = disabled)")
@@ -45,6 +48,12 @@ func main() {
 
 	if *chaos {
 		if err := runChaos(*chaosN, *drop, *dup, *seed, *metrics, *verifyPl); err != nil {
+			log.Fatalf("dustsim: %v", err)
+		}
+		return
+	}
+	if *failover {
+		if err := runFailover(*chaosN, *seed, *promote, *metrics, *verifyPl); err != nil {
 			log.Fatalf("dustsim: %v", err)
 		}
 		return

@@ -48,8 +48,15 @@ type ClientConfig struct {
 	// supervises the connection: it reconnects with capped exponential
 	// backoff, re-handshakes, and re-declares hosted workloads so the
 	// NMDB ledger resyncs. Nil keeps the single-connection behavior (Run
-	// returns on the first connection error).
+	// returns on the first connection error), unless Dialers is set.
 	Dial func() (proto.Conn, error)
+	// Dialers is an ordered list of manager endpoints for failover: the
+	// first reconnect attempt retries the manager the client last spoke
+	// to, and each further attempt rotates to the next dialer, so a
+	// client whose primary died (or answered with a standby NACK) lands
+	// on the promoted standby within one rotation. Takes precedence over
+	// Dial when non-empty.
+	Dialers []func() (proto.Conn, error)
 	// ReconnectMin and ReconnectMax bound the reconnect backoff
 	// (defaults 100ms and 10s). Each failed attempt doubles the bound;
 	// the actual sleep is a uniform random fraction of it (full jitter),
@@ -58,6 +65,15 @@ type ClientConfig struct {
 	// MaxReconnectAttempts caps consecutive failed redials before Run
 	// gives up (0 = keep trying until ctx cancels).
 	MaxReconnectAttempts int
+	// OnReconnectAttempt, when set, observes every failed reconnect
+	// attempt (1-based attempt number and its error) before the next
+	// backoff sleep.
+	OnReconnectAttempt func(attempt int, err error)
+	// OnAbandon, when set, is invoked once when the supervision loop gives
+	// up after MaxReconnectAttempts consecutive failures, immediately
+	// before Run returns — the embedder's signal that the client is
+	// permanently disconnected rather than silently retrying.
+	OnAbandon func(attempts int, lastErr error)
 	// HandshakeTimeout bounds how long a reconnect waits for the
 	// registration ACK before closing the connection and retrying
 	// (default 5s; in-memory pipes have no transport deadline to cut a
@@ -88,6 +104,9 @@ type Client struct {
 	hosting        map[int]float64 // busy node -> hosted percentage
 	seen           map[uint64]struct{}
 	seenRing       []uint64
+	// dialIdx is the Dialers index of the manager the client last
+	// successfully handshaked with (reconnects start there).
+	dialIdx int
 }
 
 // NewClient wraps a connection; call Handshake before anything else.
@@ -321,7 +340,7 @@ func (c *Client) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		if c.cfg.Dial == nil {
+		if c.cfg.Dial == nil && len(c.cfg.Dialers) == 0 {
 			if errors.Is(err, proto.ErrClosed) {
 				return nil
 			}
@@ -385,7 +404,11 @@ func (c *Client) runSession(ctx context.Context) error {
 }
 
 // reconnect redials and re-handshakes with capped exponential backoff,
-// then re-declares hosted workloads so the NMDB ledger resyncs.
+// then re-declares hosted workloads so the NMDB ledger resyncs. With
+// Dialers configured, the first attempt retries the last-good manager and
+// each further attempt rotates to the next endpoint (failover). Giving up
+// after MaxReconnectAttempts fires OnAbandon so the embedder observes
+// permanent disconnection.
 func (c *Client) reconnect(ctx context.Context) error {
 	minDelay, maxDelay := c.cfg.ReconnectMin, c.cfg.ReconnectMax
 	if minDelay <= 0 {
@@ -397,11 +420,20 @@ func (c *Client) reconnect(ctx context.Context) error {
 			maxDelay = minDelay
 		}
 	}
+	c.mu.Lock()
+	startIdx := c.dialIdx
+	c.mu.Unlock()
 	delay := minDelay
+	var lastErr error
 	for attempt := 1; ; attempt++ {
 		if c.cfg.MaxReconnectAttempts > 0 && attempt > c.cfg.MaxReconnectAttempts {
-			return fmt.Errorf("cluster: client %d gave up reconnecting after %d attempts",
-				c.cfg.Node, c.cfg.MaxReconnectAttempts)
+			c.metrics.abandons.Inc()
+			err := fmt.Errorf("cluster: client %d gave up reconnecting after %d attempts: %w",
+				c.cfg.Node, c.cfg.MaxReconnectAttempts, lastErr)
+			if c.cfg.OnAbandon != nil {
+				c.cfg.OnAbandon(c.cfg.MaxReconnectAttempts, lastErr)
+			}
+			return err
 		}
 		// Full jitter: sleep a uniform fraction of the current bound.
 		sleep := time.Duration(rand.Int63n(int64(delay) + 1))
@@ -410,19 +442,37 @@ func (c *Client) reconnect(ctx context.Context) error {
 			return ctx.Err()
 		case <-time.After(sleep):
 		}
-		conn, err := c.cfg.Dial()
+		dial, idx := c.cfg.Dial, startIdx
+		if n := len(c.cfg.Dialers); n > 0 {
+			idx = (startIdx + attempt - 1) % n
+			dial = c.cfg.Dialers[idx]
+		}
+		conn, err := dial()
 		if err == nil {
 			c.setConn(conn)
 			if err = c.handshakeWithTimeout(conn); err == nil {
 				if err = c.SyncHosting(); err == nil {
+					c.mu.Lock()
+					c.dialIdx = idx
+					c.mu.Unlock()
 					c.metrics.reconnects["ok"].Inc()
-					c.logf("client %d: reconnected on attempt %d", c.cfg.Node, attempt)
+					if idx != startIdx {
+						c.metrics.failovers.Inc()
+						c.logf("client %d: failed over to manager %d on attempt %d",
+							c.cfg.Node, idx, attempt)
+					} else {
+						c.logf("client %d: reconnected on attempt %d", c.cfg.Node, attempt)
+					}
 					return nil
 				}
 			}
 			conn.Close()
 		}
+		lastErr = err
 		c.metrics.reconnects["fail"].Inc()
+		if c.cfg.OnReconnectAttempt != nil {
+			c.cfg.OnReconnectAttempt(attempt, err)
+		}
 		c.logf("client %d: reconnect attempt %d failed: %v", c.cfg.Node, attempt, err)
 		delay *= 2
 		if delay > maxDelay {

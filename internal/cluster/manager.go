@@ -1,11 +1,14 @@
 package cluster
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
+	"io/fs"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -18,6 +21,10 @@ import (
 // ManagerNode is the conventional node ID of the DUST-Manager in message
 // From/To fields.
 const ManagerNode int32 = -1
+
+// StandbyNode is the conventional From ID a warm-standby manager uses when
+// it introduces itself to the primary with MsgReplHello.
+const StandbyNode int32 = -2
 
 // ManagerConfig configures a DUST-Manager.
 type ManagerConfig struct {
@@ -55,6 +62,32 @@ type ManagerConfig struct {
 	// of shipping a corrupt placement. Debug/belt-and-braces flag; the
 	// audit is O(assignments) and cheap next to the solve itself.
 	VerifyPlacements bool
+	// CheckpointPath, when non-empty, makes the manager durable: NMDB
+	// state is restored from this file at construction (a missing file
+	// starts blind; a corrupt one is moved aside and recorded in
+	// RestoreError) and checkpointed back on every CheckpointInterval and
+	// on Close.
+	CheckpointPath string
+	// CheckpointInterval is the periodic checkpoint cadence; 0 means
+	// 30 seconds, negative disables periodic checkpoints (shutdown and
+	// explicit SaveCheckpoint still write).
+	CheckpointInterval time.Duration
+	// ReplicationInterval is the cadence at which connected standbys are
+	// sent snapshots (full snapshot when state changed since the last
+	// ship, a bare heartbeat otherwise); 0 means 1 second.
+	ReplicationInterval time.Duration
+	// Follower starts the manager in standby mode: it NACKs client
+	// handshakes and refuses placement rounds until Promote is called.
+	Follower bool
+	// GraceWindow bounds degraded mode after a restore or promotion:
+	// evictions, reclaims, and substitutions are deferred until either a
+	// ResyncQuorum fraction of the restored clients has re-handshaked or
+	// the window expires. 0 means 2×KeepaliveTimeout; negative disables
+	// degraded mode entirely.
+	GraceWindow time.Duration
+	// ResyncQuorum is the fraction of restored clients whose re-handshake
+	// ends degraded mode early; 0 means 0.5, values above 1 clamp to 1.
+	ResyncQuorum float64
 	// Now injects a clock; nil means time.Now (tests inject virtual time).
 	Now func() time.Time
 	// Metrics is the observability registry the manager instruments; nil
@@ -70,6 +103,12 @@ type Manager struct {
 	nmdb    *NMDB
 	planner *core.Planner
 	metrics *managerMetrics
+	store   *CheckpointStore
+	// stop ends the checkpoint and replication loops; closed once by Close.
+	stop chan struct{}
+	// restoreErr records a checkpoint that existed but failed validation
+	// at construction (the manager started blind; availability first).
+	restoreErr error
 
 	// tickMu serializes placement rounds: RunPlacement reads the NMDB
 	// through SnapshotState, whose reused buffers are only valid while
@@ -91,6 +130,27 @@ type Manager struct {
 	seq      uint64
 	wg       sync.WaitGroup
 	closed   bool
+
+	// follower is true while the manager is an unpromoted standby.
+	follower bool
+	// replicas tracks connected standbys receiving snapshot streams.
+	replicas map[*replica]struct{}
+	// degraded-mode state (see enterDegraded): while degraded, evictions,
+	// reclaims, and substitutions are deferred and unknown Host-Sync pairs
+	// adopted instead of dropped.
+	degraded   bool
+	graceUntil time.Time
+	resyncBase int
+	resynced   map[int]bool
+}
+
+// replica is one connected standby's replication link.
+type replica struct {
+	conn proto.Conn
+	// sent and acked are the epoch of the last snapshot shipped to and
+	// acknowledged by this standby; their gap is the replication lag.
+	sent  atomic.Uint64
+	acked atomic.Uint64
 }
 
 type pendingKey struct{ busy, dest int }
@@ -117,6 +177,21 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 5 * time.Second
 	}
+	if cfg.CheckpointInterval == 0 {
+		cfg.CheckpointInterval = 30 * time.Second
+	}
+	if cfg.ReplicationInterval <= 0 {
+		cfg.ReplicationInterval = time.Second
+	}
+	if cfg.GraceWindow == 0 {
+		cfg.GraceWindow = 2 * cfg.KeepaliveTimeout
+	}
+	if cfg.ResyncQuorum <= 0 {
+		cfg.ResyncQuorum = 0.5
+	}
+	if cfg.ResyncQuorum > 1 {
+		cfg.ResyncQuorum = 1
+	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
@@ -129,14 +204,167 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		nmdb:       NewNMDBSharded(cfg.Topology, cfg.NMDBShards),
 		planner:    core.NewPlanner(cfg.Params),
 		metrics:    newManagerMetrics(cfg.Metrics),
+		stop:       make(chan struct{}),
 		conns:      make(map[int]proto.Conn),
 		handshakes: make(map[proto.Conn]struct{}),
 		pending:    make(map[pendingKey]*pendingOffload),
 		pairSync:   make(map[pendingKey]time.Time),
 		destSync:   make(map[int]time.Time),
+		follower:   cfg.Follower,
+		replicas:   make(map[*replica]struct{}),
 	}
 	m.metrics.bindGauges(cfg.Metrics, m.nmdb, m.planner)
+	m.metrics.bindHAGauges(cfg.Metrics, m)
+	if cfg.CheckpointPath != "" {
+		m.store = NewCheckpointStore(cfg.CheckpointPath)
+		switch err := m.store.Load(m.nmdb); {
+		case err == nil:
+			m.metrics.checkpointLoads["ok"].Inc()
+			if !m.follower {
+				m.enterDegraded()
+			}
+		case errors.Is(err, fs.ErrNotExist):
+			m.metrics.checkpointLoads["missing"].Inc()
+		default:
+			// Availability first: the corrupt file was moved aside by the
+			// store, the manager starts blind, and the cause stays visible
+			// through RestoreError and the counter.
+			m.metrics.checkpointLoads["error"].Inc()
+			m.restoreErr = err
+		}
+		if cfg.CheckpointInterval > 0 {
+			m.wg.Add(1)
+			go m.checkpointLoop()
+		}
+	}
 	return m, nil
+}
+
+// RestoreError reports a checkpoint that existed at construction but
+// failed to load (the manager started blind). nil after a clean or
+// fresh start.
+func (m *Manager) RestoreError() error { return m.restoreErr }
+
+// checkpointLoop periodically persists the NMDB, skipping writes while
+// the state version is unchanged since the last successful one.
+func (m *Manager) checkpointLoop() {
+	defer m.wg.Done()
+	t := time.NewTicker(m.cfg.CheckpointInterval)
+	defer t.Stop()
+	var lastVer uint64
+	wrote := false
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+		}
+		ver := m.nmdb.StateVersion()
+		if wrote && ver == lastVer {
+			continue
+		}
+		if m.SaveCheckpoint() == nil {
+			lastVer, wrote = ver, true
+		}
+	}
+}
+
+// SaveCheckpoint writes the NMDB to the configured checkpoint path now.
+func (m *Manager) SaveCheckpoint() error {
+	if m.store == nil {
+		return errors.New("cluster: no checkpoint path configured")
+	}
+	if err := m.store.Save(m.nmdb); err != nil {
+		m.metrics.checkpointWrites["failed"].Inc()
+		return err
+	}
+	m.metrics.checkpointWrites["ok"].Inc()
+	return nil
+}
+
+// ErrFollower is returned by RunPlacement on an unpromoted standby.
+var ErrFollower = errors.New("cluster: manager is a follower (standby not promoted)")
+
+// IsFollower reports whether the manager is an unpromoted standby.
+func (m *Manager) IsFollower() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.follower
+}
+
+// Promote turns a follower into the active manager: it starts accepting
+// client handshakes and placement rounds, entering degraded mode (grace
+// window) so restored-but-unconfirmed state is not evicted before clients
+// have a chance to resync. Safe to call on an already-active manager.
+func (m *Manager) Promote() {
+	m.mu.Lock()
+	if !m.follower {
+		m.mu.Unlock()
+		return
+	}
+	m.follower = false
+	m.mu.Unlock()
+	m.metrics.promotions.Inc()
+	m.enterDegraded()
+}
+
+// enterDegraded starts the post-restore/post-promotion grace window:
+// until a ResyncQuorum fraction of the clients known at entry has
+// re-handshaked (or the window expires), keepalive evictions, reclaims,
+// and disconnect substitutions are deferred, and Host-Sync declarations
+// for pairs the ledger lacks are adopted instead of dropped — restored
+// state is treated as stale-but-plausible rather than authoritative.
+func (m *Manager) enterDegraded() {
+	if m.cfg.GraceWindow < 0 {
+		return
+	}
+	base := len(m.nmdb.Nodes())
+	m.mu.Lock()
+	m.degraded = true
+	m.graceUntil = m.cfg.Now().Add(m.cfg.GraceWindow)
+	m.resyncBase = base
+	m.resynced = make(map[int]bool)
+	m.mu.Unlock()
+	m.metrics.degradedEvents["entered"].Inc()
+}
+
+// degradedNow reports whether degraded mode is still in force at now,
+// first applying the exit conditions (quorum reached or window expired).
+func (m *Manager) degradedNow(now time.Time) bool {
+	m.mu.Lock()
+	if !m.degraded {
+		m.mu.Unlock()
+		return false
+	}
+	quorumMet := float64(len(m.resynced)) >= m.cfg.ResyncQuorum*float64(m.resyncBase)
+	expired := !now.Before(m.graceUntil)
+	if !quorumMet && !expired {
+		m.mu.Unlock()
+		return true
+	}
+	m.degraded = false
+	m.resynced = nil
+	m.mu.Unlock()
+	if quorumMet {
+		m.metrics.degradedEvents["exited_quorum"].Inc()
+	} else {
+		m.metrics.degradedEvents["exited_expired"].Inc()
+	}
+	return false
+}
+
+// Degraded reports whether the manager is currently deferring evictions
+// (evaluating the exit conditions as a side effect).
+func (m *Manager) Degraded() bool { return m.degradedNow(m.cfg.Now()) }
+
+// markResynced counts a client's re-handshake toward the degraded-mode
+// quorum.
+func (m *Manager) markResynced(node int) {
+	m.mu.Lock()
+	if m.degraded {
+		m.resynced[node] = true
+	}
+	m.mu.Unlock()
 }
 
 // touchPair timestamps a ledger pair as confirmed by (or sent to) its
@@ -191,8 +419,20 @@ func (m *Manager) Attach(conn proto.Conn) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("cluster: handshake recv: %w", err)
 	}
+	if first.Type == proto.MsgReplHello {
+		return m.attachReplica(conn, first)
+	}
 	if first.Type != proto.MsgOffloadCapable {
 		reason := fmt.Sprintf("handshake requires offload-capable, got %v", first.Type)
+		m.nack(conn, first.From, reason)
+		m.metrics.handshakes["rejected"].Inc()
+		return 0, errors.New("cluster: " + reason)
+	}
+	if m.IsFollower() {
+		// A standby serves its listener from process start so clients can
+		// fail over the moment it promotes; until then they are refused
+		// with a diagnosable cause and rotate to their next manager.
+		reason := "manager is a standby (not promoted)"
 		m.nack(conn, first.From, reason)
 		m.metrics.handshakes["rejected"].Inc()
 		return 0, errors.New("cluster: " + reason)
@@ -211,6 +451,7 @@ func (m *Manager) Attach(conn proto.Conn) (int, error) {
 	if err := conn.Send(ack); err != nil {
 		return 0, fmt.Errorf("cluster: handshake ack: %w", err)
 	}
+	m.markResynced(node)
 
 	m.mu.Lock()
 	if m.closed {
@@ -245,6 +486,127 @@ func (m *Manager) nack(conn proto.Conn, to int32, reason string) {
 	})
 }
 
+// attachReplica adopts a standby's replication connection: it confirms the
+// hello with an ACK and starts a snapshot-streaming sender plus an ack
+// reader. The sender ships a full checksummed snapshot whenever the NMDB
+// state version moved since the last ship and a bare heartbeat otherwise,
+// so an idle cluster costs two small frames per interval. Returns
+// StandbyNode as the attached identity.
+func (m *Manager) attachReplica(conn proto.Conn, hello *proto.Message) (int, error) {
+	ack := &proto.Message{
+		Type: proto.MsgAck, From: ManagerNode, To: hello.From, Seq: m.nextSeq(),
+	}
+	if err := conn.Send(ack); err != nil {
+		return 0, fmt.Errorf("cluster: replica hello ack: %w", err)
+	}
+	r := &replica{conn: conn}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		conn.Close()
+		return 0, errManagerClosed
+	}
+	m.replicas[r] = struct{}{}
+	m.wg.Add(2)
+	m.mu.Unlock()
+	m.metrics.replicasAttached.Inc()
+	go func() {
+		defer m.wg.Done()
+		m.serveReplica(r)
+	}()
+	go func() {
+		defer m.wg.Done()
+		m.readReplicaAcks(r)
+	}()
+	return int(StandbyNode), nil
+}
+
+// serveReplica streams snapshots/heartbeats to one standby until the
+// connection or the manager closes.
+func (m *Manager) serveReplica(r *replica) {
+	ticker := time.NewTicker(m.cfg.ReplicationInterval)
+	defer ticker.Stop()
+	var lastVer uint64
+	shipped := false
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-ticker.C:
+		}
+		ver := m.nmdb.StateVersion()
+		var blob []byte
+		if !shipped || ver != lastVer {
+			var buf bytes.Buffer
+			if err := m.nmdb.SaveSnapshot(&buf); err != nil {
+				continue
+			}
+			blob = buf.Bytes()
+		}
+		epoch := r.sent.Load()
+		if blob != nil {
+			epoch++
+		}
+		msg := &proto.Message{
+			Type: proto.MsgReplSnapshot, From: ManagerNode, To: StandbyNode,
+			Seq: epoch, Blob: blob,
+		}
+		if err := r.conn.Send(msg); err != nil {
+			m.dropReplica(r)
+			return
+		}
+		if blob != nil {
+			r.sent.Store(epoch)
+			lastVer, shipped = ver, true
+			m.metrics.replSnapshots.Inc()
+		} else {
+			m.metrics.replHeartbeats.Inc()
+		}
+	}
+}
+
+// readReplicaAcks tracks the standby's applied-epoch acknowledgements
+// (feeding the replication lag gauge) until the connection closes.
+func (m *Manager) readReplicaAcks(r *replica) {
+	for {
+		msg, err := r.conn.Recv()
+		if err != nil {
+			m.dropReplica(r)
+			return
+		}
+		if msg.Type == proto.MsgReplAck && msg.Seq > r.acked.Load() {
+			r.acked.Store(msg.Seq)
+		}
+	}
+}
+
+// dropReplica removes a replication link; idempotent (both the sender and
+// the ack reader call it on error).
+func (m *Manager) dropReplica(r *replica) {
+	m.mu.Lock()
+	_, present := m.replicas[r]
+	delete(m.replicas, r)
+	m.mu.Unlock()
+	if present {
+		m.metrics.replicasDropped.Inc()
+	}
+	r.conn.Close()
+}
+
+// replicationLag returns the worst sent-minus-acked epoch gap across
+// connected standbys.
+func (m *Manager) replicationLag() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var lag uint64
+	for r := range m.replicas {
+		if d := r.sent.Load() - r.acked.Load(); d > lag && r.sent.Load() >= r.acked.Load() {
+			lag = d
+		}
+	}
+	return lag
+}
+
 // Serve accepts and attaches connections until the listener closes.
 func (m *Manager) Serve(l *proto.Listener) error {
 	for {
@@ -260,24 +622,36 @@ func (m *Manager) Serve(l *proto.Listener) error {
 	}
 }
 
-// Close detaches all clients and stops connection handlers, waiting for
-// in-flight handshakes as well as established connections.
+// Close detaches all clients and replicas and stops connection handlers,
+// waiting for in-flight handshakes as well as established connections.
+// When a checkpoint path is configured, the final state is checkpointed
+// after every handler has drained.
 func (m *Manager) Close() {
 	m.mu.Lock()
+	wasClosed := m.closed
 	m.closed = true
-	conns := make([]proto.Conn, 0, len(m.conns)+len(m.handshakes))
+	conns := make([]proto.Conn, 0, len(m.conns)+len(m.handshakes)+len(m.replicas))
 	for _, c := range m.conns {
 		conns = append(conns, c)
 	}
 	for c := range m.handshakes {
 		conns = append(conns, c)
 	}
+	for r := range m.replicas {
+		conns = append(conns, r.conn)
+	}
 	m.conns = make(map[int]proto.Conn)
 	m.mu.Unlock()
+	if !wasClosed {
+		close(m.stop)
+	}
 	for _, c := range conns {
 		c.Close()
 	}
 	m.wg.Wait()
+	if m.store != nil && !wasClosed {
+		_ = m.SaveCheckpoint()
+	}
 }
 
 func (m *Manager) nextSeq() uint64 {
@@ -443,6 +817,20 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 			m.touchPair(busy, node, now)
 			return
 		}
+		if m.degradedNow(now) {
+			// Degraded mode inverts the trust relationship: the ledger was
+			// restored from a checkpoint that may predate this assignment,
+			// so a destination declaring real hosting the ledger lacks is
+			// evidence the checkpoint missed it. Adopt the pair instead of
+			// ordering a drop — this is the anti-entropy path that makes
+			// failover lose zero active assignments.
+			m.metrics.hostSync["adopted"].Inc()
+			m.nmdb.RecordOffload([]core.Assignment{{
+				Busy: busy, Candidate: node, Amount: msg.AmountPct,
+			}})
+			m.touchPair(busy, node, now)
+			return
+		}
 		m.metrics.hostSync["stale"].Inc()
 		// The ledger no longer maps busy→node: the pair was substituted or
 		// reclaimed while the client was away. Unless an offer for it is
@@ -523,6 +911,9 @@ func (r *PlacementReport) Abandoned() int {
 // are re-offered to next-best candidates up to PlacementRetries times,
 // re-solving the restricted problem with the failed destinations excluded.
 func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
+	if m.IsFollower() {
+		return nil, ErrFollower
+	}
 	m.tickMu.Lock()
 	defer m.tickMu.Unlock()
 	m.metrics.ticks.Inc()
@@ -825,6 +1216,13 @@ type Substitution struct {
 // redirect.
 func (m *Manager) CheckKeepalives() ([]Substitution, error) {
 	now := m.cfg.Now()
+	if m.degradedNow(now) {
+		// Restored keepalive timestamps predate the outage; evicting on
+		// them would declare every destination failed at once. Defer until
+		// clients resync or the grace window expires.
+		m.metrics.degradedDeferrals.Inc()
+		return nil, nil
+	}
 	var subs []Substitution
 	for _, dest := range m.nmdb.Destinations() {
 		rec, ok := m.nmdb.Client(dest)
@@ -883,6 +1281,10 @@ func (m *Manager) resyncPairs(now time.Time) {
 // message; the busy node is told to redirect). Reached from the keepalive
 // sweep and directly from serveConn on an abrupt disconnect.
 func (m *Manager) substituteDest(dest int) []Substitution {
+	if m.degradedNow(m.cfg.Now()) {
+		m.metrics.degradedDeferrals.Inc()
+		return nil
+	}
 	displaced := m.nmdb.ReleaseDestination(dest)
 	if len(displaced) == 0 {
 		return nil
@@ -1013,6 +1415,10 @@ func (m *Manager) pickReplicaDirect(state *core.State, a core.Assignment, failed
 // telling each destination to drop the hosted workload (an
 // Offload-Request with AmountPct 0 is the release instruction).
 func (m *Manager) ReclaimBusy(busy int) []core.Assignment {
+	if m.degradedNow(m.cfg.Now()) {
+		m.metrics.degradedDeferrals.Inc()
+		return nil
+	}
 	released := m.nmdb.ReleaseBusy(busy)
 	m.metrics.reclaims.Add(uint64(len(released)))
 	m.mu.Lock()

@@ -31,11 +31,23 @@ type managerMetrics struct {
 	substitutions *obs.Counter
 	resyncReps    *obs.Counter
 	reclaims      *obs.Counter
-	hostSync      map[string]*obs.Counter // result: synced, stale
+	hostSync      map[string]*obs.Counter // result: synced, stale, adopted
 	handshakes    map[string]*obs.Counter // result: ok, rejected
 	disconnects   *obs.Counter
 	statBatches   *obs.Counter
 	statsIngested *obs.Counter
+
+	// High-availability instrumentation: durable checkpoints, standby
+	// replication, promotion, and degraded-mode (grace window) activity.
+	checkpointWrites  map[string]*obs.Counter // result: ok, failed
+	checkpointLoads   map[string]*obs.Counter // result: ok, missing, error
+	promotions        *obs.Counter
+	degradedEvents    map[string]*obs.Counter // event: entered, exited_quorum, exited_expired
+	degradedDeferrals *obs.Counter
+	replicasAttached  *obs.Counter
+	replicasDropped   *obs.Counter
+	replSnapshots     *obs.Counter
+	replHeartbeats    *obs.Counter
 
 	conn *proto.ConnMetrics
 }
@@ -69,6 +81,21 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"batched RecordStats calls (coalesced STAT runs)"),
 		statsIngested: reg.Counter("dust_manager_stats_ingested_total",
 			"STAT reports applied to the NMDB"),
+		checkpointWrites: make(map[string]*obs.Counter),
+		checkpointLoads:  make(map[string]*obs.Counter),
+		promotions: reg.Counter("dust_manager_promotions_total",
+			"standby-to-active promotions"),
+		degradedEvents: make(map[string]*obs.Counter),
+		degradedDeferrals: reg.Counter("dust_manager_degraded_deferrals_total",
+			"evictions/reclaims/substitutions deferred by the grace window"),
+		replicasAttached: reg.Counter("dust_manager_replicas_attached_total",
+			"standby replication links accepted"),
+		replicasDropped: reg.Counter("dust_manager_replicas_dropped_total",
+			"standby replication links lost"),
+		replSnapshots: reg.Counter("dust_manager_repl_snapshots_total",
+			"full snapshots shipped to standbys"),
+		replHeartbeats: reg.Counter("dust_manager_repl_heartbeats_total",
+			"replication heartbeats sent (state unchanged)"),
 		conn: proto.NewConnMetrics(reg, "manager"),
 	}
 	for _, phase := range []string{"classify", "route", "solve", "dispatch"} {
@@ -83,7 +110,7 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		mm.verifications[result] = reg.Counter("dust_manager_placement_verifications_total",
 			"VerifyPlacements self-audits of solver results by outcome", "result", result)
 	}
-	for _, result := range []string{"synced", "stale"} {
+	for _, result := range []string{"synced", "stale", "adopted"} {
 		mm.hostSync[result] = reg.Counter("dust_manager_hostsync_total",
 			"Host-Sync declarations by reconciliation outcome", "result", result)
 	}
@@ -91,7 +118,56 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		mm.handshakes[result] = reg.Counter("dust_manager_handshakes_total",
 			"registration handshakes by outcome", "result", result)
 	}
+	for _, result := range []string{"ok", "failed"} {
+		mm.checkpointWrites[result] = reg.Counter("dust_manager_checkpoint_writes_total",
+			"durable checkpoint writes by outcome", "result", result)
+	}
+	for _, result := range []string{"ok", "missing", "error"} {
+		mm.checkpointLoads[result] = reg.Counter("dust_manager_checkpoint_loads_total",
+			"checkpoint restore attempts at startup by outcome", "result", result)
+	}
+	for _, event := range []string{"entered", "exited_quorum", "exited_expired"} {
+		mm.degradedEvents[event] = reg.Counter("dust_manager_degraded_transitions_total",
+			"degraded-mode (grace window) transitions", "event", event)
+	}
 	return mm
+}
+
+// bindHAGauges registers the pull-style gauges over the manager's
+// high-availability state: standby links, replication lag, and whether
+// the grace window is in force. Reading the degraded gauge evaluates the
+// exit conditions, so a scrape also advances the state machine.
+func (mm *managerMetrics) bindHAGauges(reg *obs.Registry, m *Manager) {
+	reg.GaugeFunc("dust_manager_replicas_connected",
+		"standby replication links currently attached", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.replicas))
+		})
+	reg.GaugeFunc("dust_manager_replication_lag_epochs",
+		"worst shipped-minus-acked snapshot epoch gap across standbys", func() float64 {
+			return float64(m.replicationLag())
+		})
+	reg.GaugeFunc("dust_manager_degraded",
+		"1 while the post-restore/promotion grace window defers evictions", func() float64 {
+			if m.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dust_manager_follower",
+		"1 while the manager is an unpromoted standby", func() float64 {
+			if m.IsFollower() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("dust_manager_resynced_clients",
+		"clients re-handshaked since entering the grace window", func() float64 {
+			m.mu.Lock()
+			defer m.mu.Unlock()
+			return float64(len(m.resynced))
+		})
 }
 
 // bindGauges registers the pull-style gauges over live manager state.
@@ -173,6 +249,8 @@ func (mm *managerMetrics) recordReport(r *PlacementReport) {
 type clientMetrics struct {
 	sessions   *obs.Counter
 	reconnects map[string]*obs.Counter // result: ok, fail
+	failovers  *obs.Counter
+	abandons   *obs.Counter
 	hostSyncs  *obs.Counter
 	conn       *proto.ConnMetrics
 }
@@ -182,6 +260,10 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 		sessions: reg.Counter("dust_client_sessions_total",
 			"supervised connection sessions started"),
 		reconnects: make(map[string]*obs.Counter),
+		failovers: reg.Counter("dust_client_failovers_total",
+			"reconnects that landed on a different manager than before"),
+		abandons: reg.Counter("dust_client_reconnect_abandoned_total",
+			"supervision loops that gave up after MaxReconnectAttempts"),
 		hostSyncs: reg.Counter("dust_client_hostsync_sent_total",
 			"Host-Sync declarations sent"),
 		conn: proto.NewConnMetrics(reg, "client"),

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -111,6 +112,10 @@ type NMDB struct {
 	// active maps busy node -> its current assignments.
 	active map[int][]core.Assignment
 
+	// muts counts registry/ledger mutations; replication uses it to skip
+	// shipping a snapshot when nothing changed since the last one.
+	muts atomic.Uint64
+
 	// snap is the epoch-snapshot state behind SnapshotState.
 	snap struct {
 		mu       sync.Mutex
@@ -190,6 +195,12 @@ func (db *NMDB) Stats() NMDBStats {
 	}
 }
 
+// StateVersion returns a counter that advances on every mutation of the
+// durable state (registry or ledger). Equal values mean SaveSnapshot
+// would produce the same bytes, which lets the replication loop send a
+// cheap heartbeat instead of a full snapshot when nothing changed.
+func (db *NMDB) StateVersion() uint64 { return db.muts.Load() }
+
 // slot maps a node id to its registry stripe and local record index;
 // sh is nil when node lies outside the topology.
 func (db *NMDB) slot(node int) (sh *nmdbShard, li int) {
@@ -225,6 +236,7 @@ func (db *NMDB) Register(node int, capable bool, cmax, comax float64) error {
 	rec.CMax = cmax
 	rec.COMax = comax
 	sh.seq++
+	db.muts.Add(1)
 	return nil
 }
 
@@ -245,6 +257,7 @@ func (db *NMDB) RecordStat(node int, utilPct, dataMb float64, numAgents int, at 
 	rec.NumAgents = numAgents
 	rec.LastStat = at
 	sh.seq++
+	db.muts.Add(1)
 	return nil
 }
 
@@ -320,6 +333,7 @@ func (db *NMDB) RecordStats(stats []Stat) error {
 	}
 
 	var errs []error
+	anyApplied := false
 	for si, sh := range db.shards {
 		lo, hi := offs[si], offs[si+1]
 		if lo == hi {
@@ -344,8 +358,12 @@ func (db *NMDB) RecordStats(stats []Stat) error {
 		}
 		if applied {
 			sh.seq++
+			anyApplied = true
 		}
 		sh.mu.Unlock()
+	}
+	if anyApplied {
+		db.muts.Add(1)
 	}
 	statScratch.Put(sp)
 	return errors.Join(errs...)
@@ -364,6 +382,7 @@ func (db *NMDB) RecordKeepalive(node int, at time.Time) error {
 		return fmt.Errorf("cluster: keepalive from unregistered node %d", node)
 	}
 	rec.LastKeepalive = at
+	db.muts.Add(1)
 	return nil
 }
 
@@ -521,6 +540,7 @@ func (db *NMDB) SetRole(node int, role core.Role) {
 	defer sh.mu.Unlock()
 	if rec := sh.rec(li); rec != nil {
 		rec.Role = role
+		db.muts.Add(1)
 	}
 }
 
@@ -571,6 +591,9 @@ func (db *NMDB) RecordOffload(assignments []core.Assignment) {
 		}
 		db.markHosting(a.Candidate, a.Busy, true)
 	}
+	if len(assignments) > 0 {
+		db.muts.Add(1)
+	}
 }
 
 // SyncHosting reconciles a destination's declared hosting of busy's
@@ -604,6 +627,7 @@ func (db *NMDB) SyncHosting(busy, dest int, amount float64) bool {
 	kept = append(kept, *first)
 	db.active[busy] = kept
 	db.markHosting(dest, busy, true)
+	db.muts.Add(1)
 	return true
 }
 
@@ -632,6 +656,9 @@ func (db *NMDB) ReleaseBusy(busy int) []core.Assignment {
 	delete(db.active, busy)
 	for _, a := range as {
 		db.markHosting(a.Candidate, busy, false)
+	}
+	if len(as) > 0 {
+		db.muts.Add(1)
 	}
 	return as
 }
@@ -670,6 +697,9 @@ func (db *NMDB) ReleaseDestination(dest int) []core.Assignment {
 		}
 		return displaced[i].Candidate < displaced[j].Candidate
 	})
+	if len(displaced) > 0 {
+		db.muts.Add(1)
+	}
 	return displaced
 }
 

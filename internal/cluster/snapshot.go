@@ -2,7 +2,9 @@ package cluster
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"sort"
 	"time"
@@ -10,11 +12,19 @@ import (
 	"repro/internal/core"
 )
 
-// nmdbSnapshot is the JSON wire form of the NMDB's durable state: client
-// records and the active offload ledger (the topology is configuration,
-// not state, and is not serialized).
+// nmdbSnapshot is the wire form of the NMDB's durable state: a small
+// envelope (version + CRC-32 of the body bytes) around the client records
+// and the active offload ledger (the topology is configuration, not
+// state, and is not serialized). The body rides as json.RawMessage so the
+// checksum covers the exact bytes on the wire — a flipped bit anywhere in
+// the body fails the load instead of silently restoring corrupt state.
 type nmdbSnapshot struct {
-	Version int                  `json:"version"`
+	Version  int             `json:"version"`
+	Checksum uint32          `json:"checksum"`
+	Body     json.RawMessage `json:"body"`
+}
+
+type snapshotBody struct {
 	Clients []clientSnapshot     `json:"clients"`
 	Active  []assignmentSnapshot `json:"active"`
 }
@@ -40,13 +50,22 @@ type assignmentSnapshot struct {
 	ResponseTimeSec float64 `json:"response_time_sec"`
 }
 
-const snapshotVersion = 1
+// snapshotVersion 2 introduced the checksummed envelope (version 1 was a
+// flat, integrity-free JSON object).
+const snapshotVersion = 2
 
-// SaveSnapshot serializes the NMDB's durable state as JSON, letting a
-// restarted Manager resume with its client registry and offload ledger
-// intact (clients re-register and STAT refreshes the dynamic fields).
+// ErrSnapshotCorrupt reports a snapshot whose body does not match its
+// checksum (or cannot be parsed at all); callers distinguish it from
+// plainly absent or version-skewed snapshots with errors.Is.
+var ErrSnapshotCorrupt = errors.New("cluster: snapshot corrupt")
+
+// SaveSnapshot serializes the NMDB's durable state, letting a restarted
+// (or promoted standby) Manager resume with its client registry and
+// offload ledger intact (clients re-register and STAT refreshes the
+// dynamic fields). The body is wrapped in a checksummed envelope so
+// LoadSnapshot detects torn or bit-flipped files.
 func (db *NMDB) SaveSnapshot(w io.Writer) error {
-	snap := nmdbSnapshot{Version: snapshotVersion}
+	var body snapshotBody
 	for _, sh := range db.shards {
 		sh.mu.Lock()
 		for li := range sh.recs {
@@ -54,7 +73,7 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 			if !rec.registered {
 				continue
 			}
-			snap.Clients = append(snap.Clients, clientSnapshot{
+			body.Clients = append(body.Clients, clientSnapshot{
 				Node: rec.Node, Capable: rec.Capable,
 				CMax: rec.CMax, COMax: rec.COMax,
 				UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
@@ -65,13 +84,13 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 		}
 		sh.mu.Unlock()
 	}
-	sort.Slice(snap.Clients, func(i, j int) bool {
-		return snap.Clients[i].Node < snap.Clients[j].Node
+	sort.Slice(body.Clients, func(i, j int) bool {
+		return body.Clients[i].Node < body.Clients[j].Node
 	})
 	db.lmu.Lock()
 	for _, busy := range sortedActiveKeys(db.active) {
 		for _, a := range db.active[busy] {
-			snap.Active = append(snap.Active, assignmentSnapshot{
+			body.Active = append(body.Active, assignmentSnapshot{
 				Busy: a.Busy, Candidate: a.Candidate,
 				Amount: a.Amount, ResponseTimeSec: a.ResponseTimeSec,
 			})
@@ -79,21 +98,37 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 	}
 	db.lmu.Unlock()
 
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(snap)
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("cluster: encode snapshot body: %w", err)
+	}
+	return json.NewEncoder(w).Encode(nmdbSnapshot{
+		Version:  snapshotVersion,
+		Checksum: crc32.ChecksumIEEE(raw),
+		Body:     raw,
+	})
 }
 
 // LoadSnapshot restores state saved by SaveSnapshot into this NMDB,
-// replacing the current client registry and ledger. Records referencing
-// nodes outside the topology are rejected.
+// replacing the current client registry and ledger. Any decode failure,
+// version skew, checksum mismatch, or reference to a node outside the
+// topology rejects the whole snapshot and leaves the current state
+// untouched.
 func (db *NMDB) LoadSnapshot(r io.Reader) error {
 	var snap nmdbSnapshot
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return fmt.Errorf("cluster: decode snapshot: %w", err)
+		return fmt.Errorf("%w: decode snapshot: %v", ErrSnapshotCorrupt, err)
 	}
 	if snap.Version != snapshotVersion {
 		return fmt.Errorf("cluster: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	if sum := crc32.ChecksumIEEE(snap.Body); sum != snap.Checksum {
+		return fmt.Errorf("%w: body checksum %08x, header says %08x",
+			ErrSnapshotCorrupt, sum, snap.Checksum)
+	}
+	var body snapshotBody
+	if err := json.Unmarshal(snap.Body, &body); err != nil {
+		return fmt.Errorf("%w: decode snapshot body: %v", ErrSnapshotCorrupt, err)
 	}
 	n := db.numNodes
 	// Fresh per-shard record arrays, filled from the snapshot and swapped
@@ -102,7 +137,7 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 	for si, sh := range db.shards {
 		fresh[si] = make([]ClientRecord, len(sh.recs))
 	}
-	for _, c := range snap.Clients {
+	for _, c := range body.Clients {
 		if c.Node < 0 || c.Node >= n {
 			return fmt.Errorf("cluster: snapshot client %d outside topology (%d nodes)", c.Node, n)
 		}
@@ -119,8 +154,8 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 			rec.hostAdd(b)
 		}
 	}
-	active := make(map[int][]core.Assignment, len(snap.Active))
-	for _, a := range snap.Active {
+	active := make(map[int][]core.Assignment, len(body.Active))
+	for _, a := range body.Active {
 		if a.Busy < 0 || a.Busy >= n || a.Candidate < 0 || a.Candidate >= n {
 			return fmt.Errorf("cluster: snapshot assignment %d→%d outside topology", a.Busy, a.Candidate)
 		}
@@ -144,6 +179,7 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 	db.lmu.Lock()
 	db.active = active
 	db.lmu.Unlock()
+	db.muts.Add(1)
 	return nil
 }
 

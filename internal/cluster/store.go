@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// CheckpointStore persists NMDB snapshots to a file with crash-safe
+// semantics: Save writes to a temp file in the same directory, fsyncs,
+// then renames over the target, so a crash mid-write leaves the previous
+// checkpoint intact and a reader never observes a torn file. Load moves a
+// checkpoint that fails validation aside (path + ".corrupt") so one bad
+// file cannot wedge every subsequent restart.
+type CheckpointStore struct {
+	path string
+}
+
+// NewCheckpointStore returns a store writing checkpoints to path.
+func NewCheckpointStore(path string) *CheckpointStore {
+	return &CheckpointStore{path: path}
+}
+
+// Path returns the checkpoint file location.
+func (s *CheckpointStore) Path() string { return s.path }
+
+// Save atomically writes a snapshot of db to the store's path.
+func (s *CheckpointStore) Save(db *NMDB) error {
+	tmp := s.path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint: %w", err)
+	}
+	if err := db.SaveSnapshot(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: checkpoint %s: %w", tmp, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: checkpoint sync %s: %w", tmp, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: checkpoint close %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, s.path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("cluster: checkpoint rename: %w", err)
+	}
+	// Best-effort directory fsync so the rename itself is durable.
+	if d, err := os.Open(filepath.Dir(s.path)); err == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load restores the checkpoint at the store's path into db. A missing
+// file returns an error satisfying errors.Is(err, fs.ErrNotExist); a
+// file that fails snapshot validation is renamed to path + ".corrupt"
+// and the validation error is returned.
+func (s *CheckpointStore) Load(db *NMDB) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("cluster: checkpoint: %w", err)
+	}
+	loadErr := db.LoadSnapshot(f)
+	f.Close()
+	if loadErr != nil {
+		// Move the bad file aside so the next restart does not trip over
+		// it again; losing the rename is tolerable (best effort).
+		os.Rename(s.path, s.path+".corrupt")
+		return fmt.Errorf("cluster: checkpoint %s: %w", s.path, loadErr)
+	}
+	return nil
+}

@@ -47,7 +47,7 @@ func FuzzProtoRoundTrip(f *testing.F) {
 		cmax, comax, util, dataMb, amount float64, busy int32, accept bool,
 		agent1, agent2 string, r1, r2, failed int32, errStr string) {
 		m := &Message{
-			Type:       MsgOffloadCapable + MsgType(typ%8),
+			Type:       MsgOffloadCapable + MsgType(typ)%msgTypeMax,
 			From:       from,
 			To:         to,
 			Seq:        seq,

@@ -11,7 +11,7 @@ import (
 // production, which is the point: DUST treats telemetry as a workload to
 // be measured, and that includes its own control traffic.
 type ConnMetrics struct {
-	sent, recv [MsgHostSync + 1]*obs.Counter
+	sent, recv [msgTypeMax + 1]*obs.Counter
 	sendErrs   *obs.Counter
 	recvErrs   *obs.Counter
 }
@@ -28,7 +28,7 @@ func NewConnMetrics(reg *obs.Registry, role string) *ConnMetrics {
 		recvErrs: reg.Counter("dust_proto_recv_errors_total",
 			"failed control-plane receives (closed or faulted connections)", "role", role),
 	}
-	for t := MsgOffloadCapable; t <= MsgHostSync; t++ {
+	for t := MsgOffloadCapable; t <= msgTypeMax; t++ {
 		cm.sent[t] = reg.Counter("dust_proto_sent_total",
 			"control-plane messages sent, by type", "role", role, "type", t.String())
 		cm.recv[t] = reg.Counter("dust_proto_recv_total",
@@ -55,7 +55,7 @@ func (c *measuredConn) Send(m *Message) error {
 	err := c.Conn.Send(m)
 	if err != nil {
 		c.cm.sendErrs.Inc()
-	} else if m.Type >= MsgOffloadCapable && m.Type <= MsgHostSync {
+	} else if m.Type >= MsgOffloadCapable && m.Type <= msgTypeMax {
 		c.cm.sent[m.Type].Inc()
 	}
 	return err
@@ -65,7 +65,7 @@ func (c *measuredConn) Recv() (*Message, error) {
 	m, err := c.Conn.Recv()
 	if err != nil {
 		c.cm.recvErrs.Inc()
-	} else if m.Type >= MsgOffloadCapable && m.Type <= MsgHostSync {
+	} else if m.Type >= MsgOffloadCapable && m.Type <= msgTypeMax {
 		c.cm.recv[m.Type].Inc()
 	}
 	return m, err

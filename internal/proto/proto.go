@@ -1,8 +1,10 @@
 // Package proto defines DUST's control-plane messages (Section III-B and
 // Figure 3) — Offload-capable, ACK, STAT, Offload-Request, Offload-ACK,
-// Keepalive, and REP — together with a compact length-prefixed binary
-// codec and transports (in-memory for tests/simulation, TCP for real
-// deployments) that carry them between DUST-Clients and the DUST-Manager.
+// Keepalive, REP, and Host-Sync — plus the manager-to-standby replication
+// messages (Repl-Hello, Repl-Snapshot, Repl-Ack), together with a compact
+// length-prefixed binary codec and transports (in-memory for
+// tests/simulation, TCP for real deployments) that carry them between
+// DUST-Clients, the DUST-Manager, and its warm standby.
 package proto
 
 import (
@@ -40,7 +42,23 @@ const (
 	// periodically alongside keepalives) so the manager's ledger and the
 	// client's hosting state re-converge after message loss.
 	MsgHostSync
+	// MsgReplHello is a warm standby's registration with the primary
+	// manager: the connection becomes a replication stream instead of a
+	// client session.
+	MsgReplHello
+	// MsgReplSnapshot carries one replication epoch from primary to
+	// standby: Seq is the epoch, Blob the checksummed NMDB snapshot. An
+	// empty Blob is a heartbeat — the state is unchanged since the epoch
+	// already shipped, but the primary is alive.
+	MsgReplSnapshot
+	// MsgReplAck is the standby's acknowledgment of a replication epoch
+	// (Seq echoes the epoch), feeding the primary's replication-lag gauge.
+	MsgReplAck
 )
+
+// msgTypeMax is the highest defined message type; the codec rejects
+// anything outside [MsgOffloadCapable, msgTypeMax].
+const msgTypeMax = MsgReplAck
 
 func (t MsgType) String() string {
 	switch t {
@@ -60,6 +78,12 @@ func (t MsgType) String() string {
 		return "rep"
 	case MsgHostSync:
 		return "host-sync"
+	case MsgReplHello:
+		return "repl-hello"
+	case MsgReplSnapshot:
+		return "repl-snapshot"
+	case MsgReplAck:
+		return "repl-ack"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -102,6 +126,9 @@ type Message struct {
 	RouteNodes []int32
 	// FailedNode is the malfunctioning destination MsgRep replaces.
 	FailedNode int32
+	// Blob is MsgReplSnapshot's payload: a checksummed NMDB snapshot.
+	// Empty on heartbeats.
+	Blob []byte
 	// Error carries a refusal reason on MsgAck: a non-empty value turns
 	// the ACK into a NACK, letting a rejected client fail fast with a
 	// diagnosable cause instead of a bare connection close.
@@ -177,6 +204,8 @@ func AppendEncode(b []byte, m *Message) []byte {
 	b = appendInt32(b, m.FailedNode)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Error)))
 	b = append(b, m.Error...)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Blob)))
+	b = append(b, m.Blob...)
 	return b
 }
 
@@ -219,13 +248,21 @@ func Decode(data []byte) (*Message, error) {
 		return nil, fmt.Errorf("proto: error length %d implausible", nErr)
 	}
 	m.Error = string(d.bytes(int(nErr)))
+	nBlob := d.uint32()
+	if d.err == nil && nBlob > maxMessageSize {
+		return nil, fmt.Errorf("proto: blob length %d implausible", nBlob)
+	}
+	if nBlob > 0 {
+		// Copy: the source buffer is pooled (ReadFrame) or caller-owned.
+		m.Blob = append([]byte(nil), d.bytes(int(nBlob))...)
+	}
 	if d.err != nil {
 		return nil, d.err
 	}
 	if len(d.buf) != d.off {
 		return nil, fmt.Errorf("proto: %d trailing bytes", len(d.buf)-d.off)
 	}
-	if m.Type < MsgOffloadCapable || m.Type > MsgHostSync {
+	if m.Type < MsgOffloadCapable || m.Type > msgTypeMax {
 		return nil, fmt.Errorf("proto: unknown message type %d", m.Type)
 	}
 	return m, nil
