@@ -7,7 +7,7 @@
 # oracle; fuzz-smoke gives every native fuzz target a short randomized
 # budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare chaos chaos-smoke failover
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare bench-databus chaos chaos-smoke failover databus-demo
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -25,6 +25,7 @@ endif
 	$(MAKE) verify
 	-$(MAKE) chaos-smoke
 	-$(MAKE) bench-compare
+	-$(MAKE) bench-databus
 
 # Differential tier: 1000 seeded random instances solved by every
 # applicable solver (simplex, transport, ILP) and cross-checked against
@@ -44,14 +45,17 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzSimplexModel$$' -fuzztime $(FUZZTIME) ./internal/lp
 	go test -run '^$$' -fuzz '^FuzzProtoRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/proto
 	go test -run '^$$' -fuzz '^FuzzRouteCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/core
+	go test -run '^$$' -fuzz '^FuzzSnappyRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/databus
+	go test -run '^$$' -fuzz '^FuzzDownsample$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 
-# The observability packages run first: their lock-free counters and the
-# instrumented manager/client paths are the likeliest place for a fresh
-# data race, so they fail fast before the full -race sweep.
+# The observability and data-plane packages run first: their lock-free
+# counters, pump goroutines, and the instrumented manager/client paths are
+# the likeliest place for a fresh data race, so they fail fast before the
+# full -race sweep.
 check-race:
 	go vet ./...
-	go test -race -count=1 ./internal/obs ./internal/proto ./internal/cluster
-	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/cluster)
+	go test -race -count=1 ./internal/obs ./internal/proto ./internal/databus ./internal/tsdb ./internal/cluster
+	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/databus -e /internal/tsdb -e /internal/cluster)
 
 bench:
 	go test -bench=. -benchmem
@@ -62,16 +66,16 @@ bench:
 # quiet machine). Informational only — check treats it as non-fatal,
 # since timings shift with host load; benchstat renders the diff when on
 # PATH, otherwise the raw run is printed for eyeballing.
-BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame
+BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame|BenchmarkDatabusPublish|BenchmarkRemoteWriteSink
 BENCH_COUNT ?= 3
 
 bench-baseline:
 	go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto | tee bench_baseline.txt
+		./internal/cluster ./internal/proto ./internal/databus | tee bench_baseline.txt
 
 bench-compare:
 	@go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto > bench_current.txt
+		./internal/cluster ./internal/proto ./internal/databus > bench_current.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_current.txt; \
 	else \
@@ -90,6 +94,16 @@ chaos:
 
 failover:
 	go run ./cmd/dustsim -failover
+
+databus-demo:
+	go run ./cmd/dustsim -databus
+
+# Data-plane smoke: the databus publish and remote-write encode benchmarks
+# with allocation counts — the 0 allocs/op steady-state encode guarantee is
+# the number to watch. Non-fatal in check, like bench-compare.
+bench-databus:
+	go test -run '^$$' -bench 'BenchmarkDatabusPublish|BenchmarkRemoteWriteSink' \
+		-benchmem ./internal/databus
 
 # Resilience smoke: the chaos-convergence, manager-failover, and
 # crash-recovery suites under the race detector. Wired into check

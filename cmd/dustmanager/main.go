@@ -24,13 +24,16 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/databus"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/tsdb"
 )
 
 func main() {
@@ -61,6 +64,12 @@ func main() {
 		verifyPl  = flag.Bool("verify-placements", false, "self-audit every solver result against the Eq. 3 invariants before offering it (debug)")
 		shards    = flag.Int("nmdb-shards", cluster.DefaultNMDBShards, "NMDB registry stripe count (rounded up to a power of two; <1 = default)")
 		warmSolve = flag.Bool("warm-solve", true, "seed each placement solve from the previous tick's basis when the busy/candidate sets are unchanged")
+
+		databusOn    = flag.Bool("databus", false, "publish ingested STATs (and relayed telemetry-batch frames) onto an in-process databus backed by a node-local tsdb")
+		databusQueue = flag.Int("databus-queue", databus.DefaultQueueSize, "per-sink databus queue bound in samples")
+		databusBatch = flag.Int("databus-batch", databus.DefaultBatchSize, "databus flush threshold in samples")
+		databusFlush = flag.Duration("databus-flush", databus.DefaultFlushInterval, "databus partial-batch flush interval")
+		databusRW    = flag.String("databus-remote-write", "", "also stream snappy-framed remote-write batches to this file (implies -databus)")
 	)
 	flag.Parse()
 
@@ -84,6 +93,38 @@ func main() {
 	if checkpoint == "" {
 		checkpoint = *snapshot
 	}
+
+	// The databus is the telemetry data plane: STATs the manager ingests
+	// (and telemetry-batch frames destinations relay) fan out to a
+	// node-local tsdb and, optionally, a remote-write frame stream. The
+	// registry is shared with the manager so one /metrics scrape covers
+	// both planes.
+	reg := obs.NewRegistry()
+	var bus *databus.Bus
+	if *databusOn || *databusRW != "" {
+		bus = databus.New(databus.Config{
+			QueueSize:     *databusQueue,
+			BatchSize:     *databusBatch,
+			FlushInterval: *databusFlush,
+			Metrics:       reg,
+		})
+		defer bus.Close()
+		store := tsdb.New()
+		bus.Attach(databus.NewTSDBSink("tsdb", store))
+		reg.GaugeFunc("dust_databus_tsdb_points",
+			"points held by the databus-backed node-local tsdb",
+			func() float64 { return float64(store.NumPoints()) })
+		if *databusRW != "" {
+			f, err := os.Create(*databusRW)
+			if err != nil {
+				log.Fatalf("dustmanager: remote-write sink: %v", err)
+			}
+			defer f.Close()
+			bus.Attach(databus.NewRemoteWriteSink("remote-write", f))
+			log.Printf("dustmanager: streaming remote-write frames to %s", *databusRW)
+		}
+	}
+
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:            topo,
 		Defaults:            th,
@@ -100,6 +141,8 @@ func main() {
 		Follower:            *standbyOf != "",
 		GraceWindow:         *grace,
 		ResyncQuorum:        *quorum,
+		Metrics:             reg,
+		Databus:             bus,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)

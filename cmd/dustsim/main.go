@@ -36,6 +36,7 @@ func main() {
 		comax    = flag.Float64("comax", 30, "offload-candidate threshold")
 		csvPath  = flag.String("csv", "", "write per-node monitoring CPU series as CSV")
 		chaos    = flag.Bool("chaos", false, "run the control-plane chaos demo instead of the testbed simulation")
+		busDemo  = flag.Bool("databus", false, "run the streaming-data-plane demo (databus + tsdb/remote-write sinks) instead of the testbed simulation")
 		failover = flag.Bool("failover", false, "run the manager-failover demo (warm standby promotion) instead of the testbed simulation")
 		promote  = flag.Duration("promote-after", time.Second, "replication silence before the -failover standby promotes itself")
 		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos and -failover (line topology)")
@@ -48,6 +49,12 @@ func main() {
 
 	if *chaos {
 		if err := runChaos(*chaosN, *drop, *dup, *seed, *metrics, *verifyPl); err != nil {
+			log.Fatalf("dustsim: %v", err)
+		}
+		return
+	}
+	if *busDemo {
+		if err := runDatabusDemo(*chaosN, *seed, *metrics); err != nil {
 			log.Fatalf("dustsim: %v", err)
 		}
 		return

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/databus"
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/proto"
@@ -95,6 +96,11 @@ type ManagerConfig struct {
 	// atomic-counter cheap — and Metrics() exposes whichever registry is
 	// in use, so a scrape endpoint can be attached later).
 	Metrics *obs.Registry
+	// Databus, when set, is the telemetry data plane: every ingested STAT
+	// is republished as per-node series (see StatSeriesKeys), and
+	// telemetry-batch frames from offload destinations are decoded into
+	// it. nil keeps the manager control-plane only.
+	Databus *databus.Bus
 }
 
 // Manager is the DUST decision node.
@@ -104,6 +110,8 @@ type Manager struct {
 	planner *core.Planner
 	metrics *managerMetrics
 	store   *CheckpointStore
+	// bridge republishes ingested STATs onto cfg.Databus; nil without one.
+	bridge *statBridge
 	// stop ends the checkpoint and replication loops; closed once by Close.
 	stop chan struct{}
 	// restoreErr records a checkpoint that existed but failed validation
@@ -212,6 +220,9 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		destSync:   make(map[int]time.Time),
 		follower:   cfg.Follower,
 		replicas:   make(map[*replica]struct{}),
+	}
+	if cfg.Databus != nil {
+		m.bridge = newStatBridge(cfg.Databus, cfg.Topology.NumNodes())
 	}
 	m.metrics.bindGauges(cfg.Metrics, m.nmdb, m.planner)
 	m.metrics.bindHAGauges(cfg.Metrics, m)
@@ -739,6 +750,9 @@ func (m *Manager) flushStats(batch *[]Stat) {
 	_ = m.nmdb.RecordStats(*batch)
 	m.metrics.statBatches.Inc()
 	m.metrics.statsIngested.Add(uint64(len(*batch)))
+	if m.bridge != nil {
+		m.bridge.publishStats(*batch)
+	}
 	*batch = (*batch)[:0]
 }
 
@@ -785,6 +799,11 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 	switch msg.Type {
 	case proto.MsgStat:
 		_ = m.nmdb.RecordStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
+		if m.bridge != nil {
+			m.bridge.publishStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
+		}
+	case proto.MsgTelemetryBatch:
+		m.handleTelemetryBatch(msg.Blob)
 	case proto.MsgKeepalive:
 		_ = m.nmdb.RecordKeepalive(node, now)
 	case proto.MsgOffloadCapable:

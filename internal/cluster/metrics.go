@@ -37,6 +37,11 @@ type managerMetrics struct {
 	statBatches   *obs.Counter
 	statsIngested *obs.Counter
 
+	// Telemetry data plane: MsgTelemetryBatch frames relayed into the
+	// databus (see ManagerConfig.Databus).
+	telemetryFrames  map[string]*obs.Counter // result: published, decode_error, no_bus
+	telemetrySamples *obs.Counter
+
 	// High-availability instrumentation: durable checkpoints, standby
 	// replication, promotion, and degraded-mode (grace window) activity.
 	checkpointWrites  map[string]*obs.Counter // result: ok, failed
@@ -81,6 +86,9 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"batched RecordStats calls (coalesced STAT runs)"),
 		statsIngested: reg.Counter("dust_manager_stats_ingested_total",
 			"STAT reports applied to the NMDB"),
+		telemetryFrames: make(map[string]*obs.Counter),
+		telemetrySamples: reg.Counter("dust_manager_telemetry_samples_total",
+			"samples decoded from telemetry-batch frames and republished"),
 		checkpointWrites: make(map[string]*obs.Counter),
 		checkpointLoads:  make(map[string]*obs.Counter),
 		promotions: reg.Counter("dust_manager_promotions_total",
@@ -129,6 +137,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 	for _, event := range []string{"entered", "exited_quorum", "exited_expired"} {
 		mm.degradedEvents[event] = reg.Counter("dust_manager_degraded_transitions_total",
 			"degraded-mode (grace window) transitions", "event", event)
+	}
+	for _, result := range []string{"published", "decode_error", "no_bus"} {
+		mm.telemetryFrames[result] = reg.Counter("dust_manager_telemetry_frames_total",
+			"telemetry-batch frames received by outcome", "result", result)
 	}
 	return mm
 }

@@ -1,0 +1,96 @@
+// telemetry.go bridges the control plane into the telemetry data plane:
+// when ManagerConfig.Databus is set, every STAT the manager ingests is
+// also published onto the bus as per-node utilization/data/agent series,
+// and MsgTelemetryBatch frames arriving from offload destinations are
+// decoded and republished — so the bus carries the full monitored picture
+// regardless of which node actually did the monitoring.
+package cluster
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/databus"
+	"repro/internal/tsdb"
+)
+
+// Per-node series the STAT bridge publishes.
+const (
+	MetricNodeUtil   = "dust_node_util_pct"
+	MetricNodeDataMb = "dust_node_data_mb"
+	MetricNodeAgents = "dust_node_agents"
+)
+
+// StatSeriesKeys returns the three series a node's STATs publish under —
+// shared by the bridge, the experiments, and the dustsim demo so they
+// agree on naming.
+func StatSeriesKeys(node int) (util, dataMb, agents tsdb.SeriesKey) {
+	labels := map[string]string{"node": strconv.Itoa(node)}
+	return tsdb.Key(MetricNodeUtil, labels),
+		tsdb.Key(MetricNodeDataMb, labels),
+		tsdb.Key(MetricNodeAgents, labels)
+}
+
+// statBridge publishes ingested STATs into a databus. Series keys for the
+// topology's nodes are precomputed so the hot flushStats path publishes
+// without building label maps; out-of-range nodes (never the case for a
+// validated topology) fall back to on-the-fly keys.
+type statBridge struct {
+	bus  *databus.Bus
+	keys [][3]tsdb.SeriesKey
+}
+
+func newStatBridge(bus *databus.Bus, numNodes int) *statBridge {
+	b := &statBridge{bus: bus, keys: make([][3]tsdb.SeriesKey, numNodes)}
+	for n := 0; n < numNodes; n++ {
+		b.keys[n][0], b.keys[n][1], b.keys[n][2] = StatSeriesKeys(n)
+	}
+	return b
+}
+
+func (b *statBridge) keyTriple(node int) [3]tsdb.SeriesKey {
+	if node >= 0 && node < len(b.keys) {
+		return b.keys[node]
+	}
+	var k [3]tsdb.SeriesKey
+	k[0], k[1], k[2] = StatSeriesKeys(node)
+	return k
+}
+
+// publishStat emits one STAT's three samples.
+func (b *statBridge) publishStat(node int, utilPct, dataMb float64, agents int, at time.Time) {
+	k := b.keyTriple(node)
+	t := float64(at.UnixNano()) / 1e9
+	smps := [3]databus.Sample{
+		{Key: k[0], T: t, V: utilPct},
+		{Key: k[1], T: t, V: dataMb},
+		{Key: k[2], T: t, V: float64(agents)},
+	}
+	b.bus.PublishBatch(smps[:])
+}
+
+// publishStats emits a flushed STAT batch.
+func (b *statBridge) publishStats(batch []Stat) {
+	for _, s := range batch {
+		b.publishStat(s.Node, s.UtilPct, s.DataMb, s.NumAgents, s.At)
+	}
+}
+
+// handleTelemetryBatch decodes a remote-write frame relayed by an offload
+// destination and republishes its samples onto the bus. Without a bus the
+// frame is counted and dropped — the manager never buffers raw telemetry
+// itself.
+func (m *Manager) handleTelemetryBatch(blob []byte) {
+	if m.bridge == nil {
+		m.metrics.telemetryFrames["no_bus"].Inc()
+		return
+	}
+	samples, err := databus.DecodeRemoteWrite(blob)
+	if err != nil {
+		m.metrics.telemetryFrames["decode_error"].Inc()
+		return
+	}
+	m.bridge.bus.PublishBatch(samples)
+	m.metrics.telemetryFrames["published"].Inc()
+	m.metrics.telemetrySamples.Add(uint64(len(samples)))
+}

@@ -1,0 +1,136 @@
+package databus
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tsdb"
+)
+
+// benchKeys gives the benchmarks a small stable key set so the remote-write
+// run folding sees realistic per-series batches.
+func benchKeys() []tsdb.SeriesKey {
+	keys := make([]tsdb.SeriesKey, 8)
+	for i := range keys {
+		keys[i] = tsdb.Key("dust_node_util", map[string]string{
+			"node": string(rune('a' + i)), "cluster": "bench",
+		})
+	}
+	return keys
+}
+
+// BenchmarkDatabusPublish measures sustained bus throughput end to end:
+// publisher -> bounded queue -> pump batching -> sink, in blocking mode so
+// every published sample is actually consumed (no shedding flattery).
+func BenchmarkDatabusPublish(b *testing.B) {
+	bus := New(Config{QueueSize: 1 << 16, BatchSize: 2048, FlushInterval: 10 * time.Millisecond, Block: true})
+	sink := &DiscardSink{}
+	bus.Attach(sink)
+	keys := benchKeys()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(Sample{Key: keys[i&7], T: float64(i), V: 1})
+	}
+	b.StopTimer()
+	bus.Close()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	if got := sink.Samples(); got != uint64(b.N) {
+		b.Fatalf("sink consumed %d of %d", got, b.N)
+	}
+}
+
+// BenchmarkDatabusPublishBatch is the amortized path offload destinations
+// use when relaying whole stat batches.
+func BenchmarkDatabusPublishBatch(b *testing.B) {
+	bus := New(Config{QueueSize: 1 << 16, BatchSize: 2048, FlushInterval: 10 * time.Millisecond, Block: true})
+	sink := &DiscardSink{}
+	bus.Attach(sink)
+	keys := benchKeys()
+	batch := make([]Sample, 64)
+	for i := range batch {
+		batch[i] = Sample{Key: keys[i&7], T: float64(i), V: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j].T = float64(i*64 + j)
+		}
+		bus.PublishBatch(batch)
+	}
+	b.StopTimer()
+	bus.Close()
+	b.ReportMetric(float64(b.N*64)/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkRemoteWriteSink measures the steady-state encode: batches of
+// 1024 samples across 8 series, protobuf + snappy into a discarding
+// writer. The headline numbers are samples/s and 0 allocs/op.
+func BenchmarkRemoteWriteSink(b *testing.B) {
+	sink := NewRemoteWriteSink("bench", discardWriter{})
+	keys := benchKeys()
+	batch := make([]Sample, 1024)
+	for i := range batch {
+		batch[i] = Sample{Key: keys[i/128], T: float64(i), V: float64(i) * 0.25}
+	}
+	// Warm up scratch buffers to steady-state capacity.
+	for i := 0; i < 4; i++ {
+		if err := sink.WriteBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sink.WriteBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "samples/s")
+	st := sink.Stats()
+	b.ReportMetric(float64(st.CompressedBytes)/float64(st.Samples), "bytes/sample")
+}
+
+// BenchmarkTSDBSink measures the batch-append store path the bus uses.
+func BenchmarkTSDBSink(b *testing.B) {
+	db := tsdb.New()
+	sink := NewTSDBSink("bench", db)
+	keys := benchKeys()
+	batch := make([]Sample, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range batch {
+			batch[j] = Sample{Key: keys[j/128], T: float64(i*128 + j/8), V: 1}
+		}
+		if err := sink.WriteBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N*len(batch))/b.Elapsed().Seconds(), "samples/s")
+}
+
+// BenchmarkSnappyEncode isolates the compressor on telemetry-shaped bytes.
+func BenchmarkSnappyEncode(b *testing.B) {
+	sink := NewRemoteWriteSink("shape", discardWriter{})
+	keys := benchKeys()
+	batch := make([]Sample, 1024)
+	for i := range batch {
+		batch[i] = Sample{Key: keys[i/128], T: float64(i), V: float64(i) * 0.25}
+	}
+	if err := sink.WriteBatch(batch); err != nil {
+		b.Fatal(err)
+	}
+	src := append([]byte(nil), sink.enc.pb...) // the uncompressed WriteRequest
+	var c snappyCompressor
+	dst := make([]byte, 0, len(src))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = c.AppendEncode(dst[:0], src)
+	}
+}

@@ -1,0 +1,352 @@
+// Package databus is the streaming offload data plane: a bounded, batched,
+// backpressured in-process bus that offload destinations publish telemetry
+// Samples into, fanned out to per-backend "pump" consumers — the
+// one-databus/many-pumps architecture of the Dell iDRAC telemetry reference
+// tools the ROADMAP cites. Each attached Sink gets its own bounded queue and
+// pump goroutine, so a stalled backend sheds load (counted drops) without
+// stalling the publishers or the other sinks. DUST's control plane decides
+// *who* monitors; the databus is the high-throughput path the resulting
+// telemetry bytes actually flow through.
+package databus
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/tsdb"
+)
+
+// Sample is one telemetry observation in flight: the series it belongs to
+// plus a (time, value) pair. It is plain data — publishing copies it, so
+// no aliasing survives into the pumps.
+type Sample struct {
+	Key tsdb.SeriesKey
+	T   float64 // seconds
+	V   float64
+}
+
+// Sink consumes batches from one pump. WriteBatch is called from a single
+// pump goroutine, so implementations may keep reusable scratch state
+// without locking; the batch slice is reused after WriteBatch returns and
+// must not be retained.
+type Sink interface {
+	Name() string
+	WriteBatch(batch []Sample) error
+}
+
+// Defaults for the zero-valued Config fields.
+const (
+	DefaultQueueSize     = 1 << 16
+	DefaultBatchSize     = 1024
+	DefaultFlushInterval = 100 * time.Millisecond
+)
+
+// Config parameterizes a Bus.
+type Config struct {
+	// QueueSize bounds each pump's queue (default 65536 samples). This is
+	// the only buffering between a publisher and a sink, so a stalled sink
+	// holds at most QueueSize + BatchSize samples.
+	QueueSize int
+	// BatchSize is the flush threshold per pump (default 1024).
+	BatchSize int
+	// FlushInterval bounds the latency of a partial batch (default 100ms).
+	FlushInterval time.Duration
+	// Block selects backpressure over shedding: publishers wait for queue
+	// space instead of dropping. Default false — telemetry is shed, and
+	// drops are counted, rather than ever stalling the monitoring path.
+	Block bool
+	// Metrics, when set, registers the dust_databus_* instruments there.
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = DefaultQueueSize
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = DefaultBatchSize
+	}
+	if c.BatchSize > c.QueueSize {
+		c.BatchSize = c.QueueSize
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = DefaultFlushInterval
+	}
+	return c
+}
+
+// Stats is a point-in-time aggregate of bus activity.
+type Stats struct {
+	Published  uint64 // samples accepted into at least zero queues (Publish calls)
+	Dropped    uint64 // samples shed across all pumps (full queue, non-blocking mode)
+	Batches    uint64 // sink WriteBatch invocations across all pumps
+	SinkErrors uint64 // WriteBatch calls that returned an error
+}
+
+// Bus fans published samples out to one bounded queue per attached sink.
+type Bus struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	pumps  []*pump
+	closed bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	published atomic.Uint64
+	obsPub    *obs.Counter // nil when no registry
+}
+
+// pump is one sink's consumer: a bounded queue drained by a dedicated
+// goroutine that batches and flushes.
+type pump struct {
+	sink Sink
+	ch   chan Sample
+
+	dropped atomic.Uint64
+	batches atomic.Uint64
+	errs    atomic.Uint64
+
+	obsDropped *obs.Counter
+	obsBatches *obs.Counter
+	obsErrs    *obs.Counter
+	obsSize    *obs.Histogram
+}
+
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// New creates a Bus. Attach sinks before (or while) publishing; Close
+// drains and stops the pumps.
+func New(cfg Config) *Bus {
+	b := &Bus{cfg: cfg.withDefaults(), stop: make(chan struct{})}
+	if reg := b.cfg.Metrics; reg != nil {
+		b.obsPub = reg.Counter("dust_databus_published_total",
+			"Samples published into the databus.")
+		reg.GaugeFunc("dust_databus_queue_capacity",
+			"Configured per-pump queue bound.",
+			func() float64 { return float64(b.cfg.QueueSize) })
+	}
+	return b
+}
+
+// Attach registers a sink and starts its pump. Returns false if the bus is
+// already closed.
+func (b *Bus) Attach(sink Sink) bool {
+	p := &pump{sink: sink, ch: make(chan Sample, b.cfg.QueueSize)}
+	if reg := b.cfg.Metrics; reg != nil {
+		name := sink.Name()
+		p.obsDropped = reg.Counter("dust_databus_dropped_total",
+			"Samples shed because a pump queue was full.", "sink", name)
+		p.obsBatches = reg.Counter("dust_databus_batches_total",
+			"Batches flushed to a sink.", "sink", name)
+		p.obsErrs = reg.Counter("dust_databus_sink_errors_total",
+			"Sink WriteBatch calls that returned an error.", "sink", name)
+		p.obsSize = reg.Histogram("dust_databus_batch_size",
+			"Samples per flushed batch.", batchSizeBuckets, "sink", name)
+		reg.GaugeFunc("dust_databus_queue_depth",
+			"Samples currently queued for a pump.",
+			func() float64 { return float64(len(p.ch)) }, "sink", name)
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return false
+	}
+	b.pumps = append(b.pumps, p)
+	b.wg.Add(1)
+	b.mu.Unlock()
+
+	go b.runPump(p)
+	return true
+}
+
+// Publish offers one sample to every pump. In the default shedding mode it
+// never blocks: a full queue drops the sample for that sink and counts it.
+// In blocking mode it waits for space (or bus close). Safe for concurrent
+// use; samples published concurrently with Close may be dropped.
+func (b *Bus) Publish(s Sample) {
+	b.mu.RLock()
+	closed, pumps := b.closed, b.pumps
+	b.mu.RUnlock()
+	if closed {
+		return
+	}
+	b.published.Add(1)
+	if b.obsPub != nil {
+		b.obsPub.Inc()
+	}
+	for _, p := range pumps {
+		b.offer(p, s)
+	}
+}
+
+// PublishBatch offers a run of samples, amortizing the pump-list snapshot.
+func (b *Bus) PublishBatch(samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	b.mu.RLock()
+	closed, pumps := b.closed, b.pumps
+	b.mu.RUnlock()
+	if closed {
+		return
+	}
+	b.published.Add(uint64(len(samples)))
+	if b.obsPub != nil {
+		b.obsPub.Add(uint64(len(samples)))
+	}
+	for _, p := range pumps {
+		for _, s := range samples {
+			b.offer(p, s)
+		}
+	}
+}
+
+func (b *Bus) offer(p *pump, s Sample) {
+	if b.cfg.Block {
+		select {
+		case p.ch <- s:
+		case <-b.stop:
+		}
+		return
+	}
+	select {
+	case p.ch <- s:
+	default:
+		p.dropped.Add(1)
+		if p.obsDropped != nil {
+			p.obsDropped.Inc()
+		}
+	}
+}
+
+// runPump drains one queue: flush on a full batch, on the flush-interval
+// tick, and once more on shutdown after draining what is already queued.
+func (b *Bus) runPump(p *pump) {
+	defer b.wg.Done()
+	ticker := time.NewTicker(b.cfg.FlushInterval)
+	defer ticker.Stop()
+	batch := make([]Sample, 0, b.cfg.BatchSize)
+
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		err := p.sink.WriteBatch(batch)
+		p.batches.Add(1)
+		if p.obsBatches != nil {
+			p.obsBatches.Inc()
+			p.obsSize.Observe(float64(len(batch)))
+		}
+		if err != nil {
+			p.errs.Add(1)
+			if p.obsErrs != nil {
+				p.obsErrs.Inc()
+			}
+		}
+		batch = batch[:0]
+	}
+	// fill appends queued samples without blocking until the batch is full
+	// or the queue is momentarily empty; reports whether the batch filled.
+	fill := func() bool {
+		for len(batch) < cap(batch) {
+			select {
+			case s := <-p.ch:
+				batch = append(batch, s)
+			default:
+				return false
+			}
+		}
+		return true
+	}
+
+	for {
+		select {
+		case s := <-p.ch:
+			batch = append(batch, s)
+			if fill() {
+				flush()
+			}
+		case <-ticker.C:
+			flush()
+		case <-b.stop:
+			for fill() {
+				flush()
+			}
+			flush()
+			return
+		}
+	}
+}
+
+// Close stops the pumps after they drain what is queued, then waits for
+// them. Idempotent. A sink stalled forever in blocking mode can make Close
+// wait forever — that is the contract blocking mode buys.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.stop)
+	b.wg.Wait()
+}
+
+// Stats aggregates activity across all pumps.
+func (b *Bus) Stats() Stats {
+	st := Stats{Published: b.published.Load()}
+	b.mu.RLock()
+	pumps := b.pumps
+	b.mu.RUnlock()
+	for _, p := range pumps {
+		st.Dropped += p.dropped.Load()
+		st.Batches += p.batches.Load()
+		st.SinkErrors += p.errs.Load()
+	}
+	return st
+}
+
+// QueueDepth returns the current queued-sample count of the named sink's
+// pump (-1 if no such sink).
+func (b *Bus) QueueDepth(sink string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	for _, p := range b.pumps {
+		if p.sink.Name() == sink {
+			return len(p.ch)
+		}
+	}
+	return -1
+}
+
+// DiscardSink counts and discards samples — the null backend benchmarks
+// and saturation tests measure the bus against.
+type DiscardSink struct {
+	// SinkName overrides the default "discard" name, letting one bus carry
+	// several DiscardSinks with distinct metric labels.
+	SinkName string
+	samples  atomic.Uint64
+}
+
+// Name implements Sink.
+func (d *DiscardSink) Name() string {
+	if d.SinkName != "" {
+		return d.SinkName
+	}
+	return "discard"
+}
+
+// WriteBatch implements Sink.
+func (d *DiscardSink) WriteBatch(batch []Sample) error {
+	d.samples.Add(uint64(len(batch)))
+	return nil
+}
+
+// Samples returns the number of samples discarded so far.
+func (d *DiscardSink) Samples() uint64 { return d.samples.Load() }

@@ -1,0 +1,405 @@
+// remotewrite.go is the export sink: batches leave the bus encoded in the
+// Prometheus remote-write shape (a protobuf WriteRequest — repeated
+// TimeSeries of Labels and Samples — compressed with snappy), the lingua
+// franca of telemetry backends. The wire format is hand-rolled into
+// struct-owned reusable buffers: WriteBatch runs on a single pump
+// goroutine, so steady-state encodes perform zero allocations.
+package databus
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+
+	"repro/internal/tsdb"
+)
+
+// Protobuf wire constants for the remote-write WriteRequest shape:
+//
+//	WriteRequest { repeated TimeSeries timeseries = 1; }
+//	TimeSeries   { repeated Label labels = 1; repeated Sample samples = 2; }
+//	Label        { string name = 1; string value = 2; }
+//	Sample       { double value = 1; int64 timestamp = 2; }  // ms
+const (
+	rwTagTimeSeries  = 1<<3 | 2 // WriteRequest.timeseries, bytes
+	rwTagLabels      = 1<<3 | 2 // TimeSeries.labels, bytes
+	rwTagSamples     = 2<<3 | 2 // TimeSeries.samples, bytes
+	rwTagLabelName   = 1<<3 | 2 // Label.name, bytes
+	rwTagLabelValue  = 2<<3 | 2 // Label.value, bytes
+	rwTagSampleValue = 1<<3 | 1 // Sample.value, fixed64
+	rwTagSampleTS    = 2<<3 | 0 // Sample.timestamp, varint
+)
+
+// rwMetricLabel is the reserved label remote write carries the metric name
+// in.
+const rwMetricLabel = "__name__"
+
+// rwEncoder turns Sample batches into snappy-compressed WriteRequests using
+// only its own scratch buffers. Not safe for concurrent use — each sink
+// owns one and drives it from its single pump goroutine.
+type rwEncoder struct {
+	comp snappyCompressor
+	pb   []byte // WriteRequest scratch
+	ts   []byte // one TimeSeries message scratch
+	lab  []byte // unescaped label-text scratch
+}
+
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// appendLabelMsg appends one TimeSeries.labels entry (an embedded Label
+// message) to dst.
+func appendLabelMsg(dst, name, value []byte) []byte {
+	inner := 1 + uvarintLen(uint64(len(name))) + len(name) +
+		1 + uvarintLen(uint64(len(value))) + len(value)
+	dst = append(dst, rwTagLabels)
+	dst = binary.AppendUvarint(dst, uint64(inner))
+	dst = append(dst, rwTagLabelName)
+	dst = binary.AppendUvarint(dst, uint64(len(name)))
+	dst = append(dst, name...)
+	dst = append(dst, rwTagLabelValue)
+	dst = binary.AppendUvarint(dst, uint64(len(value)))
+	return append(dst, value...)
+}
+
+// appendTimeSeries appends one TimeSeries message for run (all sharing one
+// SeriesKey) to e.ts and returns it.
+func (e *rwEncoder) appendTimeSeries(key tsdb.SeriesKey, run []Sample) []byte {
+	e.ts = e.ts[:0]
+
+	// __name__ first, then the key's labels in their canonical order.
+	e.lab = append(e.lab[:0], rwMetricLabel...)
+	e.lab = append(e.lab, key.Metric...)
+	e.ts = appendLabelMsg(e.ts, e.lab[:len(rwMetricLabel)], e.lab[len(rwMetricLabel):])
+	tsdb.ScanLabels(key.Labels, func(name, value string) {
+		e.lab = tsdb.AppendUnescaped(e.lab[:0], name)
+		nameLen := len(e.lab)
+		e.lab = tsdb.AppendUnescaped(e.lab, value)
+		e.ts = appendLabelMsg(e.ts, e.lab[:nameLen], e.lab[nameLen:])
+	})
+
+	for _, s := range run {
+		ms := int64(math.Round(s.T * 1000))
+		inner := 1 + 8 + 1 + uvarintLen(uint64(ms))
+		e.ts = append(e.ts, rwTagSamples)
+		e.ts = binary.AppendUvarint(e.ts, uint64(inner))
+		e.ts = append(e.ts, rwTagSampleValue)
+		e.ts = binary.LittleEndian.AppendUint64(e.ts, math.Float64bits(s.V))
+		e.ts = append(e.ts, rwTagSampleTS)
+		e.ts = binary.AppendUvarint(e.ts, uint64(ms))
+	}
+	return e.ts
+}
+
+// encodeTo appends the snappy-compressed WriteRequest for batch to dst and
+// returns the extended slice. Consecutive samples sharing a SeriesKey fold
+// into one TimeSeries, so publishers that emit per-series runs (as the
+// tsdb-sink grouping and the manager's stat batches naturally do) pay the
+// label bytes once per run.
+func (e *rwEncoder) encodeTo(dst []byte, batch []Sample) []byte {
+	e.pb = e.pb[:0]
+	for i := 0; i < len(batch); {
+		j := i + 1
+		for j < len(batch) && batch[j].Key == batch[i].Key {
+			j++
+		}
+		ts := e.appendTimeSeries(batch[i].Key, batch[i:j])
+		e.pb = append(e.pb, rwTagTimeSeries)
+		e.pb = binary.AppendUvarint(e.pb, uint64(len(ts)))
+		e.pb = append(e.pb, ts...)
+		i = j
+	}
+	return e.comp.AppendEncode(dst, e.pb)
+}
+
+// rawLen reports the size of the last encoded (uncompressed) WriteRequest.
+func (e *rwEncoder) rawLen() int { return len(e.pb) }
+
+// RemoteWriteStats is a point-in-time aggregate of a remote-write sink.
+type RemoteWriteStats struct {
+	Frames          uint64
+	Samples         uint64
+	RawBytes        uint64 // uncompressed WriteRequest bytes
+	CompressedBytes uint64 // snappy frame bytes (excluding the length prefix)
+}
+
+// RemoteWriteSink streams batches to an io.Writer as length-prefixed snappy
+// frames: a 4-byte big-endian body length, then the snappy-compressed
+// WriteRequest. WriteBatch is single-goroutine (the pump's), per the Sink
+// contract; Stats is safe to read concurrently.
+type RemoteWriteSink struct {
+	name  string
+	w     io.Writer
+	enc   rwEncoder
+	frame []byte
+
+	frames    atomic.Uint64
+	samples   atomic.Uint64
+	rawBytes  atomic.Uint64
+	compBytes atomic.Uint64
+}
+
+// NewRemoteWriteSink creates a sink writing frames to w under the given
+// sink name (used for metric labels).
+func NewRemoteWriteSink(name string, w io.Writer) *RemoteWriteSink {
+	return &RemoteWriteSink{name: name, w: w}
+}
+
+// Name implements Sink.
+func (s *RemoteWriteSink) Name() string { return s.name }
+
+// WriteBatch implements Sink: one batch becomes one frame.
+func (s *RemoteWriteSink) WriteBatch(batch []Sample) error {
+	if len(batch) == 0 {
+		return nil
+	}
+	s.frame = append(s.frame[:0], 0, 0, 0, 0)
+	s.frame = s.enc.encodeTo(s.frame, batch)
+	body := len(s.frame) - 4
+	binary.BigEndian.PutUint32(s.frame, uint32(body))
+	if _, err := s.w.Write(s.frame); err != nil {
+		return fmt.Errorf("databus: remote-write sink %s: %w", s.name, err)
+	}
+	s.frames.Add(1)
+	s.samples.Add(uint64(len(batch)))
+	s.rawBytes.Add(uint64(s.enc.rawLen()))
+	s.compBytes.Add(uint64(body))
+	return nil
+}
+
+// Stats returns cumulative sink activity.
+func (s *RemoteWriteSink) Stats() RemoteWriteStats {
+	return RemoteWriteStats{
+		Frames:          s.frames.Load(),
+		Samples:         s.samples.Load(),
+		RawBytes:        s.rawBytes.Load(),
+		CompressedBytes: s.compBytes.Load(),
+	}
+}
+
+// ReadFrame reads one length-prefixed snappy frame body from r, as written
+// by RemoteWriteSink. io.EOF at a frame boundary is returned verbatim.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > snappyMaxDecodedLen {
+		return nil, fmt.Errorf("databus: frame claims %d bytes", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("databus: short frame: %w", err)
+	}
+	return body, nil
+}
+
+// DecodeRemoteWrite parses one snappy-compressed WriteRequest body (a frame
+// payload from ReadFrame, or a telemetry-batch Blob off a proto.Conn) back
+// into samples. The inverse of the encoder, used by receiving managers and
+// the round-trip tests; unlike the encode path it allocates freely.
+func DecodeRemoteWrite(body []byte) ([]Sample, error) {
+	raw, err := SnappyDecode(body)
+	if err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for len(raw) > 0 {
+		tag, rest, err := rwReadUvarint(raw)
+		if err != nil {
+			return nil, err
+		}
+		raw = rest
+		if tag != rwTagTimeSeries {
+			raw, err = rwSkipField(tag, raw)
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		sub, rest, err := rwReadBytes(raw)
+		if err != nil {
+			return nil, err
+		}
+		raw = rest
+		out, err = rwParseTimeSeries(sub, out)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// rwParseTimeSeries appends one TimeSeries' samples to out.
+func rwParseTimeSeries(buf []byte, out []Sample) ([]Sample, error) {
+	metric := ""
+	labels := map[string]string{}
+	type rawSample struct {
+		v  float64
+		ms int64
+	}
+	var samples []rawSample
+	for len(buf) > 0 {
+		tag, rest, err := rwReadUvarint(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = rest
+		switch tag {
+		case rwTagLabels:
+			sub, rest, err := rwReadBytes(buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = rest
+			name, value, err := rwParseLabel(sub)
+			if err != nil {
+				return nil, err
+			}
+			if name == rwMetricLabel {
+				metric = value
+			} else {
+				labels[name] = value
+			}
+		case rwTagSamples:
+			sub, rest, err := rwReadBytes(buf)
+			if err != nil {
+				return nil, err
+			}
+			buf = rest
+			s, err := rwParseSample(sub)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, rawSample{v: s.v, ms: s.ms})
+		default:
+			buf, err = rwSkipField(tag, buf)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	key := tsdb.Key(metric, labels)
+	for _, s := range samples {
+		out = append(out, Sample{Key: key, T: float64(s.ms) / 1000, V: s.v})
+	}
+	return out, nil
+}
+
+func rwParseLabel(buf []byte) (name, value string, err error) {
+	for len(buf) > 0 {
+		tag, rest, err := rwReadUvarint(buf)
+		if err != nil {
+			return "", "", err
+		}
+		buf = rest
+		switch tag {
+		case rwTagLabelName, rwTagLabelValue:
+			sub, rest, err := rwReadBytes(buf)
+			if err != nil {
+				return "", "", err
+			}
+			buf = rest
+			if tag == rwTagLabelName {
+				name = string(sub)
+			} else {
+				value = string(sub)
+			}
+		default:
+			buf, err = rwSkipField(tag, buf)
+			if err != nil {
+				return "", "", err
+			}
+		}
+	}
+	return name, value, nil
+}
+
+func rwParseSample(buf []byte) (out struct {
+	v  float64
+	ms int64
+}, err error) {
+	for len(buf) > 0 {
+		tag, rest, err := rwReadUvarint(buf)
+		if err != nil {
+			return out, err
+		}
+		buf = rest
+		switch tag {
+		case rwTagSampleValue:
+			if len(buf) < 8 {
+				return out, errRWTruncated
+			}
+			out.v = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+			buf = buf[8:]
+		case rwTagSampleTS:
+			u, rest, err := rwReadUvarint(buf)
+			if err != nil {
+				return out, err
+			}
+			out.ms = int64(u)
+			buf = rest
+		default:
+			buf, err = rwSkipField(tag, buf)
+			if err != nil {
+				return out, err
+			}
+		}
+	}
+	return out, nil
+}
+
+var errRWTruncated = fmt.Errorf("databus: truncated remote-write message")
+
+func rwReadUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errRWTruncated
+	}
+	return v, buf[n:], nil
+}
+
+func rwReadBytes(buf []byte) ([]byte, []byte, error) {
+	n, rest, err := rwReadUvarint(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > uint64(len(rest)) {
+		return nil, nil, errRWTruncated
+	}
+	return rest[:n], rest[n:], nil
+}
+
+// rwSkipField skips one unknown field by wire type, keeping the decoder
+// tolerant of future additions to the shape.
+func rwSkipField(tag uint64, buf []byte) ([]byte, error) {
+	switch tag & 7 {
+	case 0:
+		_, rest, err := rwReadUvarint(buf)
+		return rest, err
+	case 1:
+		if len(buf) < 8 {
+			return nil, errRWTruncated
+		}
+		return buf[8:], nil
+	case 2:
+		_, rest, err := rwReadBytes(buf)
+		return rest, err
+	case 5:
+		if len(buf) < 4 {
+			return nil, errRWTruncated
+		}
+		return buf[4:], nil
+	default:
+		return nil, fmt.Errorf("databus: unsupported wire type %d", tag&7)
+	}
+}

@@ -1,0 +1,261 @@
+// snappy.go implements the snappy block format (the compression Prometheus
+// remote write mandates) from scratch — the container ships no third-party
+// codec, and the sink needs an allocation-free append-style encoder anyway.
+// Format reference: the snappy format description (uvarint uncompressed
+// length, then literal / copy elements discriminated by the tag byte's low
+// two bits). The encoder is a greedy LZ77 with a 16K-entry position hash
+// table, processing input in 64 KiB blocks so table entries fit uint16; the
+// decoder handles every element kind the format defines, including the
+// 4-byte-offset copies this encoder never emits.
+package databus
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+const (
+	tagLiteral = 0x00
+	tagCopy1   = 0x01
+	tagCopy2   = 0x02
+	tagCopy4   = 0x03
+
+	// snappyBlockSize bounds the window one hash table covers; offsets
+	// within a block fit uint16, and matches never cross blocks.
+	snappyBlockSize = 1 << 16
+
+	// snappyInputMargin guarantees load32/load64 stay in bounds near the
+	// block tail: the match loop never reads past s+8 while s is at least
+	// this far from the end.
+	snappyInputMargin = 15
+
+	// snappyMaxDecodedLen bounds what the decoder will allocate — frames
+	// claiming more are corrupt (mirrors proto.maxMessageSize thinking).
+	snappyMaxDecodedLen = 1 << 26
+
+	snappyTableBits = 14
+	snappyTableSize = 1 << snappyTableBits
+	snappyShift     = 32 - snappyTableBits
+)
+
+// snappyCompressor holds the encoder's reusable match table so steady-state
+// encodes allocate nothing. The zero value is ready to use.
+type snappyCompressor struct {
+	table [snappyTableSize]uint16
+}
+
+// AppendEncode appends the snappy block-format compression of src to dst
+// and returns the extended slice.
+func (c *snappyCompressor) AppendEncode(dst, src []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(src)))
+	for len(src) > 0 {
+		blk := src
+		if len(blk) > snappyBlockSize {
+			blk = blk[:snappyBlockSize]
+		}
+		src = src[len(blk):]
+		dst = c.appendBlock(dst, blk)
+	}
+	return dst
+}
+
+// SnappyEncode compresses src into a fresh buffer — the convenience form;
+// hot paths hold a snappyCompressor and use AppendEncode.
+func SnappyEncode(src []byte) []byte {
+	var c snappyCompressor
+	return c.AppendEncode(make([]byte, 0, len(src)/2+16), src)
+}
+
+func snappyLoad32(b []byte, i int) uint32 {
+	return binary.LittleEndian.Uint32(b[i:])
+}
+
+func snappyLoad64(b []byte, i int) uint64 {
+	return binary.LittleEndian.Uint64(b[i:])
+}
+
+func snappyHash(u uint32) uint32 {
+	return (u * 0x1e35a7bd) >> snappyShift
+}
+
+// appendLiteral emits one literal element covering lit (len ≤ 64 KiB, so
+// at most two extra length bytes).
+func appendLiteral(dst, lit []byte) []byte {
+	n := len(lit) - 1
+	switch {
+	case n < 60:
+		dst = append(dst, uint8(n)<<2|tagLiteral)
+	case n < 1<<8:
+		dst = append(dst, 60<<2|tagLiteral, uint8(n))
+	default:
+		dst = append(dst, 61<<2|tagLiteral, uint8(n), uint8(n>>8))
+	}
+	return append(dst, lit...)
+}
+
+// appendCopy emits copy elements for a match of the given backward offset
+// and length, splitting lengths beyond 64 the way the format requires.
+func appendCopy(dst []byte, offset, length int) []byte {
+	for length >= 68 {
+		dst = append(dst, 63<<2|tagCopy2, uint8(offset), uint8(offset>>8))
+		length -= 64
+	}
+	if length > 64 {
+		dst = append(dst, 59<<2|tagCopy2, uint8(offset), uint8(offset>>8))
+		length -= 60
+	}
+	if length >= 12 || offset >= 2048 {
+		return append(dst, uint8(length-1)<<2|tagCopy2, uint8(offset), uint8(offset>>8))
+	}
+	// 1-byte-offset copy: 3 offset bits ride in the tag.
+	return append(dst, uint8(offset>>8)<<5|uint8(length-4)<<2|tagCopy1, uint8(offset))
+}
+
+// appendBlock compresses one ≤64 KiB block. Small blocks go out as a bare
+// literal; otherwise a greedy hash-table match scan emits literal/copy
+// runs.
+func (c *snappyCompressor) appendBlock(dst, src []byte) []byte {
+	if len(src) < 1+2*snappyInputMargin {
+		return appendLiteral(dst, src)
+	}
+	for i := range c.table {
+		c.table[i] = 0
+	}
+	sLimit := len(src) - snappyInputMargin
+	nextEmit := 0
+	s := 1
+	nextHash := snappyHash(snappyLoad32(src, s))
+	for {
+		// Probe forward with a growing skip until a 4-byte match is found;
+		// incompressible data degrades to a fast literal scan.
+		skip := 32
+		nextS := s
+		candidate := 0
+		for {
+			s = nextS
+			nextS = s + skip>>5
+			skip += skip >> 5
+			if nextS > sLimit {
+				if nextEmit < len(src) {
+					dst = appendLiteral(dst, src[nextEmit:])
+				}
+				return dst
+			}
+			candidate = int(c.table[nextHash])
+			c.table[nextHash] = uint16(s)
+			nextHash = snappyHash(snappyLoad32(src, nextS))
+			if snappyLoad32(src, s) == snappyLoad32(src, candidate) {
+				break
+			}
+		}
+		dst = appendLiteral(dst, src[nextEmit:s])
+		for {
+			base := s
+			s += 4
+			i := candidate + 4
+			for s < len(src) && src[i] == src[s] {
+				i++
+				s++
+			}
+			dst = appendCopy(dst, base-candidate, s-base)
+			nextEmit = s
+			if s >= sLimit {
+				if nextEmit < len(src) {
+					dst = appendLiteral(dst, src[nextEmit:])
+				}
+				return dst
+			}
+			// Re-prime the table at s-1 and probe s for a back-to-back
+			// match (runs of copies with no literal between).
+			x := snappyLoad64(src, s-1)
+			c.table[snappyHash(uint32(x))] = uint16(s - 1)
+			currHash := snappyHash(uint32(x >> 8))
+			candidate = int(c.table[currHash])
+			c.table[currHash] = uint16(s)
+			if uint32(x>>8) != snappyLoad32(src, candidate) {
+				nextHash = snappyHash(uint32(x >> 16))
+				s++
+				break
+			}
+		}
+	}
+}
+
+// ErrSnappyCorrupt reports a malformed snappy stream.
+var ErrSnappyCorrupt = errors.New("databus: corrupt snappy data")
+
+// SnappyDecode decompresses a snappy block-format stream.
+func SnappyDecode(src []byte) ([]byte, error) {
+	dLen, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, ErrSnappyCorrupt
+	}
+	if dLen > snappyMaxDecodedLen {
+		return nil, fmt.Errorf("databus: snappy claims %d decoded bytes (limit %d)", dLen, snappyMaxDecodedLen)
+	}
+	src = src[n:]
+	dst := make([]byte, dLen)
+	d, s := 0, 0
+	for s < len(src) {
+		tag := src[s]
+		var length, offset int
+		switch tag & 3 {
+		case tagLiteral:
+			x := int(tag >> 2)
+			s++
+			if x >= 60 {
+				extra := x - 59 // 1..4 length bytes
+				if s+extra > len(src) {
+					return nil, ErrSnappyCorrupt
+				}
+				x = 0
+				for i := extra - 1; i >= 0; i-- {
+					x = x<<8 | int(src[s+i])
+				}
+				s += extra
+			}
+			length = x + 1
+			if length > len(dst)-d || length > len(src)-s {
+				return nil, ErrSnappyCorrupt
+			}
+			copy(dst[d:], src[s:s+length])
+			d += length
+			s += length
+			continue
+		case tagCopy1:
+			if s+2 > len(src) {
+				return nil, ErrSnappyCorrupt
+			}
+			length = 4 + int(tag>>2)&7
+			offset = int(tag&0xe0)<<3 | int(src[s+1])
+			s += 2
+		case tagCopy2:
+			if s+3 > len(src) {
+				return nil, ErrSnappyCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint16(src[s+1:]))
+			s += 3
+		case tagCopy4:
+			if s+5 > len(src) {
+				return nil, ErrSnappyCorrupt
+			}
+			length = 1 + int(tag>>2)
+			offset = int(binary.LittleEndian.Uint32(src[s+1:]))
+			s += 5
+		}
+		if offset <= 0 || offset > d || length > len(dst)-d {
+			return nil, ErrSnappyCorrupt
+		}
+		// Byte-at-a-time: copies may overlap their own output (RLE).
+		for i := 0; i < length; i++ {
+			dst[d] = dst[d-offset]
+			d++
+		}
+	}
+	if d != len(dst) {
+		return nil, fmt.Errorf("databus: snappy stream ended at %d of %d bytes", d, len(dst))
+	}
+	return dst, nil
+}

@@ -1,0 +1,90 @@
+package databus
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func roundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	enc := SnappyEncode(src)
+	got, err := SnappyDecode(enc)
+	if err != nil {
+		t.Fatalf("decode(%d bytes in, %d compressed): %v", len(src), len(enc), err)
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatalf("round trip changed data: %d bytes in, %d out", len(src), len(got))
+	}
+}
+
+func TestSnappyRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("hello"),
+		[]byte(strings.Repeat("a", 100)),                 // RLE: overlapping copy
+		[]byte(strings.Repeat("abcdefgh", 5000)),         // periodic, > one literal
+		[]byte(strings.Repeat("x", snappyBlockSize)),     // exactly one block
+		[]byte(strings.Repeat("yz", snappyBlockSize)),    // spans blocks
+		bytes.Repeat([]byte{0, 1, 2, 3}, snappyBlockSize), // 256 KiB
+	}
+	// Incompressible data exercises the skip-ahead literal path.
+	rng := rand.New(rand.NewSource(7))
+	noise := make([]byte, 100_000)
+	rng.Read(noise)
+	cases = append(cases, noise)
+	// Mixed: compressible runs interleaved with noise.
+	mixed := append(append(append([]byte{}, noise[:5000]...),
+		[]byte(strings.Repeat("telemetry", 2000))...), noise[5000:]...)
+	cases = append(cases, mixed)
+
+	for _, src := range cases {
+		roundTrip(t, src)
+	}
+}
+
+func TestSnappyCompresses(t *testing.T) {
+	src := []byte(strings.Repeat("node=worker-01,metric=cpu_util ", 4000))
+	enc := SnappyEncode(src)
+	if len(enc) >= len(src)/4 {
+		t.Fatalf("repetitive input barely compressed: %d -> %d bytes", len(src), len(enc))
+	}
+	roundTrip(t, src)
+}
+
+func TestSnappyDecodeRejectsCorrupt(t *testing.T) {
+	cases := map[string][]byte{
+		"empty":             {},
+		"bad uvarint":       {0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff},
+		"truncated literal": {10, 0x00<<2 | tagLiteral, 'a'}, // claims 10 bytes, 1 literal byte
+		"copy before start": {4, (3)<<2 | tagCopy1, 1},       // offset into nothing
+		"huge claim":        append([]byte{0xff, 0xff, 0xff, 0xff, 0x7f}, 0),
+	}
+	for name, src := range cases {
+		if _, err := SnappyDecode(src); err == nil {
+			t.Errorf("%s: corrupt input decoded without error", name)
+		}
+	}
+}
+
+func FuzzSnappyRoundTrip(f *testing.F) {
+	f.Add([]byte("hello hello hello"))
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{1, 2, 3}, 30000))
+	f.Fuzz(func(t *testing.T, src []byte) {
+		enc := SnappyEncode(src)
+		got, err := SnappyDecode(enc)
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		if !bytes.Equal(got, src) {
+			t.Fatalf("round trip changed %d-byte input", len(src))
+		}
+		// The decoder must never panic on arbitrary bytes; feed it the raw
+		// input too and accept any error.
+		_, _ = SnappyDecode(src)
+	})
+}

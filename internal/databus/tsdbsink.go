@@ -1,0 +1,77 @@
+// tsdbsink.go lands bus batches in a node-local tsdb.DB. A batch is first
+// grouped per series, then each group goes through tsdb.AppendBatch — one
+// lock acquisition per series per batch instead of one per sample,
+// mirroring how the manager's RecordStats amortizes the NMDB shards.
+package databus
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/tsdb"
+)
+
+// TSDBSink appends samples to a tsdb.DB. WriteBatch is single-goroutine
+// (the pump's); the grouping map and key list are retained across batches
+// so steady state allocates only when a batch outgrows previous ones.
+type TSDBSink struct {
+	name string
+	db   *tsdb.DB
+
+	groups map[tsdb.SeriesKey][]tsdb.Point
+	keys   []tsdb.SeriesKey // keys touched by the current batch
+
+	appended atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewTSDBSink creates a sink appending into db under the given sink name.
+func NewTSDBSink(name string, db *tsdb.DB) *TSDBSink {
+	return &TSDBSink{name: name, db: db, groups: make(map[tsdb.SeriesKey][]tsdb.Point)}
+}
+
+// Name implements Sink.
+func (s *TSDBSink) Name() string { return s.name }
+
+// WriteBatch implements Sink. Samples that violate the store's contract
+// (non-finite timestamps, NaN values, time regressions) are rejected
+// point-by-point and counted; the rest of the batch still lands.
+func (s *TSDBSink) WriteBatch(batch []Sample) error {
+	s.keys = s.keys[:0]
+	for _, smp := range batch {
+		pts := s.groups[smp.Key]
+		if len(pts) == 0 {
+			s.keys = append(s.keys, smp.Key)
+		}
+		s.groups[smp.Key] = append(pts, tsdb.Point{T: smp.T, V: smp.V})
+	}
+	rejected := 0
+	for _, k := range s.keys {
+		pts := s.groups[k]
+		if n, err := s.db.AppendBatch(k, pts); err == nil {
+			s.appended.Add(uint64(n))
+		} else {
+			// The batch path is all-or-none; fall back to per-point appends
+			// so one bad sample doesn't discard its whole series group.
+			for _, p := range pts {
+				if err := s.db.Append(k, p); err != nil {
+					rejected++
+				} else {
+					s.appended.Add(1)
+				}
+			}
+		}
+		s.groups[k] = pts[:0]
+	}
+	if rejected > 0 {
+		s.rejected.Add(uint64(rejected))
+		return fmt.Errorf("databus: tsdb sink %s: rejected %d of %d samples", s.name, rejected, len(batch))
+	}
+	return nil
+}
+
+// Appended returns the samples successfully stored so far.
+func (s *TSDBSink) Appended() uint64 { return s.appended.Load() }
+
+// Rejected returns the samples the store refused so far.
+func (s *TSDBSink) Rejected() uint64 { return s.rejected.Load() }

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/databus"
+	"repro/internal/tsdb"
+)
+
+// DatabusPoint is one measured data-plane path.
+type DatabusPoint struct {
+	// Path names the configuration: publish path or sink under test.
+	Path string
+	// SamplesPerSec is sustained throughput on a single publisher core.
+	SamplesPerSec float64
+	// NsPerSample is the inverse, for eyeballing against ingest numbers.
+	NsPerSample float64
+	// BytesPerSample is the compressed wire cost (remote-write paths only).
+	BytesPerSample float64
+	// AllocsPerBatch is the heap-allocation count per flushed batch,
+	// measured over the run (0 is the steady-state encode guarantee).
+	AllocsPerBatch float64
+}
+
+// DatabusResult reports the streaming data-plane study (DESIGN.md §14):
+// sustained bus throughput into each sink, the remote-write encode cost,
+// and the saturation behavior under a stalled backend.
+type DatabusResult struct {
+	Points []DatabusPoint
+	// Saturation run: samples published against a never-returning sink
+	// with a bounded queue.
+	SatPublished uint64
+	SatDropped   uint64
+	SatQueue     int
+}
+
+// RunDatabusThroughput measures the telemetry data plane.
+func RunDatabusThroughput(cfg Config) (*DatabusResult, error) {
+	samples := 1 << 21
+	if cfg.Fast {
+		samples = 1 << 17
+	}
+	keys := make([]tsdb.SeriesKey, 8)
+	for i := range keys {
+		keys[i], _, _ = cluster.StatSeriesKeys(i)
+	}
+	res := &DatabusResult{}
+
+	// Path 1: bus end to end into a discarding sink — the pure bus cost
+	// (queue handoff + pump batching), blocking mode so every sample is
+	// consumed.
+	busRun := func(path string, sink databus.Sink, check func() error) error {
+		bus := databus.New(databus.Config{
+			QueueSize: 1 << 16, BatchSize: 2048,
+			FlushInterval: 10 * time.Millisecond, Block: true,
+		})
+		bus.Attach(sink)
+		start := time.Now()
+		for i := 0; i < samples; i++ {
+			bus.Publish(databus.Sample{Key: keys[i&7], T: float64(i), V: float64(i & 1023)})
+		}
+		bus.Close()
+		elapsed := time.Since(start)
+		res.addPoint(path, samples, elapsed, 0, 0)
+		return check()
+	}
+	discard := &databus.DiscardSink{}
+	if err := busRun("bus→discard", discard, func() error {
+		if got := discard.Samples(); got != uint64(samples) {
+			return fmt.Errorf("databus experiment: discard sink consumed %d of %d", got, samples)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	store := tsdb.New()
+	tsink := databus.NewTSDBSink("store", store)
+	if err := busRun("bus→tsdb", tsink, func() error {
+		if got := store.NumPoints(); got != samples {
+			return fmt.Errorf("databus experiment: tsdb stored %d of %d", got, samples)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Path 2: the remote-write encode alone — batch in, snappy frame out,
+	// with the allocation count over the whole run (steady state must be
+	// zero after the first warm-up flushes).
+	rw := databus.NewRemoteWriteSink("wire", discardWriter{})
+	batch := make([]databus.Sample, 1024)
+	for i := range batch {
+		batch[i] = databus.Sample{Key: keys[i/128], T: float64(i), V: float64(i & 1023)}
+	}
+	for i := 0; i < 8; i++ { // warm up scratch buffers
+		if err := rw.WriteBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	iters := samples / len(batch)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := rw.WriteBatch(batch); err != nil {
+			return nil, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+	st := rw.Stats()
+	res.addPoint("remote-write encode", iters*len(batch), elapsed,
+		float64(st.CompressedBytes)/float64(st.Samples),
+		float64(ms1.Mallocs-ms0.Mallocs)/float64(iters))
+
+	// Path 3: saturation — a stalled sink with a small bounded queue. The
+	// publisher must never block and the overflow must be counted, not
+	// buffered.
+	const satQueue = 4096
+	bus := databus.New(databus.Config{
+		QueueSize: satQueue, BatchSize: 256, FlushInterval: time.Hour,
+	})
+	stall := make(chan struct{})
+	bus.Attach(stalledSink{block: stall})
+	satSamples := samples / 4
+	for i := 0; i < satSamples; i++ {
+		bus.Publish(databus.Sample{Key: keys[i&7], T: float64(i), V: 1})
+	}
+	stats := bus.Stats()
+	res.SatPublished = stats.Published
+	res.SatDropped = stats.Dropped
+	res.SatQueue = satQueue
+	close(stall)
+	bus.Close()
+	if stats.Dropped == 0 || stats.Dropped > stats.Published {
+		return nil, fmt.Errorf("databus experiment: implausible saturation drops %d of %d",
+			stats.Dropped, stats.Published)
+	}
+	return res, nil
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
+
+type stalledSink struct{ block chan struct{} }
+
+func (s stalledSink) Name() string { return "stalled" }
+func (s stalledSink) WriteBatch([]databus.Sample) error {
+	<-s.block
+	return nil
+}
+
+func (r *DatabusResult) addPoint(path string, n int, elapsed time.Duration, bytesPer, allocs float64) {
+	r.Points = append(r.Points, DatabusPoint{
+		Path:           path,
+		SamplesPerSec:  float64(n) / elapsed.Seconds(),
+		NsPerSample:    float64(elapsed.Nanoseconds()) / float64(n),
+		BytesPerSample: bytesPer,
+		AllocsPerBatch: allocs,
+	})
+}
+
+// Table renders the study.
+func (r *DatabusResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		bytesPer, allocs := "-", "-"
+		if p.BytesPerSample > 0 {
+			bytesPer = f2(p.BytesPerSample)
+			allocs = f2(p.AllocsPerBatch)
+		}
+		rows = append(rows, []string{
+			p.Path, fmt.Sprintf("%.2fM", p.SamplesPerSec/1e6), f1(p.NsPerSample), bytesPer, allocs,
+		})
+	}
+	out := "Databus throughput — streaming data plane, single publisher core\n" +
+		table([]string{"path", "samples/s", "ns/sample", "bytes/sample", "allocs/batch"}, rows)
+	out += fmt.Sprintf(
+		"\nSaturation (stalled sink, queue=%d): published %d, dropped %d (%.1f%%), memory bounded at the queue\n",
+		r.SatQueue, r.SatPublished, r.SatDropped,
+		100*float64(r.SatDropped)/float64(r.SatPublished))
+	return out
+}

@@ -442,3 +442,41 @@ func TestIngestScaling(t *testing.T) {
 		t.Fatal("table header missing")
 	}
 }
+
+func TestDatabusThroughput(t *testing.T) {
+	cfg := Quick()
+	res, err := RunDatabusThroughput(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d, want bus→discard, bus→tsdb, remote-write encode", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.SamplesPerSec <= 0 {
+			t.Fatalf("non-positive throughput in %+v", p)
+		}
+	}
+	// The acceptance bar: ≥1M samples/sec per core on the publish path and
+	// the encode path (both clear it by a wide margin on dev hardware; the
+	// floor here is half that to stay robust on throttled CI).
+	if res.Points[0].SamplesPerSec < 500_000 {
+		t.Fatalf("bus publish path %.0f samples/s, want ≥ 500k even on slow machines", res.Points[0].SamplesPerSec)
+	}
+	enc := res.Points[2]
+	if enc.SamplesPerSec < 500_000 {
+		t.Fatalf("remote-write encode %.0f samples/s", enc.SamplesPerSec)
+	}
+	if enc.AllocsPerBatch > 1 {
+		t.Fatalf("remote-write encode allocates %.2f/batch, want steady-state 0", enc.AllocsPerBatch)
+	}
+	if enc.BytesPerSample <= 0 || enc.BytesPerSample > 32 {
+		t.Fatalf("implausible wire cost %.2f bytes/sample", enc.BytesPerSample)
+	}
+	if res.SatDropped == 0 {
+		t.Fatal("saturation run shed nothing through a stalled sink")
+	}
+	if !strings.Contains(res.Table(), "Databus throughput") {
+		t.Fatal("table header missing")
+	}
+}

@@ -54,11 +54,16 @@ const (
 	// MsgReplAck is the standby's acknowledgment of a replication epoch
 	// (Seq echoes the epoch), feeding the primary's replication-lag gauge.
 	MsgReplAck
+	// MsgTelemetryBatch carries one databus remote-write frame: Blob is a
+	// snappy-compressed WriteRequest (see internal/databus), Seq a
+	// per-sender frame counter. This is the offloaded telemetry data
+	// plane, distinct from the MsgStat control-plane reports.
+	MsgTelemetryBatch
 )
 
 // msgTypeMax is the highest defined message type; the codec rejects
 // anything outside [MsgOffloadCapable, msgTypeMax].
-const msgTypeMax = MsgReplAck
+const msgTypeMax = MsgTelemetryBatch
 
 func (t MsgType) String() string {
 	switch t {
@@ -84,6 +89,8 @@ func (t MsgType) String() string {
 		return "repl-snapshot"
 	case MsgReplAck:
 		return "repl-ack"
+	case MsgTelemetryBatch:
+		return "telemetry-batch"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}

@@ -1,0 +1,218 @@
+package tsdb
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refDownsample is the brute-force reference: every point is assigned to
+// its window independently (map keyed by floored window index, no run
+// scanning), and each aggregation is computed from the window's collected
+// values in a separate pass. Downsample must match it exactly — the sums
+// visit values in the same order, so no tolerance is needed.
+func refDownsample(pts []Point, from, step float64, agg Agg) []Point {
+	vals := make(map[float64][]float64)
+	for _, p := range pts {
+		w := math.Floor((p.T - from) / step)
+		vals[w] = append(vals[w], p.V)
+	}
+	windows := make([]float64, 0, len(vals))
+	for w := range vals {
+		windows = append(windows, w)
+	}
+	sort.Float64s(windows)
+	out := make([]Point, 0, len(windows))
+	for _, w := range windows {
+		vs := vals[w]
+		var v float64
+		switch agg {
+		case AggMean, AggSum:
+			for _, x := range vs {
+				v += x
+			}
+			if agg == AggMean {
+				v /= float64(len(vs))
+			}
+		case AggMax:
+			v = vs[0]
+			for _, x := range vs[1:] {
+				if x > v {
+					v = x
+				}
+			}
+		case AggMin:
+			v = vs[0]
+			for _, x := range vs[1:] {
+				if x < v {
+					v = x
+				}
+			}
+		case AggLast:
+			v = vs[len(vs)-1]
+		}
+		out = append(out, Point{T: from + w*step, V: v})
+	}
+	return out
+}
+
+// seriesFromBytes derives a valid (sorted, finite) series plus query
+// parameters from raw fuzz bytes. The scale byte occasionally stretches
+// timestamps far past the int64 range, keeping the truncation regression
+// (TestDownsampleWideRange) under continuous fuzz coverage.
+func seriesFromBytes(data []byte) (pts []Point, from, to, step float64) {
+	if len(data) < 4 {
+		return nil, 0, 0, 1
+	}
+	scale := 1.0
+	if data[0]%4 == 0 {
+		scale = 1e17
+	}
+	step = (float64(data[1]%32) + 1) * scale / 4
+	from = float64(int(data[2])-128) * scale
+	span := (float64(data[3]) + 1) * scale
+	to = from + span
+	t := from - 2*scale
+	for i := 4; i+1 < len(data) && len(pts) < 256; i += 2 {
+		t += float64(data[i]%16) * scale / 8
+		v := float64(int(data[i+1]) - 128)
+		pts = append(pts, Point{T: t, V: v})
+	}
+	return pts, from, to, step
+}
+
+func FuzzDownsample(f *testing.F) {
+	f.Add([]byte{1, 4, 100, 50, 3, 9, 0, 200, 7, 7, 15, 1})
+	f.Add([]byte{0, 31, 0, 255, 1, 1, 1, 1, 1, 1})           // wide-range scale
+	f.Add([]byte{2, 1, 128, 10, 0, 50, 0, 60, 0, 70, 0, 80}) // dense ties
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pts, from, to, step := seriesFromBytes(data)
+		db := New()
+		k := Key("fuzz", nil)
+		if _, err := db.AppendBatch(k, pts); err != nil {
+			t.Fatalf("derived series rejected: %v", err)
+		}
+		for _, agg := range []Agg{AggMean, AggMax, AggMin, AggSum, AggLast} {
+			got, err := db.Downsample(k, from, to, step, agg)
+			if err != nil {
+				t.Fatalf("Downsample(agg=%d): %v", agg, err)
+			}
+			want := refDownsample(db.Query(k, from, to), from, step, agg)
+			if len(got) != len(want) {
+				t.Fatalf("agg=%d: %d windows, reference %d\n got=%v\nwant=%v",
+					agg, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("agg=%d window %d: got %+v, reference %+v", agg, i, got[i], want[i])
+				}
+			}
+		}
+	})
+}
+
+// TestDownsamplePropertyRandom runs the same differential check over
+// seeded random series, so the property holds in plain `go test` runs
+// without the fuzz engine.
+func TestDownsamplePropertyRandom(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		data := make([]byte, 8+2*rng.Intn(120))
+		rng.Read(data)
+		pts, from, to, step := seriesFromBytes(data)
+		db := New()
+		k := Key("prop", nil)
+		if _, err := db.AppendBatch(k, pts); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		for _, agg := range []Agg{AggMean, AggMax, AggMin, AggSum, AggLast} {
+			got, err := db.Downsample(k, from, to, step, agg)
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			want := refDownsample(db.Query(k, from, to), from, step, agg)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("seed %d agg=%d:\n got=%v\nwant=%v", seed, agg, got, want)
+			}
+		}
+	}
+}
+
+// TestMergeMatchesSingleDB is the Federation.Merge ordering/stability
+// property: merging N member stores must produce exactly the sequence a
+// single DB holding every point would, with time ties resolved in member
+// name order (and insertion order within one member). The reference sorts
+// tagged tuples with an explicit (T, member, insertion) comparator —
+// independent of Merge's concat-then-stable-sort implementation.
+func TestMergeMatchesSingleDB(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+		members := 1 + rng.Intn(5)
+		fed := NewFederation()
+		k := Key("merge", map[string]string{"case": "prop"})
+
+		type tagged struct {
+			p      Point
+			member int
+			ord    int
+		}
+		var all []tagged
+		for m := 0; m < members; m++ {
+			db := New()
+			fed.Register(fmt.Sprintf("node-%02d", m), db)
+			tm := float64(rng.Intn(4))
+			for i, n := 0, rng.Intn(40); i < n; i++ {
+				tm += float64(rng.Intn(3)) // duplicates on purpose
+				p := Point{T: tm, V: rng.NormFloat64()}
+				if err := db.Append(k, p); err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				all = append(all, tagged{p: p, member: m, ord: i})
+			}
+		}
+		from, to := 1.0, 40.0
+		var want []Point
+		ref := append([]tagged(nil), all...)
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].p.T != ref[j].p.T {
+				return ref[i].p.T < ref[j].p.T
+			}
+			if ref[i].member != ref[j].member {
+				return ref[i].member < ref[j].member
+			}
+			return ref[i].ord < ref[j].ord
+		})
+		for _, tg := range ref {
+			if tg.p.T >= from && tg.p.T <= to {
+				want = append(want, tg.p)
+			}
+		}
+
+		got := fed.Merge(k, from, to)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: merged %d points, reference %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: position %d: got %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+
+		// Content check against one DB holding the merged sequence: the
+		// merge of many stores is exactly what a single store would hold.
+		single := New()
+		for _, p := range want {
+			if err := single.Append(k, p); err != nil {
+				t.Fatalf("seed %d: single-db append: %v", seed, err)
+			}
+		}
+		spts := single.Query(k, from, to)
+		for i := range got {
+			if got[i] != spts[i] {
+				t.Fatalf("seed %d: diverges from single DB at %d", seed, i)
+			}
+		}
+	}
+}

@@ -7,7 +7,9 @@
 package tsdb
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -24,7 +26,10 @@ type Point struct {
 // SeriesKey identifies a series by metric name and a label set.
 type SeriesKey struct {
 	Metric string
-	// Labels is the canonical "k=v,k=v" encoding, sorted by key.
+	// Labels is the canonical "k=v,k=v" encoding, sorted by key. The
+	// structural bytes '=', ',', and '\' are backslash-escaped inside
+	// names and values, so distinct label maps never collide into the
+	// same encoding. ScanLabels walks the encoding back into pairs.
 	Labels string
 }
 
@@ -43,11 +48,73 @@ func Key(metric string, labels map[string]string) SeriesKey {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		b.WriteString(k)
+		escapeInto(&b, k)
 		b.WriteByte('=')
-		b.WriteString(labels[k])
+		escapeInto(&b, labels[k])
 	}
 	return SeriesKey{Metric: metric, Labels: b.String()}
+}
+
+// escapeInto writes s with the structural bytes '=', ',', and '\'
+// backslash-escaped, keeping the k=v,k=v encoding injective.
+func escapeInto(b *strings.Builder, s string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '=', ',', '\\':
+			b.WriteByte('\\')
+		}
+		b.WriteByte(s[i])
+	}
+}
+
+// ScanLabels walks a SeriesKey.Labels encoding, invoking fn once per
+// name/value pair. The strings passed to fn are still in escaped form
+// (zero-copy slices of the encoding); pass them through Unescape — or
+// AppendUnescaped, to avoid the allocation — before treating them as the
+// original label text.
+func ScanLabels(labels string, fn func(name, value string)) {
+	for len(labels) > 0 {
+		name, rest := scanToken(labels, '=')
+		value, next := scanToken(rest, ',')
+		fn(name, value)
+		labels = next
+	}
+}
+
+// scanToken returns the escaped token up to the first unescaped sep, and
+// the remainder after the separator.
+func scanToken(s string, sep byte) (token, rest string) {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++ // skip the escaped byte
+		case sep:
+			return s[:i], s[i+1:]
+		}
+	}
+	return s, ""
+}
+
+// Unescape reverses the structural escaping of a token produced by
+// ScanLabels.
+func Unescape(s string) string {
+	if !strings.ContainsRune(s, '\\') {
+		return s
+	}
+	return string(AppendUnescaped(make([]byte, 0, len(s)), s))
+}
+
+// AppendUnescaped appends the unescaped form of an escaped token to b —
+// the zero-allocation path encoders use when copying label text into a
+// reusable buffer.
+func AppendUnescaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			i++
+		}
+		b = append(b, s[i])
+	}
+	return b
 }
 
 func (k SeriesKey) String() string {
@@ -69,8 +136,17 @@ func New() *DB {
 }
 
 // Append records a point. Timestamps within one series must be
-// nondecreasing; out-of-order appends are rejected.
+// nondecreasing; out-of-order appends are rejected. Non-finite
+// timestamps and NaN values are rejected: a NaN timestamp compares
+// false against everything, so it would silently pass the ordering
+// check and break the sorted invariant Query, Retain, and Downsample
+// rely on through sort.Search, and a NaN value poisons every
+// aggregation that later touches its bucket. ±Inf values are stored
+// verbatim (a saturated reading is still ordered and aggregatable).
 func (db *DB) Append(key SeriesKey, p Point) error {
+	if err := checkPoint(p); err != nil {
+		return fmt.Errorf("tsdb: append to %s: %w", key, err)
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	pts := db.series[key]
@@ -79,6 +155,46 @@ func (db *DB) Append(key SeriesKey, p Point) error {
 	}
 	db.series[key] = append(pts, p)
 	return nil
+}
+
+// checkPoint enforces the finite-timestamp / non-NaN-value contract.
+func checkPoint(p Point) error {
+	if math.IsNaN(p.T) || math.IsInf(p.T, 0) {
+		return fmt.Errorf("non-finite timestamp %g", p.T)
+	}
+	if math.IsNaN(p.V) {
+		return errors.New("NaN value")
+	}
+	return nil
+}
+
+// AppendBatch records a run of points under one lock acquisition — the
+// amortized path the databus tsdb sink uses so a million-sample stream
+// does not take the store mutex once per point. Points must be
+// nondecreasing in time, both internally and against the series tail;
+// the batch is validated before any mutation, so a rejected batch
+// leaves the series untouched. Returns the number of points appended
+// (all or none).
+func (db *DB) AppendBatch(key SeriesKey, pts []Point) (int, error) {
+	if len(pts) == 0 {
+		return 0, nil
+	}
+	for i, p := range pts {
+		if err := checkPoint(p); err != nil {
+			return 0, fmt.Errorf("tsdb: batch append to %s (point %d): %w", key, i, err)
+		}
+		if i > 0 && p.T < pts[i-1].T {
+			return 0, fmt.Errorf("tsdb: batch append to %s: unsorted batch: %g < %g", key, p.T, pts[i-1].T)
+		}
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	have := db.series[key]
+	if n := len(have); n > 0 && pts[0].T < have[n-1].T {
+		return 0, fmt.Errorf("tsdb: out-of-order batch append to %s: %g < %g", key, pts[0].T, have[n-1].T)
+	}
+	db.series[key] = append(have, pts...)
+	return len(pts), nil
 }
 
 // Query returns the points of key with T in [from, to], in order.
@@ -169,14 +285,21 @@ func (db *DB) Downsample(key SeriesKey, from, to, step float64, agg Agg) ([]Poin
 	}
 	pts := db.Query(key, from, to)
 	var out []Point
+	// Window membership is the per-point floored quotient, not an int
+	// conversion or a scan against bucket+step: (T-from)/step can exceed
+	// the int64 range for wide time spans (where the int conversion result
+	// is target-dependent garbage — a hugely negative bucket on amd64),
+	// and comparing T against bucket+step can disagree with the quotient
+	// at float boundaries, splitting one window into two output rows.
+	window := func(t float64) float64 { return math.Floor((t - from) / step) }
 	i := 0
 	for i < len(pts) {
-		bucket := from + float64(int((pts[i].T-from)/step))*step
-		end := bucket + step
+		w := window(pts[i].T)
+		bucket := from + w*step
 		val := pts[i].V
 		count := 1
 		j := i + 1
-		for j < len(pts) && pts[j].T < end {
+		for j < len(pts) && window(pts[j].T) == w {
 			switch agg {
 			case AggMean, AggSum:
 				val += pts[j].V

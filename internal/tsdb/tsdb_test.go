@@ -47,6 +47,147 @@ func TestAppendAndQuery(t *testing.T) {
 	}
 }
 
+// TestKeyEscapingPreventsCollision pins the label-encoding bugfix: before
+// structural bytes were escaped, {"a":"1,b=2"} and {"a":"1","b":"2"} both
+// rendered as "a=1,b=2" and collided into one SeriesKey, silently merging
+// unrelated series (this test fails on the unescaped encoding).
+func TestKeyEscapingPreventsCollision(t *testing.T) {
+	tricky := Key("m", map[string]string{"a": "1,b=2"})
+	plain := Key("m", map[string]string{"a": "1", "b": "2"})
+	if tricky == plain {
+		t.Fatalf("label encodings collide: %q", tricky.Labels)
+	}
+	// Backslashes in values must not swallow a following separator.
+	backslash := Key("m", map[string]string{"a": `1\`, "b": "2"})
+	if backslash == plain || backslash == tricky {
+		t.Fatalf("backslash value collides: %q vs %q", backslash.Labels, plain.Labels)
+	}
+	// Escaping must stay injective for structural bytes in label names too.
+	nameEq := Key("m", map[string]string{"a=b": "c"})
+	valueEq := Key("m", map[string]string{"a": "b=c"})
+	if nameEq == valueEq {
+		t.Fatalf("name/value '=' placement collides: %q", nameEq.Labels)
+	}
+}
+
+func TestScanLabelsRoundTrip(t *testing.T) {
+	cases := []map[string]string{
+		{"node": "s1", "core": "0"},
+		{"a": "1,b=2"},
+		{"a": `1\`, "b": "2"},
+		{`we=ird,`: `va\l=ue,`, "plain": "x"},
+		{"": ""},
+	}
+	for _, labels := range cases {
+		k := Key("m", labels)
+		got := make(map[string]string)
+		ScanLabels(k.Labels, func(name, value string) {
+			got[Unescape(name)] = Unescape(value)
+		})
+		if len(got) != len(labels) {
+			t.Fatalf("labels %v round-tripped to %v", labels, got)
+		}
+		for name, value := range labels {
+			if got[name] != value {
+				t.Fatalf("labels %v round-tripped to %v", labels, got)
+			}
+		}
+	}
+	if got := AppendUnescaped(nil, `a\=b\,c\\d`); string(got) != `a=b,c\d` {
+		t.Fatalf("AppendUnescaped = %q", got)
+	}
+}
+
+// TestAppendRejectsNaNTimestamp pins the NaN-poisoning bugfix: NaN
+// compares false against everything, so "p.T < pts[n-1].T" accepted a NaN
+// timestamp — and every later append regardless of its timestamp — after
+// which the series was no longer sorted and the sort.Search binary
+// searches in Query, Retain, and Downsample probe against NaN and can
+// skip live points (this test fails on the pre-fix Append, which returned
+// nil for the NaN).
+func TestAppendRejectsNaNTimestamp(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	if err := db.Append(k, Point{T: 1, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Append(k, Point{T: math.NaN(), V: 2}); err == nil {
+		t.Fatal("NaN timestamp accepted; sorted invariant silently broken")
+	}
+	if err := db.Append(k, Point{T: 5, V: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// With the NaN rejected, the later point stays reachable.
+	if pts := db.Query(k, 4, 6); len(pts) != 1 || pts[0].V != 3 {
+		t.Fatalf("Query(4,6) = %v, want the T=5 point", pts)
+	}
+	if err := db.Append(k, Point{T: math.Inf(1), V: 1}); err == nil {
+		t.Fatal("+Inf timestamp accepted")
+	}
+	if err := db.Append(k, Point{T: 6, V: math.NaN()}); err == nil {
+		t.Fatal("NaN value accepted")
+	}
+	// ±Inf values are documented as allowed: still ordered, still storable.
+	if err := db.Append(k, Point{T: 6, V: math.Inf(-1)}); err != nil {
+		t.Fatalf("-Inf value rejected: %v", err)
+	}
+}
+
+func TestAppendBatch(t *testing.T) {
+	db := New()
+	k := Key("cpu", nil)
+	if err := db.Append(k, Point{T: 1, V: 1}); err != nil {
+		t.Fatal(err)
+	}
+	n, err := db.AppendBatch(k, []Point{{T: 2, V: 2}, {T: 2, V: 3}, {T: 4, V: 4}})
+	if err != nil || n != 3 {
+		t.Fatalf("AppendBatch = %d, %v", n, err)
+	}
+	if pts := db.Query(k, 0, 10); len(pts) != 4 {
+		t.Fatalf("Query returned %d points, want 4", len(pts))
+	}
+	// A rejected batch must leave the series untouched (all-or-none).
+	if _, err := db.AppendBatch(k, []Point{{T: 5}, {T: 3}}); err == nil {
+		t.Fatal("unsorted batch accepted")
+	}
+	if _, err := db.AppendBatch(k, []Point{{T: 3}}); err == nil {
+		t.Fatal("batch behind the series tail accepted")
+	}
+	if _, err := db.AppendBatch(k, []Point{{T: 5}, {T: math.NaN()}}); err == nil {
+		t.Fatal("batch with NaN timestamp accepted")
+	}
+	if pts := db.Query(k, 0, 10); len(pts) != 4 {
+		t.Fatalf("rejected batches mutated the series: %d points", len(pts))
+	}
+	if n, err := db.AppendBatch(k, nil); n != 0 || err != nil {
+		t.Fatalf("empty batch = %d, %v", n, err)
+	}
+}
+
+// TestDownsampleWideRange pins the bucket-index bugfix: the old
+// int((T-from)/step) conversion is undefined once the quotient exceeds
+// the int64 range — on amd64 it yields math.MinInt64, placing the bucket
+// at a hugely negative timestamp (this test fails on the truncating
+// implementation).
+func TestDownsampleWideRange(t *testing.T) {
+	db := New()
+	k := Key("wide", nil)
+	const far = 1e19 // (far-0)/1 overflows int64 (max ≈ 9.2e18)
+	if err := db.Append(k, Point{T: far, V: 7}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := db.Downsample(k, 0, 2e19, 1, AggMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 {
+		t.Fatalf("buckets = %v, want 1", out)
+	}
+	if out[0].T < 0 || out[0].T > far || out[0].V != 7 {
+		t.Fatalf("bucket = %+v, want start ~%g (got the int-truncation garbage?)", out[0], far)
+	}
+}
+
 func TestAppendRejectsOutOfOrder(t *testing.T) {
 	db := New()
 	k := Key("cpu", nil)
