@@ -7,7 +7,7 @@
 # oracle; fuzz-smoke gives every native fuzz target a short randomized
 # budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare bench-databus chaos chaos-smoke failover databus-demo
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare bench-databus bench-probe chaos chaos-smoke failover databus-demo measured-demo
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -26,6 +26,7 @@ endif
 	-$(MAKE) chaos-smoke
 	-$(MAKE) bench-compare
 	-$(MAKE) bench-databus
+	-$(MAKE) bench-probe
 
 # Differential tier: 1000 seeded random instances solved by every
 # applicable solver (simplex, transport, ILP) and cross-checked against
@@ -47,6 +48,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzRouteCacheEquivalence$$' -fuzztime $(FUZZTIME) ./internal/core
 	go test -run '^$$' -fuzz '^FuzzSnappyRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/databus
 	go test -run '^$$' -fuzz '^FuzzDownsample$$' -fuzztime $(FUZZTIME) ./internal/tsdb
+	go test -run '^$$' -fuzz '^FuzzProbeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/probe
 
 # The observability and data-plane packages run first: their lock-free
 # counters, pump goroutines, and the instrumented manager/client paths are
@@ -54,8 +56,8 @@ fuzz-smoke:
 # full -race sweep.
 check-race:
 	go vet ./...
-	go test -race -count=1 ./internal/obs ./internal/proto ./internal/databus ./internal/tsdb ./internal/cluster
-	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/databus -e /internal/tsdb -e /internal/cluster)
+	go test -race -count=1 ./internal/obs ./internal/proto ./internal/probe ./internal/databus ./internal/tsdb ./internal/cluster
+	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/probe -e /internal/databus -e /internal/tsdb -e /internal/cluster)
 
 bench:
 	go test -bench=. -benchmem
@@ -66,16 +68,16 @@ bench:
 # quiet machine). Informational only — check treats it as non-fatal,
 # since timings shift with host load; benchstat renders the diff when on
 # PATH, otherwise the raw run is printed for eyeballing.
-BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame|BenchmarkDatabusPublish|BenchmarkRemoteWriteSink
+BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame|BenchmarkDatabusPublish|BenchmarkRemoteWriteSink|BenchmarkProbeEstimatorObserve|BenchmarkProbeReportCodec
 BENCH_COUNT ?= 3
 
 bench-baseline:
 	go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto ./internal/databus | tee bench_baseline.txt
+		./internal/cluster ./internal/proto ./internal/databus ./internal/probe | tee bench_baseline.txt
 
 bench-compare:
 	@go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto ./internal/databus > bench_current.txt
+		./internal/cluster ./internal/proto ./internal/databus ./internal/probe > bench_current.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_current.txt; \
 	else \
@@ -98,12 +100,21 @@ failover:
 databus-demo:
 	go run ./cmd/dustsim -databus
 
+measured-demo:
+	go run ./cmd/dustsim -measured
+
 # Data-plane smoke: the databus publish and remote-write encode benchmarks
 # with allocation counts — the 0 allocs/op steady-state encode guarantee is
 # the number to watch. Non-fatal in check, like bench-compare.
 bench-databus:
 	go test -run '^$$' -bench 'BenchmarkDatabusPublish|BenchmarkRemoteWriteSink' \
 		-benchmem ./internal/databus
+
+# Measurement-plane smoke: estimator fold, report codec, and pinger tick
+# benchmarks with allocation counts. Non-fatal in check, like bench-compare.
+bench-probe:
+	go test -run '^$$' -bench 'BenchmarkProbe|BenchmarkPingerTick' \
+		-benchmem ./internal/probe
 
 # Resilience smoke: the chaos-convergence, manager-failover, and
 # crash-recovery suites under the race detector. Wired into check

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|hardware|ablations|ingest|databus]
+//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|measureddrift|measuredchaos|hardware|ablations|ingest|databus]
 //	          [-quick] [-seed N] [-iters N] [-parallelism N] [-nmdb-shards N] [-warm-solve]
 //
 // -quick runs the trimmed configuration (seconds); the default runs the
@@ -68,6 +68,8 @@ func main() {
 		{"qos", func() (interface{ Table() string }, error) { return experiments.RunQoS(cfg) }},
 		{"validate", func() (interface{ Table() string }, error) { return experiments.RunRouteValidation(cfg) }},
 		{"dynamic", func() (interface{ Table() string }, error) { return experiments.RunDynamic(cfg) }},
+		{"measureddrift", func() (interface{ Table() string }, error) { return experiments.RunMeasuredDrift(cfg) }},
+		{"measuredchaos", func() (interface{ Table() string }, error) { return experiments.RunMeasuredDriftChaos(cfg) }},
 		{"hardware", func() (interface{ Table() string }, error) { return experiments.RunHardwareMix(cfg) }},
 		{"ablations", func() (interface{ Table() string }, error) { return experiments.RunAblations(cfg) }},
 		{"ingest", func() (interface{ Table() string }, error) { return experiments.RunIngestScaling(cfg) }},

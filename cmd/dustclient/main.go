@@ -44,6 +44,8 @@ func main() {
 		rcAttempts  = flag.Int("max-reconnects", 0, "consecutive failed redials before giving up (0 = retry forever)")
 		hsTimeout   = flag.Duration("handshake-timeout", 5*time.Second, "registration ACK wait before a redial retries")
 		writeDL     = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on the manager connection (0 = none)")
+		probePeers  = flag.String("probe-peers", "", "comma-separated node indices to actively probe (TWAMP-Light RTT/loss via the manager relay)")
+		probeEvery  = flag.Duration("probe-interval", 0, "base per-peer probe cadence, jittered ±50% (0 = default when -probe-peers is set)")
 	)
 	flag.Parse()
 
@@ -116,11 +118,28 @@ func main() {
 	}
 	defer conn.Close()
 
+	var peers []int
+	if *probePeers != "" {
+		for _, p := range strings.Split(*probePeers, ",") {
+			if p = strings.TrimSpace(p); p == "" {
+				continue
+			}
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				log.Fatalf("dustclient: -probe-peers: %v", err)
+			}
+			peers = append(peers, n)
+		}
+	}
+
 	client, err := cluster.NewClient(cluster.ClientConfig{
-		Node:    *node,
-		Capable: *capable,
-		CMax:    *cmax,
-		COMax:   *comax,
+		Node:          *node,
+		Capable:       *capable,
+		CMax:          *cmax,
+		COMax:         *comax,
+		Seed:          *seed,
+		ProbePeers:    peers,
+		ProbeInterval: *probeEvery,
 		Resources: func() cluster.Resources {
 			mu.Lock()
 			defer mu.Unlock()

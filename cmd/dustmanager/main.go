@@ -64,6 +64,8 @@ func main() {
 		verifyPl  = flag.Bool("verify-placements", false, "self-audit every solver result against the Eq. 3 invariants before offering it (debug)")
 		shards    = flag.Int("nmdb-shards", cluster.DefaultNMDBShards, "NMDB registry stripe count (rounded up to a power of two; <1 = default)")
 		warmSolve = flag.Bool("warm-solve", true, "seed each placement solve from the previous tick's basis when the busy/candidate sets are unchanged")
+		measured  = flag.Bool("measured-costs", false, "blend client probe reports (RTT/loss) into route edge costs (DESIGN.md §15)")
+		measStale = flag.Duration("measured-stale", 0, "probe measurement lifetime before an edge falls back to static costs (0 = default)")
 
 		databusOn    = flag.Bool("databus", false, "publish ingested STATs (and relayed telemetry-batch frames) onto an in-process databus backed by a node-local tsdb")
 		databusQueue = flag.Int("databus-queue", databus.DefaultQueueSize, "per-sink databus queue bound in samples")
@@ -143,6 +145,8 @@ func main() {
 		ResyncQuorum:        *quorum,
 		Metrics:             reg,
 		Databus:             bus,
+		MeasuredCosts:       *measured,
+		MeasuredStaleAfter:  *measStale,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)

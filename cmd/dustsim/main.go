@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/testbed"
 	"repro/internal/traffic"
 	"repro/internal/tsdb"
@@ -38,6 +39,7 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run the control-plane chaos demo instead of the testbed simulation")
 		busDemo  = flag.Bool("databus", false, "run the streaming-data-plane demo (databus + tsdb/remote-write sinks) instead of the testbed simulation")
 		failover = flag.Bool("failover", false, "run the manager-failover demo (warm standby promotion) instead of the testbed simulation")
+		measured = flag.Bool("measured", false, "run the measured-latency control-loop demo (probe-fed edge costs, mid-run congestion) instead of the testbed simulation")
 		promote  = flag.Duration("promote-after", time.Second, "replication silence before the -failover standby promotes itself")
 		chaosN   = flag.Int("chaos-nodes", 6, "cluster size for -chaos and -failover (line topology)")
 		drop     = flag.Float64("drop", 0.2, "message drop probability for -chaos")
@@ -63,6 +65,16 @@ func main() {
 		if err := runFailover(*chaosN, *seed, *promote, *metrics, *verifyPl); err != nil {
 			log.Fatalf("dustsim: %v", err)
 		}
+		return
+	}
+	if *measured {
+		cfg := experiments.Quick()
+		cfg.Seed = *seed
+		res, err := experiments.RunMeasuredDrift(cfg)
+		if err != nil {
+			log.Fatalf("dustsim: %v", err)
+		}
+		fmt.Println(res.Table())
 		return
 	}
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/probe"
 	"repro/internal/proto"
 )
 
@@ -79,6 +80,23 @@ type ClientConfig struct {
 	// (default 5s; in-memory pipes have no transport deadline to cut a
 	// hung handshake).
 	HandshakeTimeout time.Duration
+	// Seed makes the client's randomized behavior (reconnect full-jitter
+	// backoff, probe schedule jitter) reproducible, like FaultConn's plan
+	// seed. 0 draws a seed from the wall clock — unpredictable, but still
+	// per-client, so a fleet never jitters in lockstep.
+	Seed int64
+	// ProbePeers are the route-relevant peers this client actively
+	// measures (TWAMP-Light probes relayed via the manager). Empty
+	// disables probing; the client still reflects peers' probes.
+	ProbePeers []int
+	// ProbeInterval is the per-peer probe cadence (0 = probe.DefaultInterval)
+	// and ProbeTimeout the reply wait before a probe counts as lost
+	// (0 = probe.DefaultTimeout).
+	ProbeInterval time.Duration
+	ProbeTimeout  time.Duration
+	// Now injects the probe clock (nil = time.Now); simulations drive it
+	// virtually so measurements are deterministic.
+	Now func() time.Time
 	// Logf, when set, receives reconnect and resync diagnostics.
 	Logf func(format string, args ...any)
 	// Metrics is the observability registry the client instruments; nil
@@ -94,11 +112,15 @@ const seenWindow = 4096
 
 // Client is the per-device DUST agent.
 type Client struct {
-	cfg     ClientConfig
-	metrics *clientMetrics
-	conn    proto.Conn
+	cfg       ClientConfig
+	metrics   *clientMetrics
+	pinger    *probe.Pinger // nil without ProbePeers
+	reflector probe.Reflector
+
+	conn proto.Conn
 
 	mu             sync.Mutex
+	rng            *rand.Rand
 	seq            uint64
 	updateInterval float64
 	hosting        map[int]float64 // busy node -> hosted percentage
@@ -118,11 +140,35 @@ func NewClient(cfg ClientConfig, conn proto.Conn) (*Client, error) {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	metrics := newClientMetrics(cfg.Metrics)
-	return &Client{
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Client{
 		cfg: cfg, metrics: metrics, conn: metrics.conn.Wrap(conn),
-		hosting: make(map[int]float64),
-		seen:    make(map[uint64]struct{}),
-	}, nil
+		reflector: probe.Reflector{Node: cfg.Node},
+		rng:       rand.New(rand.NewSource(seed)),
+		hosting:   make(map[int]float64),
+		seen:      make(map[uint64]struct{}),
+	}
+	if len(cfg.ProbePeers) > 0 {
+		c.pinger = probe.NewPinger(probe.PingerConfig{
+			Node:     cfg.Node,
+			Peers:    cfg.ProbePeers,
+			Interval: cfg.ProbeInterval,
+			Timeout:  cfg.ProbeTimeout,
+			Seed:     seed,
+		})
+	}
+	return c, nil
+}
+
+// now is the probe clock (virtual in simulations).
+func (c *Client) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
 }
 
 // current returns the live connection; it changes only between supervised
@@ -319,7 +365,71 @@ func (c *Client) dispatch(msg *proto.Message) {
 		if c.cfg.OnReplica != nil {
 			c.cfg.OnReplica(int(msg.BusyNode), int(msg.FailedNode), msg.AmountPct)
 		}
+	case proto.MsgProbe:
+		// Reflect a peer's probe: timestamp and echo (TWAMP-Light). The
+		// reply rides back through the manager relay like the probe came.
+		reply := c.reflector.Reflect(msg, c.now())
+		reply.Seq = c.nextSeq()
+		c.metrics.probesRefl.Inc()
+		_ = c.current().Send(reply)
+	case proto.MsgProbeReply:
+		if c.pinger != nil {
+			c.pinger.HandleReply(msg, c.now())
+		}
 	}
+}
+
+// ProbeTick advances the active-measurement schedule: due probes are
+// sent (via the manager relay) and overdue ones expire into the loss
+// estimate. A no-op without ProbePeers.
+func (c *Client) ProbeTick() error {
+	if c.pinger == nil {
+		return nil
+	}
+	for _, m := range c.pinger.Tick(c.now()) {
+		m.Seq = c.nextSeq()
+		if err := c.current().Send(m); err != nil {
+			return err
+		}
+		c.metrics.probesSent.Inc()
+	}
+	return nil
+}
+
+// SendProbeReport ships the current smoothed RTT/loss estimates to the
+// manager (MsgProbeReport). A no-op without ProbePeers or before any
+// measurement completes.
+func (c *Client) SendProbeReport() error {
+	if c.pinger == nil {
+		return nil
+	}
+	rep := c.pinger.Report(c.now())
+	if rep == nil {
+		return nil
+	}
+	rep.Seq = c.nextSeq()
+	if err := c.current().Send(rep); err != nil {
+		return err
+	}
+	c.metrics.probeReports.Inc()
+	return nil
+}
+
+// ProbeEstimates exposes the pinger's current smoothed samples (empty
+// without ProbePeers). Tests and embedders inspect convergence with it.
+func (c *Client) ProbeEstimates() []probe.Sample {
+	if c.pinger == nil {
+		return nil
+	}
+	return c.pinger.Estimates(c.now())
+}
+
+// ProbesOutstanding reports in-flight probe count (tests settle on 0).
+func (c *Client) ProbesOutstanding() int {
+	if c.pinger == nil {
+		return 0
+	}
+	return c.pinger.Outstanding()
 }
 
 // Run drives the client autonomously: a reader loop dispatching manager
@@ -372,6 +482,22 @@ func (c *Client) runSession(ctx context.Context) error {
 	defer statTick.Stop()
 	kaTick := time.NewTicker(time.Duration(interval / 3 * float64(time.Second)))
 	defer kaTick.Stop()
+	// The probe scheduler keeps its own per-peer jittered cadence; this
+	// ticker only bounds how often it gets a chance to run. Without
+	// ProbePeers the ticker never fires (its channel is nil).
+	var probeTickC <-chan time.Time
+	if c.pinger != nil {
+		probeInterval := c.cfg.ProbeInterval
+		if probeInterval <= 0 {
+			probeInterval = probe.DefaultInterval
+		}
+		probeTick := time.NewTicker(probeInterval / 4)
+		defer probeTick.Stop()
+		probeTickC = probeTick.C
+		if err := c.ProbeTick(); err != nil {
+			return err
+		}
+	}
 
 	if err := c.SendStat(); err != nil {
 		return err
@@ -385,6 +511,14 @@ func (c *Client) runSession(ctx context.Context) error {
 			return err
 		case <-statTick.C:
 			if err := c.SendStat(); err != nil {
+				return err
+			}
+			// Measurement reports ride the STAT cadence.
+			if err := c.SendProbeReport(); err != nil {
+				return err
+			}
+		case <-probeTickC:
+			if err := c.ProbeTick(); err != nil {
 				return err
 			}
 		case <-kaTick.C:
@@ -435,8 +569,11 @@ func (c *Client) reconnect(ctx context.Context) error {
 			}
 			return err
 		}
-		// Full jitter: sleep a uniform fraction of the current bound.
-		sleep := time.Duration(rand.Int63n(int64(delay) + 1))
+		// Full jitter: sleep a uniform fraction of the current bound,
+		// drawn from the client's seeded RNG so chaos/failover runs
+		// reproduce (the global rand source would differ run to run and
+		// interleave with every other rand user in the process).
+		sleep := c.reconnectJitter(delay)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
@@ -479,6 +616,14 @@ func (c *Client) reconnect(ctx context.Context) error {
 			delay = maxDelay
 		}
 	}
+}
+
+// reconnectJitter draws one full-jitter backoff sleep in [0, bound] from
+// the client's seeded RNG.
+func (c *Client) reconnectJitter(bound time.Duration) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return time.Duration(c.rng.Int63n(int64(bound) + 1))
 }
 
 // handshakeWithTimeout runs Handshake, force-closing conn if the ACK does

@@ -746,6 +746,21 @@ func TestFailoverConvergence(t *testing.T) {
 	waitLong(t, 15*time.Second, func() bool {
 		return pairsEqual(pairsOf(standby.NMDB()), preKill)
 	})
+	// The quorum-based degraded exit (0.6) does not guarantee every client
+	// has re-reported: a covered busy node whose NMDB record still carries
+	// its replicated pre-kill utilization (≥ CMax) would classify busy
+	// again at the next tick and pick up a second destination — which the
+	// ledger assertions below would flag as an unexpected pair. Wait until
+	// every busy-capable node's record reflects a post-failover STAT.
+	waitLong(t, 15*time.Second, func() bool {
+		for i := 0; i < n-1; i += 2 {
+			rec, ok := standby.NMDB().Client(i)
+			if !ok || rec.UtilPct >= defaults.CMax {
+				return false
+			}
+		}
+		return true
+	})
 
 	// Phase 3: the first meaningful post-promotion tick. A fresh busy node
 	// appears; the promoted manager must solve, pass the verify.CheckResult

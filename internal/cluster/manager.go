@@ -91,6 +91,15 @@ type ManagerConfig struct {
 	ResyncQuorum float64
 	// Now injects a clock; nil means time.Now (tests inject virtual time).
 	Now func() time.Time
+	// MeasuredCosts enables the measured-latency control loop (DESIGN.md
+	// §15): probe reports from clients land in a graph.MeasuredCosts
+	// overlay whose per-edge factors discount the rate model behind every
+	// route cost, so placements chase measured congestion instead of the
+	// static topology.
+	MeasuredCosts bool
+	// MeasuredStaleAfter bounds a probe measurement's lifetime in the
+	// overlay (0 = graph.DefaultMeasuredStaleAfter).
+	MeasuredStaleAfter time.Duration
 	// Metrics is the observability registry the manager instruments; nil
 	// means a private registry (instrumentation is always on — it is
 	// atomic-counter cheap — and Metrics() exposes whichever registry is
@@ -109,7 +118,10 @@ type Manager struct {
 	nmdb    *NMDB
 	planner *core.Planner
 	metrics *managerMetrics
-	store   *CheckpointStore
+	// measured is the probe-fed edge-cost overlay (nil unless
+	// cfg.MeasuredCosts); the planner's Params share the pointer.
+	measured *graph.MeasuredCosts
+	store    *CheckpointStore
 	// bridge republishes ingested STATs onto cfg.Databus; nil without one.
 	bridge *statBridge
 	// stop ends the checkpoint and replication loops; closed once by Close.
@@ -207,9 +219,15 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cfg.Metrics = obs.NewRegistry()
 	}
 	cfg.Params.Thresholds = cfg.Defaults
+	var measured *graph.MeasuredCosts
+	if cfg.MeasuredCosts {
+		measured = graph.NewMeasuredCosts(cfg.Topology, cfg.MeasuredStaleAfter, cfg.Now)
+		cfg.Params.Measured = measured
+	}
 	m := &Manager{
 		cfg:        cfg,
 		nmdb:       NewNMDBSharded(cfg.Topology, cfg.NMDBShards),
+		measured:   measured,
 		planner:    core.NewPlanner(cfg.Params),
 		metrics:    newManagerMetrics(cfg.Metrics),
 		stop:       make(chan struct{}),
@@ -226,6 +244,11 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 	}
 	m.metrics.bindGauges(cfg.Metrics, m.nmdb, m.planner)
 	m.metrics.bindHAGauges(cfg.Metrics, m)
+	if measured != nil {
+		cfg.Metrics.GaugeFunc("dust_manager_measured_edges",
+			"topology edges carrying a live probe measurement",
+			func() float64 { return float64(measured.Measured()) })
+	}
 	if cfg.CheckpointPath != "" {
 		m.store = NewCheckpointStore(cfg.CheckpointPath)
 		switch err := m.store.Load(m.nmdb); {
@@ -398,6 +421,14 @@ func (m *Manager) Metrics() *obs.Registry { return m.cfg.Metrics }
 // (basis reused from the previous tick), cold, or fallback (a warm
 // attempt that re-solved cold after the seed was rejected).
 func (m *Manager) WarmStats() core.WarmSolveStats { return m.planner.WarmStats() }
+
+// RouteCacheStats reports the planner's route-cache traffic (hits, misses,
+// evictions, flushes) — the observable trace of measured-cost revalidation.
+func (m *Manager) RouteCacheStats() core.CacheStats { return m.planner.Cache().Stats() }
+
+// MeasuredCosts exposes the probe-fed edge-cost overlay, or nil when the
+// manager runs on static configured rates (cfg.MeasuredCosts false).
+func (m *Manager) MeasuredCosts() *graph.MeasuredCosts { return m.measured }
 
 var errManagerClosed = errors.New("cluster: manager closed")
 
@@ -826,6 +857,38 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 			m.sendRedirect(p.assignment)
 		}
 		p.done <- msg.Accept
+	case proto.MsgProbe, proto.MsgProbeReply:
+		// Client-to-client relay: clients only connect to the manager, so
+		// probe frames hop through it. The frame is copied (transports and
+		// fault injectors may share message pointers) and re-sequenced
+		// from the manager's counter so client-side duplicate suppression
+		// keeps working. A disconnected target drops the probe — which is
+		// exactly what the pinger's timeout machinery expects of a dead
+		// path.
+		conn, ok := m.connFor(int(msg.To))
+		if !ok {
+			m.metrics.probeRelays["dropped"].Inc()
+			return
+		}
+		fwd := *msg
+		fwd.Seq = m.nextSeq()
+		if err := conn.Send(&fwd); err != nil {
+			m.metrics.probeRelays["dropped"].Inc()
+			return
+		}
+		m.metrics.probeRelays["ok"].Inc()
+	case proto.MsgProbeReport:
+		m.metrics.probeReports.Inc()
+		if m.measured == nil {
+			return // probing without -measured-costs: reports are inert
+		}
+		for _, s := range msg.ProbeSamples {
+			if m.measured.Observe(node, int(s.Peer), time.Duration(s.RTTNs), s.Loss, now) {
+				m.metrics.probeSamples["mapped"].Inc()
+			} else {
+				m.metrics.probeSamples["unmapped"].Inc()
+			}
+		}
 	case proto.MsgHostSync:
 		busy := int(msg.BusyNode)
 		m.mu.Lock()
@@ -1406,12 +1469,7 @@ func (m *Manager) pickReplica(state *core.State, a core.Assignment, failed int) 
 // pickReplicaDirect scans candidates by hop-bounded response time from the
 // busy node without requiring it to classify busy.
 func (m *Manager) pickReplicaDirect(state *core.State, a core.Assignment, failed int, spare map[int]float64) (int, float64, bool) {
-	cost := graph.InverseRateCost(func(e graph.Edge) float64 {
-		if m.cfg.Params.RateModel == core.RateAvailable {
-			return e.AvailableMbps()
-		}
-		return e.UtilizedMbps()
-	})
+	cost := graph.InverseRateCost(m.cfg.Params.EffectiveRate)
 	dist, _ := graph.HopBoundedShortest(state.G, a.Busy, m.cfg.Params.MaxHops, cost)
 	best, bestSec := -1, math.Inf(1)
 	for cand, sp := range spare {

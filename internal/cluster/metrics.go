@@ -42,6 +42,12 @@ type managerMetrics struct {
 	telemetryFrames  map[string]*obs.Counter // result: published, decode_error, no_bus
 	telemetrySamples *obs.Counter
 
+	// Active measurement plane: client-to-client probe frames relayed by
+	// the manager and probe reports folded into the MeasuredCosts overlay.
+	probeRelays  map[string]*obs.Counter // result: ok, dropped
+	probeReports *obs.Counter
+	probeSamples map[string]*obs.Counter // result: mapped, unmapped
+
 	// High-availability instrumentation: durable checkpoints, standby
 	// replication, promotion, and degraded-mode (grace window) activity.
 	checkpointWrites  map[string]*obs.Counter // result: ok, failed
@@ -89,6 +95,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		telemetryFrames: make(map[string]*obs.Counter),
 		telemetrySamples: reg.Counter("dust_manager_telemetry_samples_total",
 			"samples decoded from telemetry-batch frames and republished"),
+		probeRelays: make(map[string]*obs.Counter),
+		probeReports: reg.Counter("dust_manager_probe_reports_total",
+			"probe measurement reports received from clients"),
+		probeSamples:     make(map[string]*obs.Counter),
 		checkpointWrites: make(map[string]*obs.Counter),
 		checkpointLoads:  make(map[string]*obs.Counter),
 		promotions: reg.Counter("dust_manager_promotions_total",
@@ -141,6 +151,14 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 	for _, result := range []string{"published", "decode_error", "no_bus"} {
 		mm.telemetryFrames[result] = reg.Counter("dust_manager_telemetry_frames_total",
 			"telemetry-batch frames received by outcome", "result", result)
+	}
+	for _, result := range []string{"ok", "dropped"} {
+		mm.probeRelays[result] = reg.Counter("dust_manager_probe_relays_total",
+			"client-to-client probe frames relayed by outcome", "result", result)
+	}
+	for _, result := range []string{"mapped", "unmapped"} {
+		mm.probeSamples[result] = reg.Counter("dust_manager_probe_samples_total",
+			"probe report samples by edge-mapping outcome", "result", result)
 	}
 	return mm
 }
@@ -259,12 +277,15 @@ func (mm *managerMetrics) recordReport(r *PlacementReport) {
 // and outcomes, supervised sessions, and Host-Sync declarations. Many
 // clients sharing one registry aggregate into the same series.
 type clientMetrics struct {
-	sessions   *obs.Counter
-	reconnects map[string]*obs.Counter // result: ok, fail
-	failovers  *obs.Counter
-	abandons   *obs.Counter
-	hostSyncs  *obs.Counter
-	conn       *proto.ConnMetrics
+	sessions     *obs.Counter
+	reconnects   map[string]*obs.Counter // result: ok, fail
+	failovers    *obs.Counter
+	abandons     *obs.Counter
+	hostSyncs    *obs.Counter
+	probesSent   *obs.Counter
+	probesRefl   *obs.Counter
+	probeReports *obs.Counter
+	conn         *proto.ConnMetrics
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -278,6 +299,12 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"supervision loops that gave up after MaxReconnectAttempts"),
 		hostSyncs: reg.Counter("dust_client_hostsync_sent_total",
 			"Host-Sync declarations sent"),
+		probesSent: reg.Counter("dust_client_probes_sent_total",
+			"active measurement probes sent toward peers"),
+		probesRefl: reg.Counter("dust_client_probes_reflected_total",
+			"peer probes reflected back with TWAMP timestamps"),
+		probeReports: reg.Counter("dust_client_probe_reports_sent_total",
+			"probe measurement reports sent to the manager"),
 		conn: proto.NewConnMetrics(reg, "client"),
 	}
 	for _, result := range []string{"ok", "fail"} {

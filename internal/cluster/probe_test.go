@@ -1,0 +1,336 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/probe"
+	"repro/internal/proto"
+)
+
+// waitUntil polls cond until it holds or the wall-clock deadline passes.
+// Probe round trips cross goroutines (client reader, manager reader), so
+// even under a frozen virtual clock the exchange needs real scheduler time.
+func waitUntil(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestReconnectBackoffSeededDeterminism pins the satellite bugfix: the
+// full-jitter reconnect backoff draws from the client's seeded RNG, not
+// the process-global math/rand source. Before the fix, two clients
+// configured identically could not reproduce a backoff schedule — global
+// draws interleave across every rand user in the process — which made
+// chaos and failover runs unrepeatable. Now equal seeds must yield
+// bit-identical schedules and distinct seeds must diverge.
+func TestReconnectBackoffSeededDeterminism(t *testing.T) {
+	mk := func(seed int64) *Client {
+		end, _ := proto.Pipe(1)
+		cl, err := NewClient(ClientConfig{
+			Node: 0, Capable: true, Seed: seed,
+			Resources: func() Resources { return Resources{UtilPct: 10} },
+		}, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+	// The supervision loop doubles the bound from ReconnectMin to
+	// ReconnectMax; replay that exact bound sequence through the jitter
+	// draw each client would use.
+	bounds := func() []time.Duration {
+		var bs []time.Duration
+		d := 10 * time.Millisecond
+		for i := 0; i < 12; i++ {
+			bs = append(bs, d)
+			if d *= 2; d > time.Second {
+				d = time.Second
+			}
+		}
+		return bs
+	}()
+	schedule := func(cl *Client) []time.Duration {
+		var s []time.Duration
+		for _, b := range bounds {
+			s = append(s, cl.reconnectJitter(b))
+		}
+		return s
+	}
+
+	a, b, c := mk(42), mk(42), mk(43)
+	sa, sb, sc := schedule(a), schedule(b), schedule(c)
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same-seed schedules diverge at attempt %d: %v vs %v", i+1, sa[i], sb[i])
+		}
+		if sa[i] < 0 || sa[i] > bounds[i] {
+			t.Fatalf("jitter %v outside [0, %v] at attempt %d", sa[i], bounds[i], i+1)
+		}
+	}
+	same := true
+	for i := range sa {
+		if sa[i] != sc[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("distinct seeds produced identical schedules; jitter is not seed-driven")
+	}
+}
+
+// probeRig wires a manager (measured costs on) and clients over pipes
+// whose client ends are wrapped in probe.LatencyConn, so probe RTTs are
+// exactly the modelled path latency under the frozen virtual clock.
+type probeRig struct {
+	t       *testing.T
+	clock   *testClock
+	manager *Manager
+	clients map[int]*Client
+
+	mu  sync.Mutex
+	lat map[int]time.Duration // per-client one-way latency
+}
+
+func (r *probeRig) setLatency(node int, d time.Duration) {
+	r.mu.Lock()
+	r.lat[node] = d
+	r.mu.Unlock()
+}
+
+func newProbeRig(t *testing.T, nodes int, prober ClientConfig, wrap func(node int, end proto.Conn) proto.Conn) *probeRig {
+	t.Helper()
+	clock := newTestClock()
+	mgr, err := NewManager(ManagerConfig{
+		Topology:          lineTopology(nodes),
+		Defaults:          core.Thresholds{CMax: 80, COMax: 50, XMin: 10},
+		UpdateIntervalSec: 60,
+		Now:               clock.Now,
+		MeasuredCosts:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(mgr.Close)
+
+	r := &probeRig{
+		t: t, clock: clock, manager: mgr,
+		clients: map[int]*Client{},
+		lat:     map[int]time.Duration{},
+	}
+	for node := 0; node < nodes; node++ {
+		cfg := ClientConfig{Node: node, Capable: true, Now: clock.Now, Seed: int64(node) + 1}
+		if node == prober.Node {
+			cfg.ProbePeers = prober.ProbePeers
+			cfg.ProbeInterval = prober.ProbeInterval
+			cfg.ProbeTimeout = prober.ProbeTimeout
+		}
+		cfg.Resources = func() Resources { return Resources{UtilPct: 10, NumAgents: 1} }
+
+		clientEnd, managerEnd := proto.Pipe(32)
+		var end proto.Conn = clientEnd
+		if wrap != nil {
+			end = wrap(node, end)
+		}
+		node := node
+		end = probe.NewLatencyConn(end, func(*proto.Message) time.Duration {
+			r.mu.Lock()
+			defer r.mu.Unlock()
+			return r.lat[node]
+		})
+		cl, err := NewClient(cfg, end)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { _, err := mgr.Attach(managerEnd); done <- err }()
+		if err := cl.Handshake(); err != nil {
+			t.Fatal(err)
+		}
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+		go func() {
+			for {
+				if _, err := cl.Step(); err != nil {
+					return
+				}
+			}
+		}()
+		r.clients[node] = cl
+	}
+	return r
+}
+
+// round runs one settled probe round: advance the virtual clock past the
+// jittered cadence, emit due probes, and wait for every reply to come
+// back through the manager relay.
+func (r *probeRig) round() {
+	r.t.Helper()
+	r.clock.Advance(1600 * time.Millisecond)
+	prober := r.clients[0]
+	if err := prober.ProbeTick(); err != nil {
+		r.t.Fatal(err)
+	}
+	waitUntil(r.t, func() bool { return prober.ProbesOutstanding() == 0 }, "probe replies")
+}
+
+// TestProbeEndToEndMeasured drives the full measured-latency loop over
+// real client/manager wiring: probe → relay → reflect → reply → EWMA →
+// report → MeasuredCosts. Under the frozen virtual clock wall deltas are
+// zero, so each RTT must equal the modelled path latency exactly
+// (TWAMP-Light: residence cancels, PathNs carries the simulated path).
+func TestProbeEndToEndMeasured(t *testing.T) {
+	r := newProbeRig(t, 3, ClientConfig{
+		Node: 0, ProbePeers: []int{1, 2}, ProbeInterval: time.Second,
+	}, nil)
+	r.setLatency(0, time.Millisecond)
+	r.setLatency(1, time.Millisecond)
+	r.setLatency(2, 3*time.Millisecond)
+
+	// Round 1: probe both peers; RTT(0,1) = 1ms+1ms, RTT(0,2) = 1ms+3ms.
+	r.round()
+	est := r.clients[0].ProbeEstimates()
+	if len(est) != 2 {
+		t.Fatalf("estimates = %v, want 2 peers", est)
+	}
+	if est[0].Peer != 1 || est[0].RTT != 2*time.Millisecond || est[0].Loss != 0 {
+		t.Fatalf("peer 1 estimate = %+v, want RTT exactly 2ms loss 0", est[0])
+	}
+	if est[1].Peer != 2 || est[1].RTT != 4*time.Millisecond {
+		t.Fatalf("peer 2 estimate = %+v, want RTT exactly 4ms", est[1])
+	}
+
+	// Report: (0,1) maps to edge 0-1; (0,2) are not neighbors on a line —
+	// counted, dropped, and the overlay stays honest about coverage.
+	if err := r.clients[0].SendProbeReport(); err != nil {
+		t.Fatal(err)
+	}
+	mc := r.manager.MeasuredCosts()
+	if mc == nil {
+		t.Fatal("manager built without a measured overlay despite MeasuredCosts: true")
+	}
+	waitUntil(t, func() bool { return mc.Measured() == 1 }, "report ingestion")
+	if got := mc.Unmapped(); got != 1 {
+		t.Fatalf("unmapped observations = %d, want 1 (the 0→2 non-neighbor pair)", got)
+	}
+	e01, ok := r.manager.NMDB().Topology().EdgeBetween(0, 1)
+	if !ok {
+		t.Fatal("no edge 0-1")
+	}
+	if f := mc.RateFactor(e01.ID); f != 1 {
+		t.Fatalf("baseline rate factor = %g, want 1 (first sample is its own baseline)", f)
+	}
+
+	// Relay accounting: 2 probes out + 2 replies back, all through the
+	// manager; the report itself is terminal, not relayed.
+	mm := r.manager.metrics
+	if ok, dropped := mm.probeRelays["ok"].Value(), mm.probeRelays["dropped"].Value(); ok != 4 || dropped != 0 {
+		t.Fatalf("relays ok/dropped = %d/%d, want 4/0", ok, dropped)
+	}
+	if got := mm.probeSamples["mapped"].Value(); got != 1 {
+		t.Fatalf("mapped samples = %d, want 1", got)
+	}
+	if got := mm.probeSamples["unmapped"].Value(); got != 1 {
+		t.Fatalf("unmapped samples = %d, want 1", got)
+	}
+
+	// Congestion onset: link toward peer 1 jumps 1ms → 20ms. The EWMA
+	// pulls the smoothed RTT toward 21ms over a few rounds, and each
+	// report shrinks the edge's rate factor toward base/cur = 2/21.
+	r.setLatency(1, 20*time.Millisecond)
+	verBefore := mc.Version()
+	for i := 0; i < 6; i++ {
+		r.round()
+		if err := r.clients[0].SendProbeReport(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, func() bool { return mc.Version() > verBefore && mc.RateFactor(e01.ID) < 0.3 }, "congestion to reach the overlay")
+	if f := mc.RateFactor(e01.ID); f < 2.0/21.0-1e-9 {
+		t.Fatalf("rate factor %g fell below the geometric floor base/cur = %g", f, 2.0/21.0)
+	}
+
+	// The overlay is live in the manager's solve path: the congested
+	// edge's effective rate is discounted by exactly the factor.
+	p := r.manager.planner.Params()
+	if p.Measured != mc {
+		t.Fatal("planner Params does not share the manager's measured overlay")
+	}
+	static := p
+	static.Measured = nil
+	wantRate := static.EffectiveRate(e01) * mc.RateFactor(e01.ID)
+	if got := p.EffectiveRate(e01); got != wantRate {
+		t.Fatalf("EffectiveRate = %g, want rate×factor = %g", got, wantRate)
+	}
+}
+
+// TestProbeChaosConvergence runs the probe loop through lossy, duplicating
+// FaultConn links. Exact RTTs are off the table; the loop must instead
+// stay sane — estimates bounded, loss in [0,1], the manager still
+// ingesting mapped samples, the rate factor still a valid discount.
+func TestProbeChaosConvergence(t *testing.T) {
+	var faulty *proto.FaultConn
+	r := newProbeRig(t, 3, ClientConfig{
+		Node: 0, ProbePeers: []int{1}, ProbeInterval: time.Second, ProbeTimeout: time.Second,
+	}, func(node int, end proto.Conn) proto.Conn {
+		if node != 0 {
+			return end
+		}
+		// Start clean so the handshake cannot be dropped; faults switch on
+		// below, once the rig is attached.
+		faulty = proto.NewFaultConn(end, proto.FaultPlan{Seed: 99})
+		return faulty
+	})
+	r.setLatency(0, time.Millisecond)
+	r.setLatency(1, time.Millisecond)
+	// Client 0's outgoing leg now drops 30% and duplicates 20%.
+	faulty.SetPlan(proto.FaultPlan{Drop: 0.3, Dup: 0.2})
+
+	prober := r.clients[0]
+	for i := 0; i < 30; i++ {
+		r.clock.Advance(1600 * time.Millisecond)
+		if err := prober.ProbeTick(); err != nil {
+			t.Fatal(err)
+		}
+		// Dropped probes never settle to zero outstanding; give survivors
+		// a moment to complete, then let the next tick expire the rest.
+		deadline := time.Now().Add(50 * time.Millisecond)
+		for time.Now().Before(deadline) && prober.ProbesOutstanding() > 0 {
+			time.Sleep(time.Millisecond)
+		}
+		if err := prober.SendProbeReport(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	est := prober.ProbeEstimates()
+	if len(est) != 1 || est[0].Peer != 1 {
+		t.Fatalf("estimates = %v, want one entry for peer 1", est)
+	}
+	if est[0].Loss < 0 || est[0].Loss > 1 {
+		t.Fatalf("smoothed loss %g outside [0,1]", est[0].Loss)
+	}
+	if est[0].RTT < 0 || est[0].RTT > 100*time.Millisecond {
+		t.Fatalf("smoothed RTT %v implausible for a 2ms path", est[0].RTT)
+	}
+
+	mc := r.manager.MeasuredCosts()
+	waitUntil(t, func() bool { return mc.Measured() == 1 }, "chaos report ingestion")
+	e01, _ := r.manager.NMDB().Topology().EdgeBetween(0, 1)
+	if f := mc.RateFactor(e01.ID); f < 0 || f > 1 {
+		t.Fatalf("rate factor %g outside [0,1]", f)
+	}
+	if got := r.manager.metrics.probeSamples["mapped"].Value(); got == 0 {
+		t.Fatal("no mapped samples survived the chaos run")
+	}
+}

@@ -100,7 +100,7 @@ func ComputeRoutes(s *State, c *Classification, p Params) (*RouteTable, error) {
 		Seconds:    make([][]float64, len(c.Busy)),
 		Routes:     make([][]graph.Path, len(c.Busy)),
 	}
-	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return p.RateModel.rate(e) })
+	cost := graph.InverseRateCost(p.EffectiveRate)
 	explored := make([]int, len(c.Busy))
 	errs := make([]error, len(c.Busy))
 

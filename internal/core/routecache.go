@@ -46,6 +46,12 @@ type RouteCache struct {
 	// version while carrying different link rates.
 	g       *graph.Graph
 	version uint64
+	// mver is the measurement-overlay version the surviving rows were
+	// validated against (0 when Params.Measured is nil). Measured drift
+	// flows through the same per-edge ε rule as utilization drift: the
+	// version mismatch only triggers the effective-rate sweep, and sub-ε
+	// RTT jitter is absorbed without evicting anything.
+	mver uint64
 	// lu[i] is the model-resolved rate of edge i the surviving rows were
 	// validated against (updated only when an edge's drift crosses ε).
 	lu   []float64
@@ -105,11 +111,11 @@ func (rc *RouteCache) ComputeRoutes(s *State, c *Classification) (*RouteTable, e
 	if rc.params.PathStrategy != PathDP {
 		return ComputeRoutes(s, c, rc.params)
 	}
-	cost := graph.InverseRateCost(func(e graph.Edge) float64 { return rc.params.RateModel.rate(e) })
+	cost := graph.InverseRateCost(rc.params.EffectiveRate)
 
 	rc.mu.Lock()
 	rc.revalidate(s.G)
-	version := rc.version
+	version, mver := rc.version, rc.mver
 	entries := make([]*cacheRow, len(c.Busy))
 	var missing []int // indices into c.Busy
 	for bi, b := range c.Busy {
@@ -152,8 +158,10 @@ func (rc *RouteCache) ComputeRoutes(s *State, c *Classification) (*RouteTable, e
 		}
 		rc.mu.Lock()
 		// Only store if the cache generation is still current (a concurrent
-		// mutation or graph swap may have invalidated the computation).
-		store := rc.g == s.G && rc.version == version
+		// mutation, graph swap, or measurement report may have invalidated
+		// the computation).
+		store := rc.g == s.G && rc.version == version &&
+			rc.mver == mver && rc.measuredVersion() == mver
 		for mi, bi := range missing {
 			entries[bi] = fresh[mi]
 			if store {
@@ -184,30 +192,41 @@ func (rc *RouteCache) computeRow(g *graph.Graph, src int, cost graph.EdgeCost, s
 	}
 }
 
-// revalidate brings the cache up to the graph's current generation,
-// evicting exactly the rows the rate drift can affect. Called with rc.mu
-// held.
+// measuredVersion reads the measurement overlay's version (0 when
+// measured costs are disabled).
+func (rc *RouteCache) measuredVersion() uint64 {
+	if rc.params.Measured == nil {
+		return 0
+	}
+	return rc.params.Measured.Version()
+}
+
+// revalidate brings the cache up to the graph's current generation and
+// the measurement overlay's current version, evicting exactly the rows
+// the effective-rate drift can affect. Called with rc.mu held.
 func (rc *RouteCache) revalidate(g *graph.Graph) {
 	ne := g.NumEdges()
+	mver := rc.measuredVersion()
 	if g != rc.g || len(rc.lu) != ne {
 		// New graph instance or structural change: full reset.
 		rc.g = g
 		rc.version = g.Version()
+		rc.mver = mver
 		rc.lu = make([]float64, ne)
 		for i := range rc.lu {
-			rc.lu[i] = rc.params.RateModel.rate(g.Edge(graph.EdgeID(i)))
+			rc.lu[i] = rc.params.EffectiveRate(g.Edge(graph.EdgeID(i)))
 		}
 		rc.rows = make(map[int]*cacheRow)
 		rc.st.Flushes++
 		return
 	}
-	if g.Version() == rc.version {
+	if g.Version() == rc.version && mver == rc.mver {
 		return
 	}
 	eps := rc.params.CacheEpsilon
 	var cheaper, dearer []int // edge IDs whose per-hop cost dropped / rose beyond ε
 	for i := 0; i < ne; i++ {
-		nl := rc.params.RateModel.rate(g.Edge(graph.EdgeID(i)))
+		nl := rc.params.EffectiveRate(g.Edge(graph.EdgeID(i)))
 		ol := rc.lu[i]
 		if nl == ol {
 			continue
@@ -223,6 +242,7 @@ func (rc *RouteCache) revalidate(g *graph.Graph) {
 		rc.lu[i] = nl
 	}
 	rc.version = g.Version()
+	rc.mver = mver
 	if len(cheaper) == 0 && len(dearer) == 0 {
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/internal/graph"
 )
@@ -178,6 +179,96 @@ func TestRouteCacheTargetedInvalidation(t *testing.T) {
 	if st2.Hits != 2 || st2.Misses != 4 {
 		t.Fatalf("stats = %+v, want row 0 hit on the second warm solve", st2)
 	}
+}
+
+// TestRouteCacheMeasuredRevalidation checks the measured-costs loop: a
+// probe-reported congestion shifts an edge's effective rate, which must
+// evict exactly the rows that edge can affect (no graph mutation, no full
+// rebuild), while sub-epsilon measured jitter is absorbed and a staleness
+// expiry restores the static model.
+func TestRouteCacheMeasuredRevalidation(t *testing.T) {
+	g := graph.Line(10, 1000)
+	for i := 0; i < g.NumEdges(); i++ {
+		g.SetUtilization(graph.EdgeID(i), 0.5)
+	}
+	s := NewState(g)
+	for i := range s.Util {
+		s.Util[i] = 30
+	}
+	s.DataMb = make([]float64, 10)
+	for i := range s.DataMb {
+		s.DataMb[i] = 100
+	}
+	c := &Classification{
+		Busy:       []int{0, 9},
+		Candidates: []int{3, 6},
+		Cs:         []float64{10, 10},
+		Cd:         []float64{20, 20},
+	}
+	now := time.Unix(1_700_000_000, 0)
+	mc := graph.NewMeasuredCosts(g, time.Minute, func() time.Time { return now })
+	p := Params{RateModel: RateUtilized, PathStrategy: PathDP, MaxHops: 3, CacheEpsilon: 0.05, Measured: mc}
+	rc := NewRouteCache(p)
+	if _, err := rc.ComputeRoutes(s, c); err != nil {
+		t.Fatal(err)
+	}
+	if st := rc.Stats(); st.Misses != 2 || st.Flushes != 1 {
+		t.Fatalf("cold stats = %+v, want 2 misses, 1 flush", st)
+	}
+
+	// Sub-epsilon measured jitter: RTT 1% over baseline shifts the
+	// effective rate by 1%, inside the 5% tolerance — all rows reused.
+	mc.Observe(0, 1, 100*time.Millisecond, 0, now) // baseline
+	mc.Observe(0, 1, 101*time.Millisecond, 0, now) // +1%
+	if _, err := rc.ComputeRoutes(s, c); err != nil {
+		t.Fatal(err)
+	}
+	if st := rc.Stats(); st.Evicted != 0 || st.Hits != 2 {
+		t.Fatalf("sub-eps measured jitter stats = %+v, want 2 hits, 0 evictions", st)
+	}
+
+	// Real congestion on edge 0 (nodes 0-1): RTT 4x baseline drops the
+	// effective rate 4x — inside row 0's 3-hop frontier, unreachable from
+	// row 9. Exactly one eviction, and the warm table matches cold.
+	mc.Observe(0, 1, 400*time.Millisecond, 0, now)
+	want, err := ComputeRoutes(s, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rc.ComputeRoutes(s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rc.Stats()
+	if st.Evicted != 1 || st.Hits != 3 || st.Misses != 3 || st.Flushes != 1 {
+		t.Fatalf("measured congestion stats = %+v, want exactly 1 eviction (row 0), no flush", st)
+	}
+	routeTablesIdentical(t, want, got, "after measured congestion")
+
+	// Staleness expiry: past the horizon the measurement evaporates, the
+	// edge's effective rate snaps back up (cheaper, still row 0's
+	// frontier only), and the static model is in force again.
+	now = now.Add(2 * time.Minute)
+	want2, err := ComputeRoutes(s, c, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := rc.ComputeRoutes(s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2 := rc.Stats()
+	if st2.Evicted != 2 || st2.Flushes != 1 {
+		t.Fatalf("expiry stats = %+v, want 2 total evictions, still 1 flush", st2)
+	}
+	routeTablesIdentical(t, want2, got2, "after measurement expiry")
+	pStatic := p
+	pStatic.Measured = nil
+	want3, err := ComputeRoutes(s, c, pStatic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routeTablesIdentical(t, want3, got2, "expired overlay vs static model")
 }
 
 // TestRouteCacheWorsenedUnusedEdgeKeepsRows: making an edge worse that no

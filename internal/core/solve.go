@@ -69,6 +69,25 @@ type Params struct {
 	// the pivot work changes. Ignored outside a Planner: the stateless
 	// Solve path has no previous round to seed from.
 	WarmSolve bool
+	// Measured optionally blends active RTT/loss measurements into the
+	// rate model (DESIGN.md §15): every edge rate is multiplied by the
+	// overlay's per-edge factor before entering route costs. Nil keeps
+	// the static model.
+	Measured *graph.MeasuredCosts
+}
+
+// EffectiveRate is the measured-aware Lu: the static rate model's rate
+// for e, discounted by the measurement overlay's factor when one is
+// configured. This is the single rate definition behind every route-cost
+// computation (ComputeRoutes, RouteCache, replica picking), so measured
+// congestion and static utilization always agree on which edges are
+// expensive.
+func (p Params) EffectiveRate(e graph.Edge) float64 {
+	r := p.RateModel.rate(e)
+	if p.Measured != nil {
+		r *= p.Measured.RateFactor(e.ID)
+	}
+	return r
 }
 
 // DefaultParams returns the configuration used by the paper's evaluation:

@@ -459,13 +459,21 @@ func TestDatabusThroughput(t *testing.T) {
 	}
 	// The acceptance bar: ≥1M samples/sec per core on the publish path and
 	// the encode path (both clear it by a wide margin on dev hardware; the
-	// floor here is half that to stay robust on throttled CI).
-	if res.Points[0].SamplesPerSec < 500_000 {
-		t.Fatalf("bus publish path %.0f samples/s, want ≥ 500k even on slow machines", res.Points[0].SamplesPerSec)
+	// floor here is half that to stay robust on throttled CI). The race
+	// detector slows these CPU-bound loops ~20-40×, which puts a slow host
+	// right at the floor — scale it down so -race keeps checking the shape
+	// (positive, allocation-free, bounded wire cost) without flaking on
+	// wall-clock speed.
+	floor := 500_000.0
+	if raceEnabled {
+		floor = 50_000
+	}
+	if res.Points[0].SamplesPerSec < floor {
+		t.Fatalf("bus publish path %.0f samples/s, want ≥ %.0f even on slow machines", res.Points[0].SamplesPerSec, floor)
 	}
 	enc := res.Points[2]
-	if enc.SamplesPerSec < 500_000 {
-		t.Fatalf("remote-write encode %.0f samples/s", enc.SamplesPerSec)
+	if enc.SamplesPerSec < floor {
+		t.Fatalf("remote-write encode %.0f samples/s, want ≥ %.0f", enc.SamplesPerSec, floor)
 	}
 	if enc.AllocsPerBatch > 1 {
 		t.Fatalf("remote-write encode allocates %.2f/batch, want steady-state 0", enc.AllocsPerBatch)

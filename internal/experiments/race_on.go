@@ -1,0 +1,9 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. Tests
+// with absolute wall-clock throughput floors scale them down under
+// -race, where instrumented CPU-bound paths run an order of magnitude
+// slower.
+const raceEnabled = true

@@ -15,14 +15,18 @@ const tieEps = 1e-9
 // tolerance of 1e-9. It is the shared comparison behind the paper's
 // "minimal hops distance priority" rule: a tie on minimum response time is
 // a tie within this tolerance, not an exact float64 equality (which almost
-// never fires for sums computed along different routes). Infinities are
-// equal only to themselves.
+// never fires for sums computed along different routes).
+//
+// Infinities are handled before any arithmetic so no Inf-Inf NaN can
+// leak out of the tolerance math: same-sign infinities (two impassable
+// routes from InverseRateCost) compare equal, an infinity never equals a
+// finite cost or the opposite infinity, and NaN equals nothing.
 func ApproxEqual(a, b float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
 	if a == b {
 		return true
-	}
-	if math.IsInf(a, 0) || math.IsInf(b, 0) {
-		return false
 	}
 	return math.Abs(a-b) <= tieEps*math.Max(math.Abs(a), math.Abs(b))
 }
@@ -181,7 +185,10 @@ func pickBest(g *Graph, paths []Path, costFn EdgeCost) (Path, float64, bool) {
 	bestIdx := -1
 	for i, p := range paths {
 		c := p.Cost(g, costFn)
-		if math.IsInf(c, 1) {
+		// Impassable routes never win, and a NaN cost (a pathological
+		// costFn) must not capture bestIdx — every later comparison
+		// against NaN is false, which would freeze it as the winner.
+		if math.IsInf(c, 1) || math.IsNaN(c) {
 			continue
 		}
 		switch {

@@ -21,6 +21,11 @@ func TestApproxEqual(t *testing.T) {
 		{math.Inf(1), math.Inf(-1), false},
 		{math.Inf(1), 1e300, false}, // the Inf guard: eps·Inf would compare true
 		{1e300, math.Inf(1), false},
+		{math.Inf(-1), math.Inf(-1), true},
+		{math.Inf(-1), 0, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), math.Inf(1), false},
+		{math.NaN(), 1.0, false},
 	}
 	for _, c := range cases {
 		if got := ApproxEqual(c.a, c.b); got != c.want {
@@ -50,6 +55,59 @@ func TestMinCostPathFloatTieBreaksOnHops(t *testing.T) {
 	}
 	if p.Hops() != 1 {
 		t.Fatalf("tie-break picked %d-hop path (cost %v), want the 1-hop direct edge", p.Hops(), c)
+	}
+}
+
+// TestMinCostPathAllImpassable pins the ±Inf tie-breaking contract on a
+// row where InverseRateCost marks every route impassable (all rates 0):
+// no candidate may win, no Inf−Inf comparison may leak a NaN verdict,
+// and the reported cost is +Inf with ok=false.
+func TestMinCostPathAllImpassable(t *testing.T) {
+	g := New(4)
+	g.AddEdge(0, 1, 100)
+	g.AddEdge(1, 3, 100)
+	g.AddEdge(0, 2, 100)
+	g.AddEdge(2, 3, 100)
+	dead := InverseRateCost(func(Edge) float64 { return 0 })
+
+	p, c, ok := MinCostPath(g, 0, 3, 0, dead)
+	if ok || !math.IsInf(c, 1) || len(p.Edges) != 0 {
+		t.Fatalf("all-impassable row produced a route: path=%+v cost=%v ok=%v", p, c, ok)
+	}
+}
+
+// TestMinCostPathPartiallyImpassable: with exactly one passable route,
+// the impassable alternatives never outrank it — even though their Inf
+// costs compare "equal" to each other under the hardened ApproxEqual.
+func TestMinCostPathPartiallyImpassable(t *testing.T) {
+	g := New(4)
+	e01 := g.AddEdge(0, 1, 100)
+	e13 := g.AddEdge(1, 3, 100)
+	e02 := g.AddEdge(0, 2, 100)
+	e23 := g.AddEdge(2, 3, 100)
+	rates := map[EdgeID]float64{e01: 0, e13: 0, e02: 50, e23: 50}
+	costFn := InverseRateCost(func(e Edge) float64 { return rates[e.ID] })
+
+	p, _, ok := MinCostPath(g, 0, 3, 0, costFn)
+	if !ok {
+		t.Fatal("expected the one passable route")
+	}
+	if nodes := p.Nodes(g); len(nodes) != 3 || nodes[1] != 2 {
+		t.Fatalf("picked an impassable route: %v", nodes)
+	}
+}
+
+// TestPickBestSkipsNaN: a NaN-cost path must not capture the winner slot
+// (every later comparison against NaN is false, freezing it as "best").
+func TestPickBestSkipsNaN(t *testing.T) {
+	g := New(3)
+	e01 := g.AddEdge(0, 1, 100)
+	e12 := g.AddEdge(1, 2, 100)
+	e02 := g.AddEdge(0, 2, 100)
+	costs := map[EdgeID]float64{e01: math.NaN(), e12: 1, e02: 5}
+	p, c, ok := MinCostPath(g, 0, 2, 0, func(e Edge) float64 { return costs[e.ID] })
+	if !ok || c != 5 || p.Hops() != 1 {
+		t.Fatalf("NaN path captured the winner: path=%+v cost=%v ok=%v", p, c, ok)
 	}
 }
 

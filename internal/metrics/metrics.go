@@ -161,11 +161,19 @@ func PowerLawFit(xs, ys []float64) (a, b float64, err error) {
 // RateTracker measures an event rate over a sliding logical-time window,
 // used by the simulated switch OS to convert packet events into per-second
 // telemetry load.
+//
+// Contract: time is nondecreasing. The events slice must stay sorted —
+// the window trim binary-searches it — so an observation timestamped
+// before the latest one (reordered delivery, e.g. probe replies under
+// FaultConn) is clamped forward to the latest time rather than recorded
+// out of order, which would silently corrupt the trim and every
+// subsequent rate.
 type RateTracker struct {
 	window   float64 // seconds
 	events   []float64
 	lastTrim float64
 	first    float64 // time of the first-ever observation
+	latest   float64 // time of the most recent observation
 	started  bool
 }
 
@@ -177,11 +185,17 @@ func NewRateTracker(windowSec float64) *RateTracker {
 	return &RateTracker{window: windowSec}
 }
 
-// Observe records an event at logical time t (seconds, nondecreasing).
+// Observe records an event at logical time t (seconds). Backwards time is
+// clamped: an event timestamped earlier than the latest observation counts
+// at the latest observation's time (see the type contract).
 func (r *RateTracker) Observe(t float64) {
 	if !r.started {
 		r.first, r.started = t, true
 	}
+	if t < r.latest {
+		t = r.latest
+	}
+	r.latest = t
 	r.events = append(r.events, t)
 	if t-r.lastTrim > r.window {
 		r.trim(t)

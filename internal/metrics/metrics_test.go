@@ -228,6 +228,54 @@ func TestRateTrackerWarmup(t *testing.T) {
 	}
 }
 
+// TestRateTrackerOutOfOrderClamped pins the backwards-time contract: a
+// reordered observation (probe replies under FaultConn arrive out of
+// order) is clamped to the latest time instead of being appended out of
+// order — which would break the sorted-events invariant the window trim
+// binary-searches, silently dropping the wrong events forever after.
+func TestRateTrackerOutOfOrderClamped(t *testing.T) {
+	r := NewRateTracker(1.0)
+	r.Observe(0.1) // warm-up anchor, outside the queried window
+	r.Observe(5.0)
+	r.Observe(4.2) // reordered: counts at t=5.0
+	r.Observe(5.1)
+	r.Observe(2.0) // reordered: counts at t=5.1
+	// Window (4.5, 5.5]: the four later observations are all inside after
+	// clamping.
+	if got := r.Rate(5.5); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("rate = %g, want 4 (reordered events clamped into the window)", got)
+	}
+	// The events slice must have stayed sorted, so the trim drops
+	// everything once the window moves past the clamped times.
+	if got := r.Rate(10); got != 0 {
+		t.Fatalf("rate = %g, want 0 after the window passed", got)
+	}
+	// Regression shape: with the old append-as-is behavior, the unsorted
+	// slice made sort.Search cut at the wrong index, resurrecting or
+	// leaking stale events. A long mixed sequence must keep Rate exact.
+	r2 := NewRateTracker(2.0)
+	times := []float64{1, 3, 2.5, 3.1, 0.5, 3.2, 3.3, 1.7, 3.4}
+	clamped := 0.0
+	var want []float64
+	for _, tt := range times {
+		r2.Observe(tt)
+		if tt < clamped {
+			tt = clamped
+		}
+		clamped = tt
+		want = append(want, tt)
+	}
+	inWindow := 0
+	for _, tt := range want {
+		if tt > 3.4-2.0 && tt <= 3.4 {
+			inWindow++
+		}
+	}
+	if got := r2.Rate(3.4); math.Abs(got-float64(inWindow)/2.0) > 1e-9 {
+		t.Fatalf("mixed-order rate = %g, want %g", got, float64(inWindow)/2.0)
+	}
+}
+
 func TestRateTrackerPanicsOnBadWindow(t *testing.T) {
 	defer func() {
 		if recover() == nil {

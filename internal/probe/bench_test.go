@@ -1,0 +1,54 @@
+package probe
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// BenchmarkProbeEstimatorObserve times one EWMA fold — the per-reply hot
+// path on every client.
+func BenchmarkProbeEstimatorObserve(b *testing.B) {
+	e := NewEstimator(0.3, time.Hour)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.ObserveRTT(i&7, time.Millisecond, t0)
+	}
+}
+
+// BenchmarkProbeReportCodec times the encode+decode round trip of a
+// MsgProbeReport with a realistic sample count — the per-report wire cost
+// between every client and the manager.
+func BenchmarkProbeReportCodec(b *testing.B) {
+	m := &proto.Message{Type: proto.MsgProbeReport, From: 3, To: -1}
+	for p := 0; p < 16; p++ {
+		m.ProbeSamples = append(m.ProbeSamples, proto.ProbeSample{Peer: int32(p), RTTNs: 4_100_000, Loss: 0.01})
+	}
+	buf := proto.Encode(m)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = proto.AppendEncode(buf[:0], m)
+		if _, err := proto.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPingerTick times one scheduling pass over a typical peer set.
+func BenchmarkPingerTick(b *testing.B) {
+	peers := make([]int, 16)
+	for i := range peers {
+		peers[i] = i + 1
+	}
+	p := NewPinger(PingerConfig{Node: 0, Peers: peers, Interval: time.Second, Timeout: time.Minute, Seed: 1})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		now := t0.Add(time.Duration(i) * 100 * time.Millisecond)
+		for _, f := range p.Tick(now) {
+			reply := &proto.Message{Type: proto.MsgProbeReply, From: f.To, To: f.From, ProbeSeq: f.ProbeSeq, T1Ns: f.T1Ns}
+			p.HandleReply(reply, now)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package probe is DUST's active measurement plane: a TWAMP-Light-style
+// Pinger/Reflector pair exchanging seeded, sequence-numbered probe frames
+// over internal/proto, and a per-peer EWMA estimator smoothing the raw
+// round-trip samples into RTT and loss-rate estimates with staleness
+// expiry. Clients run both halves and ship the smoothed estimates to the
+// manager in MsgProbeReport frames, where they land in the
+// graph.MeasuredCosts overlay that blends measured latency into route
+// costs (DESIGN.md §15).
+//
+// Timestamps follow TWAMP semantics: the pinger stamps T1 on departure,
+// the reflector stamps T2 on arrival and T3 on departure, and the pinger
+// computes RTT = (t4-T1) - (T3-T2), cancelling the reflector's residence
+// time without requiring synchronized clocks. Under the simulator's
+// virtual clock, wall-clock deltas are ~0 and the simulated path latency
+// rides in Message.PathNs instead (see LatencyConn); the pinger adds it
+// in, so the same formula is exact both in simulation and on real
+// transports (where PathNs stays zero).
+package probe
+
+import (
+	"sort"
+	"time"
+)
+
+// Default estimator parameters.
+const (
+	// DefaultAlpha is the EWMA weight of a new sample: high enough to
+	// react to a congestion event within a handful of probes, low enough
+	// to absorb single-sample jitter.
+	DefaultAlpha = 0.3
+	// DefaultStaleAfter is how long an estimate survives without a fresh
+	// sample before Snapshot drops it.
+	DefaultStaleAfter = 2 * time.Minute
+)
+
+// Sample is one smoothed per-peer estimate from Snapshot.
+type Sample struct {
+	Peer int
+	// RTT is the EWMA-smoothed round-trip time.
+	RTT time.Duration
+	// Loss is the EWMA-smoothed loss rate in [0, 1].
+	Loss float64
+}
+
+// Estimator keeps per-peer EWMA state. It is not goroutine-safe; the
+// owning Pinger serializes access.
+type Estimator struct {
+	alpha      float64
+	staleAfter time.Duration
+	peers      map[int]*peerEstimate
+}
+
+type peerEstimate struct {
+	rttNs   float64
+	haveRTT bool
+	loss    float64
+	last    time.Time
+}
+
+// NewEstimator returns an estimator with the given EWMA weight and
+// staleness horizon (non-positive values select the defaults).
+func NewEstimator(alpha float64, staleAfter time.Duration) *Estimator {
+	if alpha <= 0 || alpha > 1 {
+		alpha = DefaultAlpha
+	}
+	if staleAfter <= 0 {
+		staleAfter = DefaultStaleAfter
+	}
+	return &Estimator{alpha: alpha, staleAfter: staleAfter, peers: map[int]*peerEstimate{}}
+}
+
+func (e *Estimator) peer(p int) *peerEstimate {
+	pe := e.peers[p]
+	if pe == nil {
+		pe = &peerEstimate{}
+		e.peers[p] = pe
+	}
+	return pe
+}
+
+// ObserveRTT folds one successful round-trip sample into peer p's
+// estimate: the RTT EWMA moves toward rtt, the loss EWMA toward 0.
+func (e *Estimator) ObserveRTT(p int, rtt time.Duration, now time.Time) {
+	if rtt < 0 {
+		rtt = 0
+	}
+	pe := e.peer(p)
+	if !pe.haveRTT {
+		pe.rttNs = float64(rtt.Nanoseconds())
+		pe.haveRTT = true
+	} else {
+		pe.rttNs += e.alpha * (float64(rtt.Nanoseconds()) - pe.rttNs)
+	}
+	pe.loss += e.alpha * (0 - pe.loss)
+	pe.last = now
+}
+
+// ObserveLoss folds one lost (timed-out) probe into peer p's estimate:
+// the loss EWMA moves toward 1, the RTT estimate is left unchanged.
+func (e *Estimator) ObserveLoss(p int, now time.Time) {
+	pe := e.peer(p)
+	pe.loss += e.alpha * (1 - pe.loss)
+	pe.last = now
+}
+
+// Snapshot returns the current estimates, sorted by peer for determinism.
+// Entries older than the staleness horizon are dropped (and forgotten):
+// a peer that stopped answering probes must not pin an obsolete RTT into
+// the cost model forever. Peers with only loss observations (no completed
+// round trip yet) are reported with RTT 0 — callers treat that as
+// "unreachable", not "instant".
+func (e *Estimator) Snapshot(now time.Time) []Sample {
+	out := make([]Sample, 0, len(e.peers))
+	for p, pe := range e.peers {
+		if now.Sub(pe.last) > e.staleAfter {
+			delete(e.peers, p)
+			continue
+		}
+		s := Sample{Peer: p, Loss: pe.loss}
+		if pe.haveRTT {
+			s.RTT = time.Duration(pe.rttNs)
+		}
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}

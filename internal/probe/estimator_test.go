@@ -1,0 +1,105 @@
+package probe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+// TestEstimatorMonotoneConvergence pins the EWMA contract: under a
+// constant input the absolute error to that input never increases, and
+// after enough samples the estimate lands within 1% — for any alpha and
+// any (positive) starting estimate.
+func TestEstimatorMonotoneConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		alpha := 0.1 + 0.9*rng.Float64()
+		target := time.Duration(1 + rng.Int63n(int64(time.Second)))
+		start := time.Duration(1 + rng.Int63n(int64(time.Second)))
+		e := NewEstimator(alpha, time.Hour)
+		e.ObserveRTT(7, start, t0)
+		prevErr := math.Abs(float64(start - target))
+		for i := 0; i < 100; i++ {
+			e.ObserveRTT(7, target, t0)
+			got := e.Snapshot(t0)[0].RTT
+			err := math.Abs(float64(got - target))
+			if err > prevErr+1e-6 {
+				t.Fatalf("trial %d (alpha=%v): error grew from %v to %v under constant input", trial, alpha, prevErr, err)
+			}
+			prevErr = err
+		}
+		if prevErr > 0.01*float64(target) {
+			t.Fatalf("trial %d (alpha=%v): estimate %v did not converge to %v", trial, alpha, prevErr, target)
+		}
+	}
+}
+
+// TestEstimatorLossBounds drives a random success/loss sequence and
+// checks the loss estimate stays a probability, converges to 1 under
+// pure loss and to 0 under pure success.
+func TestEstimatorLossBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 100; trial++ {
+		e := NewEstimator(rng.Float64(), time.Hour)
+		for i := 0; i < 300; i++ {
+			if rng.Intn(2) == 0 {
+				e.ObserveLoss(3, t0)
+			} else {
+				e.ObserveRTT(3, time.Millisecond, t0)
+			}
+			loss := e.Snapshot(t0)[0].Loss
+			if loss < 0 || loss > 1 {
+				t.Fatalf("trial %d: loss %v out of [0,1]", trial, loss)
+			}
+		}
+		for i := 0; i < 200; i++ {
+			e.ObserveLoss(3, t0)
+		}
+		if loss := e.Snapshot(t0)[0].Loss; loss < 0.95 {
+			t.Fatalf("trial %d: loss %v did not converge to 1 under pure loss", trial, loss)
+		}
+		for i := 0; i < 200; i++ {
+			e.ObserveRTT(3, time.Millisecond, t0)
+		}
+		if loss := e.Snapshot(t0)[0].Loss; loss > 0.05 {
+			t.Fatalf("trial %d: loss %v did not converge to 0 under pure success", trial, loss)
+		}
+	}
+}
+
+// TestEstimatorStalenessExpiry checks estimates vanish (and are
+// forgotten, not resurrected) once unrefreshed past the horizon.
+func TestEstimatorStalenessExpiry(t *testing.T) {
+	e := NewEstimator(0.3, time.Minute)
+	e.ObserveRTT(1, time.Millisecond, t0)
+	e.ObserveRTT(2, time.Millisecond, t0)
+	e.ObserveRTT(2, 2*time.Millisecond, t0.Add(90*time.Second))
+
+	if got := e.Snapshot(t0.Add(100 * time.Second)); len(got) != 1 || got[0].Peer != 2 {
+		t.Fatalf("expected only peer 2 to survive, got %+v", got)
+	}
+	// Peer 1's history is gone: a fresh observation restarts from scratch.
+	e.ObserveRTT(1, 5*time.Millisecond, t0.Add(101*time.Second))
+	got := e.Snapshot(t0.Add(101 * time.Second))
+	if len(got) != 2 || got[0].RTT != 5*time.Millisecond {
+		t.Fatalf("expected peer 1 to restart at 5ms, got %+v", got)
+	}
+	if got := e.Snapshot(t0.Add(time.Hour)); len(got) != 0 {
+		t.Fatalf("expected everything stale, got %+v", got)
+	}
+}
+
+// TestEstimatorLossOnlyPeer: a peer that never answered has RTT 0 in the
+// snapshot (unreachable, not instant) and a rising loss rate.
+func TestEstimatorLossOnlyPeer(t *testing.T) {
+	e := NewEstimator(0.5, time.Hour)
+	e.ObserveLoss(9, t0)
+	e.ObserveLoss(9, t0)
+	got := e.Snapshot(t0)
+	if len(got) != 1 || got[0].RTT != 0 || got[0].Loss != 0.75 {
+		t.Fatalf("unexpected loss-only snapshot %+v", got)
+	}
+}

@@ -1,0 +1,53 @@
+package probe
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// FuzzProbeRoundTrip hardens the probe frames end to end from the struct
+// side: any probe/reply/report triple must survive Encode→Decode→Encode
+// byte-identically, and feeding the decoded reply to a pinger must never
+// panic and never produce a negative RTT estimate — whatever hostile
+// timestamps (overflowing, reversed, far-future) the fuzzer invents.
+func FuzzProbeRoundTrip(f *testing.F) {
+	f.Add(uint64(1), int64(1000), int64(2000), int64(2500), int64(4_000_000), int32(7), int64(5_000_000), 0.25)
+	f.Add(uint64(0), int64(-1), int64(1<<62), int64(-(1 << 62)), int64(0), int32(-1), int64(-5), 2.0)
+	f.Add(uint64(1<<63), int64(0), int64(0), int64(0), int64(1<<40), int32(2), int64(0), -0.5)
+
+	f.Fuzz(func(t *testing.T, seq uint64, t1, t2, t3, path int64, peer int32, rttNs int64, loss float64) {
+		msgs := []*proto.Message{
+			{Type: proto.MsgProbe, From: 1, To: peer, ProbeSeq: seq, T1Ns: t1, PathNs: path},
+			{Type: proto.MsgProbeReply, From: peer, To: 1, ProbeSeq: seq, T1Ns: t1, T2Ns: t2, T3Ns: t3, PathNs: path},
+			{Type: proto.MsgProbeReport, From: 1, To: -1, ProbeSamples: []proto.ProbeSample{{Peer: peer, RTTNs: rttNs, Loss: loss}}},
+		}
+		for _, m := range msgs {
+			wire := proto.Encode(m)
+			got, err := proto.Decode(wire)
+			if err != nil {
+				t.Fatalf("decode of a freshly encoded %v failed: %v", m.Type, err)
+			}
+			if !bytes.Equal(proto.Encode(got), wire) {
+				t.Fatalf("%v round trip not byte-identical:\n  %+v\n  %+v", m.Type, m, got)
+			}
+		}
+
+		// A pinger fed this reply (against a real outstanding probe) must
+		// stay sane regardless of the timestamps.
+		p := NewPinger(PingerConfig{Node: 1, Peers: []int{int(peer)}, Interval: time.Second, Timeout: time.Minute, Seed: 1})
+		frames := p.Tick(t0)
+		reply := &proto.Message{
+			Type: proto.MsgProbeReply, From: peer, To: 1,
+			ProbeSeq: frames[0].ProbeSeq, T1Ns: t1, T2Ns: t2, T3Ns: t3, PathNs: path,
+		}
+		p.HandleReply(reply, t0)
+		for _, s := range p.Estimates(t0) {
+			if s.RTT < 0 {
+				t.Fatalf("negative RTT estimate %v from t1=%d t2=%d t3=%d path=%d", s.RTT, t1, t2, t3, path)
+			}
+		}
+	})
+}

@@ -1,0 +1,186 @@
+package probe
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Default pinger parameters.
+const (
+	// DefaultInterval is the base per-peer probe cadence.
+	DefaultInterval = 10 * time.Second
+	// DefaultTimeout is how long an outstanding probe waits for its reply
+	// before counting as lost.
+	DefaultTimeout = 5 * time.Second
+)
+
+// PingerConfig configures a Pinger.
+type PingerConfig struct {
+	// Node is the probing client's own identifier (Message.From).
+	Node int
+	// Peers are the route-relevant nodes to probe.
+	Peers []int
+	// Interval is the base per-peer probe cadence; each probe's actual
+	// spacing is jittered uniformly in [0.5, 1.5)×Interval so a fleet of
+	// clients sharing a start time doesn't probe in lockstep.
+	// Non-positive selects DefaultInterval.
+	Interval time.Duration
+	// Timeout expires an outstanding probe as a loss. Non-positive
+	// selects DefaultTimeout.
+	Timeout time.Duration
+	// Alpha and StaleAfter tune the EWMA estimator (see NewEstimator).
+	Alpha      float64
+	StaleAfter time.Duration
+	// Seed makes the jitter schedule reproducible: two pingers with equal
+	// seeds and configs emit identical probe schedules.
+	Seed int64
+}
+
+type probeKey struct {
+	peer int
+	seq  uint64
+}
+
+// Pinger emits sequence-numbered probe frames toward its peers on a
+// jittered schedule, matches replies to outstanding probes, expires the
+// unanswered as losses, and folds everything into a per-peer EWMA
+// estimator. All methods are goroutine-safe: the client's session loop
+// ticks it while the dispatch loop feeds it replies.
+type Pinger struct {
+	cfg PingerConfig
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	est         *Estimator
+	next        map[int]time.Time
+	outstanding map[probeKey]time.Time
+	seq         uint64
+}
+
+// NewPinger returns a pinger for cfg. The config's peer list is copied.
+func NewPinger(cfg PingerConfig) *Pinger {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	cfg.Peers = append([]int(nil), cfg.Peers...)
+	return &Pinger{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		est:         NewEstimator(cfg.Alpha, cfg.StaleAfter),
+		next:        map[int]time.Time{},
+		outstanding: map[probeKey]time.Time{},
+	}
+}
+
+// jittered draws the next probe spacing in [0.5, 1.5)×Interval.
+func (p *Pinger) jittered() time.Duration {
+	base := p.cfg.Interval
+	return base/2 + time.Duration(p.rng.Int63n(int64(base)))
+}
+
+// Tick advances the schedule to now: outstanding probes older than the
+// timeout are expired as losses, and a fresh probe frame is returned for
+// every peer whose next send time has arrived (all peers on the first
+// call). The caller sends the returned frames.
+func (p *Pinger) Tick(now time.Time) []*proto.Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for k, sent := range p.outstanding {
+		if now.Sub(sent) >= p.cfg.Timeout {
+			delete(p.outstanding, k)
+			p.est.ObserveLoss(k.peer, now)
+		}
+	}
+	var out []*proto.Message
+	for _, peer := range p.cfg.Peers {
+		due, seen := p.next[peer]
+		if seen && now.Before(due) {
+			continue
+		}
+		p.seq++
+		out = append(out, &proto.Message{
+			Type:     proto.MsgProbe,
+			From:     int32(p.cfg.Node),
+			To:       int32(peer),
+			ProbeSeq: p.seq,
+			T1Ns:     now.UnixNano(),
+		})
+		p.outstanding[probeKey{peer, p.seq}] = now
+		p.next[peer] = now.Add(p.jittered())
+	}
+	return out
+}
+
+// HandleReply matches a MsgProbeReply to its outstanding probe and folds
+// the measured RTT into the estimate. Late or duplicate replies (no
+// matching outstanding probe — it already expired as a loss, or was
+// answered once) are ignored; the return value reports whether the reply
+// was consumed.
+//
+// RTT = (t4 - T1) - (T3 - T2) + PathNs: arrival minus departure on the
+// pinger's clock, minus the reflector's residence time on its own clock,
+// plus any simulated path latency accumulated by LatencyConn hops.
+func (p *Pinger) HandleReply(m *proto.Message, now time.Time) bool {
+	if m.Type != proto.MsgProbeReply {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	k := probeKey{int(m.From), m.ProbeSeq}
+	if _, ok := p.outstanding[k]; !ok {
+		return false
+	}
+	delete(p.outstanding, k)
+	rtt := time.Duration((now.UnixNano() - m.T1Ns) - (m.T3Ns - m.T2Ns) + m.PathNs)
+	if rtt < 0 {
+		rtt = 0
+	}
+	p.est.ObserveRTT(k.peer, rtt, now)
+	return true
+}
+
+// Report packages the current estimates as a MsgProbeReport addressed to
+// the manager, or nil when there is nothing (fresh) to report.
+func (p *Pinger) Report(now time.Time) *proto.Message {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	samples := p.est.Snapshot(now)
+	if len(samples) == 0 {
+		return nil
+	}
+	m := &proto.Message{
+		Type:         proto.MsgProbeReport,
+		From:         int32(p.cfg.Node),
+		To:           -1,
+		ProbeSamples: make([]proto.ProbeSample, len(samples)),
+	}
+	for i, s := range samples {
+		m.ProbeSamples[i] = proto.ProbeSample{
+			Peer:  int32(s.Peer),
+			RTTNs: s.RTT.Nanoseconds(),
+			Loss:  s.Loss,
+		}
+	}
+	return m
+}
+
+// Outstanding reports how many probes are in flight (sent, unanswered,
+// not yet timed out). Tests use it to settle the probe exchange.
+func (p *Pinger) Outstanding() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.outstanding)
+}
+
+// Estimates returns the current smoothed samples (see Estimator.Snapshot).
+func (p *Pinger) Estimates(now time.Time) []Sample {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.est.Snapshot(now)
+}

@@ -1,0 +1,34 @@
+package probe
+
+import (
+	"time"
+
+	"repro/internal/proto"
+)
+
+// Reflector is the answering half of the measurement plane: it stamps an
+// incoming MsgProbe with its receive (T2) and transmit (T3) timestamps
+// and echoes it back to the sender. ProbeSeq, T1, and any accumulated
+// PathNs are carried through unchanged so the pinger can match the reply
+// and cancel the residence time.
+type Reflector struct {
+	// Node is the reflecting client's own identifier (reply Message.From).
+	Node int
+}
+
+// Reflect builds the MsgProbeReply for m. The in-process reflector
+// answers synchronously, so T2 and T3 coincide at now; the RTT formula
+// subtracts their difference, making a slow reflector equally harmless.
+func (r Reflector) Reflect(m *proto.Message, now time.Time) *proto.Message {
+	ns := now.UnixNano()
+	return &proto.Message{
+		Type:     proto.MsgProbeReply,
+		From:     int32(r.Node),
+		To:       m.From,
+		ProbeSeq: m.ProbeSeq,
+		T1Ns:     m.T1Ns,
+		T2Ns:     ns,
+		T3Ns:     ns,
+		PathNs:   m.PathNs,
+	}
+}

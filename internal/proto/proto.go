@@ -59,11 +59,23 @@ const (
 	// per-sender frame counter. This is the offloaded telemetry data
 	// plane, distinct from the MsgStat control-plane reports.
 	MsgTelemetryBatch
+	// MsgProbe is a TWAMP-Light-style active measurement frame from one
+	// client toward another (relayed by the manager): ProbeSeq numbers the
+	// probe, T1Ns is the sender's departure timestamp.
+	MsgProbe
+	// MsgProbeReply echoes a MsgProbe back to its sender: T2Ns/T3Ns are
+	// the reflector's receive/transmit timestamps, ProbeSeq and T1Ns are
+	// carried through unchanged.
+	MsgProbeReply
+	// MsgProbeReport carries a client's smoothed per-peer RTT/loss
+	// estimates to the manager (ProbeSamples), feeding the MeasuredCosts
+	// overlay that blends measured latency into route costs.
+	MsgProbeReport
 )
 
 // msgTypeMax is the highest defined message type; the codec rejects
 // anything outside [MsgOffloadCapable, msgTypeMax].
-const msgTypeMax = MsgTelemetryBatch
+const msgTypeMax = MsgProbeReport
 
 func (t MsgType) String() string {
 	switch t {
@@ -91,6 +103,12 @@ func (t MsgType) String() string {
 		return "repl-ack"
 	case MsgTelemetryBatch:
 		return "telemetry-batch"
+	case MsgProbe:
+		return "probe"
+	case MsgProbeReply:
+		return "probe-reply"
+	case MsgProbeReport:
+		return "probe-report"
 	default:
 		return fmt.Sprintf("unknown(%d)", uint8(t))
 	}
@@ -140,6 +158,31 @@ type Message struct {
 	// the ACK into a NACK, letting a rejected client fail fast with a
 	// diagnosable cause instead of a bare connection close.
 	Error string
+	// ProbeSeq numbers a MsgProbe within its (sender, peer) stream,
+	// independent of the transport-level Seq (which the manager rewrites
+	// when relaying probe frames between clients).
+	ProbeSeq uint64
+	// T1Ns, T2Ns, and T3Ns are the TWAMP-Light timestamps (sender
+	// departure, reflector arrival, reflector departure) in nanoseconds
+	// on each party's own clock; clocks need not be synchronized, since
+	// RTT = (t4-T1) - (T3-T2) cancels the reflector's residence time.
+	T1Ns, T2Ns, T3Ns int64
+	// PathNs accumulates simulated one-way path latency as a probe frame
+	// traverses latency-modelling transports (see probe.LatencyConn). Real
+	// transports leave it zero and the RTT math degrades to wall clock.
+	PathNs int64
+	// ProbeSamples is MsgProbeReport's payload: smoothed per-peer
+	// measurements.
+	ProbeSamples []ProbeSample
+}
+
+// ProbeSample is one smoothed per-peer measurement inside a
+// MsgProbeReport: EWMA RTT in nanoseconds and loss rate in [0,1] toward
+// Peer, as estimated by the reporting client.
+type ProbeSample struct {
+	Peer  int32
+	RTTNs int64
+	Loss  float64
 }
 
 // maxMessageSize bounds a decoded frame; a frame claiming more is corrupt.
@@ -213,6 +256,17 @@ func AppendEncode(b []byte, m *Message) []byte {
 	b = append(b, m.Error...)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(m.Blob)))
 	b = append(b, m.Blob...)
+	b = binary.BigEndian.AppendUint64(b, m.ProbeSeq)
+	b = binary.BigEndian.AppendUint64(b, uint64(m.T1Ns))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.T2Ns))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.T3Ns))
+	b = binary.BigEndian.AppendUint64(b, uint64(m.PathNs))
+	b = binary.BigEndian.AppendUint32(b, uint32(len(m.ProbeSamples)))
+	for _, s := range m.ProbeSamples {
+		b = appendInt32(b, s.Peer)
+		b = binary.BigEndian.AppendUint64(b, uint64(s.RTTNs))
+		b = appendFloat(b, s.Loss)
+	}
 	return b
 }
 
@@ -262,6 +316,22 @@ func Decode(data []byte) (*Message, error) {
 	if nBlob > 0 {
 		// Copy: the source buffer is pooled (ReadFrame) or caller-owned.
 		m.Blob = append([]byte(nil), d.bytes(int(nBlob))...)
+	}
+	m.ProbeSeq = d.uint64()
+	m.T1Ns = int64(d.uint64())
+	m.T2Ns = int64(d.uint64())
+	m.T3Ns = int64(d.uint64())
+	m.PathNs = int64(d.uint64())
+	nSamples := d.uint32()
+	if d.err == nil && nSamples > maxMessageSize {
+		return nil, fmt.Errorf("proto: probe sample count %d implausible", nSamples)
+	}
+	for i := uint32(0); i < nSamples && d.err == nil; i++ {
+		m.ProbeSamples = append(m.ProbeSamples, ProbeSample{
+			Peer:  d.int32(),
+			RTTNs: int64(d.uint64()),
+			Loss:  d.float(),
+		})
 	}
 	if d.err != nil {
 		return nil, d.err

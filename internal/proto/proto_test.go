@@ -24,6 +24,34 @@ func sampleMessage() *Message {
 	}
 }
 
+func TestProbeRoundTrip(t *testing.T) {
+	probe := &Message{
+		Type: MsgProbe, From: 3, To: 7, Seq: 11,
+		ProbeSeq: 41, T1Ns: 123456789, PathNs: 2_000_000,
+	}
+	reply := &Message{
+		Type: MsgProbeReply, From: 7, To: 3, Seq: 12,
+		ProbeSeq: 41, T1Ns: 123456789, T2Ns: 123458000, T3Ns: 123459000,
+		PathNs: 4_000_000,
+	}
+	report := &Message{
+		Type: MsgProbeReport, From: 3, To: -1, Seq: 13,
+		ProbeSamples: []ProbeSample{
+			{Peer: 7, RTTNs: 4_100_000, Loss: 0.25},
+			{Peer: 9, RTTNs: 900_000, Loss: 0},
+		},
+	}
+	for _, m := range []*Message{probe, reply, report} {
+		got, err := Decode(Encode(m))
+		if err != nil {
+			t.Fatalf("%v: %v", m.Type, err)
+		}
+		if !reflect.DeepEqual(m, got) {
+			t.Fatalf("%v roundtrip mismatch:\n in: %+v\nout: %+v", m.Type, m, got)
+		}
+	}
+}
+
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	m := sampleMessage()
 	got, err := Decode(Encode(m))
