@@ -7,7 +7,7 @@
 # oracle; fuzz-smoke gives every native fuzz target a short randomized
 # budget on top of its checked-in corpus (DESIGN.md §11).
 
-.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare bench-databus bench-probe chaos chaos-smoke failover databus-demo measured-demo
+.PHONY: all build check check-race verify fuzz-smoke bench bench-smoke bench-baseline bench-compare bench-databus bench-probe bench-ingest-sampled chaos chaos-smoke failover databus-demo measured-demo
 
 STATICCHECK := $(shell command -v staticcheck 2>/dev/null)
 
@@ -27,6 +27,7 @@ endif
 	-$(MAKE) bench-compare
 	-$(MAKE) bench-databus
 	-$(MAKE) bench-probe
+	-$(MAKE) bench-ingest-sampled
 
 # Differential tier: 1000 seeded random instances solved by every
 # applicable solver (simplex, transport, ILP) and cross-checked against
@@ -49,6 +50,7 @@ fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzSnappyRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/databus
 	go test -run '^$$' -fuzz '^FuzzDownsample$$' -fuzztime $(FUZZTIME) ./internal/tsdb
 	go test -run '^$$' -fuzz '^FuzzProbeRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/probe
+	go test -run '^$$' -fuzz '^FuzzStatReportRoundTrip$$' -fuzztime $(FUZZTIME) ./internal/proto
 
 # The observability and data-plane packages run first: their lock-free
 # counters, pump goroutines, and the instrumented manager/client paths are
@@ -56,8 +58,8 @@ fuzz-smoke:
 # full -race sweep.
 check-race:
 	go vet ./...
-	go test -race -count=1 ./internal/obs ./internal/proto ./internal/probe ./internal/databus ./internal/tsdb ./internal/cluster
-	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/probe -e /internal/databus -e /internal/tsdb -e /internal/cluster)
+	go test -race -count=1 ./internal/obs ./internal/proto ./internal/probe ./internal/report ./internal/databus ./internal/tsdb ./internal/cluster
+	go test -race $(shell go list ./... | grep -v -e /internal/obs -e /internal/proto -e /internal/probe -e /internal/report -e /internal/databus -e /internal/tsdb -e /internal/cluster)
 
 bench:
 	go test -bench=. -benchmem
@@ -68,16 +70,16 @@ bench:
 # quiet machine). Informational only — check treats it as non-fatal,
 # since timings shift with host load; benchstat renders the diff when on
 # PATH, otherwise the raw run is printed for eyeballing.
-BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame|BenchmarkDatabusPublish|BenchmarkRemoteWriteSink|BenchmarkProbeEstimatorObserve|BenchmarkProbeReportCodec
+BENCH_HOT = BenchmarkNMDBIngestParallel|BenchmarkManagerTick|BenchmarkFrameRoundTrip|BenchmarkWriteFrame|BenchmarkDatabusPublish|BenchmarkRemoteWriteSink|BenchmarkProbeEstimatorObserve|BenchmarkProbeReportCodec|BenchmarkReporterDecide
 BENCH_COUNT ?= 3
 
 bench-baseline:
 	go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto ./internal/databus ./internal/probe | tee bench_baseline.txt
+		./internal/cluster ./internal/proto ./internal/databus ./internal/probe ./internal/report | tee bench_baseline.txt
 
 bench-compare:
 	@go test -run '^$$' -bench '$(BENCH_HOT)' -benchmem -count $(BENCH_COUNT) \
-		./internal/cluster ./internal/proto ./internal/databus ./internal/probe > bench_current.txt
+		./internal/cluster ./internal/proto ./internal/databus ./internal/probe ./internal/report > bench_current.txt
 	@if command -v benchstat >/dev/null 2>&1; then \
 		benchstat bench_baseline.txt bench_current.txt; \
 	else \
@@ -115,6 +117,13 @@ bench-databus:
 bench-probe:
 	go test -run '^$$' -bench 'BenchmarkProbe|BenchmarkPingerTick' \
 		-benchmem ./internal/probe
+
+# Sampled-ingest frontier smoke: replays the reporting-policy study
+# (DESIGN.md §16) at the quick scale and prints the bytes/objective-gap
+# table. Non-fatal in check, like bench-compare — the frontier numbers are
+# deterministic per seed, the wall times are not.
+bench-ingest-sampled:
+	go run ./cmd/dustbench -experiment sampledingest -quick
 
 # Resilience smoke: the chaos-convergence, manager-failover, and
 # crash-recovery suites under the race detector. Wired into check

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|measureddrift|measuredchaos|hardware|ablations|ingest|databus]
+//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|measureddrift|measuredchaos|hardware|ablations|ingest|databus|sampledingest]
 //	          [-quick] [-seed N] [-iters N] [-parallelism N] [-nmdb-shards N] [-warm-solve]
 //
 // -quick runs the trimmed configuration (seconds); the default runs the
@@ -74,6 +74,7 @@ func main() {
 		{"ablations", func() (interface{ Table() string }, error) { return experiments.RunAblations(cfg) }},
 		{"ingest", func() (interface{ Table() string }, error) { return experiments.RunIngestScaling(cfg) }},
 		{"databus", func() (interface{ Table() string }, error) { return experiments.RunDatabusThroughput(cfg) }},
+		{"sampledingest", func() (interface{ Table() string }, error) { return experiments.RunSampledIngest(cfg) }},
 	}
 
 	ran := 0

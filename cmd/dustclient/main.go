@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/proto"
+	"repro/internal/report"
 	"repro/internal/switchos"
 )
 
@@ -46,6 +47,9 @@ func main() {
 		writeDL     = flag.Duration("write-deadline", 10*time.Second, "per-Send deadline on the manager connection (0 = none)")
 		probePeers  = flag.String("probe-peers", "", "comma-separated node indices to actively probe (TWAMP-Light RTT/loss via the manager relay)")
 		probeEvery  = flag.Duration("probe-interval", 0, "base per-peer probe cadence, jittered ±50% (0 = default when -probe-peers is set)")
+		reportBand  = flag.Float64("report-deadband", 0, "utilization deadband in percentage points: suppress STATs while utilization stays within this band of the last report (also bands data ±10% relative and any agent-count change; 0 = report every interval)")
+		reportProb  = flag.Float64("report-prob", 0, "additionally report each interval with this probability from the seeded RNG (0 = disabled, ≥1 = every interval)")
+		reportQuiet = flag.Int("report-max-silence", 0, "suppressed intervals before a heartbeat STAT re-affirms liveness (0 = default, negative = never)")
 	)
 	flag.Parse()
 
@@ -132,12 +136,24 @@ func main() {
 		}
 	}
 
+	// -report-deadband bands all three STAT fields so no field's drift can
+	// hide behind another's silence: utilization by the flagged absolute
+	// band, data volume by ±10% relative drift, and agent count by any
+	// integer change.
+	policy := report.Policy{Prob: *reportProb, MaxSilence: *reportQuiet, Seed: *seed}
+	if *reportBand > 0 {
+		policy.Util = report.Deadband{Abs: *reportBand}
+		policy.Data = report.Deadband{Rel: 0.10}
+		policy.Agents = report.Deadband{Abs: 0.5}
+	}
+
 	client, err := cluster.NewClient(cluster.ClientConfig{
 		Node:          *node,
 		Capable:       *capable,
 		CMax:          *cmax,
 		COMax:         *comax,
 		Seed:          *seed,
+		Report:        policy,
 		ProbePeers:    peers,
 		ProbeInterval: *probeEvery,
 		Resources: func() cluster.Resources {

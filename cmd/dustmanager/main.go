@@ -66,6 +66,7 @@ func main() {
 		warmSolve = flag.Bool("warm-solve", true, "seed each placement solve from the previous tick's basis when the busy/candidate sets are unchanged")
 		measured  = flag.Bool("measured-costs", false, "blend client probe reports (RTT/loss) into route edge costs (DESIGN.md §15)")
 		measStale = flag.Duration("measured-stale", 0, "probe measurement lifetime before an edge falls back to static costs (0 = default)")
+		staleHzn  = flag.Duration("staleness-horizon", 0, "NMDB report-freshness horizon for sampled clients: heartbeat-refreshed records hold their last classification inside it and go neutral beyond it (0 = disabled, classify from raw samples; see DESIGN.md §16)")
 
 		databusOn    = flag.Bool("databus", false, "publish ingested STATs (and relayed telemetry-batch frames) onto an in-process databus backed by a node-local tsdb")
 		databusQueue = flag.Int("databus-queue", databus.DefaultQueueSize, "per-sink databus queue bound in samples")
@@ -147,6 +148,7 @@ func main() {
 		Databus:             bus,
 		MeasuredCosts:       *measured,
 		MeasuredStaleAfter:  *measStale,
+		StalenessHorizon:    *staleHzn,
 	})
 	if err != nil {
 		log.Fatalf("dustmanager: %v", err)

@@ -11,6 +11,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/probe"
 	"repro/internal/proto"
+	"repro/internal/report"
 )
 
 // Resources reports a client's current state for STAT messages.
@@ -94,6 +95,17 @@ type ClientConfig struct {
 	// (0 = probe.DefaultTimeout).
 	ProbeInterval time.Duration
 	ProbeTimeout  time.Duration
+	// ProbeStaleAfter is the estimator's staleness horizon
+	// (0 = probe.DefaultStaleAfter): estimates unrefreshed past it stop
+	// being reported and are withdrawn from the manager's measured-cost
+	// overlay at the next report.
+	ProbeStaleAfter time.Duration
+	// Report is the STAT reporting policy (DESIGN.md §16): per-field
+	// deadbands, probabilistic sampling, and the max-silence heartbeat.
+	// The zero value is full fidelity — every interval reports, matching
+	// the pre-policy behavior. A zero Report.Seed inherits the client
+	// Seed, so one knob keeps the whole client deterministic.
+	Report report.Policy
 	// Now injects the probe clock (nil = time.Now); simulations drive it
 	// virtually so measurements are deterministic.
 	Now func() time.Time
@@ -116,6 +128,12 @@ type Client struct {
 	metrics   *clientMetrics
 	pinger    *probe.Pinger // nil without ProbePeers
 	reflector probe.Reflector
+
+	// repMu serializes the reporting policy's decide→record sequence;
+	// nothing takes repMu while holding mu (only the reverse), so the
+	// lock order is repMu before mu.
+	repMu    sync.Mutex
+	reporter *report.Reporter
 
 	conn proto.Conn
 
@@ -144,20 +162,28 @@ func NewClient(cfg ClientConfig, conn proto.Conn) (*Client, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
+	policy := cfg.Report
+	if policy.Seed == 0 {
+		// A distinct stream from the reconnect-jitter RNG: the reporting
+		// schedule must not shift when a reconnect consumes jitter draws.
+		policy.Seed = seed + 1
+	}
 	c := &Client{
 		cfg: cfg, metrics: metrics, conn: metrics.conn.Wrap(conn),
 		reflector: probe.Reflector{Node: cfg.Node},
 		rng:       rand.New(rand.NewSource(seed)),
+		reporter:  report.NewReporter(policy),
 		hosting:   make(map[int]float64),
 		seen:      make(map[uint64]struct{}),
 	}
 	if len(cfg.ProbePeers) > 0 {
 		c.pinger = probe.NewPinger(probe.PingerConfig{
-			Node:     cfg.Node,
-			Peers:    cfg.ProbePeers,
-			Interval: cfg.ProbeInterval,
-			Timeout:  cfg.ProbeTimeout,
-			Seed:     seed,
+			Node:       cfg.Node,
+			Peers:      cfg.ProbePeers,
+			Interval:   cfg.ProbeInterval,
+			Timeout:    cfg.ProbeTimeout,
+			StaleAfter: cfg.ProbeStaleAfter,
+			Seed:       seed,
 		})
 	}
 	return c, nil
@@ -253,14 +279,47 @@ func (c *Client) nextSeq() uint64 {
 	return c.seq
 }
 
-// SendStat reports current resources (the periodic STAT of Section III-B).
+// SendStat runs one reporting interval: it reads current resources and
+// applies the reporting policy (DESIGN.md §16). The interval either ships
+// a full STAT, ships a max-silence heartbeat re-affirming the last-sent
+// values (proto.StatHeartbeat), or sends nothing at all. Every outgoing
+// frame carries the number of intervals suppressed since the previous
+// frame, so the manager can tell "unchanged" from "lost". With the zero
+// policy every interval sends, matching the pre-policy behavior.
 func (c *Client) SendStat() error {
 	r := c.cfg.Resources()
-	return c.current().Send(&proto.Message{
+	c.repMu.Lock()
+	defer c.repMu.Unlock()
+	switch c.reporter.Decide(r.UtilPct, r.DataMb, int32(r.NumAgents)) {
+	case report.Suppress:
+		c.reporter.Suppressed()
+		c.metrics.statsSuppressed.Inc()
+		return nil
+	case report.Heartbeat:
+		util, data, agents := c.reporter.LastSent()
+		err := c.current().Send(&proto.Message{
+			Type: proto.MsgStat, From: int32(c.cfg.Node), To: ManagerNode,
+			Seq: c.nextSeq(), UtilPct: util, DataMb: data, NumAgents: agents,
+			StatHeartbeat: true, StatSuppressed: c.reporter.SuppressedSinceFrame(),
+		})
+		if err != nil {
+			return err
+		}
+		c.reporter.SentHeartbeat()
+		c.metrics.statHeartbeats.Inc()
+		return nil
+	}
+	err := c.current().Send(&proto.Message{
 		Type: proto.MsgStat, From: int32(c.cfg.Node), To: ManagerNode,
 		Seq: c.nextSeq(), UtilPct: r.UtilPct, DataMb: r.DataMb,
-		NumAgents: int32(r.NumAgents),
+		NumAgents: int32(r.NumAgents), StatSuppressed: c.reporter.SuppressedSinceFrame(),
 	})
+	if err != nil {
+		return err
+	}
+	c.reporter.Sent(r.UtilPct, r.DataMb, int32(r.NumAgents))
+	c.metrics.statsSent.Inc()
+	return nil
 }
 
 // SendKeepalive emits the offload-destination liveness beacon.

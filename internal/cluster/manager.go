@@ -48,6 +48,18 @@ type ManagerConfig struct {
 	// KeepaliveTimeout is how stale a destination's keepalive may be
 	// before it is declared failed and substituted (Section III-C).
 	KeepaliveTimeout time.Duration
+	// StalenessHorizon bounds how old a record's last report of any kind
+	// (full STAT or max-silence heartbeat) may be before classification
+	// refuses to act on it (DESIGN.md §16). Inside the horizon a record
+	// whose sample is stale but whose heartbeats are fresh holds its
+	// previous verdict — the client asserted its values are unchanged
+	// within its deadbands. Beyond it the record classifies neutral:
+	// excluded from both the busy and candidate sets, and counted in the
+	// dust_nmdb_stale_records gauge. This is a data-freshness clock,
+	// deliberately separate from KeepaliveTimeout (a destination-liveness
+	// clock): heartbeats never touch LastKeepalive. 0 disables the
+	// horizon, restoring the always-act-on-last-sample behavior.
+	StalenessHorizon time.Duration
 	// AckTimeout bounds how long a placement waits for Offload-ACKs.
 	AckTimeout time.Duration
 	// PlacementRetries is how many times RunPlacement re-offers a busy
@@ -248,6 +260,12 @@ func NewManager(cfg ManagerConfig) (*Manager, error) {
 		cfg.Metrics.GaugeFunc("dust_manager_measured_edges",
 			"topology edges carrying a live probe measurement",
 			func() float64 { return float64(measured.Measured()) })
+	}
+	if cfg.StalenessHorizon > 0 {
+		db, horizon, now := m.nmdb, cfg.StalenessHorizon, cfg.Now
+		cfg.Metrics.GaugeFunc("dust_nmdb_stale_records",
+			"registered records past the staleness horizon (classified neutral)",
+			func() float64 { return float64(db.StaleRecords(now(), horizon)) })
 	}
 	if cfg.CheckpointPath != "" {
 		m.store = NewCheckpointStore(cfg.CheckpointPath)
@@ -745,7 +763,11 @@ func (m *Manager) serveConn(node int, conn proto.Conn) {
 			m.connLost(node, conn)
 			return
 		}
-		for msg != nil && msg.Type == proto.MsgStat {
+		// Heartbeat STATs fall through to handle(): they must not enter the
+		// value batch (RecordStats would adopt their re-affirmed values as a
+		// fresh sample and bump the shard seq).
+		for msg != nil && msg.Type == proto.MsgStat && !msg.StatHeartbeat {
+			m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
 			batch = append(batch, Stat{
 				Node: node, UtilPct: msg.UtilPct, DataMb: msg.DataMb,
 				NumAgents: int(msg.NumAgents), At: m.cfg.Now(),
@@ -829,6 +851,17 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 	now := m.cfg.Now()
 	switch msg.Type {
 	case proto.MsgStat:
+		if msg.StatHeartbeat {
+			// Max-silence heartbeat: the client re-affirmed its last-sent
+			// values. Only the record's report age moves — the values are
+			// not a fresh sample and must not bump the snapshot seq or be
+			// republished as new telemetry.
+			m.metrics.statHeartbeats.Inc()
+			m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
+			_ = m.nmdb.RecordHeartbeat(node, now)
+			return
+		}
+		m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
 		_ = m.nmdb.RecordStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
 		if m.bridge != nil {
 			m.bridge.publishStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
@@ -883,6 +916,14 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 			return // probing without -measured-costs: reports are inert
 		}
 		for _, s := range msg.ProbeSamples {
+			if s.RTTNs < 0 {
+				// Withdrawal: the prober's estimate for this peer went
+				// stale, so drop the edge's measured discount now rather
+				// than holding it for the overlay's own lease.
+				m.measured.Forget(node, int(s.Peer))
+				m.metrics.probeSamples["expired"].Inc()
+				continue
+			}
 			if m.measured.Observe(node, int(s.Peer), time.Duration(s.RTTNs), s.Loss, now) {
 				m.metrics.probeSamples["mapped"].Inc()
 			} else {
@@ -1250,11 +1291,19 @@ func nodesToWire(nodes []int) []int32 {
 	return out
 }
 
-// classify builds the role split honoring per-client threshold overrides.
+// classify builds the role split honoring per-client threshold overrides
+// and, when a StalenessHorizon is configured, the bounded-staleness
+// contract of sampled reporting (DESIGN.md §16): a record whose sample is
+// stale but whose report age is fresh holds its previous verdict (the
+// client's heartbeats assert the values are unchanged within its
+// deadbands), and a record past the horizon classifies neutral — the
+// manager does not act on data from a node it has not heard from.
 func (m *Manager) classify(state *core.State) (*core.Classification, error) {
 	if err := state.Validate(); err != nil {
 		return nil, err
 	}
+	now := m.cfg.Now()
+	horizon := m.cfg.StalenessHorizon
 	n := state.G.NumNodes()
 	cls := &core.Classification{Roles: make([]core.Role, n)}
 	for i := 0; i < n; i++ {
@@ -1262,9 +1311,37 @@ func (m *Manager) classify(state *core.State) (*core.Classification, error) {
 			cls.Roles[i] = core.RoleNone
 			continue
 		}
-		t := m.nmdb.thresholdsFor(i, m.cfg.Defaults)
+		t, lastStat, lastReport, prevRole := m.nmdb.classifyMeta(i, m.cfg.Defaults)
 		if err := t.Validate(); err != nil {
 			return nil, fmt.Errorf("cluster: node %d thresholds: %w", i, err)
+		}
+		if horizon > 0 && now.Sub(lastStat) > horizon {
+			if now.Sub(lastReport) > horizon {
+				cls.Roles[i] = core.RoleNeutral
+				continue
+			}
+			// Hold the previous verdict where the stored sample still
+			// supports it; a verdict the sample contradicts (e.g. a
+			// re-registration changed thresholds mid-silence) falls through
+			// to re-derivation, as does a node never classified before.
+			held := true
+			switch {
+			case prevRole == core.RoleBusy && state.Util[i]-t.CMax > 0:
+				cls.Roles[i] = core.RoleBusy
+				cls.Busy = append(cls.Busy, i)
+				cls.Cs = append(cls.Cs, state.Util[i]-t.CMax)
+			case prevRole == core.RoleCandidate && t.COMax-state.Util[i] > 0:
+				cls.Roles[i] = core.RoleCandidate
+				cls.Candidates = append(cls.Candidates, i)
+				cls.Cd = append(cls.Cd, t.COMax-state.Util[i])
+			case prevRole == core.RoleNeutral:
+				cls.Roles[i] = core.RoleNeutral
+			default:
+				held = false
+			}
+			if held {
+				continue
+			}
 		}
 		switch {
 		case state.Util[i] >= t.CMax:

@@ -36,6 +36,11 @@ type managerMetrics struct {
 	disconnects   *obs.Counter
 	statBatches   *obs.Counter
 	statsIngested *obs.Counter
+	// Sampled-reporting ingest (DESIGN.md §16): heartbeat frames refresh
+	// report age without fresh data; suppressed counts arrive on every
+	// frame and tally the intervals clients deliberately skipped.
+	statHeartbeats  *obs.Counter
+	statsSuppressed *obs.Counter
 
 	// Telemetry data plane: MsgTelemetryBatch frames relayed into the
 	// databus (see ManagerConfig.Databus).
@@ -46,7 +51,7 @@ type managerMetrics struct {
 	// the manager and probe reports folded into the MeasuredCosts overlay.
 	probeRelays  map[string]*obs.Counter // result: ok, dropped
 	probeReports *obs.Counter
-	probeSamples map[string]*obs.Counter // result: mapped, unmapped
+	probeSamples map[string]*obs.Counter // result: mapped, unmapped, expired
 
 	// High-availability instrumentation: durable checkpoints, standby
 	// replication, promotion, and degraded-mode (grace window) activity.
@@ -92,6 +97,10 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"batched RecordStats calls (coalesced STAT runs)"),
 		statsIngested: reg.Counter("dust_manager_stats_ingested_total",
 			"STAT reports applied to the NMDB"),
+		statHeartbeats: reg.Counter("dust_manager_stat_heartbeats_total",
+			"max-silence heartbeat STATs received (report age refreshed, no fresh data)"),
+		statsSuppressed: reg.Counter("dust_manager_stats_suppressed_total",
+			"reporting intervals clients suppressed, as declared on received frames"),
 		telemetryFrames: make(map[string]*obs.Counter),
 		telemetrySamples: reg.Counter("dust_manager_telemetry_samples_total",
 			"samples decoded from telemetry-batch frames and republished"),
@@ -156,7 +165,7 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 		mm.probeRelays[result] = reg.Counter("dust_manager_probe_relays_total",
 			"client-to-client probe frames relayed by outcome", "result", result)
 	}
-	for _, result := range []string{"mapped", "unmapped"} {
+	for _, result := range []string{"mapped", "unmapped", "expired"} {
 		mm.probeSamples[result] = reg.Counter("dust_manager_probe_samples_total",
 			"probe report samples by edge-mapping outcome", "result", result)
 	}
@@ -285,7 +294,11 @@ type clientMetrics struct {
 	probesSent   *obs.Counter
 	probesRefl   *obs.Counter
 	probeReports *obs.Counter
-	conn         *proto.ConnMetrics
+	// Reporting-policy outcomes (DESIGN.md §16), one per STAT interval.
+	statsSent       *obs.Counter
+	statsSuppressed *obs.Counter
+	statHeartbeats  *obs.Counter
+	conn            *proto.ConnMetrics
 }
 
 func newClientMetrics(reg *obs.Registry) *clientMetrics {
@@ -305,6 +318,12 @@ func newClientMetrics(reg *obs.Registry) *clientMetrics {
 			"peer probes reflected back with TWAMP timestamps"),
 		probeReports: reg.Counter("dust_client_probe_reports_sent_total",
 			"probe measurement reports sent to the manager"),
+		statsSent: reg.Counter("dust_client_stats_sent_total",
+			"full STAT reports sent"),
+		statsSuppressed: reg.Counter("dust_client_stats_suppressed_total",
+			"STAT intervals suppressed by the reporting policy"),
+		statHeartbeats: reg.Counter("dust_client_stat_heartbeats_total",
+			"max-silence heartbeat STATs sent"),
 		conn: proto.NewConnMetrics(reg, "client"),
 	}
 	for _, result := range []string{"ok", "fail"} {

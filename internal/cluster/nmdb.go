@@ -39,6 +39,13 @@ type ClientRecord struct {
 	// LastStat and LastKeepalive timestamp the latest reports.
 	LastStat      time.Time
 	LastKeepalive time.Time
+	// LastReport timestamps the latest STAT frame of any kind — full
+	// report or max-silence heartbeat. With sampled reporting (DESIGN.md
+	// §16) it can run ahead of LastStat: the client is alive and its
+	// values are unchanged within its deadbands, there is just no fresh
+	// sample. The staleness horizon reads this clock; the keepalive
+	// timeout stays on LastKeepalive.
+	LastReport time.Time
 	// Role is the manager-assigned role after the last classification.
 	Role core.Role
 	// HostingFor lists busy nodes whose workload this client hosts,
@@ -256,7 +263,30 @@ func (db *NMDB) RecordStat(node int, utilPct, dataMb float64, numAgents int, at 
 	rec.DataMb = dataMb
 	rec.NumAgents = numAgents
 	rec.LastStat = at
+	rec.LastReport = at
 	sh.seq++
+	db.muts.Add(1)
+	return nil
+}
+
+// RecordHeartbeat stores a max-silence heartbeat STAT: the client
+// re-affirmed its last-sent values without fresh data, so only the
+// report age moves. Like RecordKeepalive it does not bump the shard seq —
+// a heartbeat never changes BuildState output, which is what lets
+// sampled reporting cut manager CPU (unchanged shards stay reusable
+// across tick snapshots).
+func (db *NMDB) RecordHeartbeat(node int, at time.Time) error {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return fmt.Errorf("cluster: heartbeat from unregistered node %d", node)
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
+		return fmt.Errorf("cluster: heartbeat from unregistered node %d", node)
+	}
+	rec.LastReport = at
 	db.muts.Add(1)
 	return nil
 }
@@ -310,7 +340,7 @@ func (db *NMDB) RecordStats(stats []Stat) error {
 		*sp = make([]int32, need)
 	}
 	scratch := (*sp)[:need]
-	offs := scratch[:nsh+1]     // run start of each shard after prefix sum
+	offs := scratch[:nsh+1] // run start of each shard after prefix sum
 	cursor := scratch[nsh+1 : 2*(nsh+1)]
 	order := scratch[2*(nsh+1):] // stat indices grouped by shard
 	for i := range offs {
@@ -354,6 +384,7 @@ func (db *NMDB) RecordStats(stats []Stat) error {
 			rec.DataMb = st.DataMb
 			rec.NumAgents = st.NumAgents
 			rec.LastStat = st.At
+			rec.LastReport = st.At
 			applied = true
 		}
 		if applied {
@@ -528,6 +559,51 @@ func (db *NMDB) thresholdsFor(node int, defaults core.Thresholds) core.Threshold
 		}
 	}
 	return t
+}
+
+// classifyMeta resolves, under one shard-lock acquisition, everything the
+// staleness-horizon classifier needs for a node: effective thresholds,
+// the two report timestamps, and the previous manager-assigned role.
+func (db *NMDB) classifyMeta(node int, defaults core.Thresholds) (t core.Thresholds, lastStat, lastReport time.Time, prevRole core.Role) {
+	t = defaults
+	sh, li := db.slot(node)
+	if sh == nil {
+		return t, lastStat, lastReport, prevRole
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	rec := sh.rec(li)
+	if rec == nil {
+		return t, lastStat, lastReport, prevRole
+	}
+	if rec.CMax > 0 {
+		t.CMax = rec.CMax
+	}
+	if rec.COMax > 0 {
+		t.COMax = rec.COMax
+	}
+	return t, rec.LastStat, rec.LastReport, rec.Role
+}
+
+// StaleRecords counts registered records whose last report of any kind
+// (full STAT or heartbeat) is older than horizon at now — the records the
+// classifier refuses to act on. Feeds the dust_nmdb_stale_records gauge.
+func (db *NMDB) StaleRecords(now time.Time, horizon time.Duration) int {
+	if horizon <= 0 {
+		return 0
+	}
+	stale := 0
+	for _, sh := range db.shards {
+		sh.mu.Lock()
+		for li := range sh.recs {
+			rec := &sh.recs[li]
+			if rec.registered && now.Sub(rec.LastReport) > horizon {
+				stale++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return stale
 }
 
 // SetRole stores a manager-assigned role.

@@ -133,6 +133,7 @@ func newProbeRig(t *testing.T, nodes int, prober ClientConfig, wrap func(node in
 			cfg.ProbePeers = prober.ProbePeers
 			cfg.ProbeInterval = prober.ProbeInterval
 			cfg.ProbeTimeout = prober.ProbeTimeout
+			cfg.ProbeStaleAfter = prober.ProbeStaleAfter
 		}
 		cfg.Resources = func() Resources { return Resources{UtilPct: 10, NumAgents: 1} }
 
@@ -271,6 +272,66 @@ func TestProbeEndToEndMeasured(t *testing.T) {
 	wantRate := static.EffectiveRate(e01) * mc.RateFactor(e01.ID)
 	if got := p.EffectiveRate(e01); got != wantRate {
 		t.Fatalf("EffectiveRate = %g, want rate×factor = %g", got, wantRate)
+	}
+}
+
+// TestProbeWithdrawalReconcilesStaleClocks is the regression test for
+// the staleness-clock reconcile fix. The client's estimator and the
+// manager's measured-cost overlay age measurements on independent
+// clocks; pre-fix, a prober that went quiet simply stopped mentioning
+// the stale peer, so the overlay held the dead edge's congestion
+// discount for its own (longer) lease — here a full two minutes after
+// the prober had already disowned the estimate. Post-fix the next
+// report carries an explicit withdrawal and the edge snaps back to the
+// static model immediately.
+func TestProbeWithdrawalReconcilesStaleClocks(t *testing.T) {
+	r := newProbeRig(t, 3, ClientConfig{
+		Node: 0, ProbePeers: []int{1}, ProbeInterval: time.Second,
+		ProbeStaleAfter: time.Minute, // estimator horizon ≪ overlay's 2-minute default lease
+	}, nil)
+	r.setLatency(0, time.Millisecond)
+	r.setLatency(1, time.Millisecond)
+
+	// Establish a baseline, then congest the link so the overlay carries
+	// a real discount.
+	r.round()
+	if err := r.clients[0].SendProbeReport(); err != nil {
+		t.Fatal(err)
+	}
+	mc := r.manager.MeasuredCosts()
+	waitUntil(t, func() bool { return mc.Measured() == 1 }, "baseline ingestion")
+	r.setLatency(1, 20*time.Millisecond)
+	e01, _ := r.manager.NMDB().Topology().EdgeBetween(0, 1)
+	for i := 0; i < 6; i++ {
+		r.round()
+		if err := r.clients[0].SendProbeReport(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, func() bool { return mc.RateFactor(e01.ID) < 0.3 }, "congestion discount")
+
+	// The prober goes quiet past its own staleness horizon (but well
+	// inside the overlay's lease, measured from the last ingested
+	// report). The next report must withdraw the estimate rather than
+	// silently omit it.
+	r.clock.Advance(70 * time.Second)
+	if err := r.clients[0].SendProbeReport(); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, func() bool { return mc.Measured() == 0 }, "withdrawal ingestion")
+	if f := mc.RateFactor(e01.ID); f != 1 {
+		t.Fatalf("rate factor after withdrawal = %g, want 1 (static model)", f)
+	}
+	if got := r.manager.metrics.probeSamples["expired"].Value(); got != 1 {
+		t.Fatalf("expired samples = %d, want 1", got)
+	}
+	// The withdrawal is one-shot: with nothing fresh and nothing newly
+	// expired, the next report round sends no frame at all.
+	if err := r.clients[0].SendProbeReport(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.manager.metrics.probeSamples["expired"].Value(); got != 1 {
+		t.Fatalf("withdrawal re-reported: expired samples = %d", got)
 	}
 }
 

@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/report"
+)
+
+// TestSampledStatEndToEnd drives the full sampled-reporting loop over
+// real client/manager wiring: a deadband policy suppresses unchanged
+// intervals client-side (no frame at all), the max-silence heartbeat
+// refreshes the NMDB's report clock without touching the stat sample or
+// the keepalive clock, and a drift past the band ships a full STAT that
+// re-anchors the deadbands.
+func TestSampledStatEndToEnd(t *testing.T) {
+	var mu sync.Mutex
+	util := 30.0
+	h := newHarness(t, lineTopology(2), []ClientConfig{
+		{
+			Node: 0, Capable: true,
+			Report: report.Policy{Util: report.Deadband{Abs: 2}, MaxSilence: 3, Seed: 1},
+			Resources: func() Resources {
+				mu.Lock()
+				defer mu.Unlock()
+				return Resources{UtilPct: util, NumAgents: 10}
+			},
+		},
+		{Node: 1, Capable: true},
+	})
+	cl := h.clients[0]
+	statTime := h.clock.Now()
+	if err := cl.SendStat(); err != nil { // first interval always sends
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		rec, _ := h.manager.NMDB().Client(0)
+		return rec.UtilPct == 30
+	})
+	keepaliveBefore := func() time.Time {
+		rec, _ := h.manager.NMDB().Client(0)
+		return rec.LastKeepalive
+	}()
+
+	// Three unchanged intervals are suppressed — no frames — and the
+	// fourth breaks the silence with a heartbeat.
+	h.clock.Advance(40 * time.Second)
+	for i := 0; i < 4; i++ {
+		if err := cl.SendStat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := cl.metrics.statsSuppressed.Value(); got != 3 {
+		t.Fatalf("client suppressed = %d, want 3", got)
+	}
+	if got := cl.metrics.statHeartbeats.Value(); got != 1 {
+		t.Fatalf("client heartbeats = %d, want 1", got)
+	}
+	mm := h.manager.metrics
+	waitFor(t, func() bool { return mm.statHeartbeats.Value() == 1 })
+	if got := mm.statsSuppressed.Value(); got != 3 {
+		t.Fatalf("manager adopted suppressed count = %d, want 3 (from the heartbeat frame)", got)
+	}
+	rec, _ := h.manager.NMDB().Client(0)
+	if !rec.LastStat.Equal(statTime) {
+		t.Fatalf("heartbeat moved the stat clock: %v, want %v", rec.LastStat, statTime)
+	}
+	if !rec.LastReport.Equal(h.clock.Now()) {
+		t.Fatalf("heartbeat did not advance the report clock: %v, want %v", rec.LastReport, h.clock.Now())
+	}
+	if !rec.LastKeepalive.Equal(keepaliveBefore) {
+		t.Fatalf("heartbeat touched the keepalive clock: %v → %v", keepaliveBefore, rec.LastKeepalive)
+	}
+	if rec.UtilPct != 30 {
+		t.Fatalf("heartbeat changed the stored sample: util %g", rec.UtilPct)
+	}
+
+	// Drift past the band: a full STAT goes out, re-anchoring, and the
+	// sample plus both report clocks move.
+	mu.Lock()
+	util = 40
+	mu.Unlock()
+	h.clock.Advance(10 * time.Second)
+	if err := cl.SendStat(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		rec, _ := h.manager.NMDB().Client(0)
+		return rec.UtilPct == 40
+	})
+	rec, _ = h.manager.NMDB().Client(0)
+	if !rec.LastStat.Equal(h.clock.Now()) || !rec.LastReport.Equal(h.clock.Now()) {
+		t.Fatalf("full STAT must move both clocks: stat %v report %v, want %v",
+			rec.LastStat, rec.LastReport, h.clock.Now())
+	}
+	if got := cl.metrics.statsSent.Value(); got != 2 {
+		t.Fatalf("client sent = %d, want 2 full reports", got)
+	}
+	// Sub-band drift stays suppressed against the new anchor.
+	mu.Lock()
+	util = 41
+	mu.Unlock()
+	if err := cl.SendStat(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.metrics.statsSuppressed.Value(); got != 4 {
+		t.Fatalf("client suppressed = %d, want 4 (sub-band drift)", got)
+	}
+}
+
+// TestStalenessHorizonClassification pins the manager half of the
+// sampled-reporting contract on a virtual clock: inside the horizon a
+// heartbeat-refreshed record holds its previous verdict (when the stored
+// sample still supports it), a held verdict the sample contradicts is
+// re-derived, and a record with no reports at all past the horizon goes
+// neutral.
+func TestStalenessHorizonClassification(t *testing.T) {
+	const horizon = 5 * time.Minute
+	h := newHarnessWith(t, lineTopology(3), func(cfg *ManagerConfig) {
+		cfg.StalenessHorizon = horizon
+	}, []ClientConfig{
+		{Node: 0, Capable: true},
+		{Node: 1, Capable: true},
+		{Node: 2, Capable: true},
+	})
+	h.setUtil(0, 92, 50) // busy (CMax 80)
+	h.setUtil(1, 30, 0)  // candidate (COMax 50)
+	h.setUtil(2, 65, 0)  // neutral
+	db := h.manager.NMDB()
+	db.SetRole(0, core.RoleBusy)
+	db.SetRole(1, core.RoleCandidate)
+	db.SetRole(2, core.RoleNeutral)
+
+	classify := func() *core.Classification {
+		t.Helper()
+		cls, err := h.manager.classify(db.BuildState(h.manager.cfg.Defaults))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cls
+	}
+
+	// Fresh samples: derived normally.
+	if cls := classify(); len(cls.Busy) != 1 || cls.Busy[0] != 0 || len(cls.Candidates) != 1 || cls.Candidates[0] != 1 {
+		t.Fatalf("fresh classification = %+v", cls)
+	}
+	if got := db.StaleRecords(h.clock.Now(), horizon); got != 0 {
+		t.Fatalf("stale records = %d, want 0", got)
+	}
+
+	// Past the horizon with no reports of any kind: everything neutral —
+	// the manager does not act on data from nodes it has not heard from.
+	h.clock.Advance(horizon + time.Minute)
+	if cls := classify(); len(cls.Busy) != 0 || len(cls.Candidates) != 0 {
+		t.Fatalf("stale classification = %+v, want all neutral", cls)
+	}
+	if got := db.StaleRecords(h.clock.Now(), horizon); got != 3 {
+		t.Fatalf("stale records = %d, want 3", got)
+	}
+
+	// Heartbeats refresh the report clock: verdicts are held, with the
+	// margins re-derived from the stored (re-affirmed) samples.
+	for node := 0; node < 3; node++ {
+		if err := db.RecordHeartbeat(node, h.clock.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cls := classify()
+	if len(cls.Busy) != 1 || cls.Busy[0] != 0 || math.Abs(cls.Cs[0]-12) > 1e-12 {
+		t.Fatalf("held busy = %v cs=%v, want node 0 at margin 12", cls.Busy, cls.Cs)
+	}
+	if len(cls.Candidates) != 1 || cls.Candidates[0] != 1 || math.Abs(cls.Cd[0]-20) > 1e-12 {
+		t.Fatalf("held candidate = %v cd=%v, want node 1 at margin 20", cls.Candidates, cls.Cd)
+	}
+	if cls.Roles[2] != core.RoleNeutral {
+		t.Fatalf("node 2 role = %v, want held neutral", cls.Roles[2])
+	}
+	if got := db.StaleRecords(h.clock.Now(), horizon); got != 0 {
+		t.Fatalf("stale records after heartbeats = %d, want 0", got)
+	}
+
+	// A held verdict the stored sample contradicts (role flipped while
+	// silent, e.g. by a re-registration) is not parroted: it re-derives
+	// from the sample, turning node 1 (util 30) back into a candidate.
+	db.SetRole(1, core.RoleBusy)
+	if cls := classify(); len(cls.Candidates) != 1 || cls.Candidates[0] != 1 {
+		t.Fatalf("contradicted verdict not re-derived: %+v", cls)
+	}
+}
+
+// TestStalenessHorizonDisabledKeepsLegacyClassification: without a
+// horizon the classifier is purely sample-driven, however old the
+// samples — the pre-§16 behavior, and the safe default for deployments
+// whose clients never suppress.
+func TestStalenessHorizonDisabledKeepsLegacyClassification(t *testing.T) {
+	h := newHarness(t, lineTopology(2), []ClientConfig{
+		{Node: 0, Capable: true},
+		{Node: 1, Capable: true},
+	})
+	h.setUtil(0, 92, 50)
+	h.setUtil(1, 30, 0)
+	h.clock.Advance(24 * time.Hour)
+	cls, err := h.manager.classify(h.manager.NMDB().BuildState(h.manager.cfg.Defaults))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cls.Busy) != 1 || len(cls.Candidates) != 1 {
+		t.Fatalf("horizon-disabled classification = %+v, want sample-driven busy/candidate", cls)
+	}
+}
+
+// TestHeartbeatDoesNotSuppressKeepaliveEviction audits the degraded-mode
+// and failure-handling paths against sampled reporting: STAT heartbeats
+// assert "my values are unchanged", not "I am a healthy destination" —
+// destination liveness stays on the keepalive clock, so a destination
+// that heartbeats its STATs but stops keepaliving is still evicted and
+// substituted.
+func TestHeartbeatDoesNotSuppressKeepaliveEviction(t *testing.T) {
+	replicaNotified := make(chan int, 1)
+	mkPolicy := report.Policy{Util: report.Deadband{Abs: 2}, MaxSilence: 1, Seed: 1}
+	h := newHarness(t, lineTopology(4), []ClientConfig{
+		{Node: 0, Capable: true},
+		{Node: 1, Capable: true, Report: mkPolicy},
+		{Node: 2, Capable: true, OnReplica: func(busy, failed int, amount float64) {
+			replicaNotified <- failed
+		}},
+		{Node: 3, Capable: true},
+	})
+	h.setUtil(0, 92, 50) // busy
+	h.setUtil(1, 30, 0)  // candidate → destination
+	h.setUtil(2, 20, 0)  // replica
+	h.setUtil(3, 65, 0)  // neutral
+
+	if rep, err := h.manager.RunPlacement(); err != nil || len(rep.Accepted) != 1 || rep.Accepted[0].Candidate != 1 {
+		t.Fatalf("placement = %+v err=%v, want node 1 accepted", rep, err)
+	}
+	if err := h.clients[1].SendKeepalive(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		rec, _ := h.manager.NMDB().Client(1)
+		return !rec.LastKeepalive.IsZero()
+	})
+
+	// The destination's keepalives stop, but its sampled STAT loop keeps
+	// heartbeating right through the outage window (MaxSilence 1:
+	// suppress, heartbeat, suppress, heartbeat, ...).
+	h.clock.Advance(120 * time.Second) // past the 90s keepalive timeout
+	for i := 0; i < 4; i++ {
+		if err := h.clients[1].SendStat(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { return h.manager.metrics.statHeartbeats.Value() >= 2 })
+	rec, _ := h.manager.NMDB().Client(1)
+	if !rec.LastReport.Equal(h.clock.Now()) {
+		t.Fatal("heartbeats were expected to keep the report clock fresh")
+	}
+
+	subs, err := h.manager.CheckKeepalives()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0].Failed != 1 || subs[0].Replica != 2 {
+		t.Fatalf("substitutions = %+v, want node 1 evicted despite fresh heartbeats", subs)
+	}
+	select {
+	case failed := <-replicaNotified:
+		if failed != 1 {
+			t.Fatalf("replica told failed=%d, want 1", failed)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("replica never received REP")
+	}
+}
+
+// TestDeadbandSuppressionBoundsClassificationError is the property test
+// for the deadband contract: the manager classifies from the last-sent
+// anchor, so its verdict can differ from the true-value verdict only
+// while the true value sits within one deadband of a role threshold.
+// Anywhere else, suppression never changes classification.
+func TestDeadbandSuppressionBoundsClassificationError(t *testing.T) {
+	const (
+		cmax  = 80.0
+		comax = 50.0
+		band  = 2.0
+	)
+	roleOf := func(util float64) core.Role {
+		switch {
+		case util >= cmax:
+			return core.RoleBusy
+		case util <= comax:
+			return core.RoleCandidate
+		default:
+			return core.RoleNeutral
+		}
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		rep := report.NewReporter(report.Policy{
+			Util: report.Deadband{Abs: band}, MaxSilence: -1, Seed: int64(trial) + 1,
+		})
+		truth := 20 + 60*rng.Float64()
+		visible := math.NaN()
+		for step := 0; step < 400; step++ {
+			truth += rng.Float64()*1.6 - 0.8
+			truth = math.Min(100, math.Max(0, truth))
+			switch rep.Decide(truth, 0, 0) {
+			case report.Send:
+				rep.Sent(truth, 0, 0)
+				visible = truth
+			case report.Suppress:
+				rep.Suppressed()
+			default:
+				t.Fatalf("trial %d step %d: unexpected heartbeat with heartbeats disabled", trial, step)
+			}
+			if roleOf(visible) == roleOf(truth) {
+				continue
+			}
+			// A verdict mismatch means anchor and truth straddle a
+			// threshold; since suppression guarantees |truth−anchor| ≤
+			// band, the truth must be within the band of that threshold.
+			if dist := math.Min(math.Abs(truth-cmax), math.Abs(truth-comax)); dist > band {
+				t.Fatalf("trial %d step %d: truth %.3f (role %v) vs visible %.3f (role %v) misclassified %.3f beyond the deadband",
+					trial, step, truth, roleOf(truth), visible, roleOf(visible), dist)
+			}
+		}
+	}
+}

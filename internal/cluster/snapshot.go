@@ -39,6 +39,7 @@ type clientSnapshot struct {
 	NumAgents     int       `json:"num_agents"`
 	LastStat      time.Time `json:"last_stat"`
 	LastKeepalive time.Time `json:"last_keepalive"`
+	LastReport    time.Time `json:"last_report,omitempty"`
 	Role          uint8     `json:"role"`
 	HostingFor    []int     `json:"hosting_for,omitempty"`
 }
@@ -78,6 +79,7 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 				CMax: rec.CMax, COMax: rec.COMax,
 				UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
 				LastStat: rec.LastStat, LastKeepalive: rec.LastKeepalive,
+				LastReport: rec.LastReport,
 				Role:       uint8(rec.Role),
 				HostingFor: rec.hostList(),
 			})
@@ -147,8 +149,15 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 			CMax: c.CMax, COMax: c.COMax,
 			UtilPct: c.UtilPct, DataMb: c.DataMb, NumAgents: c.NumAgents,
 			LastStat: c.LastStat, LastKeepalive: c.LastKeepalive,
+			// Snapshots from before sampled reporting lack last_report;
+			// fall back to the stat clock so restored records do not read
+			// as past the horizon solely for being old-format.
+			LastReport: c.LastReport,
 			Role:       core.Role(c.Role),
 			registered: true,
+		}
+		if rec.LastReport.IsZero() {
+			rec.LastReport = c.LastStat
 		}
 		for _, b := range c.HostingFor {
 			rec.hostAdd(b)

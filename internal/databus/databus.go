@@ -41,6 +41,13 @@ const (
 	DefaultQueueSize     = 1 << 16
 	DefaultBatchSize     = 1024
 	DefaultFlushInterval = 100 * time.Millisecond
+	// DefaultFailBackoffMin/Max bound the pause a pump inserts between
+	// consecutive failing WriteBatch calls (exponential, capped). Without
+	// it a persistently failing sink turns its pump into a hot loop:
+	// every flush fails instantly, the batch resets, the queue refills,
+	// and the goroutine burns a core retrying a dead backend.
+	DefaultFailBackoffMin = 10 * time.Millisecond
+	DefaultFailBackoffMax = time.Second
 )
 
 // Config parameterizes a Bus.
@@ -57,6 +64,14 @@ type Config struct {
 	// space instead of dropping. Default false — telemetry is shed, and
 	// drops are counted, rather than ever stalling the monitoring path.
 	Block bool
+	// FailBackoffMin and FailBackoffMax bound the pause between
+	// consecutive failing WriteBatch calls: the first failure waits
+	// FailBackoffMin, each further consecutive failure doubles the wait
+	// up to FailBackoffMax, and any success resets the ladder. While the
+	// pump backs off, its queue keeps absorbing (or shedding, per Block)
+	// samples as usual. Non-positive values select the defaults.
+	FailBackoffMin time.Duration
+	FailBackoffMax time.Duration
 	// Metrics, when set, registers the dust_databus_* instruments there.
 	Metrics *obs.Registry
 }
@@ -73,6 +88,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = DefaultFlushInterval
+	}
+	if c.FailBackoffMin <= 0 {
+		c.FailBackoffMin = DefaultFailBackoffMin
+	}
+	if c.FailBackoffMax <= 0 {
+		c.FailBackoffMax = DefaultFailBackoffMax
+	}
+	if c.FailBackoffMax < c.FailBackoffMin {
+		c.FailBackoffMax = c.FailBackoffMin
 	}
 	return c
 }
@@ -232,6 +256,12 @@ func (b *Bus) runPump(p *pump) {
 	defer ticker.Stop()
 	batch := make([]Sample, 0, b.cfg.BatchSize)
 
+	// failures counts consecutive WriteBatch errors; each one widens the
+	// pause before the next flush attempt (capped exponential), so a dead
+	// sink costs bounded retries per second instead of a spinning core.
+	// The wait aborts instantly on bus close, so the shutdown drain is
+	// never slowed by a failing sink.
+	var failures uint
 	flush := func() {
 		if len(batch) == 0 {
 			return
@@ -247,6 +277,17 @@ func (b *Bus) runPump(p *pump) {
 			if p.obsErrs != nil {
 				p.obsErrs.Inc()
 			}
+			failures++
+			d := b.cfg.FailBackoffMin << min(failures-1, 16)
+			if d <= 0 || d > b.cfg.FailBackoffMax {
+				d = b.cfg.FailBackoffMax
+			}
+			select {
+			case <-time.After(d):
+			case <-b.stop:
+			}
+		} else {
+			failures = 0
 		}
 		batch = batch[:0]
 	}

@@ -2,9 +2,11 @@ package databus
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -309,4 +311,85 @@ func TestBatchFlushOnInterval(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	bus.Close()
+}
+
+// failSink fails its first healAt-1 WriteBatch calls (all of them when
+// healAt is 0), counting calls and delivered samples — the dead-backend
+// stand-in for the retry-backoff regression tests.
+type failSink struct {
+	healAt  uint64
+	calls   atomic.Uint64
+	samples atomic.Uint64
+}
+
+func (s *failSink) Name() string { return "failing" }
+func (s *failSink) WriteBatch(batch []Sample) error {
+	n := s.calls.Add(1)
+	if s.healAt == 0 || n < s.healAt {
+		return errors.New("backend down")
+	}
+	s.samples.Add(uint64(len(batch)))
+	return nil
+}
+
+// TestFailingSinkBackoffBoundsRetries is the regression test for the
+// sink-pump hot loop: pre-fix, a failing WriteBatch was retried the
+// instant the queue refilled the next batch, so a dead backend under a
+// steady publisher turned its pump goroutine into a busy spin (here:
+// ~2000 failing calls in microseconds). With the capped exponential
+// backoff the retry rate is bounded by FailBackoffMin/Max regardless of
+// queue pressure.
+func TestFailingSinkBackoffBoundsRetries(t *testing.T) {
+	sink := &failSink{}
+	bus := New(Config{
+		QueueSize: 4096, BatchSize: 1, FlushInterval: time.Millisecond,
+		FailBackoffMin: 20 * time.Millisecond, FailBackoffMax: 50 * time.Millisecond,
+	})
+	bus.Attach(sink)
+	for i := 0; i < 2000; i++ {
+		bus.Publish(Sample{Key: testKey(i % 4), T: float64(i), V: 1})
+	}
+	time.Sleep(300 * time.Millisecond)
+	calls := sink.calls.Load()
+	// 300ms at ≥20ms per failing attempt admits ~15 retries; leave slack
+	// for scheduling, but anything near the pre-fix thousands must fail.
+	if calls == 0 || calls > 40 {
+		t.Fatalf("failing sink saw %d WriteBatch calls in 300ms, want backoff-bounded (≤40)", calls)
+	}
+	if st := bus.Stats(); st.SinkErrors != calls {
+		t.Fatalf("stats errors=%d, want every call counted (%d)", st.SinkErrors, calls)
+	}
+	// Close must not wait out a backoff ladder: the pending wait aborts
+	// on the stop signal and the drain proceeds immediately.
+	done := make(chan struct{})
+	go func() { bus.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung behind the failure backoff")
+	}
+}
+
+// TestFailingSinkRecovers: success resets the backoff ladder — once the
+// backend heals, the pump returns to full-rate delivery and the samples
+// still queued flow through (batches consumed by failing calls stay
+// lost and counted, as before).
+func TestFailingSinkRecovers(t *testing.T) {
+	sink := &failSink{healAt: 4}
+	bus := New(Config{
+		QueueSize: 1024, BatchSize: 8, FlushInterval: time.Millisecond,
+		FailBackoffMin: time.Millisecond, FailBackoffMax: 4 * time.Millisecond,
+	})
+	bus.Attach(sink)
+	const n = 200
+	for i := 0; i < n; i++ {
+		bus.Publish(Sample{Key: testKey(i % 4), T: float64(i), V: 1})
+	}
+	bus.Close()
+	if st := bus.Stats(); st.SinkErrors != 3 {
+		t.Fatalf("sink errors = %d, want exactly the 3 pre-heal failures", st.SinkErrors)
+	}
+	if got := sink.samples.Load(); got < n-3*8 || got > n {
+		t.Fatalf("delivered %d samples, want within [%d, %d]", got, n-3*8, n)
+	}
 }

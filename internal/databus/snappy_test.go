@@ -25,10 +25,10 @@ func TestSnappyRoundTrip(t *testing.T) {
 		[]byte(""),
 		[]byte("a"),
 		[]byte("hello"),
-		[]byte(strings.Repeat("a", 100)),                 // RLE: overlapping copy
-		[]byte(strings.Repeat("abcdefgh", 5000)),         // periodic, > one literal
-		[]byte(strings.Repeat("x", snappyBlockSize)),     // exactly one block
-		[]byte(strings.Repeat("yz", snappyBlockSize)),    // spans blocks
+		[]byte(strings.Repeat("a", 100)),         // RLE: overlapping copy
+		[]byte(strings.Repeat("abcdefgh", 5000)), // periodic, > one literal
+		[]byte(strings.Repeat("x", snappyBlockSize)),      // exactly one block
+		[]byte(strings.Repeat("yz", snappyBlockSize)),     // spans blocks
 		bytes.Repeat([]byte{0, 1, 2, 3}, snappyBlockSize), // 256 KiB
 	}
 	// Incompressible data exercises the skip-ahead literal path.

@@ -1,0 +1,65 @@
+package experiments
+
+import "testing"
+
+// TestSampledIngestFrontier pins the acceptance criteria of the sampled
+// reporting study: deterministic per seed, the deadband policy cuts
+// ingest bytes at least 5× while staying within a 2% objective gap of
+// full fidelity, and every placement round of every policy passes the
+// independent verify oracle.
+func TestSampledIngestFrontier(t *testing.T) {
+	cfg := Quick()
+	a, err := RunSampledIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSampledIngest(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != 4 || len(b.Points) != len(a.Points) {
+		t.Fatalf("points = %d/%d, want 4", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		// Wall times vary run to run; every counted quantity must not.
+		pa.IngestTime, pb.IngestTime = 0, 0
+		pa.SolveTime, pb.SolveTime = 0, 0
+		if pa != pb {
+			t.Fatalf("run not deterministic per seed at %q:\n%+v\n%+v", pa.Config, pa, pb)
+		}
+	}
+
+	base := a.Points[0]
+	if base.Config != "full" || base.Suppressed != 0 || base.Heartbeats != 0 {
+		t.Fatalf("baseline point = %+v, want full fidelity with nothing suppressed", base)
+	}
+	if want := uint64(a.Nodes * a.Ticks); base.Frames != want {
+		t.Fatalf("baseline frames = %d, want %d (one per node per tick)", base.Frames, want)
+	}
+	for _, p := range a.Points {
+		if p.Verified != a.Rounds {
+			t.Fatalf("%q verified %d/%d placement rounds", p.Config, p.Verified, a.Rounds)
+		}
+		if p.Frames+p.Suppressed != uint64(a.Nodes*a.Ticks) {
+			t.Fatalf("%q frames %d + suppressed %d != %d intervals",
+				p.Config, p.Frames, p.Suppressed, a.Nodes*a.Ticks)
+		}
+	}
+
+	var deadband *SampledIngestPoint
+	for i := range a.Points {
+		if a.Points[i].Config == "deadband=1.5" {
+			deadband = &a.Points[i]
+		}
+	}
+	if deadband == nil {
+		t.Fatal("no deadband point")
+	}
+	if deadband.ByteReduction < 5 {
+		t.Fatalf("deadband byte reduction = %.2f×, want ≥5×", deadband.ByteReduction)
+	}
+	if deadband.GapPct > 2 {
+		t.Fatalf("deadband objective gap = %.2f%%, want ≤2%%", deadband.GapPct)
+	}
+}

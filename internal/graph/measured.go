@@ -119,6 +119,27 @@ func (mc *MeasuredCosts) Observe(u, v int, rtt time.Duration, loss float64, at t
 	return true
 }
 
+// Forget withdraws the measurement for the (u, v) edge, restoring its
+// static-model cost immediately. Probing clients report a peer whose
+// estimate crossed their (shorter) staleness horizon as a withdrawal
+// sample; without this the overlay would hold a dead edge's discount for
+// its own lease, steering traffic with measurements the prober already
+// disowned. It returns whether the pair mapped onto a measured edge.
+func (mc *MeasuredCosts) Forget(u, v int) bool {
+	e, ok := mc.g.EdgeBetween(u, v)
+	if !ok {
+		return false
+	}
+	mc.mu.Lock()
+	defer mc.mu.Unlock()
+	if _, measured := mc.edges[e.ID]; !measured {
+		return false
+	}
+	delete(mc.edges, e.ID)
+	mc.version++
+	return true
+}
+
 // RateFactor returns the multiplicative rate discount for edge id, in
 // [0, 1]. Unmeasured (or expired) edges return 1.
 func (mc *MeasuredCosts) RateFactor(id EdgeID) float64 {

@@ -106,6 +106,35 @@ func TestMeasuredCostsStalenessExpiry(t *testing.T) {
 	}
 }
 
+// TestMeasuredCostsForget: a withdrawal drops the edge's discount well
+// before the overlay's own lease would, bumps the version so routes
+// revalidate, and is a no-op on unmeasured or non-neighbor pairs.
+func TestMeasuredCostsForget(t *testing.T) {
+	g, id := measuredFixture()
+	mc := NewMeasuredCosts(g, time.Hour, func() time.Time { return mt0 })
+	mc.Observe(0, 1, 2*time.Millisecond, 0, mt0)
+	mc.Observe(0, 1, 20*time.Millisecond, 0, mt0)
+	if f := mc.RateFactor(id); math.Abs(f-0.1) > 1e-12 {
+		t.Fatalf("congested factor = %v, want 0.1", f)
+	}
+	ver := mc.Version()
+	if !mc.Forget(0, 1) {
+		t.Fatal("Forget(0,1) did not map onto the measured edge")
+	}
+	if f := mc.RateFactor(id); f != 1 {
+		t.Fatalf("factor after Forget = %v, want 1 (static model)", f)
+	}
+	if mc.Version() == ver {
+		t.Fatal("Forget did not bump the version")
+	}
+	if mc.Forget(0, 1) {
+		t.Fatal("Forget of an already-unmeasured edge reported true")
+	}
+	if mc.Forget(0, 2) {
+		t.Fatal("Forget of a non-neighbor pair reported true")
+	}
+}
+
 func TestMeasuredCostsUnmappedPairs(t *testing.T) {
 	g, _ := measuredFixture()
 	mc := NewMeasuredCosts(g, time.Minute, func() time.Time { return mt0 })

@@ -31,6 +31,13 @@ const (
 	// DefaultStaleAfter is how long an estimate survives without a fresh
 	// sample before Snapshot drops it.
 	DefaultStaleAfter = 2 * time.Minute
+	// forgetFactor scales the retention horizon for stale peer state:
+	// a stale peer's last estimate is kept (but not reported) for
+	// forgetFactor×staleAfter as the EWMA seed of a resumed peer, so one
+	// congested first probe after a gap does not read as the new baseline
+	// RTT. Past that the peer is truly forgotten and a resume starts
+	// fresh — after such a long gap the old estimate is no evidence.
+	forgetFactor = 8
 )
 
 // Sample is one smoothed per-peer estimate from Snapshot.
@@ -55,6 +62,9 @@ type peerEstimate struct {
 	haveRTT bool
 	loss    float64
 	last    time.Time
+	// expiredReported marks a stale entry already returned by TakeExpired,
+	// so each expiry is withdrawn exactly once. Reset by fresh samples.
+	expiredReported bool
 }
 
 // NewEstimator returns an estimator with the given EWMA weight and
@@ -93,6 +103,7 @@ func (e *Estimator) ObserveRTT(p int, rtt time.Duration, now time.Time) {
 	}
 	pe.loss += e.alpha * (0 - pe.loss)
 	pe.last = now
+	pe.expiredReported = false
 }
 
 // ObserveLoss folds one lost (timed-out) probe into peer p's estimate:
@@ -101,19 +112,27 @@ func (e *Estimator) ObserveLoss(p int, now time.Time) {
 	pe := e.peer(p)
 	pe.loss += e.alpha * (1 - pe.loss)
 	pe.last = now
+	pe.expiredReported = false
 }
 
 // Snapshot returns the current estimates, sorted by peer for determinism.
-// Entries older than the staleness horizon are dropped (and forgotten):
-// a peer that stopped answering probes must not pin an obsolete RTT into
-// the cost model forever. Peers with only loss observations (no completed
-// round trip yet) are reported with RTT 0 — callers treat that as
-// "unreachable", not "instant".
+// Entries older than the staleness horizon are excluded: a peer that
+// stopped answering probes must not pin an obsolete RTT into the cost
+// model. The stale entry itself is retained (until forgetFactor×the
+// horizon) so a peer that resumes probing seeds its EWMA from the last
+// estimate instead of adopting one possibly-congested first sample as the
+// new baseline. The staleness boundary is strictly-greater (now-last >
+// staleAfter), matching graph.MeasuredCosts' sweep, so an estimate
+// exactly at the horizon is still reported on both clocks. Peers with
+// only loss observations (no completed round trip yet) are reported with
+// RTT 0 — callers treat that as "unreachable", not "instant".
 func (e *Estimator) Snapshot(now time.Time) []Sample {
 	out := make([]Sample, 0, len(e.peers))
 	for p, pe := range e.peers {
-		if now.Sub(pe.last) > e.staleAfter {
-			delete(e.peers, p)
+		if age := now.Sub(pe.last); age > e.staleAfter {
+			if age > time.Duration(forgetFactor)*e.staleAfter {
+				delete(e.peers, p)
+			}
 			continue
 		}
 		s := Sample{Peer: p, Loss: pe.loss}
@@ -123,5 +142,24 @@ func (e *Estimator) Snapshot(now time.Time) []Sample {
 		out = append(out, s)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
+}
+
+// TakeExpired returns the peers whose estimates crossed the staleness
+// horizon since the last call, each reported exactly once per expiry
+// (fresh samples re-arm the peer). The pinger turns these into
+// withdrawal samples so the manager's measured-cost overlay drops a dead
+// edge's discount at the next report instead of holding it for the
+// overlay's own (possibly much longer) lease — the two staleness clocks
+// reconcile at report time. Sorted by peer for determinism.
+func (e *Estimator) TakeExpired(now time.Time) []int {
+	var out []int
+	for p, pe := range e.peers {
+		if !pe.expiredReported && now.Sub(pe.last) > e.staleAfter {
+			pe.expiredReported = true
+			out = append(out, p)
+		}
+	}
+	sort.Ints(out)
 	return out
 }

@@ -70,8 +70,10 @@ func TestEstimatorLossBounds(t *testing.T) {
 	}
 }
 
-// TestEstimatorStalenessExpiry checks estimates vanish (and are
-// forgotten, not resurrected) once unrefreshed past the horizon.
+// TestEstimatorStalenessExpiry checks estimates vanish from snapshots
+// once unrefreshed past the horizon, that a peer resuming inside the
+// retention window reseeds its EWMA from the last estimate, and that a
+// resume past the retention window restarts from scratch.
 func TestEstimatorStalenessExpiry(t *testing.T) {
 	e := NewEstimator(0.3, time.Minute)
 	e.ObserveRTT(1, time.Millisecond, t0)
@@ -81,14 +83,72 @@ func TestEstimatorStalenessExpiry(t *testing.T) {
 	if got := e.Snapshot(t0.Add(100 * time.Second)); len(got) != 1 || got[0].Peer != 2 {
 		t.Fatalf("expected only peer 2 to survive, got %+v", got)
 	}
-	// Peer 1's history is gone: a fresh observation restarts from scratch.
+	// Peer 1 is stale but retained: a fresh observation folds into the
+	// old 1ms estimate (1 + 0.3×(5−1) = 2.2ms) instead of restarting.
 	e.ObserveRTT(1, 5*time.Millisecond, t0.Add(101*time.Second))
 	got := e.Snapshot(t0.Add(101 * time.Second))
-	if len(got) != 2 || got[0].RTT != 5*time.Millisecond {
-		t.Fatalf("expected peer 1 to restart at 5ms, got %+v", got)
+	if len(got) != 2 || got[0].RTT != 2200*time.Microsecond {
+		t.Fatalf("expected peer 1 reseeded at 2.2ms, got %+v", got)
 	}
+	// Far past the retention window (forgetFactor×horizon) everything is
+	// truly forgotten...
 	if got := e.Snapshot(t0.Add(time.Hour)); len(got) != 0 {
 		t.Fatalf("expected everything stale, got %+v", got)
+	}
+	// ...so a resume after that restarts from the new sample alone.
+	e.ObserveRTT(1, 5*time.Millisecond, t0.Add(2*time.Hour))
+	got = e.Snapshot(t0.Add(2 * time.Hour))
+	if len(got) != 1 || got[0].RTT != 5*time.Millisecond {
+		t.Fatalf("expected peer 1 to restart at 5ms, got %+v", got)
+	}
+}
+
+// TestEstimatorReseedAfterGap is the regression test for the stale-peer
+// reseed fix: the pre-fix Snapshot deleted a stale entry outright, so a
+// peer resuming after a probe gap adopted one possibly-congested first
+// sample as its new baseline RTT (here: 80ms verbatim). The fix retains
+// the last estimate as the EWMA seed, so the spike reads as a spike.
+func TestEstimatorReseedAfterGap(t *testing.T) {
+	e := NewEstimator(0.3, time.Minute)
+	for i := 0; i < 10; i++ {
+		e.ObserveRTT(1, 4*time.Millisecond, t0.Add(time.Duration(i)*time.Second))
+	}
+	// Gap past the staleness horizon but inside retention: the peer
+	// vanishes from snapshots...
+	gap := t0.Add(3 * time.Minute)
+	if got := e.Snapshot(gap); len(got) != 0 {
+		t.Fatalf("expected stale peer excluded, got %+v", got)
+	}
+	// ...and one congested 80ms sample on resume is smoothed against the
+	// 4ms seed: 4 + 0.3×(80−4) = 26.8ms, not 80ms.
+	e.ObserveRTT(1, 80*time.Millisecond, gap)
+	got := e.Snapshot(gap)
+	if len(got) != 1 {
+		t.Fatalf("expected peer 1 back in the snapshot, got %+v", got)
+	}
+	if diff := got[0].RTT - 26800*time.Microsecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("resumed estimate %v, want ≈26.8ms (pre-fix bug: 80ms)", got[0].RTT)
+	}
+}
+
+// TestEstimatorTakeExpired: each expiry is withdrawn exactly once, in
+// sorted order, and a fresh sample re-arms the peer for a future one.
+func TestEstimatorTakeExpired(t *testing.T) {
+	e := NewEstimator(0.3, time.Minute)
+	e.ObserveRTT(2, time.Millisecond, t0)
+	e.ObserveRTT(1, time.Millisecond, t0)
+	if got := e.TakeExpired(t0.Add(30 * time.Second)); len(got) != 0 {
+		t.Fatalf("nothing stale yet, got %v", got)
+	}
+	if got := e.TakeExpired(t0.Add(2 * time.Minute)); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("expected [1 2] expired, got %v", got)
+	}
+	if got := e.TakeExpired(t0.Add(3 * time.Minute)); len(got) != 0 {
+		t.Fatalf("expiry must be reported once, got %v", got)
+	}
+	e.ObserveRTT(1, time.Millisecond, t0.Add(4*time.Minute))
+	if got := e.TakeExpired(t0.Add(10 * time.Minute)); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("expected re-armed peer 1 to expire again, got %v", got)
 	}
 }
 

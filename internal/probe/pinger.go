@@ -146,26 +146,37 @@ func (p *Pinger) HandleReply(m *proto.Message, now time.Time) bool {
 }
 
 // Report packages the current estimates as a MsgProbeReport addressed to
-// the manager, or nil when there is nothing (fresh) to report.
+// the manager, or nil when there is nothing to say. Peers whose estimates
+// crossed the staleness horizon since the last report are appended once
+// as withdrawal samples (RTTNs < 0) so the manager drops the dead edge's
+// measured discount immediately instead of waiting out the overlay's own
+// lease.
 func (p *Pinger) Report(now time.Time) *proto.Message {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	samples := p.est.Snapshot(now)
-	if len(samples) == 0 {
+	expired := p.est.TakeExpired(now)
+	if len(samples) == 0 && len(expired) == 0 {
 		return nil
 	}
 	m := &proto.Message{
 		Type:         proto.MsgProbeReport,
 		From:         int32(p.cfg.Node),
 		To:           -1,
-		ProbeSamples: make([]proto.ProbeSample, len(samples)),
+		ProbeSamples: make([]proto.ProbeSample, 0, len(samples)+len(expired)),
 	}
-	for i, s := range samples {
-		m.ProbeSamples[i] = proto.ProbeSample{
+	for _, s := range samples {
+		m.ProbeSamples = append(m.ProbeSamples, proto.ProbeSample{
 			Peer:  int32(s.Peer),
 			RTTNs: s.RTT.Nanoseconds(),
 			Loss:  s.Loss,
-		}
+		})
+	}
+	for _, peer := range expired {
+		m.ProbeSamples = append(m.ProbeSamples, proto.ProbeSample{
+			Peer:  int32(peer),
+			RTTNs: -1,
+		})
 	}
 	return m
 }

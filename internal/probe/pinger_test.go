@@ -134,6 +134,39 @@ func TestPingerEmptyReport(t *testing.T) {
 	}
 }
 
+// TestPingerReportWithdrawsExpired: a peer whose estimate crossed the
+// staleness horizon is reported once as a withdrawal sample (RTTNs < 0)
+// so the manager can drop the edge's measured discount, and subsequent
+// reports with nothing fresh and nothing newly expired are nil.
+func TestPingerReportWithdrawsExpired(t *testing.T) {
+	p := NewPinger(PingerConfig{
+		Node: 1, Peers: []int{2}, Interval: time.Second, Timeout: time.Minute,
+		StaleAfter: time.Minute, Seed: 1,
+	})
+	m := p.Tick(t0)[0]
+	reply := &proto.Message{
+		Type: proto.MsgProbeReply, From: 2, To: 1, ProbeSeq: m.ProbeSeq,
+		T1Ns: m.T1Ns, T2Ns: m.T1Ns, T3Ns: m.T1Ns,
+	}
+	if !p.HandleReply(reply, t0.Add(2*time.Millisecond)) {
+		t.Fatal("reply not consumed")
+	}
+	rep := p.Report(t0.Add(time.Second))
+	if rep == nil || len(rep.ProbeSamples) != 1 || rep.ProbeSamples[0].RTTNs < 0 {
+		t.Fatalf("unexpected fresh report %+v", rep)
+	}
+	rep = p.Report(t0.Add(3 * time.Minute))
+	if rep == nil || len(rep.ProbeSamples) != 1 {
+		t.Fatalf("expected a withdrawal-only report, got %+v", rep)
+	}
+	if s := rep.ProbeSamples[0]; s.Peer != 2 || s.RTTNs >= 0 {
+		t.Fatalf("expected RTTNs<0 withdrawal for peer 2, got %+v", s)
+	}
+	if rep := p.Report(t0.Add(4 * time.Minute)); rep != nil {
+		t.Fatalf("withdrawal must be one-shot, got %+v", rep)
+	}
+}
+
 // TestLatencyConnLeavesControlPlaneAlone: non-probe traffic passes
 // through without a PathNs charge, and the sent message is not mutated.
 func TestLatencyConnLeavesControlPlaneAlone(t *testing.T) {

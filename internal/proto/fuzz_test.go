@@ -93,6 +93,59 @@ func FuzzProtoRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzStatReportRoundTrip exercises the MsgStat sampled-reporting marker
+// (StatHeartbeat/StatSuppressed, DESIGN.md §16): every combination of
+// values and marker must survive Encode→Decode→Encode byte-identically
+// with the marker fields intact, so the manager can always distinguish
+// "unchanged" (heartbeat, suppressed count) from "lost" (no frame).
+func FuzzStatReportRoundTrip(f *testing.F) {
+	f.Add(33.5, 12.25, int32(3), false, uint32(0), uint64(1), int32(4))
+	f.Add(91.0, 20.0, int32(2), true, uint32(7), uint64(42), int32(-1))
+	f.Add(math.Inf(1), -0.0, int32(-1), true, uint32(math.MaxUint32), uint64(math.MaxUint64), int32(0))
+
+	f.Fuzz(func(t *testing.T, util, dataMb float64, agents int32,
+		heartbeat bool, suppressed uint32, seq uint64, from int32) {
+		m := &Message{
+			Type:           MsgStat,
+			From:           from,
+			To:             -1,
+			Seq:            seq,
+			UtilPct:        util,
+			DataMb:         dataMb,
+			NumAgents:      agents,
+			StatHeartbeat:  heartbeat,
+			StatSuppressed: suppressed,
+		}
+		wire := Encode(m)
+		got, err := Decode(wire)
+		if err != nil {
+			t.Fatalf("decode of a freshly encoded STAT failed: %v", err)
+		}
+		if got.StatHeartbeat != heartbeat || got.StatSuppressed != suppressed {
+			t.Fatalf("marker mangled: got heartbeat=%v suppressed=%d, want %v/%d",
+				got.StatHeartbeat, got.StatSuppressed, heartbeat, suppressed)
+		}
+		if got.NumAgents != agents || got.Seq != seq || got.From != from {
+			t.Fatalf("STAT fields mangled in round trip:\n  %+v\n  %+v", m, got)
+		}
+		if !bytes.Equal(Encode(got), wire) {
+			t.Fatalf("round trip not byte-identical:\n  %+v\n  %+v", m, got)
+		}
+
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("write frame failed: %v", err)
+		}
+		framed, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("read of a freshly written frame failed: %v", err)
+		}
+		if !bytes.Equal(Encode(framed), wire) {
+			t.Fatal("framed round trip altered the STAT")
+		}
+	})
+}
+
 // FuzzReadFrame hardens framing against hostile streams.
 func FuzzReadFrame(f *testing.F) {
 	var buf bytes.Buffer

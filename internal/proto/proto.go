@@ -174,11 +174,23 @@ type Message struct {
 	// ProbeSamples is MsgProbeReport's payload: smoothed per-peer
 	// measurements.
 	ProbeSamples []ProbeSample
+	// StatHeartbeat marks a MsgStat as a max-silence heartbeat: the
+	// client's values are unchanged (within its reporting deadbands) since
+	// its last full report, and UtilPct/DataMb/NumAgents merely re-affirm
+	// the last-sent values. The manager refreshes the record's report age
+	// but does not treat the frame as a fresh sample.
+	StatHeartbeat bool
+	// StatSuppressed counts the reporting intervals the client suppressed
+	// (deadband or probabilistic) since its previous frame, letting the
+	// manager distinguish "unchanged" from "lost".
+	StatSuppressed uint32
 }
 
 // ProbeSample is one smoothed per-peer measurement inside a
 // MsgProbeReport: EWMA RTT in nanoseconds and loss rate in [0,1] toward
-// Peer, as estimated by the reporting client.
+// Peer, as estimated by the reporting client. A negative RTTNs is a
+// withdrawal: the client's estimate for Peer went stale and the manager
+// must drop any measured discount derived from it.
 type ProbeSample struct {
 	Peer  int32
 	RTTNs int64
@@ -267,6 +279,8 @@ func AppendEncode(b []byte, m *Message) []byte {
 		b = binary.BigEndian.AppendUint64(b, uint64(s.RTTNs))
 		b = appendFloat(b, s.Loss)
 	}
+	b = appendBool(b, m.StatHeartbeat)
+	b = binary.BigEndian.AppendUint32(b, m.StatSuppressed)
 	return b
 }
 
@@ -333,6 +347,8 @@ func Decode(data []byte) (*Message, error) {
 			Loss:  d.float(),
 		})
 	}
+	m.StatHeartbeat = d.bool()
+	m.StatSuppressed = d.uint32()
 	if d.err != nil {
 		return nil, d.err
 	}

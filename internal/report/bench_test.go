@@ -1,0 +1,37 @@
+package report
+
+import "testing"
+
+// BenchmarkReporterDecide measures the per-interval cost of the reporting
+// policy on the client hot path (one Decide + outcome per STAT interval).
+func BenchmarkReporterDecide(b *testing.B) {
+	bench := func(b *testing.B, p Policy) {
+		r := NewReporter(p)
+		r.Sent(50, 20, 2)
+		util := 50.0
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			util += 0.3
+			if util > 54 {
+				util = 48
+			}
+			switch r.Decide(util, 20, 2) {
+			case Send:
+				r.Sent(util, 20, 2)
+			case Heartbeat:
+				r.SentHeartbeat()
+			default:
+				r.Suppressed()
+			}
+		}
+	}
+	b.Run("deadband", func(b *testing.B) {
+		bench(b, Policy{Util: Deadband{Abs: 2}, Data: Deadband{Abs: 1}, Agents: Deadband{Abs: 0.5}})
+	})
+	b.Run("prob", func(b *testing.B) {
+		bench(b, Policy{Prob: 0.25, Seed: 1})
+	})
+	b.Run("full", func(b *testing.B) {
+		bench(b, Policy{})
+	})
+}

@@ -1,0 +1,214 @@
+// Package report is DUST's client-side reporting policy layer: it decides,
+// interval by interval, whether a STAT is worth the wire. Per PINT
+// (PAPERS.md), most full-fidelity telemetry bits are redundant — a node
+// whose utilization moved 0.2 points since the last report tells the
+// manager nothing that changes a placement. The policy suppresses those
+// intervals and lets three triggers break the silence:
+//
+//   - Deadband (report-on-change): each STAT field — utilization %, data
+//     MB, agent count — carries a configurable deadband, absolute or
+//     relative to the last-sent value. Any field drifting past its band
+//     forces a full report, so the manager's view is always within a
+//     known error bound of the truth.
+//   - Probabilistic (k-of-n): each interval additionally reports with
+//     probability p from a config-seeded RNG, so runs are deterministic
+//     per seed. This bounds worst-case staleness stochastically even when
+//     every field sits inside its band, and doubles as a plain sampled
+//     mode when deadbands are disabled.
+//   - Max-silence heartbeat: after MaxSilence consecutive suppressed
+//     intervals the client emits a heartbeat STAT (proto.StatHeartbeat)
+//     re-affirming the last-sent values, so a quiet client is never
+//     mistaken for a dead one. Every outgoing frame carries the count of
+//     intervals suppressed since the previous frame
+//     (proto.StatSuppressed), letting the manager tell "unchanged" from
+//     "lost".
+//
+// The manager side of the contract is the NMDB staleness horizon
+// (DESIGN.md §16): records refreshed only by heartbeats hold their last
+// classification verdict inside the horizon instead of being re-derived
+// from a stale sample, and go neutral beyond it.
+package report
+
+import (
+	"math/rand"
+)
+
+// Decision is the policy's verdict for one reporting interval.
+type Decision int
+
+const (
+	// Send means ship a full STAT with the current values.
+	Send Decision = iota
+	// Suppress means skip the interval entirely — no frame.
+	Suppress
+	// Heartbeat means ship a STAT flagged proto.StatHeartbeat carrying
+	// the last-sent values: a liveness re-affirmation, not fresh data.
+	Heartbeat
+)
+
+func (d Decision) String() string {
+	switch d {
+	case Send:
+		return "send"
+	case Suppress:
+		return "suppress"
+	case Heartbeat:
+		return "heartbeat"
+	default:
+		return "unknown"
+	}
+}
+
+// Deadband is a per-field report-on-change threshold. Zero values disable
+// the respective bound; a field with both bounds disabled never triggers
+// a report on its own (but never blocks one either).
+type Deadband struct {
+	// Abs triggers a report when |current − lastSent| > Abs.
+	Abs float64
+	// Rel triggers a report when |current − lastSent| > Rel·|lastSent|
+	// (relative drift, e.g. 0.05 = 5%).
+	Rel float64
+}
+
+// Exceeded reports whether cur has drifted out of the band around last.
+func (db Deadband) Exceeded(last, cur float64) bool {
+	d := cur - last
+	if d < 0 {
+		d = -d
+	}
+	if db.Abs > 0 && d > db.Abs {
+		return true
+	}
+	if db.Rel > 0 {
+		ref := last
+		if ref < 0 {
+			ref = -ref
+		}
+		if d > db.Rel*ref {
+			return true
+		}
+	}
+	return false
+}
+
+// enabled reports whether the band constrains anything.
+func (db Deadband) enabled() bool { return db.Abs > 0 || db.Rel > 0 }
+
+// Policy configures a Reporter. The zero value is full fidelity: every
+// interval reports (no deadbands, no sampling), matching the behavior
+// before this layer existed.
+type Policy struct {
+	// Util, Data, and Agents are the per-field deadbands. With any band
+	// enabled the reporter runs in report-on-change mode: an interval is
+	// suppressed only when every enabled band holds.
+	Util, Data, Agents Deadband
+	// Prob, when in (0, 1), reports each interval with that probability
+	// from the seeded RNG, independent of the deadbands. Values ≥ 1 (or
+	// ≤ 0 with no deadband enabled) mean full fidelity.
+	Prob float64
+	// MaxSilence caps consecutive suppressed intervals: the next interval
+	// after MaxSilence suppressions emits a heartbeat. 0 selects
+	// DefaultMaxSilence; negative disables heartbeats (not recommended —
+	// only safe when the manager runs without a staleness horizon).
+	MaxSilence int
+	// Seed seeds the probabilistic mode's RNG so runs are deterministic
+	// per seed.
+	Seed int64
+}
+
+// DefaultMaxSilence is the default cap on consecutive suppressed
+// intervals. With the default 10 s update interval a silent client is
+// heard from at least every ~2 minutes — inside the default keepalive
+// and staleness windows.
+const DefaultMaxSilence = 11
+
+// Enabled reports whether the policy suppresses anything at all.
+func (p Policy) Enabled() bool {
+	return p.Util.enabled() || p.Data.enabled() || p.Agents.enabled() ||
+		(p.Prob > 0 && p.Prob < 1)
+}
+
+// Reporter applies a Policy to a stream of STAT values. It is not
+// goroutine-safe; the owning client serializes access.
+type Reporter struct {
+	policy     Policy
+	maxSilence int
+	rng        *rand.Rand
+
+	sentOnce   bool
+	lastUtil   float64
+	lastData   float64
+	lastAgents int32
+	silent     int // consecutive suppressed intervals since the last frame
+}
+
+// NewReporter returns a reporter for p. A disabled policy (see
+// Policy.Enabled) yields a reporter that sends every interval.
+func NewReporter(p Policy) *Reporter {
+	maxSilence := p.MaxSilence
+	if maxSilence == 0 {
+		maxSilence = DefaultMaxSilence
+	}
+	return &Reporter{
+		policy:     p,
+		maxSilence: maxSilence,
+		rng:        rand.New(rand.NewSource(p.Seed)),
+	}
+}
+
+// Decide returns the verdict for one interval's values. Send must be
+// followed by Sent (values went on the wire); Heartbeat re-affirms the
+// values from the last Sent call (see LastSent); Suppress sends nothing.
+func (r *Reporter) Decide(util, data float64, agents int32) Decision {
+	if !r.sentOnce || !r.policy.Enabled() {
+		return Send
+	}
+	deadbanded := r.policy.Util.enabled() || r.policy.Data.enabled() || r.policy.Agents.enabled()
+	if deadbanded &&
+		(r.policy.Util.Exceeded(r.lastUtil, util) ||
+			r.policy.Data.Exceeded(r.lastData, data) ||
+			r.policy.Agents.Exceeded(float64(r.lastAgents), float64(agents))) {
+		return Send
+	}
+	if p := r.policy.Prob; p > 0 && p < 1 && r.rng.Float64() < p {
+		return Send
+	}
+	// When only a probabilistic mode is active (no deadband), an unlucky
+	// streak would let values drift unbounded; the heartbeat cap below
+	// still bounds silence, and Prob ≥ 1 disables suppression entirely.
+	if r.maxSilence > 0 && r.silent >= r.maxSilence {
+		return Heartbeat
+	}
+	return Suppress
+}
+
+// Sent records that the current values went out in a full report; the
+// deadbands re-anchor on them. It also resets the silence counter.
+func (r *Reporter) Sent(util, data float64, agents int32) {
+	r.sentOnce = true
+	r.lastUtil, r.lastData, r.lastAgents = util, data, agents
+	r.silent = 0
+}
+
+// SentHeartbeat records that a heartbeat frame went out: the silence
+// counter resets but the deadband anchors stay on the last full report.
+func (r *Reporter) SentHeartbeat() { r.silent = 0 }
+
+// Suppressed records a suppressed interval.
+func (r *Reporter) Suppressed() { r.silent++ }
+
+// SuppressedSinceFrame returns the number of intervals suppressed since
+// the last frame of any kind — the value to ride in
+// proto.Message.StatSuppressed on the next frame.
+func (r *Reporter) SuppressedSinceFrame() uint32 {
+	if r.silent < 0 {
+		return 0
+	}
+	return uint32(r.silent)
+}
+
+// LastSent returns the values of the last full report, for heartbeat
+// re-affirmation. Valid only after at least one Sent call.
+func (r *Reporter) LastSent() (util, data float64, agents int32) {
+	return r.lastUtil, r.lastData, r.lastAgents
+}

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"testing"
+)
+
+// drive runs one interval end to end: decide, then record the outcome the
+// way the client does, returning the decision.
+func drive(r *Reporter, util, data float64, agents int32) Decision {
+	d := r.Decide(util, data, agents)
+	switch d {
+	case Send:
+		r.Sent(util, data, agents)
+	case Heartbeat:
+		r.SentHeartbeat()
+	case Suppress:
+		r.Suppressed()
+	}
+	return d
+}
+
+func TestZeroPolicyIsFullFidelity(t *testing.T) {
+	r := NewReporter(Policy{})
+	for i := 0; i < 50; i++ {
+		if d := drive(r, float64(i), 20, 2); d != Send {
+			t.Fatalf("interval %d: zero policy must send every interval, got %v", i, d)
+		}
+	}
+}
+
+func TestFirstIntervalAlwaysSends(t *testing.T) {
+	r := NewReporter(Policy{Util: Deadband{Abs: 100}, Prob: 0.0001, Seed: 1})
+	if d := r.Decide(33, 20, 2); d != Send {
+		t.Fatalf("first interval must send unconditionally, got %v", d)
+	}
+}
+
+func TestDeadbandAbsolute(t *testing.T) {
+	r := NewReporter(Policy{Util: Deadband{Abs: 2}, MaxSilence: -1})
+	drive(r, 50, 20, 2)
+	for _, tc := range []struct {
+		util float64
+		want Decision
+	}{
+		{51.9, Suppress}, // inside band
+		{48.1, Suppress}, // inside band, other side
+		{52.0, Suppress}, // boundary: strictly-greater triggers
+		{52.1, Send},     // outside band
+		{52.2, Suppress}, // band re-anchored on 52.1
+		{54.2, Send},
+	} {
+		if d := drive(r, tc.util, 20, 2); d != tc.want {
+			t.Fatalf("util %.1f: got %v, want %v", tc.util, d, tc.want)
+		}
+	}
+}
+
+func TestDeadbandRelative(t *testing.T) {
+	r := NewReporter(Policy{Data: Deadband{Rel: 0.10}, MaxSilence: -1})
+	drive(r, 50, 100, 2)
+	if d := drive(r, 50, 109, 2); d != Suppress {
+		t.Fatalf("9%% drift inside a 10%% band must suppress, got %v", d)
+	}
+	if d := drive(r, 50, 111, 2); d != Send {
+		t.Fatalf("11%% drift outside a 10%% band must send, got %v", d)
+	}
+}
+
+func TestAgentsDeadbandAnyChangeTriggers(t *testing.T) {
+	// Abs just under 1 makes any integer agent-count change a trigger.
+	r := NewReporter(Policy{Agents: Deadband{Abs: 0.5}, MaxSilence: -1})
+	drive(r, 50, 20, 2)
+	if d := drive(r, 50, 20, 2); d != Suppress {
+		t.Fatal("unchanged agent count must suppress")
+	}
+	if d := drive(r, 50, 20, 3); d != Send {
+		t.Fatal("agent count change must send")
+	}
+}
+
+func TestMaxSilenceHeartbeat(t *testing.T) {
+	r := NewReporter(Policy{Util: Deadband{Abs: 5}, MaxSilence: 3})
+	drive(r, 50, 20, 2)
+	want := []Decision{Suppress, Suppress, Suppress, Heartbeat, Suppress, Suppress, Suppress, Heartbeat}
+	for i, w := range want {
+		if r.SuppressedSinceFrame() != uint32(i%4) {
+			t.Fatalf("interval %d: suppressed-since-frame %d, want %d", i, r.SuppressedSinceFrame(), i%4)
+		}
+		if d := drive(r, 50, 20, 2); d != w {
+			t.Fatalf("interval %d: got %v, want %v", i, d, w)
+		}
+	}
+	// A heartbeat re-affirms the last *sent* values, not the current ones.
+	if u, dmb, a := r.LastSent(); u != 50 || dmb != 20 || a != 2 {
+		t.Fatalf("LastSent = (%v, %v, %v), want (50, 20, 2)", u, dmb, a)
+	}
+}
+
+func TestProbabilisticDeterministicPerSeed(t *testing.T) {
+	run := func(seed int64) []Decision {
+		r := NewReporter(Policy{Prob: 0.3, MaxSilence: 50, Seed: seed})
+		out := make([]Decision, 0, 200)
+		for i := 0; i < 200; i++ {
+			out = append(out, drive(r, 50, 20, 2))
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interval %d: same seed diverged (%v vs %v)", i, a[i], b[i])
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical 200-interval schedules")
+	}
+	// The send rate should be near Prob (first interval always sends).
+	sends := 0
+	for _, d := range a {
+		if d == Send {
+			sends++
+		}
+	}
+	if sends < 30 || sends > 100 {
+		t.Fatalf("p=0.3 over 200 intervals sent %d times, far from expectation", sends)
+	}
+}
+
+func TestProbOneIsFullFidelity(t *testing.T) {
+	r := NewReporter(Policy{Prob: 1})
+	if r.policy.Enabled() {
+		t.Fatal("Prob=1 must read as a disabled (full-fidelity) policy")
+	}
+	for i := 0; i < 10; i++ {
+		if d := drive(r, 50, 20, 2); d != Send {
+			t.Fatalf("interval %d: got %v, want Send", i, d)
+		}
+	}
+}
+
+func TestSuppressedCountResetsOnAnyFrame(t *testing.T) {
+	r := NewReporter(Policy{Util: Deadband{Abs: 2}, MaxSilence: 10})
+	drive(r, 50, 20, 2)
+	drive(r, 50.5, 20, 2)
+	drive(r, 50.5, 20, 2)
+	if got := r.SuppressedSinceFrame(); got != 2 {
+		t.Fatalf("suppressed-since-frame = %d, want 2", got)
+	}
+	drive(r, 60, 20, 2) // deadband breach: full send
+	if got := r.SuppressedSinceFrame(); got != 0 {
+		t.Fatalf("suppressed count must reset on send, got %d", got)
+	}
+}
