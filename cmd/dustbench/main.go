@@ -4,14 +4,16 @@
 //
 // Usage:
 //
-//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|measureddrift|measuredchaos|hardware|ablations|ingest|databus|sampledingest]
+//	dustbench [-experiment all|fig1|fig6|fig7|fig8|fig9|fig10|fig11|fig12|qos|validate|dynamic|measureddrift|measuredchaos|hardware|ablations|ingest|databus|sampledingest|incremental]
 //	          [-quick] [-seed N] [-iters N] [-parallelism N] [-nmdb-shards N] [-warm-solve]
+//	          [-incremental-solve] [-json FILE]
 //
 // -quick runs the trimmed configuration (seconds); the default runs the
 // paper-faithful iteration counts (minutes).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +31,8 @@ func main() {
 		par    = flag.Int("parallelism", 0, "route-table worker pool size (0/1 = serial, -1 = one per CPU)")
 		shards = flag.Int("nmdb-shards", 0, "NMDB registry stripe count for manager-backed experiments (0 = cluster default; rounded up to a power of two)")
 		warm   = flag.Bool("warm-solve", true, "seed consecutive placement solves from the previous round's basis in manager-backed experiments")
+		incr   = flag.Bool("incremental-solve", false, "repair the previous round's basis in place for delta-local changes in manager-backed experiments (implies -warm-solve)")
+		jsonTo = flag.String("json", "", "also write the selected experiments' results as JSON to this file")
 	)
 	flag.Parse()
 
@@ -45,6 +49,10 @@ func main() {
 	cfg.Parallelism = *par
 	cfg.NMDBShards = *shards
 	cfg.WarmSolve = *warm
+	cfg.IncrementalSolve = *incr
+	if *incr {
+		cfg.WarmSolve = true
+	}
 
 	type runner struct {
 		name string
@@ -75,9 +83,11 @@ func main() {
 		{"ingest", func() (interface{ Table() string }, error) { return experiments.RunIngestScaling(cfg) }},
 		{"databus", func() (interface{ Table() string }, error) { return experiments.RunDatabusThroughput(cfg) }},
 		{"sampledingest", func() (interface{ Table() string }, error) { return experiments.RunSampledIngest(cfg) }},
+		{"incremental", func() (interface{ Table() string }, error) { return experiments.RunIncrementalSolve(cfg) }},
 	}
 
 	ran := 0
+	collected := map[string]interface{ Table() string }{}
 	for _, r := range runners {
 		if *which != "all" && *which != r.name {
 			continue
@@ -89,12 +99,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dustbench: %s: %v\n", r.name, err)
 			os.Exit(1)
 		}
+		collected[r.name] = res
 		fmt.Println(res.Table())
 		fmt.Printf("(%s completed in %v)\n\n", r.name, time.Since(start).Round(time.Millisecond))
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "dustbench: unknown experiment %q\n", *which)
 		os.Exit(2)
+	}
+	if *jsonTo != "" {
+		raw, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dustbench: encode -json: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonTo, append(raw, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dustbench: write -json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -64,6 +64,7 @@ func main() {
 		verifyPl  = flag.Bool("verify-placements", false, "self-audit every solver result against the Eq. 3 invariants before offering it (debug)")
 		shards    = flag.Int("nmdb-shards", cluster.DefaultNMDBShards, "NMDB registry stripe count (rounded up to a power of two; <1 = default)")
 		warmSolve = flag.Bool("warm-solve", true, "seed each placement solve from the previous tick's basis when the busy/candidate sets are unchanged")
+		incrSolve = flag.Bool("incremental-solve", false, "repair the previous tick's basis in place when only a few clients changed, instead of re-solving (implies -warm-solve; see DESIGN.md §17)")
 		measured  = flag.Bool("measured-costs", false, "blend client probe reports (RTT/loss) into route edge costs (DESIGN.md §15)")
 		measStale = flag.Duration("measured-stale", 0, "probe measurement lifetime before an edge falls back to static costs (0 = default)")
 		staleHzn  = flag.Duration("staleness-horizon", 0, "NMDB report-freshness horizon for sampled clients: heartbeat-refreshed records hold their last classification inside it and go neutral beyond it (0 = disabled, classify from raw samples; see DESIGN.md §16)")
@@ -91,6 +92,10 @@ func main() {
 	params.Parallelism = *par
 	params.CacheEpsilon = *routeEps
 	params.WarmSolve = *warmSolve
+	params.IncrementalSolve = *incrSolve
+	if *incrSolve {
+		params.WarmSolve = true
+	}
 
 	checkpoint := *ckptPath
 	if checkpoint == "" {

@@ -146,6 +146,14 @@ type Manager struct {
 	// through SnapshotState, whose reused buffers are only valid while
 	// ticks do not overlap (see that method's aliasing contract).
 	tickMu sync.Mutex
+	// Cross-tick version watermarks for the PlanDelta (guarded by tickMu):
+	// the NMDB delta only covers client records, so graph mutations and
+	// measured-overlay movement are detected here by version comparison.
+	// tickedOnce gates the first round, which has no previous tick to
+	// diff against.
+	tickedOnce      bool
+	prevGraphVer    uint64
+	prevMeasuredVer uint64
 
 	mu    sync.Mutex
 	conns map[int]proto.Conn
@@ -429,6 +437,10 @@ func (m *Manager) touchPair(busy, dest int, at time.Time) {
 
 // NMDB exposes the manager's database (read-mostly; used by tooling).
 func (m *Manager) NMDB() *NMDB { return m.nmdb }
+
+// Planner exposes the manager's planner (warm/repair solve statistics,
+// route-cache stats).
+func (m *Manager) Planner() *core.Planner { return m.planner }
 
 // Metrics exposes the registry the manager instruments — the configured
 // one, or the private registry created when none was configured. Serve it
@@ -732,6 +744,59 @@ func (m *Manager) connFor(node int) (proto.Conn, bool) {
 // call applies (also the recv pump's channel depth).
 const statBatchMax = 64
 
+// seqTracker infers lost frames from the per-sender sequence numbers on
+// one connection. Clients stamp every outgoing frame from a single
+// monotonic counter, so a jump of k>1 between consecutively received
+// frames means k-1 frames never arrived. A frame at or below the last
+// seen sequence is a duplicate or a reordered straggler and counts
+// nothing — which also means the inferred loss is an upper bound: a
+// frame that overtook its predecessor books a gap its late sibling can
+// no longer repay. Reconnects get a fresh tracker per connection, so
+// cross-session numbering never reads as loss.
+type seqTracker struct {
+	last uint64
+	seen bool
+}
+
+// observe folds one received sequence number in and returns how many
+// frames were lost immediately ahead of it.
+func (st *seqTracker) observe(seq uint64) uint64 {
+	if !st.seen {
+		st.seen = true
+		st.last = seq
+		return 0
+	}
+	if seq <= st.last {
+		return 0
+	}
+	gap := seq - st.last - 1
+	st.last = seq
+	return gap
+}
+
+// accountFrame runs the per-frame reporting-loss bookkeeping: sequence
+// gaps on any frame type, plus the suppressed-interval count STAT frames
+// declare. Both halves land in the manager-wide counters and, when
+// nonzero, in the sender's NMDB record — per-client sustained loss and
+// sustained suppression read differently (lossy path vs quiet client),
+// so the record keeps them apart.
+func (m *Manager) accountFrame(node int, st *seqTracker, msg *proto.Message) {
+	gap := st.observe(msg.Seq)
+	var suppressed uint64
+	if msg.Type == proto.MsgStat {
+		suppressed = uint64(msg.StatSuppressed)
+	}
+	if suppressed != 0 {
+		m.metrics.statsSuppressed.Add(suppressed)
+	}
+	if gap != 0 {
+		m.metrics.statGapLoss.Add(gap)
+	}
+	if suppressed != 0 || gap != 0 {
+		m.nmdb.AccountReporting(node, suppressed, gap)
+	}
+}
+
 // serveConn dispatches a client's messages until its connection closes.
 // A pump goroutine decouples the wire reads from dispatch so runs of
 // queued STAT reports can be coalesced into one batched NMDB ingest
@@ -757,17 +822,18 @@ func (m *Manager) serveConn(node int, conn proto.Conn) {
 		}
 	}()
 	var batch []Stat
+	var seqs seqTracker
 	for {
 		msg, ok := <-msgs
 		if !ok {
 			m.connLost(node, conn)
 			return
 		}
+		m.accountFrame(node, &seqs, msg)
 		// Heartbeat STATs fall through to handle(): they must not enter the
 		// value batch (RecordStats would adopt their re-affirmed values as a
 		// fresh sample and bump the shard seq).
 		for msg != nil && msg.Type == proto.MsgStat && !msg.StatHeartbeat {
-			m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
 			batch = append(batch, Stat{
 				Node: node, UtilPct: msg.UtilPct, DataMb: msg.DataMb,
 				NumAgents: int(msg.NumAgents), At: m.cfg.Now(),
@@ -784,6 +850,7 @@ func (m *Manager) serveConn(node int, conn proto.Conn) {
 					return
 				}
 				msg = nxt
+				m.accountFrame(node, &seqs, msg)
 			default:
 				msg = nil
 			}
@@ -857,11 +924,12 @@ func (m *Manager) handle(node int, msg *proto.Message) {
 			// not a fresh sample and must not bump the snapshot seq or be
 			// republished as new telemetry.
 			m.metrics.statHeartbeats.Inc()
-			m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
 			_ = m.nmdb.RecordHeartbeat(node, now)
 			return
 		}
-		m.metrics.statsSuppressed.Add(uint64(msg.StatSuppressed))
+		// Suppressed-interval counts are folded in by serveConn's
+		// accountFrame (once per received frame); handle() must not
+		// double-count them.
 		_ = m.nmdb.RecordStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
 		if m.bridge != nil {
 			m.bridge.publishStat(node, msg.UtilPct, msg.DataMb, int(msg.NumAgents), now)
@@ -1025,6 +1093,33 @@ func (r *PlacementReport) Abandoned() int {
 	return len(r.Declined) + len(r.TimedOut) + len(r.Unplaced)
 }
 
+// foldVersionDeltas completes the NMDB's client-record delta with the
+// change sources the NMDB cannot see: graph mutations (structure or
+// link-rate drift — both reprice routes, so both conservatively read as
+// TopologyChanged) and measured-overlay movement. Runs under tickMu;
+// the watermarks compare this tick's versions to the previous tick's.
+// The first round has nothing to diff against and invalidates the delta.
+func (m *Manager) foldVersionDeltas(delta *core.PlanDelta) {
+	gv := m.cfg.Topology.Version()
+	var mv uint64
+	if m.measured != nil {
+		mv = m.measured.Version()
+	}
+	if !m.tickedOnce {
+		delta.Valid = false
+	} else {
+		if gv != m.prevGraphVer {
+			delta.TopologyChanged = true
+		}
+		if mv != m.prevMeasuredVer {
+			delta.MeasuredChanged = true
+		}
+	}
+	m.tickedOnce = true
+	m.prevGraphVer = gv
+	m.prevMeasuredVer = mv
+}
+
 // RunPlacement executes one round of the DUST Monitoring Placement
 // Workflow: snapshot the NMDB, classify roles (honoring per-client
 // thresholds), run the optimization engine, send Offload-Requests to the
@@ -1048,7 +1143,8 @@ func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
 		}
 	}()
 
-	state := m.nmdb.SnapshotState(m.cfg.Defaults)
+	state, delta := m.nmdb.SnapshotStateDelta(m.cfg.Defaults)
+	m.foldVersionDeltas(&delta)
 	phaseStart := time.Now()
 	cls, err := m.classify(state)
 	m.metrics.observePhase("classify", time.Since(phaseStart))
@@ -1063,13 +1159,17 @@ func (m *Manager) RunPlacement() (report *PlacementReport, err error) {
 		return report, nil
 	}
 	// The planner reuses route computations across rounds while the
-	// topology's link rates are unchanged.
-	res, err := m.planner.SolveClassified(state, cls)
+	// topology's link rates are unchanged; with Params.IncrementalSolve
+	// the delta additionally lets it repair the previous basis in place.
+	res, err := m.planner.SolveClassifiedDelta(state, cls, &delta)
 	if err != nil {
 		return nil, err
 	}
 	m.metrics.observePhase("route", res.RouteDuration)
 	m.metrics.observePhase("solve", res.SolveDuration)
+	mode := res.SolveMode()
+	m.metrics.solveMode[mode].Inc()
+	m.metrics.solveModeSeconds[mode].Observe(res.SolveDuration.Seconds())
 	if m.cfg.VerifyPlacements {
 		if verr := verify.CheckResult(state, res, m.cfg.Params.Solver); verr != nil {
 			m.metrics.verifications["failed"].Inc()

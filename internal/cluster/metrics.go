@@ -41,6 +41,17 @@ type managerMetrics struct {
 	// frame and tally the intervals clients deliberately skipped.
 	statHeartbeats  *obs.Counter
 	statsSuppressed *obs.Counter
+	// statGapLoss counts frames inferred lost from per-sender sequence
+	// gaps — the involuntary counterpart to the deliberate suppression
+	// above. The per-client split lives in the NMDB records
+	// (ClientRecord.StatSuppressed / StatGapLoss).
+	statGapLoss *obs.Counter
+
+	// Incremental solving (DESIGN.md §17): how each placement round's
+	// transportation solve started, and the solve-phase latency split by
+	// that mode so the repair speedup is visible without a benchmark.
+	solveMode        map[string]*obs.Counter   // mode: repair, warm, cold
+	solveModeSeconds map[string]*obs.Histogram // mode: repair, warm, cold
 
 	// Telemetry data plane: MsgTelemetryBatch frames relayed into the
 	// databus (see ManagerConfig.Databus).
@@ -101,7 +112,11 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 			"max-silence heartbeat STATs received (report age refreshed, no fresh data)"),
 		statsSuppressed: reg.Counter("dust_manager_stats_suppressed_total",
 			"reporting intervals clients suppressed, as declared on received frames"),
-		telemetryFrames: make(map[string]*obs.Counter),
+		statGapLoss: reg.Counter("dust_manager_stat_gap_loss_total",
+			"frames inferred lost from per-sender sequence gaps"),
+		solveMode:        make(map[string]*obs.Counter),
+		solveModeSeconds: make(map[string]*obs.Histogram),
+		telemetryFrames:  make(map[string]*obs.Counter),
 		telemetrySamples: reg.Counter("dust_manager_telemetry_samples_total",
 			"samples decoded from telemetry-batch frames and republished"),
 		probeRelays: make(map[string]*obs.Counter),
@@ -128,6 +143,12 @@ func newManagerMetrics(reg *obs.Registry) *managerMetrics {
 	for _, phase := range []string{"classify", "route", "solve", "dispatch"} {
 		mm.phaseSeconds[phase] = reg.Histogram("dust_manager_tick_phase_seconds",
 			"placement round phase duration", nil, "phase", phase)
+	}
+	for _, mode := range []string{"repair", "warm", "cold"} {
+		mm.solveMode[mode] = reg.Counter("dust_manager_solve_mode_total",
+			"placement solves by how they started", "mode", mode)
+		mm.solveModeSeconds[mode] = reg.Histogram("dust_manager_solve_mode_seconds",
+			"solve-phase duration split by solve mode", nil, "mode", mode)
 	}
 	for _, verdict := range []string{"accepted", "declined", "timed_out"} {
 		mm.offers[verdict] = reg.Counter("dust_manager_offers_total",
@@ -252,6 +273,10 @@ func (mm *managerMetrics) bindGauges(reg *obs.Registry, db *NMDB, planner *core.
 	reg.GaugeFunc("dust_nmdb_snapshot_shards_rebuilt",
 		"tick-snapshot shards re-read from client records", func() float64 {
 			return float64(db.Stats().SnapshotShardsRebuilt)
+		})
+	reg.GaugeFunc("dust_planner_solves_repaired",
+		"placement solves completed by delta-local basis repair", func() float64 {
+			return float64(planner.WarmStats().Repaired)
 		})
 	reg.GaugeFunc("dust_planner_solves_warm",
 		"placement solves seeded from the previous tick's basis", func() float64 {

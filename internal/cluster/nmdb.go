@@ -46,6 +46,16 @@ type ClientRecord struct {
 	// sample. The staleness horizon reads this clock; the keepalive
 	// timeout stays on LastKeepalive.
 	LastReport time.Time
+	// StatSuppressed counts STAT intervals this client deliberately
+	// suppressed (deadband/sampling, reported by the client in each
+	// frame); StatGapLoss counts frames the network lost, inferred from
+	// per-sender sequence gaps. Splitting the two makes sustained frame
+	// loss distinguishable from sustained suppression per client, not
+	// just in the manager-wide aggregates. Reordering can hide a gap
+	// (late frames are ignored), so StatGapLoss is an upper bound on
+	// true loss under reordering, exact under in-order delivery.
+	StatSuppressed uint64
+	StatGapLoss    uint64
 	// Role is the manager-assigned role after the last classification.
 	Role core.Role
 	// HostingFor lists busy nodes whose workload this client hosts,
@@ -461,7 +471,7 @@ func (db *NMDB) Nodes() []int {
 // SnapshotState, which reuses buffers across ticks.
 func (db *NMDB) BuildState(defaults core.Thresholds) *core.State {
 	s := core.NewState(db.topo)
-	db.fillState(s, defaults, nil, nil)
+	db.fillState(s, defaults, nil, nil, nil)
 	return s
 }
 
@@ -476,6 +486,20 @@ func (db *NMDB) BuildState(defaults core.Thresholds) *core.State {
 // use BuildState. The manager serializes placement ticks, which makes
 // this the natural fit for RunPlacement.
 func (db *NMDB) SnapshotState(defaults core.Thresholds) *core.State {
+	s, _ := db.SnapshotStateDelta(defaults)
+	return s
+}
+
+// SnapshotStateDelta is SnapshotState plus a change description: the
+// returned PlanDelta lists the nodes whose planning inputs differ from
+// the previous snapshot's, computed almost for free from the shard seq
+// counters — rows owned by unchanged shards are copied without
+// comparison, and only rebuilt shards' rows are diffed against the
+// previous buffer. The delta is invalid (Valid=false) on the first
+// snapshot and whenever the previous buffer was unusable (defaults
+// change, explicit invalidation); measured/topology flags are the
+// caller's to fill in — the NMDB does not track those versions.
+func (db *NMDB) SnapshotStateDelta(defaults core.Thresholds) (*core.State, core.PlanDelta) {
 	db.snap.mu.Lock()
 	defer db.snap.mu.Unlock()
 	prev := db.snap.bufs[db.snap.cur]
@@ -493,17 +517,27 @@ func (db *NMDB) SnapshotState(defaults core.Thresholds) *core.State {
 	if !db.snap.valid {
 		prev = nil
 	}
-	db.fillState(s, defaults, prev, db.snap.seqs)
+	var delta core.PlanDelta
+	var changed *[]int
+	if prev != nil {
+		delta.Valid = true
+		changed = &delta.Changed
+	}
+	db.fillState(s, defaults, prev, db.snap.seqs, changed)
 	db.snap.cur = next
 	db.snap.valid = true
 	db.snap.defaults = defaults
-	return s
+	// Shards interleave node ids, so per-shard appends arrive unsorted.
+	sort.Ints(delta.Changed)
+	return s, delta
 }
 
 // fillState populates s from the client registry. When prev is non-nil,
 // rows owned by a shard whose seq still matches seqs are copied from prev
-// instead of re-derived; seqs is updated to the observed counters.
-func (db *NMDB) fillState(s *core.State, defaults core.Thresholds, prev *core.State, seqs []uint64) {
+// instead of re-derived; seqs is updated to the observed counters. When
+// changed is non-nil (requires prev), rebuilt rows that differ from prev
+// are appended to it.
+func (db *NMDB) fillState(s *core.State, defaults core.Thresholds, prev *core.State, seqs []uint64, changed *[]int) {
 	neutral := (defaults.CMax + defaults.COMax) / 2
 	numNodes := db.topo.NumNodes()
 	nShards := len(db.shards)
@@ -522,15 +556,20 @@ func (db *NMDB) fillState(s *core.State, defaults core.Thresholds, prev *core.St
 		for li := range sh.recs {
 			i := li<<db.shift | si
 			rec := &sh.recs[li]
-			if !rec.registered || !rec.Capable {
-				s.Offloadable[i] = false
-				s.Util[i] = neutral
-				s.DataMb[i] = 0
-				continue
+			util, data, off := neutral, 0.0, false
+			if rec.registered && rec.Capable {
+				util, data, off = rec.UtilPct, rec.DataMb, true
 			}
-			s.Offloadable[i] = true
-			s.Util[i] = rec.UtilPct
-			s.DataMb[i] = rec.DataMb
+			// Diff against prev (the last snapshot), not s: the buffer
+			// being filled still holds values from two snapshots ago, and
+			// an A→B→A flip across those would read as "unchanged".
+			// changed != nil implies prev != nil.
+			if changed != nil && (prev.Util[i] != util || prev.DataMb[i] != data || prev.Offloadable[i] != off) {
+				*changed = append(*changed, i)
+			}
+			s.Util[i] = util
+			s.DataMb[i] = data
+			s.Offloadable[i] = off
 		}
 		if seqs != nil {
 			seqs[si] = sh.seq
@@ -538,6 +577,24 @@ func (db *NMDB) fillState(s *core.State, defaults core.Thresholds, prev *core.St
 		}
 		sh.mu.Unlock()
 	}
+}
+
+// AccountReporting folds reporting-quality observations into a client's
+// record: suppressed STAT intervals (declared by the client) and frames
+// lost in flight (inferred from sequence gaps). Neither feeds
+// classification, so the shard seq is deliberately not bumped — loss
+// accounting must never force a snapshot rebuild.
+func (db *NMDB) AccountReporting(node int, suppressed, gapLoss uint64) {
+	sh, li := db.slot(node)
+	if sh == nil {
+		return
+	}
+	sh.mu.Lock()
+	if rec := sh.rec(li); rec != nil {
+		rec.StatSuppressed += suppressed
+		rec.StatGapLoss += gapLoss
+	}
+	sh.mu.Unlock()
 }
 
 // thresholdsFor resolves a node's effective thresholds (its self-declared

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// TestSeqTrackerGaps pins the gap-inference rules: the first frame seeds
+// without loss, consecutive sequences count nothing, a jump of k books
+// k-1 lost frames, and duplicates or reordered stragglers are ignored
+// (making the inferred loss an upper bound, never negative).
+func TestSeqTrackerGaps(t *testing.T) {
+	var st seqTracker
+	cases := []struct {
+		seq  uint64
+		want uint64
+	}{
+		{5, 0}, // first frame seeds, no gap even at seq 5
+		{6, 0}, // consecutive
+		{9, 2}, // 7 and 8 lost
+		{9, 0}, // duplicate
+		{7, 0}, // reordered straggler: too late to repay the booked gap
+		{10, 0},
+	}
+	for i, c := range cases {
+		if got := st.observe(c.seq); got != c.want {
+			t.Fatalf("step %d: observe(%d) = %d, want %d", i, c.seq, got, c.want)
+		}
+	}
+}
+
+// TestAccountReporting covers the per-client loss/suppression split: the
+// counters accumulate on the record, unknown nodes are ignored, and the
+// bookkeeping is invisible to planning — the next snapshot's delta must
+// be empty (no shard seq bump, no changed rows).
+func TestAccountReporting(t *testing.T) {
+	const n = 8
+	db := NewNMDBSharded(graph.Line(n, 100), 4)
+	defaults := core.Thresholds{CMax: 80, COMax: 50, XMin: 5}
+	registerAll(t, db, n)
+
+	db.SnapshotState(defaults)
+	db.SnapshotState(defaults) // prime both epoch buffers
+
+	db.AccountReporting(3, 2, 1)
+	db.AccountReporting(3, 0, 4)
+	db.AccountReporting(99, 5, 5) // outside topology: ignored
+	rec, ok := db.Client(3)
+	if !ok || rec.StatSuppressed != 2 || rec.StatGapLoss != 5 {
+		t.Fatalf("client 3 counters = %d/%d, want 2/5", rec.StatSuppressed, rec.StatGapLoss)
+	}
+
+	_, delta := db.SnapshotStateDelta(defaults)
+	if !delta.Valid {
+		t.Fatal("delta invalid after primed snapshots")
+	}
+	if len(delta.Changed) != 0 {
+		t.Fatalf("reporting bookkeeping leaked into the plan delta: changed %v", delta.Changed)
+	}
+}
+
+// TestSnapshotStateDeltaChanges pins the delta contract: invalid on the
+// first snapshot, empty when nothing moved, exactly the mutated nodes
+// otherwise — including a value that flips away and back across two
+// snapshots (the double-buffer's blind spot if it diffed the wrong
+// buffer).
+func TestSnapshotStateDeltaChanges(t *testing.T) {
+	const n = 16
+	db := NewNMDBSharded(graph.Line(n, 100), 4)
+	defaults := core.Thresholds{CMax: 80, COMax: 50, XMin: 5}
+	registerAll(t, db, n)
+
+	_, d := db.SnapshotStateDelta(defaults)
+	if d.Valid {
+		t.Fatal("first snapshot has nothing to diff against, delta must be invalid")
+	}
+	_, d = db.SnapshotStateDelta(defaults)
+	if !d.Valid || len(d.Changed) != 0 {
+		t.Fatalf("quiet snapshot: valid=%v changed=%v", d.Valid, d.Changed)
+	}
+
+	at := time.Unix(7000, 0)
+	orig, _ := db.Client(5) // value A, before any mutation
+	db.RecordStat(5, 99, 20, 1, at)
+	db.RecordStat(11, 12, 20, 1, at)
+	_, d = db.SnapshotStateDelta(defaults)
+	if !d.Valid || len(d.Changed) != 2 || !d.ChangedContains(5) || !d.ChangedContains(11) {
+		t.Fatalf("delta after two stats: valid=%v changed=%v", d.Valid, d.Changed)
+	}
+
+	// B→A→B across two snapshots: node 5 returns to the value it held two
+	// snapshots ago (99). The double buffer being overwritten still holds
+	// that snapshot, so diffing against it would read the flip as
+	// "unchanged"; the delta must diff against the previous snapshot
+	// (where node 5 was back at A) and report node 5.
+	db.RecordStat(5, orig.UtilPct, orig.DataMb, orig.NumAgents, at) // back to A
+	_, d = db.SnapshotStateDelta(defaults)
+	if !d.Valid || !d.ChangedContains(5) {
+		t.Fatalf("return to original value missed: valid=%v changed=%v", d.Valid, d.Changed)
+	}
+	db.RecordStat(5, 99, 20, 1, at) // B again
+	_, d = db.SnapshotStateDelta(defaults)
+	if !d.Valid || !d.ChangedContains(5) {
+		t.Fatalf("B→A→B flip missed: valid=%v changed=%v", d.Valid, d.Changed)
+	}
+}
+
+// TestCheckpointCarriesReportingCounters round-trips the per-client
+// suppression/loss counters through SaveSnapshot/LoadSnapshot.
+func TestCheckpointCarriesReportingCounters(t *testing.T) {
+	const n = 8
+	db := NewNMDBSharded(graph.Line(n, 100), 4)
+	registerAll(t, db, n)
+	db.AccountReporting(2, 7, 3)
+
+	var buf bytes.Buffer
+	if err := db.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := NewNMDBSharded(graph.Line(n, 100), 4)
+	if err := db2.LoadSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := db2.Client(2)
+	if !ok || rec.StatSuppressed != 7 || rec.StatGapLoss != 3 {
+		t.Fatalf("restored counters = %d/%d, want 7/3", rec.StatSuppressed, rec.StatGapLoss)
+	}
+}
+
+// TestAccountFrameGapAndSuppression drives the manager's per-frame
+// bookkeeping directly: sequence gaps on any frame type and the
+// suppressed-interval counts STAT frames declare land in both the
+// manager-wide counters and the sender's NMDB record.
+func TestAccountFrameGapAndSuppression(t *testing.T) {
+	const n = 4
+	topo := graph.Line(n, 100)
+	m, err := NewManager(ManagerConfig{
+		Topology: topo,
+		Defaults: core.Thresholds{CMax: 80, COMax: 50, XMin: 5},
+		Params:   core.DefaultParams(),
+		Metrics:  obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.NMDB().Register(1, true, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	var st seqTracker
+	m.accountFrame(1, &st, &proto.Message{Type: proto.MsgKeepalive, Seq: 1})
+	// Seq 2 lost in flight; the STAT at seq 3 also declares 2 suppressed
+	// intervals.
+	m.accountFrame(1, &st, &proto.Message{Type: proto.MsgStat, Seq: 3, StatSuppressed: 2})
+	// Heartbeat STATs carry suppression counts too.
+	m.accountFrame(1, &st, &proto.Message{Type: proto.MsgStat, Seq: 4, StatHeartbeat: true, StatSuppressed: 1})
+	// Non-STAT frames never count suppression, but their gaps count.
+	m.accountFrame(1, &st, &proto.Message{Type: proto.MsgKeepalive, Seq: 7})
+
+	if got := m.metrics.statsSuppressed.Value(); got != 3 {
+		t.Fatalf("manager suppressed = %d, want 3", got)
+	}
+	if got := m.metrics.statGapLoss.Value(); got != 3 {
+		t.Fatalf("manager gap loss = %d, want 3 (seq 2, 5, 6)", got)
+	}
+	rec, _ := m.NMDB().Client(1)
+	if rec.StatSuppressed != 3 || rec.StatGapLoss != 3 {
+		t.Fatalf("client record = %d/%d, want 3/3", rec.StatSuppressed, rec.StatGapLoss)
+	}
+}

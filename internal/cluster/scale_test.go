@@ -381,6 +381,10 @@ type tickBench struct {
 }
 
 func newTickBench(tb testing.TB, warm bool) *tickBench {
+	return newTickBenchMode(tb, warm, false)
+}
+
+func newTickBenchMode(tb testing.TB, warm, incremental bool) *tickBench {
 	const n = 160
 	rng := rand.New(rand.NewSource(17))
 	topo := graph.RandomConnected(n, 0.05, 1000, rng)
@@ -389,6 +393,7 @@ func newTickBench(tb testing.TB, warm bool) *tickBench {
 	graph.RandomizeUtilization(topo, 0.3, 0.9, rng)
 	params := core.DefaultParams()
 	params.WarmSolve = warm
+	params.IncrementalSolve = incremental
 	// Exhaustive route enumeration is exponential on a 160-node random
 	// graph; the DP strategy computes the same Eq. 2 minima in polynomial
 	// time and keeps the benchmark about solve cost, not path counting.
@@ -468,8 +473,57 @@ func benchmarkManagerTick(b *testing.B, warm bool) {
 	}
 }
 
+// drift1 re-reports exactly one node with a wiggled utilization that
+// stays inside its role band — the steady-state tick shape the repair
+// solver targets (one client moved since the last round).
+func (tb *tickBench) drift1() {
+	at := time.Unix(2, 0)
+	i := tb.rng.Intn(tb.n)
+	var u float64
+	if i%3 == 0 {
+		u = 85 + 10*tb.rng.Float64()
+	} else {
+		u = 15 + 20*tb.rng.Float64()
+	}
+	tb.mgr.NMDB().RecordStat(i, u, 20, 1, at)
+}
+
 func BenchmarkManagerTickCold(b *testing.B) { benchmarkManagerTick(b, false) }
 func BenchmarkManagerTickWarm(b *testing.B) { benchmarkManagerTick(b, true) }
+
+// BenchmarkManagerTickRepair measures the incremental-solve tick at
+// 1-client drift: each round exactly one node re-reports, so the planner
+// repairs the previous basis instead of re-solving. Compare against
+// BenchmarkManagerTickWarm (same shape, full re-price) for the repair
+// speedup; the tentpole target is ≥5×.
+func BenchmarkManagerTickRepair(b *testing.B) {
+	tb := newTickBenchMode(b, true, true)
+	if _, err := tb.mgr.RunPlacement(); err != nil {
+		b.Fatal(err)
+	}
+	// One settling round so the delta watermarks and stored solution exist.
+	if _, err := tb.mgr.RunPlacement(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		tb.drift1()
+		b.StartTimer()
+		if _, err := tb.mgr.RunPlacement(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := tb.mgr.planner.WarmStats()
+	if b.N > 2 && st.Repaired == 0 {
+		b.Fatalf("repair bench never repaired: %+v", st)
+	}
+	total := st.Repaired + st.Warm + st.Cold + st.Fallback
+	if total > 0 {
+		b.ReportMetric(float64(st.Repaired)/float64(total), "repair_ratio")
+	}
+}
 
 // TestWarmTickMatchesColdTick is the manager-level equivalence gate for
 // the tick benchmarks' configuration: warm and cold managers see the same
@@ -510,5 +564,51 @@ func TestWarmTickMatchesColdTick(t *testing.T) {
 	}
 	if st := cold.mgr.planner.WarmStats(); st.Warm != 0 {
 		t.Fatalf("cold manager warm-started: %+v", st)
+	}
+}
+
+// TestRepairTickMatchesColdTick is the manager-level exactness gate for
+// incremental solving: an incremental manager and a cold manager see the
+// same 1-client drift sequence; every round the objectives must agree,
+// the repaired result must pass the verify oracle, and the run must have
+// actually exercised the repair path (not just fallen back).
+func TestRepairTickMatchesColdTick(t *testing.T) {
+	inc := newTickBenchMode(t, true, true)
+	cold := newTickBenchMode(t, false, false) // same seed → identical topology and drift
+	defaults := core.Thresholds{CMax: 80, COMax: 50, XMin: 1}
+	for round := 0; round < 16; round++ {
+		ri, err := inc.mgr.RunPlacement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := cold.mgr.RunPlacement()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ri.Result == nil || rc.Result == nil {
+			t.Fatalf("round %d: missing results", round)
+		}
+		if ri.Result.Status != rc.Result.Status {
+			t.Fatalf("round %d: incremental status %v, cold %v", round, ri.Result.Status, rc.Result.Status)
+		}
+		tol := 1e-6 * (1 + math.Abs(rc.Result.Objective))
+		if math.Abs(ri.Result.Objective-rc.Result.Objective) > tol {
+			t.Fatalf("round %d (%s): incremental objective %g, cold %g",
+				round, ri.Result.SolveMode(), ri.Result.Objective, rc.Result.Objective)
+		}
+		state := inc.mgr.NMDB().BuildState(defaults)
+		if err := verify.CheckResult(state, ri.Result, core.SolverTransport); err != nil {
+			t.Fatalf("round %d (%s): incremental result failed verification: %v",
+				round, ri.Result.SolveMode(), err)
+		}
+		inc.drift1()
+		cold.drift1()
+	}
+	st := inc.mgr.planner.WarmStats()
+	if st.Repaired == 0 {
+		t.Fatalf("incremental manager never repaired: %+v", st)
+	}
+	if got := inc.mgr.metrics.solveMode["repair"].Value(); got != st.Repaired {
+		t.Fatalf("solve-mode counter %d, planner repaired %d", got, st.Repaired)
 	}
 }

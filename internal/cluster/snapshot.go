@@ -40,6 +40,8 @@ type clientSnapshot struct {
 	LastStat      time.Time `json:"last_stat"`
 	LastKeepalive time.Time `json:"last_keepalive"`
 	LastReport    time.Time `json:"last_report,omitempty"`
+	StatSupp      uint64    `json:"stat_suppressed,omitempty"`
+	StatGapLoss   uint64    `json:"stat_gap_loss,omitempty"`
 	Role          uint8     `json:"role"`
 	HostingFor    []int     `json:"hosting_for,omitempty"`
 }
@@ -79,9 +81,11 @@ func (db *NMDB) SaveSnapshot(w io.Writer) error {
 				CMax: rec.CMax, COMax: rec.COMax,
 				UtilPct: rec.UtilPct, DataMb: rec.DataMb, NumAgents: rec.NumAgents,
 				LastStat: rec.LastStat, LastKeepalive: rec.LastKeepalive,
-				LastReport: rec.LastReport,
-				Role:       uint8(rec.Role),
-				HostingFor: rec.hostList(),
+				LastReport:  rec.LastReport,
+				StatSupp:    rec.StatSuppressed,
+				StatGapLoss: rec.StatGapLoss,
+				Role:        uint8(rec.Role),
+				HostingFor:  rec.hostList(),
 			})
 		}
 		sh.mu.Unlock()
@@ -152,9 +156,11 @@ func (db *NMDB) LoadSnapshot(r io.Reader) error {
 			// Snapshots from before sampled reporting lack last_report;
 			// fall back to the stat clock so restored records do not read
 			// as past the horizon solely for being old-format.
-			LastReport: c.LastReport,
-			Role:       core.Role(c.Role),
-			registered: true,
+			LastReport:     c.LastReport,
+			StatSuppressed: c.StatSupp,
+			StatGapLoss:    c.StatGapLoss,
+			Role:           core.Role(c.Role),
+			registered:     true,
 		}
 		if rec.LastReport.IsZero() {
 			rec.LastReport = c.LastStat

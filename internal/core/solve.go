@@ -69,6 +69,14 @@ type Params struct {
 	// the pivot work changes. Ignored outside a Planner: the stateless
 	// Solve path has no previous round to seed from.
 	WarmSolve bool
+	// IncrementalSolve (requires WarmSolve) lets a Planner go one step
+	// further when the caller supplies a PlanDelta: instead of re-pricing
+	// the whole problem from the carried basis, lp.RepairTransport applies
+	// delta-local pivots on just the changed rows/columns, falling back
+	// down the ladder (repair → warm → cold) whenever the delta turns out
+	// structural. Like WarmSolve, this never changes the answer, only the
+	// work — every fallback produces the same optimum.
+	IncrementalSolve bool
 	// Measured optionally blends active RTT/loss measurements into the
 	// rate model (DESIGN.md §15): every edge rate is multiplied by the
 	// overlay's per-edge factor before entering route costs. Nil keeps
@@ -156,6 +164,25 @@ type Result struct {
 	// WarmStarted reports that the transportation solve was seeded from
 	// the previous round's basis (Params.WarmSolve under a Planner).
 	WarmStarted bool
+	// Repaired reports that the solve was completed by delta-local basis
+	// repair (Params.IncrementalSolve under a Planner with a PlanDelta)
+	// rather than a full re-optimization. Repaired implies WarmStarted.
+	Repaired bool
+}
+
+// SolveMode names how the optimization ran, cheapest first: "repair"
+// (delta-local basis repair), "warm" (basis-seeded re-optimization), or
+// "cold" (from scratch). This is the label of the Manager's
+// dust_manager_solve_mode_total metric.
+func (r *Result) SolveMode() string {
+	switch {
+	case r.Repaired:
+		return "repair"
+	case r.WarmStarted:
+		return "warm"
+	default:
+		return "cold"
+	}
 }
 
 // Bottlenecks returns the candidates with positive shadow price, sorted
@@ -236,20 +263,32 @@ func solveTransport(c *Classification, rt *RouteTable, res *Result) error {
 // it returns this solve's optimal basis (nil unless the solve reached
 // optimality) for the caller to seed the next round with.
 func solveTransportWarm(c *Classification, rt *RouteTable, res *Result, warm *lp.TransportBasis) (*lp.TransportBasis, error) {
-	prob := lp.TransportProblem{
+	sol, basis, err := lp.SolveTransportWarm(transportProblem(c, rt), warm)
+	if err != nil {
+		return nil, err
+	}
+	return basis, extractTransport(c, rt, res, sol)
+}
+
+// transportProblem assembles the Eq. 3 transportation instance from a
+// classification and its route table.
+func transportProblem(c *Classification, rt *RouteTable) lp.TransportProblem {
+	return lp.TransportProblem{
 		Supply: c.Cs,
 		Demand: c.Cd,
 		Cost:   rt.Seconds,
 	}
-	sol, basis, err := lp.SolveTransportWarm(prob, warm)
-	if err != nil {
-		return nil, err
-	}
+}
+
+// extractTransport translates a transportation solution into the solve
+// result: status, objective, shadow prices, and nonzero assignments.
+func extractTransport(c *Classification, rt *RouteTable, res *Result, sol *lp.TransportSolution) error {
 	res.Pivots = sol.Iterations
 	res.WarmStarted = sol.WarmStarted
+	res.Repaired = sol.Repaired
 	if sol.Status != lp.StatusOptimal {
 		res.Status = StatusInfeasible
-		return nil, nil
+		return nil
 	}
 	res.Objective = sol.Objective
 	res.ShadowPrices = make(map[int]float64, len(c.Candidates))
@@ -273,7 +312,7 @@ func solveTransportWarm(c *Classification, rt *RouteTable, res *Result, warm *lp
 			}
 		}
 	}
-	return basis, nil
+	return nil
 }
 
 // varKey addresses the decision variable x_ij by busy row and candidate

@@ -84,6 +84,7 @@ func RunDynamic(cfg Config) (*DynamicResult, error) {
 	params.PathStrategy = core.PathDP
 	params.Parallelism = cfg.Parallelism
 	params.WarmSolve = cfg.WarmSolve
+	params.IncrementalSolve = cfg.IncrementalSolve
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{
 		Topology:          topo,
 		Defaults:          th,

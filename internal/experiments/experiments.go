@@ -49,6 +49,10 @@ type Config struct {
 	// ingest experiment and internal/verify enforce it); only solve wall
 	// time changes.
 	WarmSolve bool
+	// IncrementalSolve additionally lets manager-backed runners repair
+	// the carried basis in place for delta-local changes (DESIGN.md §17).
+	// Requires WarmSolve; objectives are again identical in every mode.
+	IncrementalSolve bool
 }
 
 // Default returns the paper-faithful configuration.

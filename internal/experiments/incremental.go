@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// IncrementalSolvePoint is one solve mode's measured cost over the
+// shared drift sequence.
+type IncrementalSolvePoint struct {
+	// Mode names the solver configuration ("repair", "warm", "cold").
+	Mode string
+	// Repaired/Warm/Cold/Fallback count how the mode's placement solves
+	// actually started (a repair-configured planner can still fall back).
+	Repaired, Warm, Cold, Fallback uint64
+	// MeanSolve and P95Solve summarize the solve-phase wall time per
+	// round; MeanTick is the full RunPlacement wall time.
+	MeanSolve, P95Solve, MeanTick time.Duration
+	// SpeedupVsWarm is warm's mean solve time over this mode's.
+	SpeedupVsWarm float64
+	// Objective sums the per-round objectives (cross-mode equality is
+	// enforced by the driver; see IncrementalSolveResult.MaxObjGap).
+	Objective float64
+}
+
+// IncrementalSolveResult is the delta-driven incremental-solving study
+// (DESIGN.md §17): the same 1-client-per-round drift sequence replayed
+// against three managers — basis repair, warm re-price, cold re-solve —
+// with the placement self-audit enabled in all of them. Objectives must
+// match across modes every round; the payoff is solve-phase wall time.
+type IncrementalSolveResult struct {
+	Nodes, Rounds int
+	// MaxObjGap is the largest relative objective disagreement any round
+	// showed between a mode and cold (enforced ≤ incrementalObjTol).
+	MaxObjGap float64
+	Points    []IncrementalSolvePoint
+}
+
+// incrementalObjTol bounds the per-round relative objective disagreement
+// between solve modes. Repair and cold land on vertices of the same
+// optimal face, so only summation order separates their objectives.
+const incrementalObjTol = 1e-9
+
+// incrementalDrift is one round's single-client mutation.
+type incrementalDrift struct {
+	node int
+	util float64
+	data float64
+}
+
+// RunIncrementalSolve measures the repair → warm → cold solve ladder on
+// the 96-node shape: every round exactly one client re-reports (mostly an
+// in-band utilization wiggle, sometimes a data-volume change that moves
+// its whole cost row), and each mode solves the identical sequence.
+func RunIncrementalSolve(cfg Config) (*IncrementalSolveResult, error) {
+	const n = 96
+	rounds := cfg.Iterations
+	if rounds < 10 {
+		rounds = 10
+	}
+	if rounds > 200 {
+		rounds = 200
+	}
+
+	topoRng := rand.New(rand.NewSource(cfg.Seed ^ 0x1c4e))
+	topo := graph.RandomConnected(n, 0.05, 1000, topoRng)
+	graph.RandomizeUtilization(topo, 0.3, 0.9, topoRng)
+
+	// Initial per-node stats and the shared drift sequence, drawn once so
+	// every mode replays byte-identical inputs.
+	band := func(i int) (lo, hi float64) {
+		if i%3 == 0 {
+			return 88, 96 // busy band, well above CMax 80
+		}
+		return 15, 35 // candidate band, well below COMax 50
+	}
+	driftRng := rand.New(rand.NewSource(cfg.Seed ^ 0x2d1f7))
+	util0 := make([]float64, n)
+	data0 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		lo, hi := band(i)
+		util0[i] = lo + (hi-lo)*driftRng.Float64()
+		data0[i] = 10 + 20*driftRng.Float64()
+	}
+	data := append([]float64(nil), data0...)
+	drifts := make([]incrementalDrift, rounds)
+	for r := range drifts {
+		i := driftRng.Intn(n)
+		lo, hi := band(i)
+		if driftRng.Intn(5) == 0 {
+			data[i] = 10 + 20*driftRng.Float64() // cost-row delta
+		}
+		drifts[r] = incrementalDrift{node: i, util: lo + (hi-lo)*driftRng.Float64(), data: data[i]}
+	}
+
+	modes := []struct {
+		name              string
+		warm, incremental bool
+	}{
+		{"repair", true, true},
+		{"warm", true, false},
+		{"cold", false, false},
+	}
+	res := &IncrementalSolveResult{Nodes: n, Rounds: rounds}
+	perRound := make([][]float64, len(modes))
+	for mi, mode := range modes {
+		pt, objs, err := runIncrementalMode(cfg, topo, mode.name, mode.warm, mode.incremental,
+			n, util0, data0, drifts)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: incremental %s: %w", mode.name, err)
+		}
+		res.Points = append(res.Points, *pt)
+		perRound[mi] = objs
+	}
+
+	// Cross-mode exactness: every round, every mode must land on the cold
+	// objective (up to summation order).
+	coldObjs := perRound[len(modes)-1]
+	for mi := range modes[:len(modes)-1] {
+		for r, obj := range perRound[mi] {
+			gap := math.Abs(obj-coldObjs[r]) / (1 + math.Abs(coldObjs[r]))
+			if gap > res.MaxObjGap {
+				res.MaxObjGap = gap
+			}
+			if gap > incrementalObjTol {
+				return nil, fmt.Errorf("experiments: incremental round %d: %s objective %g, cold %g",
+					r, modes[mi].name, obj, coldObjs[r])
+			}
+		}
+	}
+	warmMean := res.Points[1].MeanSolve
+	for i := range res.Points {
+		if res.Points[i].MeanSolve > 0 {
+			res.Points[i].SpeedupVsWarm = float64(warmMean) / float64(res.Points[i].MeanSolve)
+		}
+	}
+	return res, nil
+}
+
+func runIncrementalMode(cfg Config, topo *graph.Graph, name string, warm, incremental bool,
+	n int, util0, data0 []float64, drifts []incrementalDrift) (*IncrementalSolvePoint, []float64, error) {
+	params := core.DefaultParams()
+	params.WarmSolve = warm
+	params.IncrementalSolve = incremental
+	params.PathStrategy = core.PathDP
+	params.Parallelism = cfg.Parallelism
+	mgr, err := cluster.NewManager(cluster.ManagerConfig{
+		Topology:         topo,
+		Defaults:         core.Thresholds{CMax: 80, COMax: 50, XMin: 1},
+		Params:           params,
+		NMDBShards:       cfg.NMDBShards,
+		VerifyPlacements: true,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	defer mgr.Close()
+	db := mgr.NMDB()
+	at := time.Unix(1_000, 0)
+	for i := 0; i < n; i++ {
+		if err := db.Register(i, true, 0, 0); err != nil {
+			return nil, nil, err
+		}
+		if err := db.RecordStat(i, util0[i], data0[i], 1, at); err != nil {
+			return nil, nil, err
+		}
+	}
+	// Two settling rounds: the first has no previous basis, the second
+	// arms the delta watermarks and the stored solution.
+	for k := 0; k < 2; k++ {
+		if _, err := mgr.RunPlacement(); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	pt := &IncrementalSolvePoint{Mode: name}
+	objs := make([]float64, 0, len(drifts))
+	solves := make([]time.Duration, 0, len(drifts))
+	var tickTotal time.Duration
+	for _, d := range drifts {
+		if err := db.RecordStat(d.node, d.util, d.data, 1, at); err != nil {
+			return nil, nil, err
+		}
+		start := time.Now()
+		rep, err := mgr.RunPlacement()
+		tickTotal += time.Since(start)
+		if err != nil {
+			// VerifyPlacements is on: an oracle violation surfaces here.
+			return nil, nil, err
+		}
+		if rep.Result == nil || rep.Result.Status != core.StatusOptimal {
+			return nil, nil, fmt.Errorf("round did not solve to optimality")
+		}
+		objs = append(objs, rep.Result.Objective)
+		solves = append(solves, rep.Result.SolveDuration)
+		pt.Objective += rep.Result.Objective
+	}
+	st := mgr.Planner().WarmStats()
+	pt.Repaired, pt.Warm, pt.Cold, pt.Fallback = st.Repaired, st.Warm, st.Cold, st.Fallback
+	if incremental && pt.Repaired == 0 {
+		return nil, nil, fmt.Errorf("repair mode never repaired: %+v", st)
+	}
+	var solveTotal time.Duration
+	for _, s := range solves {
+		solveTotal += s
+	}
+	sort.Slice(solves, func(i, j int) bool { return solves[i] < solves[j] })
+	pt.MeanSolve = solveTotal / time.Duration(len(solves))
+	pt.P95Solve = solves[len(solves)*95/100]
+	pt.MeanTick = tickTotal / time.Duration(len(drifts))
+	return pt, objs, nil
+}
+
+// Table renders the solve-mode comparison.
+func (r *IncrementalSolveResult) Table() string {
+	rows := make([][]string, 0, len(r.Points))
+	for _, p := range r.Points {
+		rows = append(rows, []string{
+			p.Mode,
+			fmt.Sprintf("%d/%d/%d/%d", p.Repaired, p.Warm, p.Cold, p.Fallback),
+			fdur(p.MeanSolve),
+			fdur(p.P95Solve),
+			fdur(p.MeanTick),
+			f2(p.SpeedupVsWarm) + "×",
+		})
+	}
+	return fmt.Sprintf(
+		"Incremental solving — repair vs warm vs cold at 1-client drift (%d nodes, %d rounds, max obj gap %.2e)\n",
+		r.Nodes, r.Rounds, r.MaxObjGap) +
+		table([]string{"mode", "repair/warm/cold/fb", "solve mean", "solve p95", "tick mean", "vs warm"}, rows)
+}

@@ -1,0 +1,53 @@
+package experiments
+
+import "testing"
+
+// TestIncrementalSolveStudy pins the acceptance criteria of the
+// incremental-solving study: deterministic mode counts and objectives per
+// seed, the repair-configured mode actually repairs the vast majority of
+// its rounds, the cold mode never warm-starts, and the cross-mode
+// objective gap stays at float-roundoff scale (the runner itself fails
+// beyond incrementalObjTol; VerifyPlacements audits every round).
+func TestIncrementalSolveStudy(t *testing.T) {
+	cfg := Quick()
+	a, err := RunIncrementalSolve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIncrementalSolve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Points) != 3 || len(b.Points) != 3 {
+		t.Fatalf("points = %d/%d, want 3", len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		pa, pb := a.Points[i], b.Points[i]
+		// Wall times vary run to run; every counted quantity must not.
+		pa.MeanSolve, pb.MeanSolve = 0, 0
+		pa.P95Solve, pb.P95Solve = 0, 0
+		pa.MeanTick, pb.MeanTick = 0, 0
+		pa.SpeedupVsWarm, pb.SpeedupVsWarm = 0, 0
+		if pa != pb {
+			t.Fatalf("run not deterministic per seed at %q:\n%+v\n%+v", pa.Mode, pa, pb)
+		}
+	}
+
+	repair, warm, cold := a.Points[0], a.Points[1], a.Points[2]
+	if repair.Mode != "repair" || warm.Mode != "warm" || cold.Mode != "cold" {
+		t.Fatalf("mode order = %s/%s/%s", repair.Mode, warm.Mode, cold.Mode)
+	}
+	rounds := uint64(a.Rounds)
+	if repair.Repaired < rounds*3/4 {
+		t.Fatalf("repair mode repaired %d of %d rounds", repair.Repaired, a.Rounds)
+	}
+	if warm.Repaired != 0 || warm.Warm == 0 {
+		t.Fatalf("warm mode counts: %+v", warm)
+	}
+	if cold.Repaired != 0 || cold.Warm != 0 || cold.Fallback != 0 {
+		t.Fatalf("cold mode recorded warm activity: %+v", cold)
+	}
+	if a.MaxObjGap > incrementalObjTol {
+		t.Fatalf("max objective gap %g above tolerance", a.MaxObjGap)
+	}
+}

@@ -146,6 +146,7 @@ func runMeasuredDrift(cfg Config, chaos bool) (*MeasuredResult, error) {
 	params.CacheEpsilon = 0.05
 	params.Parallelism = cfg.Parallelism
 	params.WarmSolve = cfg.WarmSolve
+	params.IncrementalSolve = cfg.IncrementalSolve
 
 	var clockMu sync.Mutex
 	clock := time.Unix(0, 0)

@@ -134,6 +134,7 @@ func runSampledPolicy(cfg Config, topo *graph.Graph, name string, policy report.
 
 	params := core.DefaultParams()
 	params.WarmSolve = cfg.WarmSolve
+	params.IncrementalSolve = cfg.IncrementalSolve
 	params.PathStrategy = core.PathDP
 	params.Parallelism = cfg.Parallelism
 	mgr, err := cluster.NewManager(cluster.ManagerConfig{

@@ -123,6 +123,71 @@ func FuzzSolveTransport(f *testing.F) {
 	})
 }
 
+// FuzzRepairTransport hardens the incremental repair path: decode a base
+// problem plus one single-site mutation (one client's supply, one sink's
+// demand, or one lane's cost — the delta shapes a drifting client
+// produces), solve the base, repair across the mutation, and require the
+// repaired solution to agree with a from-scratch solve on status and
+// objective. Any disagreement means the dirty-set or dual-pivot logic
+// mispriced a cell it claimed could not move.
+func FuzzRepairTransport(f *testing.F) {
+	f.Add([]byte{2, 2, 10, 20, 15, 15, 1, 2, 3, 4, 0, 1, 9})
+	f.Add([]byte{3, 2, 9, 9, 9, 90, 90, 1, 2, 3, 4, 5, 6, 1, 1, 200})
+	f.Add([]byte{2, 3, 30, 12, 15, 15, 15, 1, 2, 3, 4, 5, 6, 2, 4, 33})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, ok := transportFromBytes(data)
+		if !ok {
+			t.Skip()
+		}
+		m, n := len(p.Supply), len(p.Demand)
+		rest := data[2+m+n+m*n:]
+		if len(rest) < 3 {
+			t.Skip()
+		}
+		prev, basis, err := lp.SolveTransportWarm(p, nil)
+		if err != nil {
+			t.Fatalf("base solve: %v", err)
+		}
+
+		var delta lp.TransportDelta
+		switch rest[0] % 3 {
+		case 0:
+			i := int(rest[1]) % m
+			p.Supply[i] = float64(rest[2]) / 10
+			delta.SupplyRows = []int{i}
+		case 1:
+			j := int(rest[1]) % n
+			p.Demand[j] = float64(rest[2]) / 10
+			delta.DemandCols = []int{j}
+		default:
+			i, j := int(rest[1])%m, int(rest[1]/byte(m))%n
+			if math.IsInf(p.Cost[i][j], 1) {
+				t.Skip() // forbidden-set changes are structural, not repair deltas
+			}
+			p.Cost[i][j] = float64(rest[2]) / 8
+			delta.CostCells = []lp.DeltaCell{{I: i, J: j}}
+		}
+
+		rep, _, err := lp.RepairTransport(p, prev, basis, delta)
+		if err != nil {
+			t.Fatalf("repair: %v", err)
+		}
+		cold, err := lp.SolveTransport(p)
+		if err != nil {
+			t.Fatalf("cold: %v", err)
+		}
+		if rep.Status != cold.Status {
+			t.Fatalf("repair status %v, cold %v (delta %+v)", rep.Status, cold.Status, delta)
+		}
+		if cold.Status == lp.StatusOptimal {
+			if math.Abs(rep.Objective-cold.Objective) > fuzzTol*math.Max(1, math.Abs(cold.Objective)) {
+				t.Fatalf("repaired objective %g != cold %g (delta %+v)", rep.Objective, cold.Objective, delta)
+			}
+		}
+	})
+}
+
 // modelFromBytes decodes a small LP/MIP from fuzz data: up to 4 variables
 // (signed bounds and objectives in eighths, occasionally unbounded above,
 // occasionally integer — integers always get finite boxes so

@@ -1,0 +1,268 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// integralTransport draws a random instance whose supplies, demands, and
+// costs are all small integers. Transportation vertices over integral data
+// carry integral flows, and every arithmetic step of the solver (min,
+// add, subtract, multiply of integers far below 2^53) is exact in
+// float64 — so any two exact solvers must report the optimal objective as
+// the same bit pattern, even when they land on different alternate
+// optimal vertices. That is what lets the repaired-vs-cold test demand
+// bit-identical objectives rather than a tolerance.
+func integralTransport(rng *rand.Rand, m, n int) TransportProblem {
+	p := TransportProblem{
+		Supply: make([]float64, m),
+		Demand: make([]float64, n),
+		Cost:   make([][]float64, m),
+	}
+	for i := range p.Supply {
+		p.Supply[i] = float64(1 + rng.Intn(20))
+		p.Cost[i] = make([]float64, n)
+		for j := range p.Cost[i] {
+			if rng.Float64() < 0.05 {
+				p.Cost[i][j] = math.Inf(1)
+			} else {
+				p.Cost[i][j] = float64(rng.Intn(100))
+			}
+		}
+	}
+	for j := range p.Demand {
+		p.Demand[j] = float64(2 + rng.Intn(25))
+	}
+	return p
+}
+
+// mutateSingle applies one single-site integral mutation to p and returns
+// the delta describing it: a supply row, a demand column, or a (finite)
+// cost cell. Forbidden lanes are never toggled — that is a structural
+// change with its own fallback test.
+func mutateSingle(rng *rand.Rand, p *TransportProblem) TransportDelta {
+	m, n := len(p.Supply), len(p.Demand)
+	switch rng.Intn(3) {
+	case 0:
+		i := rng.Intn(m)
+		p.Supply[i] = float64(rng.Intn(25))
+		return TransportDelta{SupplyRows: []int{i}}
+	case 1:
+		j := rng.Intn(n)
+		p.Demand[j] = float64(rng.Intn(30))
+		return TransportDelta{DemandCols: []int{j}}
+	default:
+		for tries := 0; tries < 50; tries++ {
+			i, j := rng.Intn(m), rng.Intn(n)
+			if math.IsInf(p.Cost[i][j], 1) {
+				continue
+			}
+			p.Cost[i][j] = float64(rng.Intn(100))
+			return TransportDelta{CostCells: []DeltaCell{{I: i, J: j}}}
+		}
+		// All lanes forbidden (vanishingly unlikely): fall back to supply.
+		i := rng.Intn(m)
+		p.Supply[i] = float64(rng.Intn(25))
+		return TransportDelta{SupplyRows: []int{i}}
+	}
+}
+
+// TestRepairSingleDeltaBitIdentical is the tentpole exactness gate: 200
+// seeded integral instances, each perturbed at a single site, must yield
+// bit-identical objectives from RepairTransport and a from-scratch cold
+// solve, with matching statuses — and the cheap repair path must actually
+// be the one taken for the overwhelming majority of them.
+func TestRepairSingleDeltaBitIdentical(t *testing.T) {
+	repaired, optimal := 0, 0
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(8), 2+rng.Intn(10)
+		p := integralTransport(rng, m, n)
+		prev, basis, err := SolveTransportWarm(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: base solve: %v", seed, err)
+		}
+		if prev.Status != StatusOptimal {
+			continue // base infeasible: nothing to repair from
+		}
+
+		delta := mutateSingle(rng, &p)
+		rep, _, err := RepairTransport(p, prev, basis, delta)
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v", seed, err)
+		}
+		cold, err := SolveTransport(p)
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		if rep.Status != cold.Status {
+			t.Fatalf("seed %d: repair status %v, cold %v", seed, rep.Status, cold.Status)
+		}
+		if cold.Status != StatusOptimal {
+			continue
+		}
+		optimal++
+		if rep.Repaired {
+			repaired++
+		}
+		if rep.Objective != cold.Objective {
+			t.Fatalf("seed %d: repaired objective %v (bits %x) != cold %v (bits %x), delta %+v",
+				seed, rep.Objective, math.Float64bits(rep.Objective),
+				cold.Objective, math.Float64bits(cold.Objective), delta)
+		}
+	}
+	t.Logf("repair path taken on %d of %d optimal instances", repaired, optimal)
+	if optimal == 0 {
+		t.Fatal("no optimal instances generated")
+	}
+	if repaired*4 < optimal*3 {
+		t.Fatalf("repair path taken on only %d of %d optimal instances; want >= 3/4", repaired, optimal)
+	}
+}
+
+// TestRepairMultiStepDrift walks a chain of single-site mutations,
+// repairing from each repaired solution's own basis, so basis snapshots
+// produced by the repair path itself are exercised as inputs.
+func TestRepairMultiStepDrift(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(1000 + seed))
+		m, n := 2+rng.Intn(8), 2+rng.Intn(10)
+		p := integralTransport(rng, m, n)
+		prev, basis, err := SolveTransportWarm(p, nil)
+		if err != nil {
+			t.Fatalf("seed %d: base: %v", seed, err)
+		}
+		for step := 0; step < 10; step++ {
+			delta := mutateSingle(rng, &p)
+			rep, nextBasis, err := RepairTransport(p, prev, basis, delta)
+			if err != nil {
+				t.Fatalf("seed %d step %d: repair: %v", seed, step, err)
+			}
+			cold, err := SolveTransport(p)
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold: %v", seed, step, err)
+			}
+			if rep.Status != cold.Status {
+				t.Fatalf("seed %d step %d: repair status %v, cold %v", seed, step, rep.Status, cold.Status)
+			}
+			if cold.Status == StatusOptimal && rep.Objective != cold.Objective {
+				t.Fatalf("seed %d step %d: repaired objective %v != cold %v", seed, step, rep.Objective, cold.Objective)
+			}
+			prev, basis = rep, nextBasis
+		}
+	}
+}
+
+// TestRepairFallsBackToWarm pins the fallback ladder: structural deltas,
+// a missing/incompatible basis, a non-optimal prev, and out-of-range
+// delta cells must all produce the exact optimum with Repaired=false
+// (repair → warm → cold, never a wrong answer).
+func TestRepairFallsBackToWarm(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	p := integralTransport(rng, 5, 7)
+	prev, basis, err := SolveTransportWarm(p, nil)
+	if err != nil || prev.Status != StatusOptimal {
+		t.Fatalf("base solve: %v status %v", err, prev.Status)
+	}
+	q := p
+	q.Supply = append([]float64(nil), p.Supply...)
+	q.Supply[2] = 3
+	cold, err := SolveTransport(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name  string
+		prev  *TransportSolution
+		basis *TransportBasis
+		delta TransportDelta
+	}{
+		{"structural", prev, basis, TransportDelta{Structural: true}},
+		{"nil basis", prev, nil, TransportDelta{SupplyRows: []int{2}}},
+		{"nil prev", nil, basis, TransportDelta{SupplyRows: []int{2}}},
+		{"non-optimal prev", &TransportSolution{Status: StatusInfeasible}, basis, TransportDelta{SupplyRows: []int{2}}},
+		{"cost cell out of range", prev, basis, TransportDelta{CostCells: []DeltaCell{{I: 99, J: 0}}}},
+	}
+	for _, tc := range cases {
+		sol, _, err := RepairTransport(q, tc.prev, tc.basis, tc.delta)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if sol.Repaired {
+			t.Fatalf("%s: claimed Repaired on the fallback path", tc.name)
+		}
+		if sol.Status != cold.Status || sol.Objective != cold.Objective {
+			t.Fatalf("%s: fallback solution (%v, %v) != cold (%v, %v)",
+				tc.name, sol.Status, sol.Objective, cold.Status, cold.Objective)
+		}
+	}
+}
+
+// TestRepairCombinedDeltaExact drives the messiest declared delta — a
+// supply change and a full cost-row change on the same tick, the shape a
+// busy node's utilization+data drift produces — and checks exactness
+// regardless of which path (repair or fallback) handled it.
+func TestRepairCombinedDeltaExact(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(7000 + seed))
+		m, n := 3+rng.Intn(6), 3+rng.Intn(8)
+		p := integralTransport(rng, m, n)
+		prev, basis, err := SolveTransportWarm(p, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev.Status != StatusOptimal {
+			continue
+		}
+		i := rng.Intn(m)
+		p.Supply[i] = float64(rng.Intn(25))
+		delta := TransportDelta{SupplyRows: []int{i}}
+		for j := range p.Cost[i] {
+			if !math.IsInf(p.Cost[i][j], 1) {
+				p.Cost[i][j] = float64(rng.Intn(100))
+				delta.CostCells = append(delta.CostCells, DeltaCell{I: i, J: j})
+			}
+		}
+		rep, _, err := RepairTransport(p, prev, basis, delta)
+		if err != nil {
+			t.Fatalf("seed %d: repair: %v", seed, err)
+		}
+		cold, err := SolveTransport(p)
+		if err != nil {
+			t.Fatalf("seed %d: cold: %v", seed, err)
+		}
+		if rep.Status != cold.Status {
+			t.Fatalf("seed %d: status %v != cold %v", seed, rep.Status, cold.Status)
+		}
+		if cold.Status == StatusOptimal && rep.Objective != cold.Objective {
+			t.Fatalf("seed %d: objective %v != cold %v", seed, rep.Objective, cold.Objective)
+		}
+	}
+}
+
+// TestRepairNoChangeTakesZeroPivots pins the best case: an empty delta on
+// an unchanged problem must come back optimal, Repaired, and with zero
+// pivot iterations — pure tree re-flow.
+func TestRepairNoChangeTakesZeroPivots(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := integralTransport(rng, 6, 9)
+	prev, basis, err := SolveTransportWarm(p, nil)
+	if err != nil || prev.Status != StatusOptimal {
+		t.Fatalf("base solve: %v status %v", err, prev.Status)
+	}
+	rep, _, err := RepairTransport(p, prev, basis, TransportDelta{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Repaired || !rep.WarmStarted {
+		t.Fatalf("no-change repair: Repaired=%v WarmStarted=%v, want both true", rep.Repaired, rep.WarmStarted)
+	}
+	if rep.Iterations != 0 {
+		t.Fatalf("no-change repair used %d pivots, want 0", rep.Iterations)
+	}
+	if rep.Objective != prev.Objective {
+		t.Fatalf("no-change repair objective %v != previous %v", rep.Objective, prev.Objective)
+	}
+}

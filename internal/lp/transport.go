@@ -38,46 +38,74 @@ type TransportSolution struct {
 	// WarmStarted reports whether the solve was seeded from a prior basis
 	// (false when no basis was supplied or the seed was rejected).
 	WarmStarted bool
+	// Repaired reports that RepairTransport restored optimality with
+	// delta-local pivots instead of a full MODI re-optimization. Repaired
+	// implies WarmStarted.
+	Repaired bool
 }
 
 // TransportBasis is an opaque snapshot of the optimal basis spanning tree
 // of a solved transportation problem, reusable to warm-start a later solve
-// of a problem with the same shape (same source and sink counts). The
-// flows it implies are recomputed from the new supplies/demands, so a
-// stale basis can never corrupt a solution — at worst it is rejected and
-// the solve falls back to the cold least-cost start.
+// of a problem with the same shape (same source and sink counts and the
+// same forbidden-lane set). The flows it implies are recomputed from the
+// new supplies/demands, so a stale basis can never corrupt a solution — at
+// worst it is rejected and the solve falls back to the cold least-cost
+// start. Beyond the tree, the snapshot carries each basic cell's cost at
+// capture time (in the balanced tableau's scaled units): RepairTransport
+// replays the capture-time duals from them to localize the effect of a
+// cost perturbation.
 type TransportBasis struct {
 	m, n  int
 	cells []cell
+	// costs[k] is the balanced scaled cost of cells[k] at capture; scale
+	// is the cost rescaling factor that was in force (1 except under
+	// extreme cost spreads).
+	costs []float64
+	scale float64
+	// forb[i*n+j] records which real lanes were forbidden (+Inf cost) at
+	// capture. A basis is only reusable while the forbidden set is
+	// unchanged: a newly forbidden lane could sit inside the tree and a
+	// newly allowed one changes which reduced costs exist at all.
+	forb []bool
 }
 
 // Dims returns the (sources, sinks) shape the basis was captured from.
 func (b *TransportBasis) Dims() (m, n int) { return b.m, b.n }
 
-var errMalformed = errors.New("lp: malformed transportation problem")
-
-// SolveTransport solves the transportation problem with the classical
-// network method: a least-cost initial basic feasible solution followed by
-// MODI (u-v) optimality iterations on the basis spanning tree. It detects
-// infeasibility (total supply exceeding total sink capacity, or forbidden
-// lanes making some supply unroutable).
-func SolveTransport(p TransportProblem) (*TransportSolution, error) {
-	sol, _, err := SolveTransportWarm(p, nil)
-	return sol, err
+// compatibleWith reports whether the basis can seed a solve of the
+// prepared problem: same shape and an unchanged forbidden-lane set.
+func (b *TransportBasis) compatibleWith(prep *transportPrep) bool {
+	if b == nil || b.m != prep.m || b.n != prep.n {
+		return false
+	}
+	if len(b.forb) != len(prep.forb) {
+		return false
+	}
+	for k := range b.forb {
+		if b.forb[k] != prep.forb[k] {
+			return false
+		}
+	}
+	return true
 }
 
-// SolveTransportWarm is SolveTransport with an optional warm start: when
-// warm carries the basis of a previously solved problem with the same
-// shape, the solve seeds the MODI iterations from that basis tree (its
-// flows recomputed for the current supplies/demands) instead of building
-// the least-cost start from scratch. Between consecutive DUST placement
-// rounds over an unchanged busy/candidate split the optimal basis rarely
-// moves, so re-pricing typically needs only a handful of pivots. The
-// returned basis snapshots this solve's optimal tree for the next round;
-// it is non-nil whenever the solve ran to optimality. Warm starts never
-// change the answer: MODI runs to optimality from any feasible basis, and
-// an incompatible or infeasible seed falls back to the cold start.
-func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSolution, *TransportBasis, error) {
+var errMalformed = errors.New("lp: malformed transportation problem")
+
+// transportPrep is the validated, balanced, Big-M'd form of a
+// TransportProblem, shared by the cold, warm, and repair entry points.
+type transportPrep struct {
+	m, n   int // original shape (rows excluding the dummy)
+	scale  float64
+	supply []float64   // balanced: len m+1, last entry the dummy's slack
+	demand []float64   // len n
+	cost   [][]float64 // balanced scaled costs: len m+1 rows
+	forb   []bool      // len m*n: the original problem's forbidden lanes
+}
+
+// prepareTransport validates and balances the problem. A non-nil early
+// solution means the solve is already decided (trivial infeasibility)
+// before any pivoting.
+func prepareTransport(p TransportProblem) (*transportPrep, *TransportSolution, error) {
 	m, n := len(p.Supply), len(p.Demand)
 	if m == 0 || n == 0 {
 		return nil, nil, fmt.Errorf("%w: %d sources, %d sinks", errMalformed, m, n)
@@ -108,7 +136,7 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 		totalDemand += p.Demand[j]
 	}
 	if totalSupply > totalDemand+eps {
-		return &TransportSolution{Status: StatusInfeasible}, nil, nil
+		return nil, &TransportSolution{Status: StatusInfeasible}, nil
 	}
 
 	// Balance: a dummy source absorbs unused sink capacity at zero cost,
@@ -135,6 +163,7 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 	supply := make([]float64, M)
 	copy(supply, p.Supply)
 	supply[m] = totalDemand - totalSupply
+	forb := make([]bool, m*n)
 	for i := 0; i < M; i++ {
 		cost[i] = make([]float64, n)
 		for j := 0; j < n; j++ {
@@ -143,17 +172,46 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 				cost[i][j] = 0
 			case math.IsInf(p.Cost[i][j], 1):
 				cost[i][j] = bigM
+				forb[i*n+j] = true
 			default:
 				cost[i][j] = p.Cost[i][j] / scale
 			}
 		}
 	}
 	demand := append([]float64(nil), p.Demand...)
+	return &transportPrep{m: m, n: n, scale: scale, supply: supply, demand: demand, cost: cost, forb: forb}, nil, nil
+}
 
-	t := newTransportTableau(supply, demand, cost)
+// SolveTransport solves the transportation problem with the classical
+// network method: a least-cost initial basic feasible solution followed by
+// MODI (u-v) optimality iterations on the basis spanning tree. It detects
+// infeasibility (total supply exceeding total sink capacity, or forbidden
+// lanes making some supply unroutable).
+func SolveTransport(p TransportProblem) (*TransportSolution, error) {
+	sol, _, err := SolveTransportWarm(p, nil)
+	return sol, err
+}
+
+// SolveTransportWarm is SolveTransport with an optional warm start: when
+// warm carries the basis of a previously solved problem with the same
+// shape, the solve seeds the MODI iterations from that basis tree (its
+// flows recomputed for the current supplies/demands) instead of building
+// the least-cost start from scratch. Between consecutive DUST placement
+// rounds over an unchanged busy/candidate split the optimal basis rarely
+// moves, so re-pricing typically needs only a handful of pivots. The
+// returned basis snapshots this solve's optimal tree for the next round;
+// it is non-nil whenever the solve ran to optimality. Warm starts never
+// change the answer: MODI runs to optimality from any feasible basis, and
+// an incompatible or infeasible seed falls back to the cold start.
+func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSolution, *TransportBasis, error) {
+	prep, early, err := prepareTransport(p)
+	if early != nil || err != nil {
+		return early, nil, err
+	}
+	t := newTransportTableau(prep.supply, prep.demand, prep.cost)
 	warmStarted := false
-	if warm != nil && warm.m == m && warm.n == n {
-		warmStarted = t.warmStart(warm.cells)
+	if warm.compatibleWith(prep) {
+		warmStarted = t.warmStart(warm.cells, false)
 	}
 	if !warmStarted {
 		t.initialBasis()
@@ -161,30 +219,50 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 	if err := t.optimize(); err != nil {
 		return nil, nil, err
 	}
-	// Snapshot the optimal basis before evictForbidden rewires it: the
-	// warm-start seed must be the tree MODI actually finished on (evicted
-	// degenerate cells carry no flow, so re-seeding through them is
-	// harmless — the tree re-flow puts ~0 units there).
-	basis := &TransportBasis{m: m, n: n, cells: make([]cell, 0, len(t.basic))}
-	for c := range t.basic {
-		basis.cells = append(basis.cells, c)
-	}
-	sort.Slice(basis.cells, func(a, b int) bool { return lessCell(basis.cells[a], basis.cells[b]) })
+	return finishTransport(t, p, prep, warmStarted, false)
+}
 
-	forbidden := func(i, j int) bool { return i < m && math.IsInf(p.Cost[i][j], 1) }
+// finishTransport turns an optimized tableau into the exported solution
+// and the reusable basis snapshot: the forbidden-flow feasibility audit,
+// the basis capture (before evictForbidden rewires the tree), the dual
+// gauge fix, and the objective recomputed from the original costs.
+func finishTransport(t *transportTableau, p TransportProblem, prep *transportPrep, warmStarted, repaired bool) (*TransportSolution, *TransportBasis, error) {
+	m, n := prep.m, prep.n
+	forbidden := func(i, j int) bool { return i < m && prep.forb[i*n+j] }
 	for i := 0; i < m; i++ {
 		// Flow beyond roundoff on a forbidden lane means the real problem
 		// is infeasible. The tolerance shrinks with the source's supply —
 		// a tiny supply forced through a Big-M lane would otherwise fall
 		// under the absolute output cutoff, be zeroed, and report a
-		// silently truncated placement as optimal.
+		// silently truncated placement as optimal. A zero-supply source is
+		// the opposite case: it cannot legitimately ship anything, so any
+		// flow parked on its lanes is pure re-flow roundoff (the tree
+		// re-flow can strand ~ulp-scale residue there), not infeasibility.
+		if p.Supply[i] == 0 {
+			continue
+		}
 		tol := eps * math.Min(1, p.Supply[i])
 		for j := 0; j < n; j++ {
 			if forbidden(i, j) && t.flowAt(i, j) > tol {
-				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations, WarmStarted: warmStarted}, nil, nil
+				return &TransportSolution{Status: StatusInfeasible, Iterations: t.iterations, WarmStarted: warmStarted, Repaired: repaired}, nil, nil
 			}
 		}
 	}
+	// Snapshot the optimal basis before evictForbidden rewires it: the
+	// warm-start seed must be the tree MODI actually finished on (evicted
+	// degenerate cells carry no flow, so re-seeding through them is
+	// harmless — the tree re-flow puts ~0 units there).
+	basis := &TransportBasis{m: m, n: n, scale: prep.scale, forb: prep.forb,
+		cells: make([]cell, 0, t.nbasic)}
+	for _, cs := range t.rowBasics {
+		basis.cells = append(basis.cells, cs...)
+	}
+	sort.Slice(basis.cells, func(a, b int) bool { return lessCell(basis.cells[a], basis.cells[b]) })
+	basis.costs = make([]float64, len(basis.cells))
+	for k, c := range basis.cells {
+		basis.costs[k] = t.cost[c.i][c.j]
+	}
+
 	// Degenerate (zero-flow) basic cells on forbidden lanes would inject
 	// the Big-M into the potentials and thus the exported duals; swap them
 	// out of the basis tree before reading the duals off it.
@@ -202,18 +280,20 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 		DualSupply:  make([]float64, m),
 		DualDemand:  make([]float64, n),
 		WarmStarted: warmStarted,
+		Repaired:    repaired,
 	}
 	for i := 0; i < m; i++ {
-		sol.DualSupply[i] = (u[i] - shift) * scale
+		sol.DualSupply[i] = (u[i] - shift) * prep.scale
 	}
 	for j := 0; j < n; j++ {
-		sol.DualDemand[j] = (v[j] + shift) * scale
+		sol.DualDemand[j] = (v[j] + shift) * prep.scale
 	}
 	obj := 0.0
 	for i := 0; i < m; i++ {
 		sol.Flow[i] = make([]float64, n)
+		row := t.flow[i*n:]
 		for j := 0; j < n; j++ {
-			f := t.flowAt(i, j)
+			f := row[j]
 			if f < eps || forbidden(i, j) {
 				f = 0 // forbidden residues are ≤ tol by the check above
 			}
@@ -230,9 +310,11 @@ func SolveTransportWarm(p TransportProblem, warm *TransportBasis) (*TransportSol
 // warmStart seeds the basis from a prior optimal tree: the cells must form
 // a spanning tree over the balanced problem's rows (including the dummy)
 // and columns, and the unique tree flows for the current supplies/demands
-// must be nonnegative. Returns false — leaving the tableau untouched —
-// when either check fails, so the caller falls back to the cold start.
-func (t *transportTableau) warmStart(cells []cell) bool {
+// must be nonnegative — unless allowNegative is set (the repair path fixes
+// negative re-flows with dual-simplex pivots instead of rejecting them).
+// Returns false — leaving the tableau untouched — when a check fails, so
+// the caller falls back to the cold start.
+func (t *transportTableau) warmStart(cells []cell, allowNegative bool) bool {
 	if len(cells) != t.m+t.n-1 {
 		return false
 	}
@@ -339,8 +421,14 @@ func (t *transportTableau) warmStart(cells []cell) bool {
 		}
 	}
 	for k, f := range flows {
-		if !used[k] || f < -eps {
-			return false // non-tree remnant or infeasible seed flow
+		if !used[k] {
+			return false // non-tree remnant
+		}
+		if f < -eps {
+			if !allowNegative {
+				return false // infeasible seed flow
+			}
+			continue // the repair's dual-simplex pass drives it back to 0
 		}
 		if f < 0 {
 			flows[k] = 0 // roundoff-level negative from the float balance
@@ -353,13 +441,17 @@ func (t *transportTableau) warmStart(cells []cell) bool {
 }
 
 // transportTableau holds the balanced problem and its basis spanning tree.
+// Flows and basis membership live in dense row-major arrays (flow is zero
+// on every nonbasic cell), so the MODI pricing scan and the output
+// assembly are straight array sweeps with no hashing.
 type transportTableau struct {
 	m, n       int
 	supply     []float64
 	demand     []float64
 	cost       [][]float64
-	flow       map[cell]float64 // flow on basic cells
-	basic      map[cell]bool
+	flow       []float64 // len m*n; nonzero only on basic cells
+	basic      []bool    // len m*n
+	nbasic     int
 	rowBasics  [][]cell // basic cells per source row
 	colBasics  [][]cell // basic cells per sink column
 	iterations int
@@ -368,26 +460,33 @@ type transportTableau struct {
 type cell struct{ i, j int }
 
 func newTransportTableau(supply, demand []float64, cost [][]float64) *transportTableau {
+	m, n := len(supply), len(demand)
 	return &transportTableau{
-		m: len(supply), n: len(demand),
+		m: m, n: n,
 		supply: supply, demand: demand, cost: cost,
-		flow:      make(map[cell]float64),
-		basic:     make(map[cell]bool),
-		rowBasics: make([][]cell, len(supply)),
-		colBasics: make([][]cell, len(demand)),
+		flow:      make([]float64, m*n),
+		basic:     make([]bool, m*n),
+		rowBasics: make([][]cell, m),
+		colBasics: make([][]cell, n),
 	}
 }
 
+func (t *transportTableau) idx(c cell) int { return c.i*t.n + c.j }
+
 func (t *transportTableau) addBasic(c cell, f float64) {
-	t.basic[c] = true
-	t.flow[c] = f
+	k := t.idx(c)
+	t.basic[k] = true
+	t.flow[k] = f
+	t.nbasic++
 	t.rowBasics[c.i] = append(t.rowBasics[c.i], c)
 	t.colBasics[c.j] = append(t.colBasics[c.j], c)
 }
 
 func (t *transportTableau) removeBasic(c cell) {
-	delete(t.basic, c)
-	delete(t.flow, c)
+	k := t.idx(c)
+	t.basic[k] = false
+	t.flow[k] = 0
+	t.nbasic--
 	t.rowBasics[c.i] = removeCell(t.rowBasics[c.i], c)
 	t.colBasics[c.j] = removeCell(t.colBasics[c.j], c)
 }
@@ -402,7 +501,7 @@ func removeCell(s []cell, c cell) []cell {
 	return s
 }
 
-func (t *transportTableau) flowAt(i, j int) float64 { return t.flow[cell{i, j}] }
+func (t *transportTableau) flowAt(i, j int) float64 { return t.flow[i*t.n+j] }
 
 // initialBasis builds a basic feasible solution with the least-cost
 // method, then pads zero-flow basics until the basis is a spanning tree
@@ -466,14 +565,16 @@ func (t *transportTableau) initialBasis() {
 		parent[ra] = rb
 		return true
 	}
-	for c := range t.basic {
-		union(c.i, t.m+c.j)
+	for _, cs := range t.rowBasics {
+		for _, c := range cs {
+			union(c.i, t.m+c.j)
+		}
 	}
 	for _, cc := range all {
-		if len(t.basic) >= t.m+t.n-1 {
+		if t.nbasic >= t.m+t.n-1 {
 			break
 		}
-		if t.basic[cc.cell] {
+		if t.basic[t.idx(cc.cell)] {
 			continue
 		}
 		if union(cc.cell.i, t.m+cc.cell.j) {
@@ -491,9 +592,11 @@ func (t *transportTableau) initialBasis() {
 // is forbidden, and +Inf reduced costs hold vacuously).
 func (t *transportTableau) evictForbidden(forbidden func(i, j int) bool) {
 	var evict []cell
-	for c := range t.basic {
-		if forbidden(c.i, c.j) {
-			evict = append(evict, c)
+	for _, cs := range t.rowBasics {
+		for _, c := range cs {
+			if forbidden(c.i, c.j) {
+				evict = append(evict, c)
+			}
 		}
 	}
 	if len(evict) == 0 {
@@ -523,8 +626,10 @@ func (t *transportTableau) evictForbidden(forbidden func(i, j int) bool) {
 		parent[ra] = rb
 		return true
 	}
-	for c := range t.basic {
-		union(c.i, t.m+c.j)
+	for _, cs := range t.rowBasics {
+		for _, c := range cs {
+			union(c.i, t.m+c.j)
+		}
 	}
 	type costCell struct {
 		c    float64
@@ -549,7 +654,7 @@ func (t *transportTableau) evictForbidden(forbidden func(i, j int) bool) {
 		return all[a].cell.j < all[b].cell.j
 	})
 	for _, cc := range all {
-		if t.basic[cc.cell] {
+		if t.basic[t.idx(cc.cell)] {
 			continue
 		}
 		if union(cc.cell.i, t.m+cc.cell.j) {
@@ -605,40 +710,38 @@ func (t *transportTableau) potentials() (u, v []float64) {
 // col-node j, returned as the alternating cell sequence. Adding the
 // entering cell (i,j) to this path closes the pivot cycle.
 func (t *transportTableau) cyclePath(i, j int) []cell {
-	// BFS over the tree from row i to col j.
-	type nodeKey struct {
-		isRow bool
-		idx   int
-	}
-	prev := make(map[nodeKey]cell)
-	seen := map[nodeKey]bool{{true, i}: true}
-	queue := []nodeKey{{true, i}}
-	target := nodeKey{false, j}
+	// BFS over the tree from row i to col j. Nodes are encoded as ints:
+	// rows [0,m), cols [m, m+n).
+	seen := make([]bool, t.m+t.n)
+	prev := make([]cell, t.m+t.n)
+	seen[i] = true
+	queue := []int{i}
+	target := t.m + j
 	for len(queue) > 0 {
 		cur := queue[0]
 		queue = queue[1:]
 		if cur == target {
 			break
 		}
-		var nexts []cell
-		if cur.isRow {
-			nexts = t.rowBasics[cur.idx]
+		if cur < t.m {
+			for _, c := range t.rowBasics[cur] {
+				nk := t.m + c.j
+				if seen[nk] {
+					continue
+				}
+				seen[nk] = true
+				prev[nk] = c
+				queue = append(queue, nk)
+			}
 		} else {
-			nexts = t.colBasics[cur.idx]
-		}
-		for _, c := range nexts {
-			var nk nodeKey
-			if cur.isRow {
-				nk = nodeKey{false, c.j}
-			} else {
-				nk = nodeKey{true, c.i}
+			for _, c := range t.colBasics[cur-t.m] {
+				if seen[c.i] {
+					continue
+				}
+				seen[c.i] = true
+				prev[c.i] = c
+				queue = append(queue, c.i)
 			}
-			if seen[nk] {
-				continue
-			}
-			seen[nk] = true
-			prev[nk] = c
-			queue = append(queue, nk)
 		}
 	}
 	if !seen[target] {
@@ -647,19 +750,53 @@ func (t *transportTableau) cyclePath(i, j int) []cell {
 	// Walk back from target to source collecting cells.
 	var rev []cell
 	cur := target
-	for cur != (nodeKey{true, i}) {
+	for cur != i {
 		c := prev[cur]
 		rev = append(rev, c)
-		if cur.isRow {
-			cur = nodeKey{false, c.j}
+		if cur < t.m {
+			cur = t.m + c.j
 		} else {
-			cur = nodeKey{true, c.i}
+			cur = c.i
 		}
 	}
 	for a, b := 0, len(rev)-1; a < b; a, b = a+1, b-1 {
 		rev[a], rev[b] = rev[b], rev[a]
 	}
 	return rev
+}
+
+// pivot brings enter into the basis: it closes the cycle through the tree,
+// shifts the blocking flow theta around it, and swaps the blocking (leave)
+// cell out. Returns the moved flow (0 for a degenerate pivot) or an error
+// if the tree lost connectivity.
+func (t *transportTableau) pivot(enter cell) (float64, error) {
+	path := t.cyclePath(enter.i, enter.j)
+	if path == nil {
+		return 0, fmt.Errorf("lp: transport basis lost connectivity at cell (%d,%d)", enter.i, enter.j)
+	}
+	// Cycle: enter (+), then alternate -, +, -, ... along path.
+	theta := math.Inf(1)
+	leave := cell{-1, -1}
+	for k, c := range path {
+		if k%2 == 0 { // minus position
+			f := t.flow[t.idx(c)]
+			if f < theta || (f == theta && (leave.i < 0 || lessCell(c, leave))) {
+				theta = f
+				leave = c
+			}
+		}
+	}
+	for k, c := range path {
+		if k%2 == 0 {
+			t.flow[t.idx(c)] -= theta
+		} else {
+			t.flow[t.idx(c)] += theta
+		}
+	}
+	t.removeBasic(leave)
+	t.addBasic(enter, theta)
+	t.iterations++
+	return theta, nil
 }
 
 // optimize runs MODI iterations to optimality.
@@ -673,20 +810,22 @@ func (t *transportTableau) optimize() error {
 		best := -eps
 	scan:
 		for i := 0; i < t.m; i++ {
+			ui := u[i]
+			row := t.cost[i]
+			bas := t.basic[i*t.n:]
 			for j := 0; j < t.n; j++ {
-				c := cell{i, j}
-				if t.basic[c] {
+				if bas[j] {
 					continue
 				}
-				r := t.cost[i][j] - u[i] - v[j]
+				r := row[j] - ui - v[j]
 				if useBland {
 					if r < -eps {
-						enter = c
+						enter = cell{i, j}
 						break scan
 					}
 				} else if r < best {
 					best = r
-					enter = c
+					enter = cell{i, j}
 				}
 			}
 		}
@@ -694,32 +833,10 @@ func (t *transportTableau) optimize() error {
 			return nil // optimal
 		}
 
-		path := t.cyclePath(enter.i, enter.j)
-		if path == nil {
-			return fmt.Errorf("lp: transport basis lost connectivity at cell (%d,%d)", enter.i, enter.j)
+		theta, err := t.pivot(enter)
+		if err != nil {
+			return err
 		}
-		// Cycle: enter (+), then alternate -, +, -, ... along path.
-		theta := math.Inf(1)
-		leave := cell{-1, -1}
-		for k, c := range path {
-			if k%2 == 0 { // minus position
-				f := t.flow[c]
-				if f < theta || (f == theta && (leave.i < 0 || lessCell(c, leave))) {
-					theta = f
-					leave = c
-				}
-			}
-		}
-		for k, c := range path {
-			if k%2 == 0 {
-				t.flow[c] -= theta
-			} else {
-				t.flow[c] += theta
-			}
-		}
-		t.removeBasic(leave)
-		t.addBasic(enter, theta)
-		t.iterations++
 		if theta <= eps {
 			stall++
 		} else {

@@ -119,3 +119,111 @@ func TestWarmStartSeedsAndFallsBack(t *testing.T) {
 		t.Fatal("shape-mismatched basis was accepted")
 	}
 }
+
+// TestWarmStartRejectionPaths pins every basis-rejection path explicitly:
+// a shape-mismatched basis, a basis whose forbidden-lane set changed since
+// capture, and a basis whose tree re-flow goes negative under the new
+// supplies must each fall back cold with WarmStarted=false — and still
+// produce the exact cold answer.
+func TestWarmStartRejectionPaths(t *testing.T) {
+	t.Run("shape mismatch", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(21))
+		p := randomTransport(rng, 5, 6)
+		_, basis, err := SolveTransportWarm(p, nil)
+		if err != nil || basis == nil {
+			t.Fatalf("base solve: %v", err)
+		}
+		q := randomTransport(rng, 6, 6)
+		sol, _, err := SolveTransportWarm(q, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.WarmStarted {
+			t.Fatal("5×6 basis accepted for a 6×6 problem")
+		}
+	})
+
+	t.Run("forbidden lane changed", func(t *testing.T) {
+		p := TransportProblem{
+			Supply: []float64{4, 6},
+			Demand: []float64{5, 5, 3},
+			Cost:   [][]float64{{1, 2, 3}, {4, 5, 6}},
+		}
+		_, basis, err := SolveTransportWarm(p, nil)
+		if err != nil || basis == nil {
+			t.Fatalf("base solve: %v", err)
+		}
+		// Same shape, but lane (1,1) is now forbidden: a stale basis over
+		// the new Big-M landscape must be rejected up front, not caught
+		// late by evictForbidden.
+		q := TransportProblem{
+			Supply: p.Supply,
+			Demand: p.Demand,
+			Cost:   [][]float64{{1, 2, 3}, {4, math.Inf(1), 6}},
+		}
+		sol, _, err := SolveTransportWarm(q, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.WarmStarted {
+			t.Fatal("basis with a stale forbidden-lane set was accepted")
+		}
+		cold, err := SolveTransport(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sol.Status != cold.Status || sol.Objective != cold.Objective {
+			t.Fatalf("rejected-basis solve (%v, %v) != cold (%v, %v)", sol.Status, sol.Objective, cold.Status, cold.Objective)
+		}
+		// The mirror direction — a forbidden lane becoming allowed — must
+		// also be rejected.
+		back, _, err := SolveTransportWarm(p, mustBasis(t, q))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back.WarmStarted {
+			t.Fatal("basis captured with a forbidden lane was accepted after the lane opened")
+		}
+	})
+
+	t.Run("negative re-flow", func(t *testing.T) {
+		// The optimal tree for supply [4,2] routes (0,0)=3, (0,1)=1,
+		// (1,1)=2 with the balancing dummy parked on sink 1. Shrinking
+		// source 0 to supply 2 makes that same tree's unique re-flow put
+		// -1 on (0,1) — an infeasible seed that must be rejected.
+		p := TransportProblem{
+			Supply: []float64{4, 2},
+			Demand: []float64{3, 3},
+			Cost:   [][]float64{{1, 2}, {5, 1}},
+		}
+		sol, basis, err := SolveTransportWarm(p, nil)
+		if err != nil || sol.Status != StatusOptimal {
+			t.Fatalf("base solve: %v status %v", err, sol.Status)
+		}
+		q := TransportProblem{Supply: []float64{2, 2}, Demand: p.Demand, Cost: p.Cost}
+		warm, _, err := SolveTransportWarm(q, basis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.WarmStarted {
+			t.Fatal("basis with a negative tree re-flow was accepted")
+		}
+		cold, err := SolveTransport(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm.Status != cold.Status || warm.Objective != cold.Objective {
+			t.Fatalf("rejected-basis solve (%v, %v) != cold (%v, %v)", warm.Status, warm.Objective, cold.Status, cold.Objective)
+		}
+	})
+}
+
+// mustBasis solves p and returns its basis, failing the test on any error.
+func mustBasis(t *testing.T, p TransportProblem) *TransportBasis {
+	t.Helper()
+	_, basis, err := SolveTransportWarm(p, nil)
+	if err != nil || basis == nil {
+		t.Fatalf("mustBasis: %v", err)
+	}
+	return basis
+}

@@ -1,0 +1,105 @@
+package verify
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// snapPlanInputs copies the planning inputs DiffStates compares, sharing
+// the graph pointer (a delta across graphs is meaningless).
+func snapPlanInputs(s *core.State) *core.State {
+	return &core.State{
+		G:           s.G,
+		Util:        append([]float64(nil), s.Util...),
+		DataMb:      append([]float64(nil), s.DataMb...),
+		Offloadable: append([]bool(nil), s.Offloadable...),
+		Personas:    s.Personas,
+	}
+}
+
+// TestRepairSolveEquivalence is the pipeline-level exactness gate for
+// incremental solving: 200 seeded random instances drift one node at a
+// time (the repair solver's target shape, with occasional larger or
+// threshold-crossing moves to exercise the warm and cold rungs of the
+// fallback ladder) through two Planners — one with IncrementalSolve fed
+// a DiffStates delta each step, one always cold. Status and objective
+// must agree at every step and every repaired result must pass the
+// invariant checker.
+func TestRepairSolveEquivalence(t *testing.T) {
+	const trials = 200
+	const steps = 6
+	sawRepaired := false
+	for seed := int64(0); seed < trials; seed++ {
+		inst, err := RandomInstance(seed, 6+int(seed%18))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		params := inst.Params
+		params.Solver = core.SolverTransport
+
+		incParams := params
+		incParams.WarmSolve = true
+		incParams.IncrementalSolve = true
+		inc := core.NewPlanner(incParams)
+		cold := core.NewPlanner(params)
+
+		rng := rand.New(rand.NewSource(seed ^ 0x12ea12))
+		prev := snapPlanInputs(inst.State)
+		for step := 0; step < steps; step++ {
+			delta := core.DiffStates(prev, inst.State)
+			cls, err := core.Classify(inst.State, params.Thresholds)
+			if err != nil {
+				t.Fatalf("seed %d step %d: classify: %v", seed, step, err)
+			}
+			ri, err := inc.SolveClassifiedDelta(inst.State, cls, &delta)
+			if err != nil {
+				t.Fatalf("seed %d step %d: incremental solve: %v", seed, step, err)
+			}
+			rc, err := cold.SolveClassified(inst.State, cls)
+			if err != nil {
+				t.Fatalf("seed %d step %d: cold solve: %v", seed, step, err)
+			}
+			if ri.Status != rc.Status {
+				t.Fatalf("seed %d step %d (%s): incremental status %v, cold %v",
+					seed, step, ri.SolveMode(), ri.Status, rc.Status)
+			}
+			tol := 1e-6 * (1 + math.Abs(rc.Objective))
+			if math.Abs(ri.Objective-rc.Objective) > tol {
+				t.Fatalf("seed %d step %d (%s): incremental objective %g, cold %g (Δ=%g)",
+					seed, step, ri.SolveMode(), ri.Objective, rc.Objective, ri.Objective-rc.Objective)
+			}
+			if ri.Status == core.StatusOptimal {
+				if err := CheckResult(inst.State, ri, core.SolverTransport); err != nil {
+					t.Fatalf("seed %d step %d (%s): incremental result failed checker: %v",
+						seed, step, ri.SolveMode(), err)
+				}
+			}
+			if ri.Repaired {
+				sawRepaired = true
+			}
+			prev = snapPlanInputs(inst.State)
+			// Single-node drift: usually a small in-band wiggle (repairable),
+			// sometimes a data-volume change (cost-row delta), rarely a jump
+			// across the thresholds (split change → warm/cold fallback).
+			i := rng.Intn(len(inst.State.Util))
+			switch rng.Intn(6) {
+			case 0:
+				inst.State.Util[i] = 100 * rng.Float64()
+			case 1:
+				inst.State.DataMb[i] = 1 + 30*rng.Float64()
+			default:
+				u := inst.State.Util[i] + 4*rng.Float64() - 2
+				inst.State.Util[i] = math.Max(0, math.Min(100, u))
+			}
+		}
+		if st := cold.WarmStats(); st.Repaired != 0 || st.Warm != 0 {
+			t.Fatalf("seed %d: cold planner recorded warm activity: %+v", seed, st)
+		}
+	}
+	if !sawRepaired {
+		t.Fatal("no trial ever repaired a solve")
+	}
+}
